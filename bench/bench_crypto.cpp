@@ -1,0 +1,226 @@
+// E10 — crypto and commitment microbenchmarks (google-benchmark).
+//
+// These are the primitive costs underneath every paper number: SHA-512
+// hashing (MTT labels), RSA-1024 signing/verification (§7.5's signature
+// column), the RC4 CSPRNG (§7.1), PRF-derived commitment randomness, and
+// MTT build/label/prove/verify rates.  They also serve as the ablation for
+// two DESIGN.md decisions: 20-byte truncated digests (vs full 64-byte) and
+// PRF randomness (vs streaming RC4 draw).
+#include <benchmark/benchmark.h>
+
+#include "core/commitment.hpp"
+#include "core/mtt.hpp"
+#include "crypto/rc4.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha2.hpp"
+#include "trace/routeviews.hpp"
+#include "util/rng.hpp"
+
+using namespace spider;
+
+namespace {
+
+util::Bytes make_data(std::size_t n) {
+  util::Bytes data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  return data;
+}
+
+const crypto::RsaPrivateKey& bench_key() {
+  static const crypto::RsaPrivateKey key = [] {
+    util::SplitMix64 rng(42);
+    return crypto::rsa_generate(1024, rng);
+  }();
+  return key;
+}
+
+}  // namespace
+
+static void BM_Sha512(benchmark::State& state) {
+  auto data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha512::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(1024)->Arg(65536);
+
+static void BM_Sha256(benchmark::State& state) {
+  auto data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1024);
+
+static void BM_Digest20_MttLabelInput(benchmark::State& state) {
+  // The exact shape of an MTT inner-node hash: 3 x 20-byte child labels.
+  auto data = make_data(60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::digest20(data));
+  }
+}
+BENCHMARK(BM_Digest20_MttLabelInput);
+
+static void BM_RsaSign1024(benchmark::State& state) {
+  auto msg = make_data(256);
+  const auto& key = bench_key();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_sign(key, msg));
+  }
+}
+BENCHMARK(BM_RsaSign1024);
+
+static void BM_RsaVerify1024(benchmark::State& state) {
+  auto msg = make_data(256);
+  const auto& key = bench_key();
+  auto sig = crypto::rsa_sign(key, msg);
+  auto pub = key.public_key();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_verify(pub, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify1024);
+
+static void BM_Rc4CsprngSetup(benchmark::State& state) {
+  // Includes the 3,072-byte drop of §7.1.
+  auto seed = crypto::seed_from_string("bench");
+  for (auto _ : state) {
+    crypto::Rc4Csprng csprng(seed.span());
+    benchmark::DoNotOptimize(csprng.next_u64());
+  }
+}
+BENCHMARK(BM_Rc4CsprngSetup);
+
+static void BM_Rc4Keystream(benchmark::State& state) {
+  auto seed = crypto::seed_from_string("bench");
+  crypto::Rc4Csprng csprng(seed.span());
+  std::uint8_t buf[4096];
+  for (auto _ : state) {
+    csprng.fill(buf, sizeof(buf));
+    benchmark::DoNotOptimize(buf[0]);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Rc4Keystream);
+
+static void BM_CommitmentPrfDerive(benchmark::State& state) {
+  // Ablation: positional PRF randomness (vs the paper's sequential RC4
+  // stream).  One derive = one SHA-512 — compare with BM_Rc4Keystream's
+  // per-20-byte cost to see the tradeoff bought for random access.
+  crypto::CommitmentPrf prf(crypto::seed_from_string("bench"));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prf.bit_randomness(i++));
+  }
+}
+BENCHMARK(BM_CommitmentPrfDerive);
+
+static void BM_BitLeafHash(benchmark::State& state) {
+  crypto::CommitmentPrf prf(crypto::seed_from_string("bench"));
+  auto x = prf.bit_randomness(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::bit_leaf_hash(true, x));
+  }
+}
+BENCHMARK(BM_BitLeafHash);
+
+static void BM_FlatCommitment(benchmark::State& state) {
+  // A single-prefix VPref commitment over k bits.
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<bool> bits(k, false);
+  bits[k / 2] = true;
+  crypto::CommitmentPrf prf(crypto::seed_from_string("bench"));
+  for (auto _ : state) {
+    core::FlatCommitment commitment(bits, prf);
+    benchmark::DoNotOptimize(commitment.root());
+  }
+}
+BENCHMARK(BM_FlatCommitment)->Arg(4)->Arg(50);
+
+namespace {
+
+struct MttFixture {
+  core::Mtt tree;
+  crypto::CommitmentPrf prf{crypto::seed_from_string("mtt-bench")};
+  std::vector<bgp::Prefix> prefixes;
+
+  explicit MttFixture(std::size_t n, std::uint32_t k) {
+    trace::TraceConfig config;
+    config.num_prefixes = n;
+    config.num_updates = 1;
+    config.seed = 7;
+    auto tr = trace::generate(config);
+    std::vector<std::pair<bgp::Prefix, std::vector<bool>>> entries;
+    for (const auto& route : tr.rib_snapshot) {
+      prefixes.push_back(route.prefix);
+      entries.emplace_back(route.prefix, std::vector<bool>(k, false));
+    }
+    tree = core::Mtt::build(std::move(entries), k);
+    tree.compute_labels(prf);
+  }
+};
+
+MttFixture& mtt_fixture() {
+  static MttFixture fixture(10'000, 50);
+  return fixture;
+}
+
+}  // namespace
+
+static void BM_MttBuild(benchmark::State& state) {
+  trace::TraceConfig config;
+  config.num_prefixes = static_cast<std::size_t>(state.range(0));
+  config.num_updates = 1;
+  config.seed = 7;
+  auto tr = trace::generate(config);
+  std::vector<std::pair<bgp::Prefix, std::vector<bool>>> entries;
+  for (const auto& route : tr.rib_snapshot) {
+    entries.emplace_back(route.prefix, std::vector<bool>(50, false));
+  }
+  for (auto _ : state) {
+    auto tree = core::Mtt::build(entries, 50);
+    benchmark::DoNotOptimize(tree.counts().inner);
+  }
+}
+BENCHMARK(BM_MttBuild)->Arg(1000)->Arg(10000);
+
+static void BM_MttLabelPerPrefix(benchmark::State& state) {
+  // Cost of labeling, normalized per prefix (k=50): multiply by table size
+  // for the full-commitment cost (E3).
+  auto& fixture = mtt_fixture();
+  for (auto _ : state) {
+    fixture.tree.compute_labels(fixture.prf);
+    benchmark::DoNotOptimize(fixture.tree.root_label());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fixture.prefixes.size()));
+}
+BENCHMARK(BM_MttLabelPerPrefix)->Unit(benchmark::kMillisecond);
+
+static void BM_MttProve(benchmark::State& state) {
+  auto& fixture = mtt_fixture();
+  std::size_t i = 0;
+  std::vector<core::ClassId> all_better;
+  for (core::ClassId c = 0; c < 49; ++c) all_better.push_back(c);
+  for (auto _ : state) {
+    const auto& prefix = fixture.prefixes[i++ % fixture.prefixes.size()];
+    benchmark::DoNotOptimize(fixture.tree.prove(fixture.prf, prefix, all_better));
+  }
+}
+BENCHMARK(BM_MttProve);
+
+static void BM_MttVerify(benchmark::State& state) {
+  auto& fixture = mtt_fixture();
+  std::vector<core::ClassId> all_better;
+  for (core::ClassId c = 0; c < 49; ++c) all_better.push_back(c);
+  auto proof = fixture.tree.prove(fixture.prf, fixture.prefixes[0], all_better);
+  auto root = fixture.tree.root_label();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Mtt::verify(root, 50, proof));
+  }
+}
+BENCHMARK(BM_MttVerify);
+
+BENCHMARK_MAIN();

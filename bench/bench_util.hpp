@@ -1,0 +1,81 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Every bench prints the paper's reported numbers next to the measured
+// ones.  Scale is controlled by environment variables so the full
+// paper-scale run is one command away:
+//   SPIDER_BENCH_PREFIXES  (default 20000; paper: 391028)
+//   SPIDER_BENCH_UPDATES   (default scaled pro-rata; paper: 38696)
+//   SPIDER_BENCH_FULL=1    shorthand for paper-scale prefixes/updates
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "spider/deployment.hpp"
+#include "trace/routeviews.hpp"
+
+namespace spider::benchutil {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (!value) return fallback;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+inline bool full_scale() {
+  const char* value = std::getenv("SPIDER_BENCH_FULL");
+  return value && value[0] == '1';
+}
+
+struct BenchScale {
+  std::size_t prefixes;
+  std::size_t updates;
+  double scale_factor;  // vs. the paper's 391,028-prefix table
+};
+
+inline BenchScale bench_scale(std::size_t default_prefixes = 20'000) {
+  constexpr std::size_t kPaperPrefixes = 391'028;
+  constexpr std::size_t kPaperUpdates = 38'696;
+  std::size_t prefixes = full_scale() ? kPaperPrefixes
+                                      : env_size("SPIDER_BENCH_PREFIXES", default_prefixes);
+  std::size_t updates = env_size(
+      "SPIDER_BENCH_UPDATES",
+      std::max<std::size_t>(100, kPaperUpdates * prefixes / kPaperPrefixes));
+  return {prefixes, updates, static_cast<double>(prefixes) / kPaperPrefixes};
+}
+
+inline trace::RouteViewsTrace bench_trace(const BenchScale& scale,
+                                          netsim::Time duration = 15LL * 60 *
+                                                                  netsim::kMicrosPerSecond) {
+  trace::TraceConfig config;
+  config.num_prefixes = scale.prefixes;
+  config.num_updates = scale.updates;
+  config.duration = duration;
+  config.seed = 20120118;  // the paper's trace collection date
+  return trace::generate(config);
+}
+
+inline void header(const char* experiment, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n  (reproduces %s)\n", experiment, paper_ref);
+  std::printf("================================================================\n");
+}
+
+inline void row(const char* label, const std::string& measured, const std::string& paper) {
+  std::printf("  %-44s %18s   paper: %s\n", label, measured.c_str(), paper.c_str());
+}
+
+inline std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+inline std::string fmt_count(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace spider::benchutil

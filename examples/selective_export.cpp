@@ -1,0 +1,105 @@
+// Example: selective export / "do not export" communities (§3.2).
+//
+// A producer tags a route with a community meaning "never give this to
+// anyone" (think: a backup path only to be used internally).  The promise
+// model expresses this by ranking the tagged class BELOW the null route:
+// exporting such a route is then a provable violation, and the original
+// sender can confirm its route was in fact not exported — while a
+// consumer can be sure no route it was entitled to see was falsely
+// withheld.
+//
+// Build & run:  ./build/examples/selective_export
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "bgp/policy.hpp"
+#include "core/vpref.hpp"
+
+using namespace spider;
+
+namespace {
+
+constexpr core::PartyId kElector = 1, kProducer = 10, kConsumer = 20;
+
+util::Bytes key_of(core::PartyId id) {
+  std::string s = "se-key-" + std::to_string(id);
+  return util::Bytes(s.begin(), s.end());
+}
+
+void run(bool elector_leaks) {
+  const bgp::Community no_export = bgp::no_export_to_community(65535);
+  core::SelectiveExportClassifier classifier(no_export);
+  using SE = core::SelectiveExportClassifier;
+
+  core::KeyRegistry keys;
+  std::map<core::PartyId, std::unique_ptr<crypto::HashSigner>> signers;
+  for (core::PartyId id : {kElector, kProducer, kConsumer}) {
+    signers[id] = std::make_unique<crypto::HashSigner>(key_of(id));
+    keys.add(id, std::make_unique<crypto::HashVerifier>(key_of(id)));
+  }
+
+  // The elector internally prefers having a route over none — even a
+  // tagged one is useful for its own traffic.  Classes: exportable(0),
+  // null(1), tagged(2); private order: 0 > 2 > 1.
+  core::Elector elector(kElector, 1, *signers[kElector], classifier, {SE::kExportable,
+                                                                      SE::kNoExport, SE::kNull});
+  auto signed_promise = elector.promise_to(kConsumer, SE::no_export_promise());
+  core::Consumer consumer(kConsumer, kElector, 1, classifier);
+  consumer.receive_promise(signed_promise, keys);
+
+  // The producer's route carries the do-not-export tag.
+  bgp::Route tagged;
+  tagged.prefix = bgp::Prefix::parse("192.0.2.0/24");
+  tagged.as_path = {10, 65010};
+  tagged.learned_from = 10;
+  tagged.communities = {no_export};
+
+  core::Producer producer(kProducer, kElector, 1, *signers[kProducer], classifier);
+  auto ack = elector.receive_announcement(producer.announce(tagged), keys);
+  producer.receive_ack(ack, keys);
+
+  if (elector_leaks) elector.faults().force_export = {kConsumer};
+  elector.decide_and_commit(crypto::seed_from_string(elector_leaks ? "leaky" : "honest"));
+
+  producer.receive_commitment(elector.commitment_for(kProducer), keys);
+  consumer.receive_commitment(elector.commitment_for(kConsumer), keys);
+  consumer.receive_offer(elector.offer_for(kConsumer), keys);
+
+  std::printf("  consumer received: %s\n",
+              consumer.offered_route() ? consumer.offered_route()->str().c_str()
+                                       : "(nothing — the null route)");
+
+  // Producer: "was my tagged route accounted for?"
+  auto pcheck = producer.check_bit_proof(elector.bit_proof_for(SE::kNoExport), keys);
+  std::printf("  producer check (tagged class present): %s\n",
+              pcheck ? pcheck->detail.c_str() : "ok — route recorded, not exported");
+
+  // Consumer: "was anything I should have gotten withheld — or did I get
+  // something I never should have seen?"
+  std::map<core::ClassId, core::SignedEnvelope> proofs;
+  for (core::ClassId cls : consumer.due_classes()) {
+    if (auto proof = elector.bit_proof_for(cls)) proofs.emplace(cls, *proof);
+  }
+  auto ccheck = consumer.check_bit_proofs(proofs, keys);
+  std::printf("  consumer verdict: %s\n",
+              ccheck ? (std::string("VIOLATION — ") + ccheck->detail).c_str()
+                     : "selective-export promise kept");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Selective export: 'do not export' as a class below the null route ===\n");
+  std::printf("Promise order: exportable > (no route) > tagged-do-not-export\n\n");
+
+  std::printf("Round 1 — honest elector keeps the tagged route to itself:\n");
+  run(/*elector_leaks=*/false);
+
+  std::printf("\nRound 2 — elector leaks the tagged route to the consumer:\n");
+  run(/*elector_leaks=*/true);
+  std::printf("\n(The violation is visible to the consumer because the null-route\n");
+  std::printf(" class is always available and its bit is always 1: receiving a\n");
+  std::printf(" route ranked below ⊥ is self-incriminating.)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "bgp/decision.hpp"
+
+namespace spider::bgp {
+
+bool better_explained(const Route& a, const Route& b, DecisionStep& step) {
+  if (a.local_pref != b.local_pref) {
+    step = DecisionStep::kLocalPref;
+    return a.local_pref > b.local_pref;
+  }
+  if (a.path_length() != b.path_length()) {
+    step = DecisionStep::kPathLength;
+    return a.path_length() < b.path_length();
+  }
+  if (a.origin != b.origin) {
+    step = DecisionStep::kOrigin;
+    return static_cast<std::uint8_t>(a.origin) < static_cast<std::uint8_t>(b.origin);
+  }
+  if (a.learned_from == b.learned_from && a.med != b.med) {
+    step = DecisionStep::kMed;
+    return a.med < b.med;
+  }
+  if (a.learned_from != b.learned_from) {
+    step = DecisionStep::kNeighborAs;
+    return a.learned_from < b.learned_from;
+  }
+  step = DecisionStep::kTie;
+  return false;
+}
+
+bool better(const Route& a, const Route& b) {
+  DecisionStep step;
+  return better_explained(a, b, step);
+}
+
+std::optional<Route> decide(const std::vector<Route>& candidates) {
+  if (candidates.empty()) return std::nullopt;
+  const Route* best = &candidates.front();
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (better(candidates[i], *best)) best = &candidates[i];
+  }
+  return *best;
+}
+
+}  // namespace spider::bgp

@@ -1,0 +1,41 @@
+// The standard BGP best-route decision process (paper §3: "The decision
+// procedure is lexicographic, beginning with the local preference attribute
+// and proceeding down a chain of tie-breakers").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bgp/route.hpp"
+
+namespace spider::bgp {
+
+/// Ordered reasons a route wins; exposed so tests and the NetReview-style
+/// auditor can explain *why* one route beat another.
+enum class DecisionStep : std::uint8_t {
+  kLocalPref,
+  kPathLength,
+  kOrigin,
+  kMed,
+  kNeighborAs,
+  kTie,
+};
+
+/// Returns true when `a` is strictly preferred over `b` under the standard
+/// lexicographic decision process:
+///   1. higher local_pref
+///   2. shorter AS path
+///   3. lower origin (IGP < EGP < INCOMPLETE)
+///   4. lower MED (compared only between routes from the same neighbor AS)
+///   5. lower neighbor AS number (deterministic tie-break, standing in for
+///      the lowest-router-id step of real routers)
+bool better(const Route& a, const Route& b);
+
+/// Like better(), but also reports which step decided.
+bool better_explained(const Route& a, const Route& b, DecisionStep& step);
+
+/// Runs the decision process over a candidate set; returns the best route,
+/// or nullopt when `candidates` is empty.
+std::optional<Route> decide(const std::vector<Route>& candidates);
+
+}  // namespace spider::bgp

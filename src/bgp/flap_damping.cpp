@@ -1,0 +1,43 @@
+#include "bgp/flap_damping.hpp"
+
+namespace spider::bgp {
+
+double FlapDamper::decayed(const Entry& entry, netsim::Time now) const {
+  if (now <= entry.updated_at) return entry.penalty;
+  double elapsed = static_cast<double>(now - entry.updated_at);
+  double halves = elapsed / static_cast<double>(config_.half_life);
+  return entry.penalty * std::pow(0.5, halves);
+}
+
+double FlapDamper::record_flap(AsNumber neighbor, const Prefix& prefix, netsim::Time now) {
+  Entry& entry = entries_[{neighbor, prefix}];
+  entry.penalty = std::min(config_.max_penalty, decayed(entry, now) + config_.flap_penalty);
+  entry.updated_at = now;
+  if (entry.penalty >= config_.suppress_threshold) entry.suppressed = true;
+  return entry.penalty;
+}
+
+double FlapDamper::penalty(AsNumber neighbor, const Prefix& prefix, netsim::Time now) const {
+  auto it = entries_.find({neighbor, prefix});
+  return it == entries_.end() ? 0.0 : decayed(it->second, now);
+}
+
+bool FlapDamper::suppressed(AsNumber neighbor, const Prefix& prefix, netsim::Time now) const {
+  auto it = entries_.find({neighbor, prefix});
+  if (it == entries_.end() || !it->second.suppressed) return false;
+  return decayed(it->second, now) > config_.reuse_threshold;
+}
+
+netsim::Time FlapDamper::reuse_time(AsNumber neighbor, const Prefix& prefix,
+                                    netsim::Time now) const {
+  auto it = entries_.find({neighbor, prefix});
+  if (it == entries_.end() || !it->second.suppressed) return now;
+  double current = decayed(it->second, now);
+  if (current <= config_.reuse_threshold) return now;
+  // Solve current * 0.5^(t / half_life) = reuse_threshold; the millisecond
+  // margin keeps the boundary instant strictly on the reusable side.
+  double halves = std::log2(current / config_.reuse_threshold);
+  return now + static_cast<netsim::Time>(halves * static_cast<double>(config_.half_life)) + 1000;
+}
+
+}  // namespace spider::bgp

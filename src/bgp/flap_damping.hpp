@@ -1,0 +1,65 @@
+// BGP route flap damping (RFC 2439), one of the update-delay mechanisms
+// §6.4's loose-synchronization window exists to absorb.
+//
+// Classic penalty model: each flap (withdrawal or attribute change) adds a
+// fixed penalty; the penalty decays exponentially with a configurable
+// half-life; a prefix whose penalty crosses the suppress threshold is
+// dampened (its updates are not propagated) until decay brings it below
+// the reuse threshold.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "bgp/prefix.hpp"
+#include "bgp/route.hpp"
+#include "netsim/sim.hpp"
+
+namespace spider::bgp {
+
+struct FlapDampingConfig {
+  double flap_penalty = 1000.0;
+  double suppress_threshold = 2000.0;
+  double reuse_threshold = 750.0;
+  netsim::Time half_life = 15LL * 60 * netsim::kMicrosPerSecond;  // 15 min
+  /// Penalties are capped so a route cannot be dampened forever.
+  double max_penalty = 12000.0;
+};
+
+/// Tracks flap penalties per (neighbor, prefix).
+class FlapDamper {
+ public:
+  explicit FlapDamper(FlapDampingConfig config = {}) : config_(config) {}
+
+  /// Records one flap at time `now`; returns the updated penalty.
+  double record_flap(AsNumber neighbor, const Prefix& prefix, netsim::Time now);
+
+  /// Current decayed penalty.
+  double penalty(AsNumber neighbor, const Prefix& prefix, netsim::Time now) const;
+
+  /// True while the route is suppressed.  Suppression starts when the
+  /// penalty crosses suppress_threshold and ends when it decays below
+  /// reuse_threshold.
+  bool suppressed(AsNumber neighbor, const Prefix& prefix, netsim::Time now) const;
+
+  /// Time at which a currently suppressed route becomes reusable
+  /// (now if it is not suppressed).
+  netsim::Time reuse_time(AsNumber neighbor, const Prefix& prefix, netsim::Time now) const;
+
+  const FlapDampingConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    double penalty = 0;
+    netsim::Time updated_at = 0;
+    bool suppressed = false;
+  };
+
+  double decayed(const Entry& entry, netsim::Time now) const;
+
+  FlapDampingConfig config_;
+  std::map<std::pair<AsNumber, Prefix>, Entry> entries_;
+};
+
+}  // namespace spider::bgp

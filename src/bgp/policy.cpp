@@ -1,0 +1,124 @@
+#include "bgp/policy.hpp"
+
+#include <algorithm>
+
+namespace spider::bgp {
+
+namespace {
+void strip(std::vector<Community>& communities, const std::vector<Community>& victims) {
+  communities.erase(std::remove_if(communities.begin(), communities.end(),
+                                   [&victims](Community c) {
+                                     return std::find(victims.begin(), victims.end(), c) !=
+                                            victims.end();
+                                   }),
+                    communities.end());
+}
+
+void add_unique(std::vector<Community>& communities, const std::vector<Community>& extra) {
+  for (Community c : extra) {
+    if (std::find(communities.begin(), communities.end(), c) == communities.end()) {
+      communities.push_back(c);
+    }
+  }
+}
+}  // namespace
+
+bool MatchSpec::matches(AsNumber neighbor, const Route& route) const {
+  if (!neighbors.empty() && neighbors.count(neighbor) == 0) return false;
+  if (!communities_any.empty()) {
+    bool any = std::any_of(route.communities.begin(), route.communities.end(),
+                           [this](Community c) { return communities_any.count(c) != 0; });
+    if (!any) return false;
+  }
+  if (!prefixes_within.empty()) {
+    bool any = std::any_of(prefixes_within.begin(), prefixes_within.end(),
+                           [&route](const Prefix& p) { return p.contains(route.prefix); });
+    if (!any) return false;
+  }
+  return true;
+}
+
+std::optional<Route> Policy::import(AsNumber self, AsNumber neighbor, Route route) const {
+  if (route.path_contains(self)) return std::nullopt;  // loop prevention
+  for (const ImportRule& rule : import_rules_) {
+    if (!rule.match.matches(neighbor, route)) continue;
+    if (rule.action.deny) return std::nullopt;
+    if (rule.action.set_local_pref) route.local_pref = *rule.action.set_local_pref;
+    strip(route.communities, rule.action.strip_communities);
+    add_unique(route.communities, rule.action.add_communities);
+    break;  // first match wins
+  }
+  route.learned_from = neighbor;
+  return route;
+}
+
+std::optional<Route> Policy::apply_export(AsNumber neighbor, Route route, AsNumber self) const {
+  for (const ExportRule& rule : export_rules_) {
+    if (!rule.match.matches(neighbor, route)) continue;
+    if (rule.action.deny) return std::nullopt;
+    strip(route.communities, rule.action.strip_communities);
+    add_unique(route.communities, rule.action.add_communities);
+    if (self != 0) {
+      for (std::uint8_t i = 0; i < rule.action.prepend; ++i) {
+        route.as_path.insert(route.as_path.begin(), self);
+      }
+    }
+    break;
+  }
+  return route;
+}
+
+Policy gao_rexford_policy(const std::vector<std::pair<AsNumber, Relationship>>& neighbors) {
+  std::set<AsNumber> customers, peers, providers, non_customers;
+  for (const auto& [asn, rel] : neighbors) {
+    switch (rel) {
+      case Relationship::kCustomer: customers.insert(asn); break;
+      case Relationship::kPeer: peers.insert(asn); non_customers.insert(asn); break;
+      case Relationship::kProvider: providers.insert(asn); non_customers.insert(asn); break;
+    }
+  }
+
+  // Provenance is not carried across ASes by local_pref, so import rules tag
+  // non-customer routes with internal communities; export rules match the
+  // tags to enforce valley-free export and scrub them before the route
+  // leaves the AS.
+  const Community kFromPeer = make_community(65535, 150);
+  const Community kFromProvider = make_community(65535, 100);
+
+  auto tier_rule = [](std::set<AsNumber> from, std::uint32_t pref, std::vector<Community> tags) {
+    ImportRule rule;
+    rule.match.neighbors = std::move(from);
+    rule.action.set_local_pref = pref;
+    rule.action.add_communities = std::move(tags);
+    return rule;
+  };
+
+  Policy policy;
+  if (!customers.empty()) policy.add_import_rule(tier_rule(customers, kLocalPrefCustomer, {}));
+  if (!peers.empty()) policy.add_import_rule(tier_rule(peers, kLocalPrefPeer, {kFromPeer}));
+  if (!providers.empty()) {
+    policy.add_import_rule(tier_rule(providers, kLocalPrefProvider, {kFromProvider}));
+  }
+
+  if (!non_customers.empty()) {
+    ExportRule deny;  // peer/provider routes may only go to customers
+    deny.match.neighbors = non_customers;
+    deny.match.communities_any = {kFromPeer, kFromProvider};
+    deny.action.deny = true;
+    policy.add_export_rule(std::move(deny));
+  }
+  ExportRule scrub;  // internal tags never leave the AS
+  scrub.action.strip_communities = {kFromPeer, kFromProvider};
+  policy.add_export_rule(std::move(scrub));
+  return policy;
+}
+
+Community lp_tier_community(std::uint16_t asn, std::uint16_t tier) {
+  return make_community(asn, static_cast<std::uint16_t>(100 + tier));
+}
+
+Community no_export_to_community(std::uint16_t target_asn) {
+  return make_community(65534, target_asn);
+}
+
+}  // namespace spider::bgp

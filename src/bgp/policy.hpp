@@ -1,0 +1,104 @@
+// Routing policy: import/export rule engine over communities, neighbors and
+// prefixes, plus helpers for the policy archetypes of paper §3.2 (set local
+// preference, selective export, partial transit, prefer-customer /
+// Gao-Rexford).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "bgp/route.hpp"
+
+namespace spider::bgp {
+
+/// Business relationship of a neighbor, for Gao-Rexford style policies.
+enum class Relationship : std::uint8_t { kCustomer, kPeer, kProvider };
+
+/// Conventional local-pref tiers used throughout the examples and tests.
+constexpr std::uint32_t kLocalPrefCustomer = 200;
+constexpr std::uint32_t kLocalPrefPeer = 150;
+constexpr std::uint32_t kLocalPrefProvider = 100;
+
+/// Predicate over (neighbor, route).  Empty sets mean "match anything".
+struct MatchSpec {
+  std::set<AsNumber> neighbors;         // match when route crosses one of these
+  std::set<Community> communities_any;  // match when the route carries any of these
+  std::vector<Prefix> prefixes_within;  // match when some entry contains route.prefix
+
+  bool matches(AsNumber neighbor, const Route& route) const;
+};
+
+/// What an import rule does to a matched route.
+struct ImportAction {
+  bool deny = false;
+  std::optional<std::uint32_t> set_local_pref;
+  std::vector<Community> add_communities;
+  std::vector<Community> strip_communities;
+};
+
+struct ImportRule {
+  MatchSpec match;
+  ImportAction action;
+};
+
+/// Export rules either deny a route toward a neighbor or adjust communities
+/// and AS-path prepending (the community-controlled prepending the paper
+/// mentions alongside Figure 2).
+struct ExportAction {
+  bool deny = false;
+  std::vector<Community> add_communities;
+  std::vector<Community> strip_communities;
+  /// Extra copies of the exporting AS's own number prepended to the path
+  /// (traffic engineering: makes the route look longer to this neighbor).
+  std::uint8_t prepend = 0;
+};
+
+struct ExportRule {
+  MatchSpec match;  // neighbors = the *target* neighbors of the export
+  ExportAction action;
+};
+
+/// Per-AS policy.  Import runs before the route enters Adj-RIB-In; export
+/// runs per target neighbor as the best route is propagated.  Rules apply
+/// first-match-wins; unmatched routes are accepted/exported unchanged.
+class Policy {
+ public:
+  void add_import_rule(ImportRule rule) { import_rules_.push_back(std::move(rule)); }
+  void add_export_rule(ExportRule rule) { export_rules_.push_back(std::move(rule)); }
+
+  /// Applies import policy to a route learned from `neighbor`; returns
+  /// nullopt when the route is filtered.  Loop detection (own ASN in path)
+  /// is handled here as well.
+  std::optional<Route> import(AsNumber self, AsNumber neighbor, Route route) const;
+
+  /// Applies export policy for a route being sent to `neighbor`; returns
+  /// nullopt when export is denied.  `self` is the exporting AS's own
+  /// number, used for prepend actions (0 disables prepending).
+  std::optional<Route> apply_export(AsNumber neighbor, Route route, AsNumber self = 0) const;
+
+  std::size_t import_rule_count() const { return import_rules_.size(); }
+  std::size_t export_rule_count() const { return export_rules_.size(); }
+
+ private:
+  std::vector<ImportRule> import_rules_;
+  std::vector<ExportRule> export_rules_;
+};
+
+/// Builds a Gao-Rexford policy for an AS with the given neighbor
+/// relationships: customer routes get local-pref 200, peer 150, provider
+/// 100; customer routes are exported to everyone, peer/provider routes only
+/// to customers (the "valley-free" export rule).
+Policy gao_rexford_policy(const std::vector<std::pair<AsNumber, Relationship>>& neighbors);
+
+/// Community an AS advertises for "set my routes to local-pref <tier>"
+/// (paper §3.2 "Set local preference", supported by 57 of 88 ASes in [29]).
+/// Tier 0 is the default/highest.
+Community lp_tier_community(std::uint16_t asn, std::uint16_t tier);
+
+/// Community for "do not export my route to AS <target>" (paper §3.2
+/// "Selective export by specific AS").
+Community no_export_to_community(std::uint16_t target_asn);
+
+}  // namespace spider::bgp

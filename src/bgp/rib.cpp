@@ -1,0 +1,98 @@
+#include "bgp/rib.hpp"
+
+namespace spider::bgp {
+
+void AdjRibIn::set(AsNumber neighbor, Route route) {
+  by_neighbor_[neighbor][route.prefix] = std::move(route);
+}
+
+void AdjRibIn::withdraw(AsNumber neighbor, const Prefix& prefix) {
+  auto it = by_neighbor_.find(neighbor);
+  if (it == by_neighbor_.end()) return;
+  it->second.erase(prefix);
+  if (it->second.empty()) by_neighbor_.erase(it);
+}
+
+const Route* AdjRibIn::find(AsNumber neighbor, const Prefix& prefix) const {
+  auto it = by_neighbor_.find(neighbor);
+  if (it == by_neighbor_.end()) return nullptr;
+  auto rit = it->second.find(prefix);
+  return rit == it->second.end() ? nullptr : &rit->second;
+}
+
+std::vector<Route> AdjRibIn::candidates(const Prefix& prefix) const {
+  std::vector<Route> out;
+  for (const auto& [neighbor, routes] : by_neighbor_) {
+    auto it = routes.find(prefix);
+    if (it != routes.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::set<Prefix> AdjRibIn::prefixes() const {
+  std::set<Prefix> out;
+  for (const auto& [neighbor, routes] : by_neighbor_) {
+    for (const auto& [prefix, route] : routes) out.insert(prefix);
+  }
+  return out;
+}
+
+std::map<AsNumber, Route> AdjRibIn::offers(const Prefix& prefix) const {
+  std::map<AsNumber, Route> out;
+  for (const auto& [neighbor, routes] : by_neighbor_) {
+    auto it = routes.find(prefix);
+    if (it != routes.end()) out.emplace(neighbor, it->second);
+  }
+  return out;
+}
+
+std::size_t AdjRibIn::size() const {
+  std::size_t total = 0;
+  for (const auto& [neighbor, routes] : by_neighbor_) total += routes.size();
+  return total;
+}
+
+bool LocRib::set(const Prefix& prefix, std::optional<Route> route) {
+  auto it = entries_.find(prefix);
+  if (!route) {
+    if (it == entries_.end()) return false;
+    entries_.erase(it);
+    return true;
+  }
+  if (it != entries_.end() && it->second == *route) return false;
+  entries_[prefix] = std::move(*route);
+  return true;
+}
+
+const Route* LocRib::find(const Prefix& prefix) const {
+  auto it = entries_.find(prefix);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool AdjRibOut::set(AsNumber neighbor, const Prefix& prefix, std::optional<Route> route) {
+  auto& routes = by_neighbor_[neighbor];
+  auto it = routes.find(prefix);
+  if (!route) {
+    if (it == routes.end()) return false;
+    routes.erase(it);
+    return true;
+  }
+  if (it != routes.end() && it->second == *route) return false;
+  routes[prefix] = std::move(*route);
+  return true;
+}
+
+const Route* AdjRibOut::find(AsNumber neighbor, const Prefix& prefix) const {
+  auto it = by_neighbor_.find(neighbor);
+  if (it == by_neighbor_.end()) return nullptr;
+  auto rit = it->second.find(prefix);
+  return rit == it->second.end() ? nullptr : &rit->second;
+}
+
+const std::map<Prefix, Route>& AdjRibOut::routes_to(AsNumber neighbor) const {
+  static const std::map<Prefix, Route> kEmpty;
+  auto it = by_neighbor_.find(neighbor);
+  return it == by_neighbor_.end() ? kEmpty : it->second;
+}
+
+}  // namespace spider::bgp

@@ -1,0 +1,65 @@
+// Routing information bases: Adj-RIB-In (per neighbor), Loc-RIB, and
+// Adj-RIB-Out (per neighbor), as maintained by every BGP speaker and
+// mirrored by the SPIDeR recorder.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "bgp/route.hpp"
+
+namespace spider::bgp {
+
+/// Routes received from neighbors, post-import-policy, keyed by
+/// (neighbor AS, prefix).  At most one route per neighbor per prefix,
+/// exactly as in BGP (a new announcement implicitly replaces the old one).
+class AdjRibIn {
+ public:
+  /// Stores `route` as the current offer from `neighbor`; replaces any prior.
+  void set(AsNumber neighbor, Route route);
+  /// Removes the neighbor's offer for `prefix`; no-op when absent.
+  void withdraw(AsNumber neighbor, const Prefix& prefix);
+
+  const Route* find(AsNumber neighbor, const Prefix& prefix) const;
+  /// All current candidate routes for `prefix`, across neighbors.
+  std::vector<Route> candidates(const Prefix& prefix) const;
+  /// Every prefix with at least one candidate route.
+  std::set<Prefix> prefixes() const;
+  /// Candidate routes per neighbor for `prefix` (neighbor -> route).
+  std::map<AsNumber, Route> offers(const Prefix& prefix) const;
+
+  std::size_t size() const;
+
+ private:
+  std::map<AsNumber, std::map<Prefix, Route>> by_neighbor_;
+};
+
+/// The selected best route per prefix.
+class LocRib {
+ public:
+  /// Returns true when the entry changed.
+  bool set(const Prefix& prefix, std::optional<Route> route);
+  const Route* find(const Prefix& prefix) const;
+  const std::map<Prefix, Route>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<Prefix, Route> entries_;
+};
+
+/// What has actually been advertised to each neighbor (post export policy).
+class AdjRibOut {
+ public:
+  /// Records the route advertised to `neighbor`; nullopt records a
+  /// withdrawal. Returns true when this changes the advertised state.
+  bool set(AsNumber neighbor, const Prefix& prefix, std::optional<Route> route);
+  const Route* find(AsNumber neighbor, const Prefix& prefix) const;
+  const std::map<Prefix, Route>& routes_to(AsNumber neighbor) const;
+
+ private:
+  std::map<AsNumber, std::map<Prefix, Route>> by_neighbor_;
+};
+
+}  // namespace spider::bgp

@@ -1,0 +1,92 @@
+#include "bgp/route.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spider::bgp {
+
+std::string community_str(Community c) {
+  std::ostringstream os;
+  os << (c >> 16) << ':' << (c & 0xffff);
+  return os.str();
+}
+
+bool Route::has_community(Community c) const {
+  return std::find(communities.begin(), communities.end(), c) != communities.end();
+}
+
+bool Route::path_contains(AsNumber asn) const {
+  return std::find(as_path.begin(), as_path.end(), asn) != as_path.end();
+}
+
+std::string Route::str() const {
+  std::ostringstream os;
+  os << prefix.str() << " path=[";
+  for (std::size_t i = 0; i < as_path.size(); ++i) {
+    if (i) os << ' ';
+    os << as_path[i];
+  }
+  os << "] lp=" << local_pref << " med=" << med;
+  if (!communities.empty()) {
+    os << " comm=";
+    for (std::size_t i = 0; i < communities.size(); ++i) {
+      if (i) os << ',';
+      os << community_str(communities[i]);
+    }
+  }
+  return os.str();
+}
+
+void Route::encode(util::ByteWriter& w) const {
+  prefix.encode(w);
+  w.u16(static_cast<std::uint16_t>(as_path.size()));
+  for (AsNumber asn : as_path) w.u32(asn);
+  w.u32(learned_from);
+  w.u8(static_cast<std::uint8_t>(origin));
+  w.u32(med);
+  w.u32(local_pref);
+  w.u16(static_cast<std::uint16_t>(communities.size()));
+  for (Community c : communities) w.u32(c);
+}
+
+Route Route::decode(util::ByteReader& r) {
+  Route route;
+  route.prefix = Prefix::decode(r);
+  std::uint16_t path_len = r.u16();
+  route.as_path.reserve(path_len);
+  for (std::uint16_t i = 0; i < path_len; ++i) route.as_path.push_back(r.u32());
+  route.learned_from = r.u32();
+  std::uint8_t origin = r.u8();
+  if (origin > 2) throw util::DecodeError("Route: bad origin");
+  route.origin = static_cast<Origin>(origin);
+  route.med = r.u32();
+  route.local_pref = r.u32();
+  std::uint16_t comm_len = r.u16();
+  route.communities.reserve(comm_len);
+  for (std::uint16_t i = 0; i < comm_len; ++i) route.communities.push_back(r.u32());
+  return route;
+}
+
+util::Bytes Update::encode() const {
+  util::ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(announced.size()));
+  for (const Route& route : announced) route.encode(w);
+  w.u16(static_cast<std::uint16_t>(withdrawn.size()));
+  for (const Prefix& p : withdrawn) p.encode(w);
+  return w.take();
+}
+
+Update Update::decode(util::ByteSpan data) {
+  util::ByteReader r(data);
+  Update u;
+  std::uint16_t n_ann = r.u16();
+  u.announced.reserve(n_ann);
+  for (std::uint16_t i = 0; i < n_ann; ++i) u.announced.push_back(Route::decode(r));
+  std::uint16_t n_wd = r.u16();
+  u.withdrawn.reserve(n_wd);
+  for (std::uint16_t i = 0; i < n_wd; ++i) u.withdrawn.push_back(Prefix::decode(r));
+  r.expect_end();
+  return u;
+}
+
+}  // namespace spider::bgp

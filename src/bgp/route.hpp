@@ -1,0 +1,65 @@
+// BGP routes and their attributes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/prefix.hpp"
+#include "util/serde.hpp"
+
+namespace spider::bgp {
+
+using AsNumber = std::uint32_t;
+
+/// A 32-bit BGP community, conventionally written asn:value (RFC 1997).
+using Community = std::uint32_t;
+
+constexpr Community make_community(std::uint16_t asn, std::uint16_t value) {
+  return (static_cast<Community>(asn) << 16) | value;
+}
+std::string community_str(Community c);
+
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+/// One BGP route: a prefix plus the path attributes the decision process
+/// and the policy engine read.  `local_pref` is meaningful only inside the
+/// AS that set it (it is recomputed by every import policy).
+struct Route {
+  Prefix prefix;
+  /// AS-level path, nearest AS first.  The origin AS is as_path.back().
+  std::vector<AsNumber> as_path;
+  /// The neighbor AS this route was learned from; 0 for locally originated.
+  AsNumber learned_from = 0;
+  Origin origin = Origin::kIgp;
+  std::uint32_t med = 0;
+  std::uint32_t local_pref = 100;
+  std::vector<Community> communities;
+
+  bool has_community(Community c) const;
+  /// AS-path length (the tie-breaker after local_pref).
+  std::size_t path_length() const { return as_path.size(); }
+  /// True when `asn` appears in the AS path (loop detection).
+  bool path_contains(AsNumber asn) const;
+
+  std::string str() const;
+
+  void encode(util::ByteWriter& w) const;
+  static Route decode(util::ByteReader& r);
+
+  bool operator==(const Route&) const = default;
+};
+
+/// A BGP UPDATE message: announcements plus withdrawals.
+struct Update {
+  std::vector<Route> announced;
+  std::vector<Prefix> withdrawn;
+
+  bool empty() const { return announced.empty() && withdrawn.empty(); }
+
+  util::Bytes encode() const;
+  static Update decode(util::ByteSpan data);
+};
+
+}  // namespace spider::bgp

@@ -1,0 +1,180 @@
+#include "bgp/speaker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spider::bgp {
+
+Speaker::Speaker(netsim::Simulator& sim, AsNumber asn, Policy policy)
+    : sim_(sim), asn_(asn), policy_(std::move(policy)) {}
+
+void Speaker::add_neighbor(AsNumber neighbor_as, netsim::NodeId node) {
+  neighbors_[neighbor_as] = node;
+  node_to_as_[node] = neighbor_as;
+}
+
+void Speaker::originate(const Prefix& prefix, std::vector<Community> communities) {
+  Route route;
+  route.prefix = prefix;
+  route.learned_from = 0;
+  route.origin = Origin::kIgp;
+  route.communities = std::move(communities);
+  local_routes_[prefix] = std::move(route);
+  reselect(prefix);
+}
+
+void Speaker::withdraw_origin(const Prefix& prefix) {
+  local_routes_.erase(prefix);
+  reselect(prefix);
+}
+
+void Speaker::inject(AsNumber neighbor_as, const Update& update) {
+  process_update(neighbor_as, update);
+}
+
+void Speaker::handle_message(netsim::NodeId from, util::ByteSpan payload) {
+  auto it = node_to_as_.find(from);
+  if (it == node_to_as_.end()) throw std::logic_error("Speaker: message from unknown neighbor");
+  process_update(it->second, Update::decode(payload));
+}
+
+void Speaker::enable_flap_damping(FlapDampingConfig config) { damper_.emplace(config); }
+
+void Speaker::process_update(AsNumber neighbor_as, const Update& update) {
+  updates_received_ += 1;
+  for (const Prefix& prefix : update.withdrawn) {
+    if (observer_.on_withdraw_in) observer_.on_withdraw_in(neighbor_as, prefix);
+    if (damper_) {
+      damper_->record_flap(neighbor_as, prefix, sim_.now());
+      suppressed_routes_.erase({neighbor_as, prefix});
+    }
+    adj_in_.withdraw(neighbor_as, prefix);
+    reselect(prefix);
+  }
+  for (const Route& raw : update.announced) {
+    std::optional<Route> imported;
+    if (faulty_filter_neighbors_.count(neighbor_as) == 0) {
+      imported = policy_.import(asn_, neighbor_as, raw);
+    }
+    if (observer_.on_route_in) observer_.on_route_in(neighbor_as, raw, imported);
+
+    if (damper_ && imported) {
+      // A re-announcement of a known prefix is a flap — including one that
+      // follows a withdrawal (the classic up/down/up oscillation), which is
+      // why residual penalty also marks the prefix as known.
+      bool prior = adj_in_.find(neighbor_as, raw.prefix) != nullptr ||
+                   suppressed_routes_.count({neighbor_as, raw.prefix}) != 0 ||
+                   damper_->penalty(neighbor_as, raw.prefix, sim_.now()) > 0;
+      if (prior) damper_->record_flap(neighbor_as, raw.prefix, sim_.now());
+      if (damper_->suppressed(neighbor_as, raw.prefix, sim_.now())) {
+        // Hold the route aside and schedule reinstatement at reuse time.
+        suppressed_routes_[{neighbor_as, raw.prefix}] = *imported;
+        ++suppressions_;
+        adj_in_.withdraw(neighbor_as, raw.prefix);
+        reselect(raw.prefix);
+        netsim::Time reuse = damper_->reuse_time(neighbor_as, raw.prefix, sim_.now());
+        Prefix prefix = raw.prefix;
+        sim_.schedule_at(reuse, [this, neighbor_as, prefix] {
+          auto it = suppressed_routes_.find({neighbor_as, prefix});
+          if (it == suppressed_routes_.end()) return;  // withdrawn meanwhile
+          if (damper_->suppressed(neighbor_as, prefix, sim_.now())) return;  // flapped again
+          adj_in_.set(neighbor_as, it->second);
+          suppressed_routes_.erase(it);
+          reselect(prefix);
+        });
+        continue;
+      }
+    }
+
+    if (imported) {
+      adj_in_.set(neighbor_as, *imported);
+    } else {
+      // A filtered announcement implicitly withdraws any previous offer.
+      adj_in_.withdraw(neighbor_as, raw.prefix);
+    }
+    reselect(raw.prefix);
+  }
+}
+
+void Speaker::reselect(const Prefix& prefix) {
+  std::vector<Route> candidates = adj_in_.candidates(prefix);
+  auto local_it = local_routes_.find(prefix);
+  if (local_it != local_routes_.end()) candidates.push_back(local_it->second);
+
+  std::optional<Route> best = decide(candidates);
+  if (!loc_rib_.set(prefix, best)) return;
+  if (observer_.on_best_change) observer_.on_best_change(prefix, best);
+
+  for (const auto& [neighbor_as, node] : neighbors_) {
+    std::optional<Route> exported;
+    if (best && best->learned_from != neighbor_as) {  // split horizon
+      exported = policy_.apply_export(neighbor_as, *best, asn_);
+      if (!exported && faulty_export_neighbors_.count(neighbor_as) != 0) {
+        exported = *best;  // injected fault: export despite policy denial
+      }
+      if (exported) {
+        exported->as_path.insert(exported->as_path.begin(), asn_);
+        exported->local_pref = 100;  // local_pref is not transitive
+        exported->learned_from = 0;  // set by the receiver's import policy
+      }
+    }
+    if (!adj_out_.set(neighbor_as, prefix, exported)) continue;
+    emit_change(neighbor_as, exported, prefix);
+  }
+}
+
+void Speaker::emit_change(AsNumber neighbor_as, const std::optional<Route>& exported,
+                          const Prefix& prefix) {
+  if (mrai_ == 0) {
+    Update update;
+    if (exported) {
+      update.announced.push_back(*exported);
+    } else {
+      update.withdrawn.push_back(prefix);
+    }
+    send_update(neighbor_as, update);
+    return;
+  }
+
+  // MRAI path: merge the change into the pending UPDATE (a newer change to
+  // the same prefix supersedes the older one).
+  Update& pending = pending_updates_[neighbor_as];
+  pending.announced.erase(std::remove_if(pending.announced.begin(), pending.announced.end(),
+                                         [&](const Route& r) { return r.prefix == prefix; }),
+                          pending.announced.end());
+  pending.withdrawn.erase(std::remove(pending.withdrawn.begin(), pending.withdrawn.end(), prefix),
+                          pending.withdrawn.end());
+  if (exported) {
+    pending.announced.push_back(*exported);
+  } else {
+    pending.withdrawn.push_back(prefix);
+  }
+
+  auto last = last_sent_.find(neighbor_as);
+  netsim::Time ready = (last == last_sent_.end()) ? sim_.now() : last->second + mrai_;
+  if (ready <= sim_.now()) {
+    flush_pending(neighbor_as);
+  } else if (flush_scheduled_.insert(neighbor_as).second) {
+    sim_.schedule_at(ready, [this, neighbor_as] {
+      flush_scheduled_.erase(neighbor_as);
+      flush_pending(neighbor_as);
+    });
+  }
+}
+
+void Speaker::flush_pending(AsNumber neighbor_as) {
+  auto it = pending_updates_.find(neighbor_as);
+  if (it == pending_updates_.end() || it->second.empty()) return;
+  Update update = std::move(it->second);
+  it->second = Update{};
+  last_sent_[neighbor_as] = sim_.now();
+  send_update(neighbor_as, update);
+}
+
+void Speaker::send_update(AsNumber neighbor_as, const Update& update) {
+  updates_sent_ += 1;
+  if (observer_.on_update_out) observer_.on_update_out(neighbor_as, update);
+  sim_.send(node_id(), neighbors_.at(neighbor_as), update.encode());
+}
+
+}  // namespace spider::bgp

@@ -1,0 +1,127 @@
+// A BGP speaker: one per AS in our AS-level simulation (standing in for the
+// paper's Quagga daemons).  It applies import policy, runs the decision
+// process, applies export policy, and emits UPDATEs to neighbors over the
+// simulator.  Observer hooks let the SPIDeR recorder mirror the message
+// flow, which is exactly how the paper deploys SPIDeR ("it opens BGP
+// connections to the border routers in its local AS [and] mirrors their
+// routing state", §6.1).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "bgp/decision.hpp"
+#include "bgp/flap_damping.hpp"
+#include "bgp/policy.hpp"
+#include "bgp/rib.hpp"
+#include "netsim/sim.hpp"
+
+namespace spider::bgp {
+
+class Speaker : public netsim::Node {
+ public:
+  /// Hooks for mirroring the message flow (SPIDeR recorder, statistics).
+  struct Observer {
+    /// A post-import route was accepted (or filtered => nullopt) from a
+    /// neighbor.  `raw` is the route as received, pre-import-policy.
+    std::function<void(AsNumber from, const Route& raw, const std::optional<Route>& imported)>
+        on_route_in;
+    /// A withdrawal was received from a neighbor.
+    std::function<void(AsNumber from, const Prefix& prefix)> on_withdraw_in;
+    /// An UPDATE is about to be sent to a neighbor.
+    std::function<void(AsNumber to, const Update& update)> on_update_out;
+    /// The Loc-RIB best route for a prefix changed (nullopt = no route).
+    std::function<void(const Prefix& prefix, const std::optional<Route>& best)> on_best_change;
+  };
+
+  Speaker(netsim::Simulator& sim, AsNumber asn, Policy policy);
+
+  /// Declares `neighbor_as` reachable at simulator node `node`.  The
+  /// underlying netsim link must exist before messages flow.
+  void add_neighbor(AsNumber neighbor_as, netsim::NodeId node);
+
+  /// Originates a prefix from this AS (installs a local route and
+  /// propagates it).
+  void originate(const Prefix& prefix, std::vector<Community> communities = {});
+
+  /// Withdraws a locally originated prefix.
+  void withdraw_origin(const Prefix& prefix);
+
+  /// Inject an UPDATE as if received from `neighbor_as` without a simulator
+  /// message (used by the trace replayer, mirroring the paper's injection
+  /// of a RouteViews trace at AS 2).
+  void inject(AsNumber neighbor_as, const Update& update);
+
+  void handle_message(netsim::NodeId from, util::ByteSpan payload) override;
+
+  AsNumber asn() const { return asn_; }
+  const AdjRibIn& adj_rib_in() const { return adj_in_; }
+  const LocRib& loc_rib() const { return loc_rib_; }
+  const AdjRibOut& adj_rib_out() const { return adj_out_; }
+  const Policy& policy() const { return policy_; }
+  const std::map<AsNumber, netsim::NodeId>& neighbors() const { return neighbors_; }
+
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  /// Minimum Route Advertisement Interval: updates to a neighbor are
+  /// batched so at most one UPDATE per `interval` goes out (0 = disabled).
+  /// This is one of the BGP delay sources §6.4's loose-synchronization
+  /// window exists to absorb.
+  void set_mrai(netsim::Time interval) { mrai_ = interval; }
+
+  /// Enables RFC 2439 route flap damping on received routes (the other
+  /// §6.4 delay source).  Flappy prefixes are suppressed until their
+  /// penalty decays below the reuse threshold, then reinstated.
+  void enable_flap_damping(FlapDampingConfig config = {});
+  const FlapDamper* flap_damper() const { return damper_ ? &*damper_ : nullptr; }
+  std::uint64_t suppressions() const { return suppressions_; }
+
+  /// Test/fault hook: when set, routes from this neighbor are silently
+  /// dropped at import time *without* policy justification — the
+  /// "overaggressive filter" fault of §7.4.
+  void inject_import_filter_fault(AsNumber neighbor) { faulty_filter_neighbors_.insert(neighbor); }
+
+  /// Test/fault hook: export routes to this neighbor even when export
+  /// policy denies them — the "wrongly exporting" fault of §7.4.
+  void inject_export_fault(AsNumber neighbor) { faulty_export_neighbors_.insert(neighbor); }
+
+  std::uint64_t updates_received() const { return updates_received_; }
+  std::uint64_t updates_sent() const { return updates_sent_; }
+
+ private:
+  void process_update(AsNumber neighbor_as, const Update& update);
+  /// Re-runs the decision process for `prefix` and propagates any change.
+  void reselect(const Prefix& prefix);
+  /// Queues one change toward a neighbor, honoring MRAI.
+  void emit_change(AsNumber neighbor_as, const std::optional<Route>& exported,
+                   const Prefix& prefix);
+  void send_update(AsNumber neighbor_as, const Update& update);
+  void flush_pending(AsNumber neighbor_as);
+
+  netsim::Simulator& sim_;
+  AsNumber asn_;
+  Policy policy_;
+  AdjRibIn adj_in_;
+  LocRib loc_rib_;
+  AdjRibOut adj_out_;
+  std::map<AsNumber, netsim::NodeId> neighbors_;
+  std::map<netsim::NodeId, AsNumber> node_to_as_;
+  std::map<Prefix, Route> local_routes_;
+  Observer observer_;
+  std::set<AsNumber> faulty_filter_neighbors_;
+  std::set<AsNumber> faulty_export_neighbors_;
+  std::uint64_t updates_received_ = 0;
+  std::uint64_t updates_sent_ = 0;
+  netsim::Time mrai_ = 0;
+  std::map<AsNumber, Update> pending_updates_;
+  std::map<AsNumber, netsim::Time> last_sent_;
+  std::set<AsNumber> flush_scheduled_;
+  std::optional<FlapDamper> damper_;
+  std::map<std::pair<AsNumber, Prefix>, Route> suppressed_routes_;
+  std::uint64_t suppressions_ = 0;
+};
+
+}  // namespace spider::bgp

@@ -1,0 +1,145 @@
+// A binary prefix trie with longest-prefix match.
+//
+// The forwarding-table view of a RIB: inserting each Loc-RIB prefix lets a
+// node answer "which route forwards this address?" — the data-plane
+// counterpart of the structures SPIDeR verifies, and the natural index for
+// subtree verification (§7.3: "its neighbors could trigger verification
+// for smaller subtrees, e.g., all prefixes in 32.0.0/8").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bgp/prefix.hpp"
+
+namespace spider::bgp {
+
+template <typename Value>
+class PrefixTrie {
+ public:
+  PrefixTrie() : nodes_(1) {}
+
+  /// Inserts or replaces the value at `prefix`. Returns true on insert,
+  /// false on replace.
+  bool insert(const Prefix& prefix, Value value) {
+    std::uint32_t node = walk_create(prefix);
+    bool fresh = !nodes_[node].value.has_value();
+    nodes_[node].value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Removes the value at `prefix`; returns true when something was removed.
+  /// (Nodes are not physically reclaimed; BGP tables churn in place.)
+  bool erase(const Prefix& prefix) {
+    auto node = walk(prefix);
+    if (!node || !nodes_[*node].value.has_value()) return false;
+    nodes_[*node].value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Exact-match lookup.
+  const Value* find(const Prefix& prefix) const {
+    auto node = walk(prefix);
+    if (!node) return nullptr;
+    const auto& slot = nodes_[*node].value;
+    return slot ? &*slot : nullptr;
+  }
+
+  /// Longest-prefix match for a full 32-bit address.  Returns the value of
+  /// the most specific covering prefix, or nullptr.
+  const Value* longest_match(std::uint32_t address) const {
+    const Value* best = nullptr;
+    std::uint32_t node = 0;
+    for (std::uint8_t depth = 0; depth <= 32; ++depth) {
+      if (nodes_[node].value) best = &*nodes_[node].value;
+      if (depth == 32) break;
+      bool bit = (address >> (31 - depth)) & 1u;
+      std::uint32_t next = bit ? nodes_[node].one : nodes_[node].zero;
+      if (next == kNone) break;
+      node = next;
+    }
+    return best;
+  }
+
+  /// The most specific covering prefix itself (with its value).
+  std::optional<std::pair<Prefix, const Value*>> longest_match_prefix(
+      std::uint32_t address) const {
+    std::optional<std::pair<Prefix, const Value*>> best;
+    std::uint32_t node = 0;
+    std::uint32_t bits = 0;
+    for (std::uint8_t depth = 0; depth <= 32; ++depth) {
+      if (nodes_[node].value) best = {Prefix(bits, depth), &*nodes_[node].value};
+      if (depth == 32) break;
+      bool bit = (address >> (31 - depth)) & 1u;
+      std::uint32_t next = bit ? nodes_[node].one : nodes_[node].zero;
+      if (next == kNone) break;
+      if (bit) bits |= 1u << (31 - depth);
+      node = next;
+    }
+    return best;
+  }
+
+  /// Visits every (prefix, value) inside `within` in lexicographic order —
+  /// the enumeration behind subtree verification.
+  template <typename Fn>
+  void visit_within(const Prefix& within, Fn&& fn) const {
+    auto node = walk(within);
+    if (!node) return;
+    visit(*node, within.bits(), within.length(), fn);
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  struct Node {
+    std::uint32_t zero = kNone;
+    std::uint32_t one = kNone;
+    std::optional<Value> value;
+  };
+
+  std::optional<std::uint32_t> walk(const Prefix& prefix) const {
+    std::uint32_t node = 0;
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      std::uint32_t next = prefix.bit(depth) ? nodes_[node].one : nodes_[node].zero;
+      if (next == kNone) return std::nullopt;
+      node = next;
+    }
+    return node;
+  }
+
+  std::uint32_t walk_create(const Prefix& prefix) {
+    std::uint32_t node = 0;
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      bool bit = prefix.bit(depth);
+      std::uint32_t next = bit ? nodes_[node].one : nodes_[node].zero;
+      if (next == kNone) {
+        next = static_cast<std::uint32_t>(nodes_.size());
+        (bit ? nodes_[node].one : nodes_[node].zero) = next;
+        nodes_.emplace_back();
+      }
+      node = next;
+    }
+    return node;
+  }
+
+  template <typename Fn>
+  void visit(std::uint32_t node, std::uint32_t bits, std::uint8_t depth, Fn& fn) const {
+    if (nodes_[node].value) fn(Prefix(bits, depth), *nodes_[node].value);
+    if (depth == 32) return;
+    if (nodes_[node].zero != kNone) visit(nodes_[node].zero, bits, static_cast<std::uint8_t>(depth + 1), fn);
+    if (nodes_[node].one != kNone) {
+      visit(nodes_[node].one, bits | (1u << (31 - depth)), static_cast<std::uint8_t>(depth + 1), fn);
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace spider::bgp

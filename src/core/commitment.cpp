@@ -1,0 +1,80 @@
+#include "core/commitment.hpp"
+
+#include <stdexcept>
+
+namespace spider::core {
+
+Digest20 bit_leaf_hash(bool bit, const Digest20& x) {
+  std::uint8_t b = bit ? 1 : 0;
+  return crypto::digest20_concat({ByteSpan{&b, 1}, ByteSpan{x.data(), x.size()}});
+}
+
+namespace {
+Digest20 root_of(const std::vector<Digest20>& leaves) {
+  crypto::Sha512 h;
+  for (const Digest20& leaf : leaves) h.update(ByteSpan{leaf.data(), leaf.size()});
+  auto full = h.finish();
+  Digest20 out{};
+  std::copy(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(out.size()), out.begin());
+  return out;
+}
+}  // namespace
+
+FlatCommitment::FlatCommitment(const std::vector<bool>& bits, const CommitmentPrf& prf)
+    : bits_(bits) {
+  if (bits.empty()) throw std::invalid_argument("FlatCommitment: no bits");
+  xs_.reserve(bits.size());
+  leaves_.reserve(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    xs_.push_back(prf.bit_randomness(i));
+    leaves_.push_back(bit_leaf_hash(bits[i], xs_[i]));
+  }
+  root_ = root_of(leaves_);
+}
+
+FlatBitProof FlatCommitment::prove(std::uint32_t index) const {
+  if (index >= bits_.size()) throw std::out_of_range("FlatCommitment::prove: bad index");
+  FlatBitProof proof;
+  proof.index = index;
+  proof.bit = bits_[index];
+  proof.x = xs_[index];
+  proof.leaves = leaves_;
+  return proof;
+}
+
+bool FlatCommitment::verify(const Digest20& root, std::uint32_t num_bits,
+                            const FlatBitProof& proof) {
+  if (proof.index >= num_bits) return false;
+  if (proof.leaves.size() != num_bits) return false;
+  std::vector<Digest20> leaves = proof.leaves;
+  leaves[proof.index] = bit_leaf_hash(proof.bit, proof.x);
+  return root_of(leaves) == root;
+}
+
+Bytes FlatBitProof::encode() const {
+  util::ByteWriter w;
+  w.u32(index);
+  w.u8(bit ? 1 : 0);
+  w.digest(x);
+  w.u32(static_cast<std::uint32_t>(leaves.size()));
+  for (const Digest20& leaf : leaves) w.digest(leaf);
+  return w.take();
+}
+
+FlatBitProof FlatBitProof::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  FlatBitProof proof;
+  proof.index = r.u32();
+  std::uint8_t bit = r.u8();
+  if (bit > 1) throw util::DecodeError("FlatBitProof: bad bit");
+  proof.bit = bit == 1;
+  proof.x = r.digest();
+  std::uint32_t n = r.u32();
+  if (n > 1u << 20) throw util::DecodeError("FlatBitProof: too many leaves");
+  proof.leaves.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) proof.leaves.push_back(r.digest());
+  r.expect_end();
+  return proof;
+}
+
+}  // namespace spider::core

@@ -1,0 +1,334 @@
+#include "core/mtt.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "crypto/sha2.hpp"
+
+namespace spider::core {
+
+namespace {
+constexpr int kSlot0 = 0, kSlot1 = 1, kSlotE = 2;
+
+Digest20 combine3(const Digest20& a, const Digest20& b, const Digest20& c) {
+  return crypto::digest20_concat({ByteSpan{a.data(), a.size()}, ByteSpan{b.data(), b.size()},
+                                  ByteSpan{c.data(), c.size()}});
+}
+}  // namespace
+
+// ----------------------------------------------------------------- build
+
+Mtt Mtt::build(std::vector<std::pair<bgp::Prefix, std::vector<bool>>> entries,
+               std::uint32_t num_classes) {
+  if (num_classes == 0) throw std::invalid_argument("Mtt: num_classes must be > 0");
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].first == entries[i - 1].first) {
+      throw std::invalid_argument("Mtt: duplicate prefix " + entries[i].first.str());
+    }
+  }
+
+  Mtt tree;
+  tree.num_classes_ = num_classes;
+  tree.inner_.emplace_back();  // root
+  tree.prefix_nodes_.reserve(entries.size());
+  tree.bitmap_.assign((entries.size() * num_classes + 63) / 64, 0);
+
+  for (const auto& [prefix, bits] : entries) {
+    if (bits.size() != num_classes) {
+      throw std::invalid_argument("Mtt: wrong bit count for " + prefix.str());
+    }
+    std::uint32_t node = 0;
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      int slot = prefix.bit(depth) ? kSlot1 : kSlot0;
+      Inner& inner = tree.inner_[node];
+      if (inner.kind[static_cast<std::size_t>(slot)] == ChildKind::kNone) {
+        std::uint32_t fresh = static_cast<std::uint32_t>(tree.inner_.size());
+        inner.kind[static_cast<std::size_t>(slot)] = ChildKind::kInner;
+        inner.child[static_cast<std::size_t>(slot)] = fresh;
+        tree.inner_.emplace_back();
+        node = fresh;
+      } else {
+        node = inner.child[static_cast<std::size_t>(slot)];
+      }
+    }
+    Inner& parent = tree.inner_[node];
+    std::uint32_t prefix_index = static_cast<std::uint32_t>(tree.prefix_nodes_.size());
+    parent.kind[kSlotE] = ChildKind::kPrefix;
+    parent.child[kSlotE] = prefix_index;
+    tree.prefix_nodes_.push_back(prefix);
+    for (std::uint32_t c = 0; c < num_classes; ++c) {
+      if (bits[c]) {
+        std::uint64_t idx = static_cast<std::uint64_t>(prefix_index) * num_classes + c;
+        tree.bitmap_[idx / 64] |= 1ULL << (idx % 64);
+      }
+    }
+  }
+
+  // Fill every unassigned child slot with a dummy node.
+  for (Inner& inner : tree.inner_) {
+    for (std::size_t slot = 0; slot < 3; ++slot) {
+      if (inner.kind[slot] == ChildKind::kNone) {
+        inner.kind[slot] = ChildKind::kDummy;
+        inner.child[slot] = static_cast<std::uint32_t>(tree.dummy_count_++);
+      }
+    }
+  }
+  return tree;
+}
+
+Mtt::Counts Mtt::counts() const {
+  Counts c;
+  c.inner = inner_.size();
+  c.prefix = prefix_nodes_.size();
+  c.dummy = dummy_count_;
+  c.bit = prefix_nodes_.size() * num_classes_;
+  return c;
+}
+
+std::size_t Mtt::memory_bytes() const {
+  return inner_.size() * sizeof(Inner) + prefix_nodes_.size() * sizeof(bgp::Prefix) +
+         bitmap_.size() * sizeof(std::uint64_t) + inner_labels_.size() * sizeof(Digest20) +
+         prefix_labels_.size() * sizeof(Digest20);
+}
+
+bool Mtt::stored_bit(std::uint64_t bit_index) const {
+  return (bitmap_[bit_index / 64] >> (bit_index % 64)) & 1ULL;
+}
+
+std::optional<bool> Mtt::bit(const bgp::Prefix& prefix, ClassId cls) const {
+  if (cls >= num_classes_) return std::nullopt;
+  auto idx = find_prefix(prefix);
+  if (!idx) return std::nullopt;
+  return stored_bit(static_cast<std::uint64_t>(*idx) * num_classes_ + cls);
+}
+
+std::optional<std::uint32_t> Mtt::find_prefix(const bgp::Prefix& prefix) const {
+  std::uint32_t node = 0;
+  for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+    const Inner& inner = inner_[node];
+    int slot = prefix.bit(depth) ? kSlot1 : kSlot0;
+    if (inner.kind[static_cast<std::size_t>(slot)] != ChildKind::kInner) return std::nullopt;
+    node = inner.child[static_cast<std::size_t>(slot)];
+  }
+  const Inner& parent = inner_[node];
+  if (parent.kind[kSlotE] != ChildKind::kPrefix) return std::nullopt;
+  return parent.child[kSlotE];
+}
+
+// -------------------------------------------------------------- labeling
+
+Digest20 Mtt::prefix_label(std::uint32_t prefix_index, const crypto::CommitmentPrf& prf,
+                           std::uint64_t& hashes) const {
+  crypto::Sha512 h;
+  for (std::uint32_t c = 0; c < num_classes_; ++c) {
+    std::uint64_t idx = static_cast<std::uint64_t>(prefix_index) * num_classes_ + c;
+    Digest20 leaf = bit_leaf_hash(stored_bit(idx), prf.bit_randomness(idx));
+    hashes += 2;  // PRF derivation + leaf hash
+    h.update(ByteSpan{leaf.data(), leaf.size()});
+  }
+  auto full = h.finish();
+  hashes += 1;
+  Digest20 out{};
+  std::copy(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(out.size()), out.begin());
+  return out;
+}
+
+Digest20 Mtt::child_label(const Inner& node, int slot, const crypto::CommitmentPrf& prf) const {
+  std::size_t s = static_cast<std::size_t>(slot);
+  switch (node.kind[s]) {
+    case ChildKind::kInner: return inner_labels_[node.child[s]];
+    case ChildKind::kPrefix: return prefix_labels_[node.child[s]];
+    case ChildKind::kDummy: return prf.dummy_label(node.child[s]);
+    case ChildKind::kNone: break;
+  }
+  throw std::logic_error("Mtt: unassigned child slot");
+}
+
+void Mtt::compute_labels(const crypto::CommitmentPrf& prf, unsigned threads) {
+  inner_labels_.assign(inner_.size(), Digest20{});
+  prefix_labels_.assign(prefix_nodes_.size(), Digest20{});
+  std::atomic<std::uint64_t> hash_count{0};
+
+  // Phase 1 — prefix-node labels.  Each is independent (the "subtrees
+  // labeled completely by one thread" of §7.1; a prefix node's subtree is
+  // its k bit nodes), and this phase is ~95% of all hashing.
+  const std::size_t n = prefix_nodes_.size();
+  if (threads <= 1 || n < 256) {
+    std::uint64_t hashes = 0;
+    for (std::uint32_t i = 0; i < n; ++i) prefix_labels_[i] = prefix_label(i, prf, hashes);
+    hash_count += hashes;
+  } else {
+    util::ThreadPool pool(threads);
+    const std::size_t chunks = static_cast<std::size_t>(threads) * 8;
+    const std::size_t chunk_size = (n + chunks - 1) / chunks;
+    for (std::size_t start = 0; start < n; start += chunk_size) {
+      const std::size_t end = std::min(n, start + chunk_size);
+      pool.submit([this, &prf, &hash_count, start, end] {
+        std::uint64_t hashes = 0;
+        for (std::size_t i = start; i < end; ++i) {
+          prefix_labels_[i] = prefix_label(static_cast<std::uint32_t>(i), prf, hashes);
+        }
+        hash_count += hashes;
+      });
+    }
+    pool.wait_idle();
+  }
+
+  // Phase 2 — inner labels bottom-up.  Children are always created after
+  // their parent during the trie build, so decreasing index order is a
+  // valid topological order.
+  std::uint64_t hashes = 0;
+  for (std::size_t i = inner_.size(); i-- > 0;) {
+    const Inner& node = inner_[i];
+    // Dummy child labels cost one PRF hash each.
+    for (std::size_t s = 0; s < 3; ++s) {
+      if (node.kind[s] == ChildKind::kDummy) ++hashes;
+    }
+    inner_labels_[i] = combine3(child_label(node, kSlot0, prf), child_label(node, kSlot1, prf),
+                                child_label(node, kSlotE, prf));
+    ++hashes;
+  }
+  hash_count += hashes;
+
+  label_hashes_ = hash_count.load();
+  labels_done_ = true;
+}
+
+const Digest20& Mtt::root_label() const {
+  if (!labels_done_) throw std::logic_error("Mtt: labels not computed");
+  return inner_labels_[0];
+}
+
+// ----------------------------------------------------------------- proofs
+
+MttPrefixProof Mtt::prove(const crypto::CommitmentPrf& prf, const bgp::Prefix& prefix,
+                          const std::vector<ClassId>& classes) const {
+  if (!labels_done_) throw std::logic_error("Mtt: labels not computed");
+  auto prefix_index = find_prefix(prefix);
+  if (!prefix_index) throw std::out_of_range("Mtt::prove: prefix not in tree " + prefix.str());
+
+  MttPrefixProof proof;
+  proof.prefix = prefix;
+
+  for (ClassId cls : classes) {
+    if (cls >= num_classes_) throw std::out_of_range("Mtt::prove: class out of range");
+    std::uint64_t idx = static_cast<std::uint64_t>(*prefix_index) * num_classes_ + cls;
+    proof.revealed.push_back({cls, stored_bit(idx), prf.bit_randomness(idx)});
+  }
+
+  proof.bit_labels.reserve(num_classes_);
+  for (std::uint32_t c = 0; c < num_classes_; ++c) {
+    std::uint64_t idx = static_cast<std::uint64_t>(*prefix_index) * num_classes_ + c;
+    proof.bit_labels.push_back(bit_leaf_hash(stored_bit(idx), prf.bit_randomness(idx)));
+  }
+
+  // Path from the root to the prefix node's parent, recording the two
+  // non-path child labels at each level.
+  std::uint32_t node = 0;
+  for (std::uint8_t depth = 0; depth <= prefix.length(); ++depth) {
+    const Inner& inner = inner_[node];
+    int path_slot = depth == prefix.length() ? kSlotE : (prefix.bit(depth) ? kSlot1 : kSlot0);
+    std::array<Digest20, 2> sibs{};
+    int out = 0;
+    for (int slot = 0; slot < 3; ++slot) {
+      if (slot == path_slot) continue;
+      sibs[static_cast<std::size_t>(out++)] = child_label(inner, slot, prf);
+    }
+    proof.siblings.push_back(sibs);
+    if (path_slot != kSlotE) node = inner.child[static_cast<std::size_t>(path_slot)];
+  }
+  return proof;
+}
+
+bool Mtt::verify(const Digest20& root, std::uint32_t num_classes, const MttPrefixProof& proof) {
+  if (proof.bit_labels.size() != num_classes) return false;
+  if (proof.siblings.size() != static_cast<std::size_t>(proof.prefix.length()) + 1) return false;
+
+  // Revealed bits must hash to the claimed bit-node labels.
+  for (const auto& opened : proof.revealed) {
+    if (opened.cls >= num_classes) return false;
+    if (bit_leaf_hash(opened.bit, opened.x) != proof.bit_labels[opened.cls]) return false;
+  }
+
+  // Prefix-node label from its bit-node labels.
+  crypto::Sha512 h;
+  for (const Digest20& leaf : proof.bit_labels) h.update(ByteSpan{leaf.data(), leaf.size()});
+  auto full = h.finish();
+  Digest20 current{};
+  std::copy(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(current.size()),
+            current.begin());
+
+  // Fold upward: deepest path entry first.
+  for (std::size_t level = proof.siblings.size(); level-- > 0;) {
+    int path_slot = (level == proof.prefix.length()) ? kSlotE
+                                                     : (proof.prefix.bit(static_cast<std::uint8_t>(level)) ? kSlot1 : kSlot0);
+    const auto& sibs = proof.siblings[level];
+    std::array<Digest20, 3> labels{};
+    int out = 0;
+    for (int slot = 0; slot < 3; ++slot) {
+      if (slot == path_slot) {
+        labels[static_cast<std::size_t>(slot)] = current;
+      } else {
+        labels[static_cast<std::size_t>(slot)] = sibs[static_cast<std::size_t>(out++)];
+      }
+    }
+    current = combine3(labels[0], labels[1], labels[2]);
+  }
+  return current == root;
+}
+
+std::size_t MttPrefixProof::byte_size() const { return encode().size(); }
+
+util::Bytes MttPrefixProof::encode() const {
+  util::ByteWriter w;
+  prefix.encode(w);
+  w.u32(static_cast<std::uint32_t>(revealed.size()));
+  for (const auto& opened : revealed) {
+    w.u32(opened.cls);
+    w.u8(opened.bit ? 1 : 0);
+    w.digest(opened.x);
+  }
+  w.u32(static_cast<std::uint32_t>(bit_labels.size()));
+  for (const auto& label : bit_labels) w.digest(label);
+  w.u32(static_cast<std::uint32_t>(siblings.size()));
+  for (const auto& pair : siblings) {
+    w.digest(pair[0]);
+    w.digest(pair[1]);
+  }
+  return w.take();
+}
+
+MttPrefixProof MttPrefixProof::decode(util::ByteSpan data) {
+  util::ByteReader r(data);
+  MttPrefixProof proof;
+  proof.prefix = bgp::Prefix::decode(r);
+  std::uint32_t n_revealed = r.u32();
+  if (n_revealed > 1u << 16) throw util::DecodeError("MttPrefixProof: too many revealed bits");
+  for (std::uint32_t i = 0; i < n_revealed; ++i) {
+    MttPrefixProof::Opened opened;
+    opened.cls = r.u32();
+    std::uint8_t bit = r.u8();
+    if (bit > 1) throw util::DecodeError("MttPrefixProof: bad bit");
+    opened.bit = bit == 1;
+    opened.x = r.digest();
+    proof.revealed.push_back(opened);
+  }
+  std::uint32_t n_labels = r.u32();
+  if (n_labels > 1u << 16) throw util::DecodeError("MttPrefixProof: too many bit labels");
+  for (std::uint32_t i = 0; i < n_labels; ++i) proof.bit_labels.push_back(r.digest());
+  std::uint32_t n_sibs = r.u32();
+  if (n_sibs > 33) throw util::DecodeError("MttPrefixProof: path too long");
+  for (std::uint32_t i = 0; i < n_sibs; ++i) {
+    std::array<Digest20, 2> pair{};
+    pair[0] = r.digest();
+    pair[1] = r.digest();
+    proof.siblings.push_back(pair);
+  }
+  r.expect_end();
+  return proof;
+}
+
+}  // namespace spider::core

@@ -1,0 +1,141 @@
+// The modified ternary tree (MTT) of paper §5: a ternary Merkle tree that
+// runs one VPref instance per prefix under a single commitment, without
+// revealing which prefixes are present.
+//
+// Node types (paper Figure 4):
+//   * inner nodes  — three children along edges 0, 1 and E ("end of
+//     prefix"); a child slot with no real subtree holds a dummy node;
+//   * prefix nodes — one per prefix in the tree, reached via the E edge of
+//     the inner node at depth len(prefix); its children are k bit nodes;
+//   * bit nodes    — the VPref input bits b_1..b_k for that prefix,
+//     labeled H(b || x) with secret randomness x;
+//   * dummy nodes  — labeled with random bitstrings indistinguishable from
+//     hashes, which is what hides the presence/absence of subtrees.
+//
+// All randomness (x values and dummy labels) is derived from one
+// per-commitment seed (crypto::CommitmentPrf), so storing the 32-byte seed
+// suffices to regenerate the entire labeling during replay (§6.5).
+//
+// Representation notes: nodes live in flat arrays with 32-bit indices, bits
+// in a packed bitmap, and only inner/prefix labels are materialized
+// (bit-node and dummy labels are recomputed from the PRF on demand).  This
+// keeps a full-table MTT (391k prefixes x 50 classes ≈ 22M nodes) around
+// a hundred MB, in the same regime the paper reports (137.5 MB).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgp/prefix.hpp"
+#include "core/commitment.hpp"
+#include "core/promise.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spider::core {
+
+/// A batched bit proof for one prefix: opens the bits of `revealed` classes
+/// and carries the sibling labels up to the root.  A verifier learns the
+/// revealed bits and nothing else — every other value in the proof is
+/// either a hash or (indistinguishably) a dummy node's random label.
+struct MttPrefixProof {
+  bgp::Prefix prefix;
+  /// (class, bit, x) for each opened bit.
+  struct Opened {
+    ClassId cls = 0;
+    bool bit = false;
+    Digest20 x{};
+    bool operator==(const Opened&) const = default;
+  };
+  std::vector<Opened> revealed;
+  /// Labels of all k bit nodes under the prefix node (opened positions are
+  /// recomputed by the verifier and compared).
+  std::vector<Digest20> bit_labels;
+  /// For each inner node on the path from the root (inclusive) down to the
+  /// prefix node's parent: the labels of the two non-path children, in
+  /// child-slot order (0, 1, E minus the path slot).
+  std::vector<std::array<Digest20, 2>> siblings;
+
+  std::size_t byte_size() const;
+  util::Bytes encode() const;
+  static MttPrefixProof decode(util::ByteSpan data);
+};
+
+class Mtt {
+ public:
+  /// An empty, unusable tree; assign a built tree before use.
+  Mtt() = default;
+
+  /// Builds the minimal MTT over `entries` (prefix -> its k input bits).
+  /// Entries are sorted internally; duplicate prefixes are rejected.
+  static Mtt build(std::vector<std::pair<bgp::Prefix, std::vector<bool>>> entries,
+                   std::uint32_t num_classes);
+
+  std::uint32_t num_classes() const { return num_classes_; }
+
+  struct Counts {
+    std::size_t inner = 0;
+    std::size_t prefix = 0;
+    std::size_t dummy = 0;
+    std::size_t bit = 0;
+    std::size_t total() const { return inner + prefix + dummy + bit; }
+  };
+  Counts counts() const;
+
+  /// Bytes used by the structure arrays, bitmap and materialized labels.
+  std::size_t memory_bytes() const;
+
+  /// Labels every node bottom-up; `threads` > 1 splits the dominant
+  /// prefix-label phase across a thread pool (paper §7.1: "we break the MTT
+  /// into subtrees that are each labeled completely by one of the threads").
+  void compute_labels(const crypto::CommitmentPrf& prf, unsigned threads = 1);
+
+  bool labels_computed() const { return labels_done_; }
+  const Digest20& root_label() const;
+
+  /// The stored bit for (prefix, class); nullopt when the prefix is absent.
+  std::optional<bool> bit(const bgp::Prefix& prefix, ClassId cls) const;
+
+  /// Batched proof opening `classes` of `prefix`.  Requires labels to have
+  /// been computed with the same `prf`.  Throws when the prefix is absent.
+  MttPrefixProof prove(const crypto::CommitmentPrf& prf, const bgp::Prefix& prefix,
+                       const std::vector<ClassId>& classes) const;
+
+  /// Verifies a proof against a root label.  Checks every revealed bit and
+  /// the Merkle path; returns false on any mismatch.
+  static bool verify(const Digest20& root, std::uint32_t num_classes,
+                     const MttPrefixProof& proof);
+
+  /// Total number of hash evaluations performed by the last
+  /// compute_labels() call (for the labeling microbenchmark).
+  std::uint64_t last_label_hashes() const { return label_hashes_; }
+
+ private:
+  enum class ChildKind : std::uint8_t { kNone = 0, kInner, kPrefix, kDummy };
+
+  struct Inner {
+    std::array<std::uint32_t, 3> child{};  // index into the kind's array
+    std::array<ChildKind, 3> kind{ChildKind::kNone, ChildKind::kNone, ChildKind::kNone};
+  };
+
+  /// Index of the prefix node for `prefix`, or nullopt.
+  std::optional<std::uint32_t> find_prefix(const bgp::Prefix& prefix) const;
+
+  Digest20 child_label(const Inner& node, int slot, const crypto::CommitmentPrf& prf) const;
+  Digest20 prefix_label(std::uint32_t prefix_index, const crypto::CommitmentPrf& prf,
+                        std::uint64_t& hashes) const;
+  bool stored_bit(std::uint64_t bit_index) const;
+
+  std::uint32_t num_classes_ = 0;
+  std::vector<Inner> inner_;                    // inner_[0] is the root
+  std::vector<bgp::Prefix> prefix_nodes_;       // by prefix-node index
+  std::vector<std::uint64_t> bitmap_;           // packed bits, prefix-major
+  std::uint64_t dummy_count_ = 0;
+  std::vector<Digest20> inner_labels_;
+  std::vector<Digest20> prefix_labels_;
+  bool labels_done_ = false;
+  std::uint64_t label_hashes_ = 0;
+};
+
+}  // namespace spider::core

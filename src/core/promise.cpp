@@ -1,0 +1,182 @@
+#include "core/promise.hpp"
+
+#include <stdexcept>
+
+#include "bgp/policy.hpp"
+
+namespace spider::core {
+
+Promise::Promise(std::uint32_t num_classes) : num_classes_(num_classes) {
+  if (num_classes == 0) throw std::invalid_argument("Promise: need at least one class");
+  prefers_.assign(static_cast<std::size_t>(num_classes) * num_classes, false);
+}
+
+void Promise::add_preference(ClassId better, ClassId worse) {
+  if (better >= num_classes_ || worse >= num_classes_) {
+    throw std::invalid_argument("Promise: class id out of range");
+  }
+  if (better == worse) throw std::invalid_argument("Promise: class cannot beat itself");
+  if (prefers(worse, better)) throw std::invalid_argument("Promise: preference cycle");
+  if (prefers(better, worse)) return;  // already known
+
+  // Transitive closure: everything >= better now beats everything <= worse.
+  std::vector<ClassId> ups{better}, downs{worse};
+  for (ClassId c = 0; c < num_classes_; ++c) {
+    if (prefers(c, better)) ups.push_back(c);
+    if (prefers(worse, c)) downs.push_back(c);
+  }
+  for (ClassId u : ups) {
+    for (ClassId d : downs) {
+      if (u == d) throw std::invalid_argument("Promise: preference cycle");
+      prefers_[static_cast<std::size_t>(u) * num_classes_ + d] = true;
+    }
+  }
+}
+
+bool Promise::prefers(ClassId a, ClassId b) const {
+  if (a >= num_classes_ || b >= num_classes_) return false;
+  return prefers_[static_cast<std::size_t>(a) * num_classes_ + b];
+}
+
+std::vector<ClassId> Promise::classes_better_than(ClassId c) const {
+  std::vector<ClassId> out;
+  for (ClassId x = 0; x < num_classes_; ++x) {
+    if (prefers(x, c)) out.push_back(x);
+  }
+  return out;
+}
+
+std::size_t Promise::preference_count() const {
+  std::size_t n = 0;
+  for (bool b : prefers_) n += b ? 1 : 0;
+  return n;
+}
+
+std::optional<std::pair<ClassId, ClassId>> Promise::conflict_with(const Promise& other) const {
+  if (other.num_classes_ != num_classes_) {
+    throw std::invalid_argument("Promise: comparing promises over different partitions");
+  }
+  for (ClassId i = 0; i < num_classes_; ++i) {
+    for (ClassId j = 0; j < num_classes_; ++j) {
+      if (prefers(i, j) && other.prefers(j, i)) return std::pair{i, j};
+    }
+  }
+  return std::nullopt;
+}
+
+util::Bytes Promise::encode() const {
+  util::ByteWriter w;
+  w.u32(num_classes_);
+  // Pack the closure matrix as bits.
+  std::uint8_t acc = 0;
+  int nbits = 0;
+  for (bool b : prefers_) {
+    acc = static_cast<std::uint8_t>((acc << 1) | (b ? 1 : 0));
+    if (++nbits == 8) {
+      w.u8(acc);
+      acc = 0;
+      nbits = 0;
+    }
+  }
+  if (nbits > 0) w.u8(static_cast<std::uint8_t>(acc << (8 - nbits)));
+  return w.take();
+}
+
+Promise Promise::decode(util::ByteSpan data) {
+  util::ByteReader r(data);
+  std::uint32_t k = r.u32();
+  if (k == 0 || k > 4096) throw util::DecodeError("Promise: bad class count");
+  Promise p(k);
+  const std::size_t total = static_cast<std::size_t>(k) * k;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (i % 8 == 0) acc = r.u8();
+    p.prefers_[i] = (acc >> (7 - i % 8)) & 1;
+  }
+  r.expect_end();
+  // Sanity: a decoded promise must still be a strict order (no cycles,
+  // irreflexive).  Reject tampered encodings.
+  for (ClassId a = 0; a < k; ++a) {
+    if (p.prefers(a, a)) throw util::DecodeError("Promise: reflexive preference");
+    for (ClassId b = 0; b < k; ++b) {
+      if (p.prefers(a, b) && p.prefers(b, a)) throw util::DecodeError("Promise: cycle");
+      for (ClassId c = 0; c < k; ++c) {
+        if (p.prefers(a, b) && p.prefers(b, c) && !p.prefers(a, c)) {
+          throw util::DecodeError("Promise: not transitively closed");
+        }
+      }
+    }
+  }
+  return p;
+}
+
+Promise Promise::total_order(std::uint32_t num_classes) {
+  Promise p(num_classes);
+  for (ClassId better = 0; better < num_classes; ++better) {
+    for (ClassId worse = better + 1; worse < num_classes; ++worse) {
+      p.add_preference(better, worse);
+    }
+  }
+  return p;
+}
+
+Promise Promise::prefer_customer() {
+  Promise p(2);
+  p.add_preference(0, 1);
+  return p;
+}
+
+// ----------------------------------------------------------- classifiers
+
+PathLengthClassifier::PathLengthClassifier(std::uint32_t num_classes)
+    : num_classes_(num_classes) {
+  if (num_classes < 2) {
+    throw std::invalid_argument("PathLengthClassifier: need >= 2 classes (one must hold the null route)");
+  }
+}
+
+ClassId PathLengthClassifier::classify(const std::optional<bgp::Route>& route) const {
+  if (!route) return null_class();
+  std::size_t len = route->path_length();
+  if (len == 0) return 0;  // locally originated: the best tier
+  std::size_t tier = len - 1;
+  return static_cast<ClassId>(std::min<std::size_t>(tier, num_classes_ - 2));
+}
+
+Promise PathLengthClassifier::shortest_path_promise() const {
+  // Classes 0..k-2 by increasing length, class k-1 = null route, totally
+  // ordered: shorter beats longer beats no-route.
+  return Promise::total_order(num_classes_);
+}
+
+ClassId RelationshipClassifier::classify(const std::optional<bgp::Route>& route) const {
+  if (!route) return kNull;
+  if (route->local_pref >= bgp::kLocalPrefCustomer) return kCustomer;
+  if (route->local_pref >= bgp::kLocalPrefPeer) return kPeer;
+  return kProvider;
+}
+
+Promise RelationshipClassifier::gao_rexford_promise() {
+  Promise p(4);
+  p.add_preference(kCustomer, kPeer);
+  p.add_preference(kPeer, kProvider);
+  p.add_preference(kProvider, kNull);
+  return p;
+}
+
+ClassId SelectiveExportClassifier::classify(const std::optional<bgp::Route>& route) const {
+  if (!route) return kNull;
+  return route->has_community(tag_) ? kNoExport : kExportable;
+}
+
+Promise SelectiveExportClassifier::no_export_promise() {
+  // Exportable > ⊥ > tagged: the tagged class must never win (§3.2
+  // "the null route should be placed, in a class of its own, between the
+  // two main classes").
+  Promise p(3);
+  p.add_preference(SelectiveExportClassifier::kExportable, SelectiveExportClassifier::kNull);
+  p.add_preference(SelectiveExportClassifier::kNull, SelectiveExportClassifier::kNoExport);
+  return p;
+}
+
+}  // namespace spider::core

@@ -1,0 +1,137 @@
+// The promise model of paper §3.1 (Definition 1): routes are partitioned
+// into k indifference classes R_1..R_k known to all parties; a promise to a
+// consumer is a strict partial order over those classes.  The null route ⊥
+// is a member of the partition too (possibly in a class of its own), which
+// is how "never export" promises are expressed: a class ranked below ⊥'s
+// class must never be the exported route.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "util/serde.hpp"
+
+namespace spider::core {
+
+/// Index of an indifference class, 0-based (R_0..R_{k-1}).
+using ClassId = std::uint32_t;
+
+/// A strict partial order over k indifference classes.  Preferences are
+/// added as (better, worse) pairs; the transitive closure is maintained
+/// incrementally and cycles are rejected (a cyclic "preference" is not an
+/// order and would make every execution a violation, cf. Theorem 5).
+class Promise {
+ public:
+  /// An empty promise over `num_classes` classes (no preferences at all —
+  /// everything mutually indifferent).
+  explicit Promise(std::uint32_t num_classes);
+
+  /// Declares routes in class `better` strictly preferred over routes in
+  /// class `worse`, and closes transitively.  Throws std::invalid_argument
+  /// on out-of-range ids, better == worse, or if this would create a cycle.
+  void add_preference(ClassId better, ClassId worse);
+
+  /// True when `a` is strictly preferred over `b`.
+  bool prefers(ClassId a, ClassId b) const;
+
+  /// True when the promise states no order between `a` and `b`.
+  bool indifferent(ClassId a, ClassId b) const {
+    return a == b || (!prefers(a, b) && !prefers(b, a));
+  }
+
+  /// Classes strictly preferred over `c` — exactly the bits a consumer whose
+  /// offer landed in class `c` demands to see proven 0 (paper §4.5).
+  std::vector<ClassId> classes_better_than(ClassId c) const;
+
+  std::uint32_t num_classes() const { return num_classes_; }
+
+  /// Number of declared (transitively closed) preference pairs.
+  std::size_t preference_count() const;
+
+  /// Detects the Theorem 5 situation against another consumer's promise:
+  /// returns a class pair (i, j) with i <_this j and j <_other i, if any.
+  std::optional<std::pair<ClassId, ClassId>> conflict_with(const Promise& other) const;
+
+  /// Canonical encoding — the basis of the signed representation every
+  /// consumer holds (Assumption 6).
+  util::Bytes encode() const;
+  static Promise decode(util::ByteSpan data);
+
+  bool operator==(const Promise& other) const = default;
+
+  /// Total order over k classes with class 0 the most preferred (the shape
+  /// of "I always pick the shortest route": class = path length tier).
+  static Promise total_order(std::uint32_t num_classes);
+
+  /// The two-class prefer-customer promise of §3.2: class 0 = customer
+  /// routes (preferred), class 1 = everything else.
+  static Promise prefer_customer();
+
+ private:
+  std::uint32_t num_classes_;
+  /// prefers_[a * num_classes_ + b] == true  <=>  a strictly preferred to b.
+  std::vector<bool> prefers_;
+};
+
+/// Maps concrete routes (and ⊥ = nullopt) onto indifference classes.  The
+/// mapping must be known to every participant (paper §4.1: "k indifference
+/// classes R_1..R_k, which are known to all ASes").
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  virtual ClassId classify(const std::optional<bgp::Route>& route) const = 0;
+  virtual std::uint32_t num_classes() const = 0;
+};
+
+/// Path-length classifier: class i = "routes with AS-path length i+1",
+/// capped at num_classes-2; the last class is reserved for ⊥.  Matches the
+/// evaluation setup ("defined 50 indifference classes based on the number
+/// of hops, and promised to choose the shortest route", §7.2).
+class PathLengthClassifier final : public Classifier {
+ public:
+  explicit PathLengthClassifier(std::uint32_t num_classes);
+  ClassId classify(const std::optional<bgp::Route>& route) const override;
+  std::uint32_t num_classes() const override { return num_classes_; }
+  ClassId null_class() const { return num_classes_ - 1; }
+
+  /// The matching promise: shorter is better, any real route beats ⊥.
+  Promise shortest_path_promise() const;
+
+ private:
+  std::uint32_t num_classes_;
+};
+
+/// Relationship classifier for Gao-Rexford promises: class 0 = customer
+/// routes, 1 = peer, 2 = provider, 3 = ⊥ (never preferred over a route).
+/// Classification is by the local_pref tier the import policy assigned.
+class RelationshipClassifier final : public Classifier {
+ public:
+  ClassId classify(const std::optional<bgp::Route>& route) const override;
+  std::uint32_t num_classes() const override { return 4; }
+  static constexpr ClassId kCustomer = 0, kPeer = 1, kProvider = 2, kNull = 3;
+
+  /// Prefer-customer-then-peer-then-provider; every route beats ⊥.
+  static Promise gao_rexford_promise();
+};
+
+/// Selective-export classifier (§3.2): class 0 = exportable routes,
+/// class 1 = ⊥, class 2 = routes tagged "do not export" (via community).
+/// The promise 0 > 1 > 2 states tagged routes must NEVER be exported:
+/// they rank below the null route.
+class SelectiveExportClassifier final : public Classifier {
+ public:
+  explicit SelectiveExportClassifier(bgp::Community no_export_tag)
+      : tag_(no_export_tag) {}
+  ClassId classify(const std::optional<bgp::Route>& route) const override;
+  std::uint32_t num_classes() const override { return 3; }
+  static constexpr ClassId kExportable = 0, kNull = 1, kNoExport = 2;
+
+  static Promise no_export_promise();
+
+ private:
+  bgp::Community tag_;
+};
+
+}  // namespace spider::core

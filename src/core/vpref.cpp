@@ -1,0 +1,776 @@
+#include "core/vpref.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spider::core {
+
+namespace {
+
+void encode_optional_route(util::ByteWriter& w, const std::optional<bgp::Route>& route) {
+  w.u8(route ? 1 : 0);
+  if (route) route->encode(w);
+}
+
+std::optional<bgp::Route> decode_optional_route(util::ByteReader& r) {
+  std::uint8_t flag = r.u8();
+  if (flag > 1) throw util::DecodeError("optional route: bad flag");
+  if (flag == 0) return std::nullopt;
+  return bgp::Route::decode(r);
+}
+
+void expect_type(util::ByteReader& r, MsgType type) {
+  if (r.u8() != static_cast<std::uint8_t>(type)) throw util::DecodeError("wrong message type");
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- registry
+
+void KeyRegistry::add(PartyId id, std::unique_ptr<crypto::Verifier> verifier) {
+  verifiers_[id] = std::move(verifier);
+}
+
+bool KeyRegistry::verify(PartyId id, ByteSpan message, ByteSpan signature) const {
+  auto it = verifiers_.find(id);
+  if (it == verifiers_.end()) return false;
+  return it->second->verify(message, signature);
+}
+
+// ------------------------------------------------------------- envelope
+
+Digest20 SignedEnvelope::digest() const {
+  auto bytes = encode();
+  return crypto::digest20(bytes);
+}
+
+Bytes SignedEnvelope::encode() const {
+  util::ByteWriter w;
+  w.u32(signer);
+  w.bytes(payload);
+  w.bytes(signature);
+  return w.take();
+}
+
+SignedEnvelope SignedEnvelope::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  SignedEnvelope env;
+  env.signer = r.u32();
+  env.payload = r.bytes();
+  env.signature = r.bytes();
+  r.expect_end();
+  return env;
+}
+
+SignedEnvelope sign_envelope(PartyId signer, const crypto::Signer& key, ByteSpan payload) {
+  SignedEnvelope env;
+  env.signer = signer;
+  env.payload.assign(payload.begin(), payload.end());
+  env.signature = key.sign(payload);
+  return env;
+}
+
+bool check_envelope(const SignedEnvelope& env, const KeyRegistry& keys) {
+  return keys.verify(env.signer, env.payload, env.signature);
+}
+
+// ------------------------------------------------------------- payloads
+
+Bytes AnnouncePayload::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kAnnounce));
+  w.u32(producer);
+  w.u32(elector);
+  w.u64(round);
+  encode_optional_route(w, route);
+  return w.take();
+}
+
+AnnouncePayload AnnouncePayload::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  expect_type(r, MsgType::kAnnounce);
+  AnnouncePayload p;
+  p.producer = r.u32();
+  p.elector = r.u32();
+  p.round = r.u64();
+  p.route = decode_optional_route(r);
+  r.expect_end();
+  return p;
+}
+
+Bytes AckPayload::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kAck));
+  w.u32(elector);
+  w.u64(round);
+  w.digest(announce_digest);
+  return w.take();
+}
+
+AckPayload AckPayload::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  expect_type(r, MsgType::kAck);
+  AckPayload p;
+  p.elector = r.u32();
+  p.round = r.u64();
+  p.announce_digest = r.digest();
+  r.expect_end();
+  return p;
+}
+
+Bytes CommitPayload::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kCommit));
+  w.u32(elector);
+  w.u64(round);
+  w.u32(num_bits);
+  w.digest(root);
+  return w.take();
+}
+
+CommitPayload CommitPayload::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  expect_type(r, MsgType::kCommit);
+  CommitPayload p;
+  p.elector = r.u32();
+  p.round = r.u64();
+  p.num_bits = r.u32();
+  p.root = r.digest();
+  r.expect_end();
+  return p;
+}
+
+Bytes OfferPayload::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kOffer));
+  w.u32(elector);
+  w.u32(consumer);
+  w.u64(round);
+  encode_optional_route(w, route);
+  w.u8(producer_announce ? 1 : 0);
+  if (producer_announce) w.bytes(producer_announce->encode());
+  return w.take();
+}
+
+OfferPayload OfferPayload::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  expect_type(r, MsgType::kOffer);
+  OfferPayload p;
+  p.elector = r.u32();
+  p.consumer = r.u32();
+  p.round = r.u64();
+  p.route = decode_optional_route(r);
+  std::uint8_t flag = r.u8();
+  if (flag > 1) throw util::DecodeError("OfferPayload: bad flag");
+  if (flag == 1) p.producer_announce = SignedEnvelope::decode(r.bytes());
+  r.expect_end();
+  return p;
+}
+
+Bytes BitProofPayload::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kBitProof));
+  w.u32(elector);
+  w.u64(round);
+  w.bytes(proof.encode());
+  return w.take();
+}
+
+BitProofPayload BitProofPayload::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  expect_type(r, MsgType::kBitProof);
+  BitProofPayload p;
+  p.elector = r.u32();
+  p.round = r.u64();
+  p.proof = FlatBitProof::decode(r.bytes());
+  r.expect_end();
+  return p;
+}
+
+Bytes PromisePayload::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPromise));
+  w.u32(elector);
+  w.u32(consumer);
+  w.bytes(promise.encode());
+  return w.take();
+}
+
+PromisePayload PromisePayload::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  expect_type(r, MsgType::kPromise);
+  PromisePayload p;
+  p.elector = r.u32();
+  p.consumer = r.u32();
+  p.promise = Promise::decode(r.bytes());
+  r.expect_end();
+  return p;
+}
+
+std::string fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kBadSignature: return "bad-signature";
+    case FaultKind::kMalformedMessage: return "malformed-message";
+    case FaultKind::kMissingMessage: return "missing-message";
+    case FaultKind::kInconsistentCommit: return "inconsistent-commit";
+    case FaultKind::kMissingBitProof: return "missing-bit-proof";
+    case FaultKind::kInvalidBitProof: return "invalid-bit-proof";
+    case FaultKind::kOmittedInput: return "omitted-input";
+    case FaultKind::kBrokenPromise: return "broken-promise";
+  }
+  return "unknown";
+}
+
+// -------------------------------------------------------------- elector
+
+Elector::Elector(PartyId id, std::uint64_t round, const crypto::Signer& signer,
+                 const Classifier& classifier, std::vector<ClassId> true_preference)
+    : id_(id),
+      round_(round),
+      signer_(signer),
+      classifier_(classifier),
+      true_preference_(std::move(true_preference)) {
+  if (true_preference_.size() != classifier_.num_classes()) {
+    throw std::invalid_argument("Elector: preference must rank every class");
+  }
+}
+
+SignedEnvelope Elector::promise_to(PartyId consumer, Promise promise) {
+  PromisePayload payload;
+  payload.elector = id_;
+  payload.consumer = consumer;
+  payload.promise = promise;
+  promises_.emplace(consumer, std::move(promise));
+  return sign_envelope(id_, signer_, payload.encode());
+}
+
+SignedEnvelope Elector::receive_announcement(const SignedEnvelope& announce,
+                                             const KeyRegistry& keys) {
+  if (!check_envelope(announce, keys)) {
+    throw std::invalid_argument("Elector: bad announcement signature");
+  }
+  AnnouncePayload payload = AnnouncePayload::decode(announce.payload);
+  if (payload.producer != announce.signer || payload.elector != id_ || payload.round != round_) {
+    throw std::invalid_argument("Elector: announcement fields do not match");
+  }
+  inputs_[payload.producer] = announce;
+  routes_[payload.producer] = payload.route;
+
+  AckPayload ack;
+  ack.elector = id_;
+  ack.round = round_;
+  ack.announce_digest = announce.digest();
+  return sign_envelope(id_, signer_, ack.encode());
+}
+
+std::optional<bgp::Route> Elector::honest_choice() const {
+  // Pick the input whose class ranks best in the private total order;
+  // among equals, the lowest producer id (a deterministic private tiebreak).
+  std::vector<std::uint32_t> rank(classifier_.num_classes());
+  for (std::uint32_t pos = 0; pos < true_preference_.size(); ++pos) {
+    rank[true_preference_[pos]] = pos;
+  }
+
+  std::optional<bgp::Route> best;  // start from ⊥, which is always available
+  std::uint32_t best_rank = rank[classifier_.classify(std::nullopt)];
+  for (const auto& [producer, route] : routes_) {
+    if (faults_.ignore_producers.count(producer) != 0) continue;
+    if (!route) continue;
+    std::uint32_t r = rank[classifier_.classify(route)];
+    if (r < best_rank) {
+      best = route;
+      best_rank = r;
+    }
+  }
+  return best;
+}
+
+void Elector::decide_and_commit(const crypto::Seed& seed) {
+  chosen_ = honest_choice();
+  chosen_producer_.reset();
+  for (const auto& [producer, route] : routes_) {
+    if (faults_.ignore_producers.count(producer) != 0) continue;
+    if (route && chosen_ && *route == *chosen_) {
+      chosen_producer_ = producer;
+      break;
+    }
+  }
+
+  // Step 3: input bits.  b_j = 1 iff some (considered) input is in class j
+  // — the always-available null route counts as an input — or class j is
+  // worse than the chosen class under at least one promise.
+  const std::uint32_t k = classifier_.num_classes();
+  bits_.assign(k, false);
+  bits_[classifier_.classify(std::nullopt)] = true;
+  for (const auto& [producer, route] : routes_) {
+    if (faults_.ignore_producers.count(producer) != 0) continue;
+    if (route) bits_[classifier_.classify(route)] = true;
+  }
+  const ClassId chosen_cls = classifier_.classify(chosen_);
+  for (ClassId j = 0; j < k; ++j) {
+    for (const auto& [consumer, promise] : promises_) {
+      if (promise.prefers(chosen_cls, j)) bits_[j] = true;
+    }
+  }
+
+  commitment_.emplace(bits_, crypto::CommitmentPrf(seed));
+  if (!faults_.equivocate_to.empty()) {
+    // Equivocation: a second commitment over the same bits with different
+    // randomness — same shape, different root.
+    crypto::Seed other = seed;
+    other.data[0] ^= 0xff;
+    equivocal_commitment_.emplace(bits_, crypto::CommitmentPrf(other));
+  }
+}
+
+SignedEnvelope Elector::commitment_for(PartyId recipient) const {
+  if (!commitment_) throw std::logic_error("Elector: commit before requesting commitment");
+  const FlatCommitment& c = (faults_.equivocate_to.count(recipient) != 0 && equivocal_commitment_)
+                                ? *equivocal_commitment_
+                                : *commitment_;
+  CommitPayload payload;
+  payload.elector = id_;
+  payload.round = round_;
+  payload.num_bits = c.num_bits();
+  payload.root = c.root();
+  return sign_envelope(id_, signer_, payload.encode());
+}
+
+SignedEnvelope Elector::offer_for(PartyId consumer) const {
+  if (!commitment_) throw std::logic_error("Elector: commit before offering");
+  auto it = promises_.find(consumer);
+  if (it == promises_.end()) throw std::logic_error("Elector: no promise for consumer");
+
+  OfferPayload payload;
+  payload.elector = id_;
+  payload.consumer = consumer;
+  payload.round = round_;
+
+  const ClassId null_cls = classifier_.classify(std::nullopt);
+  const ClassId chosen_cls = classifier_.classify(chosen_);
+  // Export filtering: when the promise ranks the chosen class below ⊥,
+  // offering it would itself be a violation, so a correct elector offers ⊥.
+  bool export_denied = it->second.prefers(null_cls, chosen_cls);
+  if (faults_.force_export.count(consumer) != 0) export_denied = false;
+
+  if (chosen_ && !export_denied) {
+    payload.route = chosen_;
+    if (chosen_producer_) {
+      auto input_it = inputs_.find(*chosen_producer_);
+      if (input_it != inputs_.end()) payload.producer_announce = input_it->second;
+    }
+  }
+  return sign_envelope(id_, signer_, payload.encode());
+}
+
+std::optional<SignedEnvelope> Elector::bit_proof_for(ClassId cls) const {
+  if (!commitment_) throw std::logic_error("Elector: commit before proving");
+  if (faults_.refuse_proof_classes.count(cls) != 0) return std::nullopt;
+
+  BitProofPayload payload;
+  payload.elector = id_;
+  payload.round = round_;
+  payload.proof = commitment_->prove(cls);
+  if (faults_.tamper_proof_classes.count(cls) != 0) {
+    payload.proof.bit = !payload.proof.bit;  // lie about the bit value
+  }
+  return sign_envelope(id_, signer_, payload.encode());
+}
+
+ClassId Elector::chosen_class() const { return classifier_.classify(chosen_); }
+
+// -------------------------------------------------------------- producer
+
+Producer::Producer(PartyId id, PartyId elector, std::uint64_t round,
+                   const crypto::Signer& signer, const Classifier& classifier)
+    : id_(id), elector_(elector), round_(round), signer_(signer), classifier_(classifier) {}
+
+SignedEnvelope Producer::announce(std::optional<bgp::Route> route) {
+  AnnouncePayload payload;
+  payload.producer = id_;
+  payload.elector = elector_;
+  payload.round = round_;
+  payload.route = route;
+  my_class_ = route ? std::optional<ClassId>(classifier_.classify(route)) : std::nullopt;
+  my_announce_ = sign_envelope(id_, signer_, payload.encode());
+  return *my_announce_;
+}
+
+std::optional<Detection> Producer::receive_ack(const std::optional<SignedEnvelope>& ack,
+                                               const KeyRegistry& keys) {
+  if (!ack) {
+    return Detection{FaultKind::kMissingMessage, elector_, "no ACK for announcement"};
+  }
+  if (!check_envelope(*ack, keys) || ack->signer != elector_) {
+    return Detection{FaultKind::kBadSignature, elector_, "ACK signature invalid"};
+  }
+  try {
+    AckPayload payload = AckPayload::decode(ack->payload);
+    if (payload.elector != elector_ || payload.round != round_ ||
+        payload.announce_digest != my_announce_->digest()) {
+      return Detection{FaultKind::kMalformedMessage, elector_, "ACK fields do not match"};
+    }
+  } catch (const util::DecodeError&) {
+    return Detection{FaultKind::kMalformedMessage, elector_, "ACK undecodable"};
+  }
+  ack_ = ack;
+  return std::nullopt;
+}
+
+std::optional<Detection> Producer::receive_commitment(const std::optional<SignedEnvelope>& commit,
+                                                      const KeyRegistry& keys) {
+  if (!commit) return Detection{FaultKind::kMissingMessage, elector_, "no commitment"};
+  if (!check_envelope(*commit, keys) || commit->signer != elector_) {
+    return Detection{FaultKind::kBadSignature, elector_, "commitment signature invalid"};
+  }
+  try {
+    CommitPayload payload = CommitPayload::decode(commit->payload);
+    if (payload.elector != elector_ || payload.round != round_ ||
+        payload.num_bits != classifier_.num_classes()) {
+      return Detection{FaultKind::kMalformedMessage, elector_, "commitment fields do not match"};
+    }
+  } catch (const util::DecodeError&) {
+    return Detection{FaultKind::kMalformedMessage, elector_, "commitment undecodable"};
+  }
+  commitment_ = commit;
+  return std::nullopt;
+}
+
+std::optional<Detection> Producer::check_bit_proof(const std::optional<SignedEnvelope>& proof,
+                                                   const KeyRegistry& keys) {
+  if (!my_class_) return std::nullopt;  // we sent ⊥: no proof due
+  received_proof_ = proof;
+  if (!proof) {
+    return Detection{FaultKind::kMissingBitProof, elector_, "no proof for my class"};
+  }
+  if (!check_envelope(*proof, keys) || proof->signer != elector_) {
+    return Detection{FaultKind::kBadSignature, elector_, "bit proof signature invalid"};
+  }
+  if (!commitment_) throw std::logic_error("Producer: commitment missing");
+  CommitPayload commit = CommitPayload::decode(commitment_->payload);
+  try {
+    BitProofPayload payload = BitProofPayload::decode(proof->payload);
+    if (payload.elector != elector_ || payload.round != round_ ||
+        payload.proof.index != *my_class_) {
+      return Detection{FaultKind::kMalformedMessage, elector_, "bit proof fields do not match"};
+    }
+    if (!FlatCommitment::verify(commit.root, commit.num_bits, payload.proof)) {
+      return Detection{FaultKind::kInvalidBitProof, elector_,
+                       "proof does not open the commitment"};
+    }
+    if (!payload.proof.bit) {
+      return Detection{FaultKind::kOmittedInput, elector_,
+                       "my input's class proven 0: the elector hid my route"};
+    }
+  } catch (const util::DecodeError&) {
+    return Detection{FaultKind::kMalformedMessage, elector_, "bit proof undecodable"};
+  }
+  return std::nullopt;
+}
+
+ProducerChallenge Producer::make_challenge() const {
+  if (!my_announce_ || !ack_) throw std::logic_error("Producer: nothing to challenge with");
+  ProducerChallenge challenge;
+  challenge.announce = *my_announce_;
+  challenge.ack = *ack_;
+  challenge.received_proof = received_proof_;
+  return challenge;
+}
+
+// -------------------------------------------------------------- consumer
+
+Consumer::Consumer(PartyId id, PartyId elector, std::uint64_t round, const Classifier& classifier)
+    : id_(id), elector_(elector), round_(round), classifier_(classifier) {}
+
+std::optional<Detection> Consumer::receive_promise(const SignedEnvelope& signed_promise,
+                                                   const KeyRegistry& keys) {
+  if (!check_envelope(signed_promise, keys) || signed_promise.signer != elector_) {
+    return Detection{FaultKind::kBadSignature, elector_, "promise signature invalid"};
+  }
+  try {
+    PromisePayload payload = PromisePayload::decode(signed_promise.payload);
+    if (payload.elector != elector_ || payload.consumer != id_ ||
+        payload.promise.num_classes() != classifier_.num_classes()) {
+      return Detection{FaultKind::kMalformedMessage, elector_, "promise fields do not match"};
+    }
+    promise_ = payload.promise;
+  } catch (const util::DecodeError&) {
+    return Detection{FaultKind::kMalformedMessage, elector_, "promise undecodable"};
+  }
+  signed_promise_ = signed_promise;
+  return std::nullopt;
+}
+
+std::optional<Detection> Consumer::receive_commitment(const std::optional<SignedEnvelope>& commit,
+                                                      const KeyRegistry& keys) {
+  if (!commit) return Detection{FaultKind::kMissingMessage, elector_, "no commitment"};
+  if (!check_envelope(*commit, keys) || commit->signer != elector_) {
+    return Detection{FaultKind::kBadSignature, elector_, "commitment signature invalid"};
+  }
+  try {
+    CommitPayload payload = CommitPayload::decode(commit->payload);
+    if (payload.elector != elector_ || payload.round != round_ ||
+        payload.num_bits != classifier_.num_classes()) {
+      return Detection{FaultKind::kMalformedMessage, elector_, "commitment fields do not match"};
+    }
+  } catch (const util::DecodeError&) {
+    return Detection{FaultKind::kMalformedMessage, elector_, "commitment undecodable"};
+  }
+  commitment_ = commit;
+  return std::nullopt;
+}
+
+std::optional<Detection> Consumer::receive_offer(const std::optional<SignedEnvelope>& offer,
+                                                 const KeyRegistry& keys) {
+  if (!offer) return Detection{FaultKind::kMissingMessage, elector_, "no offer"};
+  if (!check_envelope(*offer, keys) || offer->signer != elector_) {
+    return Detection{FaultKind::kBadSignature, elector_, "offer signature invalid"};
+  }
+  try {
+    OfferPayload payload = OfferPayload::decode(offer->payload);
+    if (payload.elector != elector_ || payload.consumer != id_ || payload.round != round_) {
+      return Detection{FaultKind::kMalformedMessage, elector_, "offer fields do not match"};
+    }
+    if (payload.route) {
+      // S-BGP style origin check: the offered route must carry the
+      // producer's own signed announcement of a matching route.
+      if (!payload.producer_announce || !check_envelope(*payload.producer_announce, keys)) {
+        return Detection{FaultKind::kBadSignature, elector_,
+                         "offered route lacks a valid producer signature"};
+      }
+      AnnouncePayload inner = AnnouncePayload::decode(payload.producer_announce->payload);
+      if (!inner.route || !(*inner.route == *payload.route) ||
+          inner.producer != payload.producer_announce->signer) {
+        return Detection{FaultKind::kMalformedMessage, elector_,
+                         "offered route does not match the producer's announcement"};
+      }
+    }
+    offered_route_ = payload.route;
+  } catch (const util::DecodeError&) {
+    return Detection{FaultKind::kMalformedMessage, elector_, "offer undecodable"};
+  }
+  offer_ = offer;
+  return std::nullopt;
+}
+
+std::vector<ClassId> Consumer::due_classes() const {
+  if (!promise_ || !offer_) return {};
+  return promise_->classes_better_than(classifier_.classify(offered_route_));
+}
+
+std::optional<Detection> Consumer::check_bit_proofs(
+    const std::map<ClassId, SignedEnvelope>& proofs, const KeyRegistry& keys) {
+  if (!commitment_) throw std::logic_error("Consumer: commitment missing");
+  received_proofs_.clear();
+  CommitPayload commit = CommitPayload::decode(commitment_->payload);
+
+  for (ClassId cls : due_classes()) {
+    auto it = proofs.find(cls);
+    if (it == proofs.end()) {
+      return Detection{FaultKind::kMissingBitProof, elector_,
+                       "no proof for better class " + std::to_string(cls)};
+    }
+    const SignedEnvelope& env = it->second;
+    received_proofs_.push_back(env);
+    if (!check_envelope(env, keys) || env.signer != elector_) {
+      return Detection{FaultKind::kBadSignature, elector_, "bit proof signature invalid"};
+    }
+    try {
+      BitProofPayload payload = BitProofPayload::decode(env.payload);
+      if (payload.elector != elector_ || payload.round != round_ || payload.proof.index != cls) {
+        return Detection{FaultKind::kMalformedMessage, elector_, "bit proof fields do not match"};
+      }
+      if (!FlatCommitment::verify(commit.root, commit.num_bits, payload.proof)) {
+        return Detection{FaultKind::kInvalidBitProof, elector_,
+                         "proof does not open the commitment"};
+      }
+      if (payload.proof.bit) {
+        return Detection{FaultKind::kBrokenPromise, elector_,
+                         "class " + std::to_string(cls) +
+                             " (better than my offer) had an available route"};
+      }
+    } catch (const util::DecodeError&) {
+      return Detection{FaultKind::kMalformedMessage, elector_, "bit proof undecodable"};
+    }
+  }
+  return std::nullopt;
+}
+
+ConsumerChallenge Consumer::make_challenge() const {
+  if (!offer_ || !signed_promise_) throw std::logic_error("Consumer: nothing to challenge with");
+  ConsumerChallenge challenge;
+  challenge.offer = *offer_;
+  challenge.signed_promise = *signed_promise_;
+  challenge.received_proofs = received_proofs_;
+  return challenge;
+}
+
+// ------------------------------------------------------------ challenges
+
+Bytes ProducerChallenge::encode() const {
+  util::ByteWriter w;
+  w.bytes(announce.encode());
+  w.bytes(ack.encode());
+  w.u8(received_proof ? 1 : 0);
+  if (received_proof) w.bytes(received_proof->encode());
+  return w.take();
+}
+
+ProducerChallenge ProducerChallenge::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  ProducerChallenge c;
+  c.announce = SignedEnvelope::decode(r.bytes());
+  c.ack = SignedEnvelope::decode(r.bytes());
+  if (r.u8() == 1) c.received_proof = SignedEnvelope::decode(r.bytes());
+  r.expect_end();
+  return c;
+}
+
+Bytes ConsumerChallenge::encode() const {
+  util::ByteWriter w;
+  w.bytes(offer.encode());
+  w.bytes(signed_promise.encode());
+  w.u32(static_cast<std::uint32_t>(received_proofs.size()));
+  for (const auto& proof : received_proofs) w.bytes(proof.encode());
+  return w.take();
+}
+
+ConsumerChallenge ConsumerChallenge::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  ConsumerChallenge c;
+  c.offer = SignedEnvelope::decode(r.bytes());
+  c.signed_promise = SignedEnvelope::decode(r.bytes());
+  std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) c.received_proofs.push_back(SignedEnvelope::decode(r.bytes()));
+  r.expect_end();
+  return c;
+}
+
+bool validate_inconsistent_commit(const SignedEnvelope& a, const SignedEnvelope& b,
+                                  const KeyRegistry& keys) {
+  if (!check_envelope(a, keys) || !check_envelope(b, keys)) return false;
+  if (a.signer != b.signer) return false;
+  try {
+    CommitPayload pa = CommitPayload::decode(a.payload);
+    CommitPayload pb = CommitPayload::decode(b.payload);
+    return pa.elector == pb.elector && pa.round == pb.round && pa.root != pb.root;
+  } catch (const util::DecodeError&) {
+    return false;
+  }
+}
+
+Verdict judge_producer_challenge(const ProducerChallenge& challenge,
+                                 const SignedEnvelope& commitment,
+                                 const std::optional<SignedEnvelope>& elector_response,
+                                 const KeyRegistry& keys, const Classifier& classifier) {
+  // 1. The challenge itself must be sound: a producer-signed announcement,
+  //    matched by an elector-signed ACK, for a non-null route.
+  if (!check_envelope(challenge.announce, keys) || !check_envelope(challenge.ack, keys)) {
+    return Verdict::kChallengeRejected;
+  }
+  AnnouncePayload announce;
+  AckPayload ack;
+  CommitPayload commit;
+  try {
+    announce = AnnouncePayload::decode(challenge.announce.payload);
+    ack = AckPayload::decode(challenge.ack.payload);
+    commit = CommitPayload::decode(commitment.payload);
+  } catch (const util::DecodeError&) {
+    return Verdict::kChallengeRejected;
+  }
+  if (announce.producer != challenge.announce.signer || !announce.route) {
+    return Verdict::kChallengeRejected;
+  }
+  if (challenge.ack.signer != announce.elector || ack.elector != announce.elector ||
+      ack.round != announce.round || ack.announce_digest != challenge.announce.digest()) {
+    return Verdict::kChallengeRejected;
+  }
+  if (!check_envelope(commitment, keys) || commitment.signer != announce.elector ||
+      commit.round != announce.round) {
+    return Verdict::kChallengeRejected;
+  }
+
+  // 2. The elector must now prove bit(class(r)) == 1.
+  const ClassId cls = classifier.classify(announce.route);
+  if (!elector_response) return Verdict::kElectorGuilty;  // refusal = admission
+  if (!check_envelope(*elector_response, keys) ||
+      elector_response->signer != announce.elector) {
+    return Verdict::kElectorGuilty;
+  }
+  try {
+    BitProofPayload payload = BitProofPayload::decode(elector_response->payload);
+    if (payload.round != announce.round || payload.proof.index != cls) {
+      return Verdict::kElectorGuilty;
+    }
+    if (!FlatCommitment::verify(commit.root, commit.num_bits, payload.proof)) {
+      return Verdict::kElectorGuilty;
+    }
+    return payload.proof.bit ? Verdict::kChallengeRejected : Verdict::kElectorGuilty;
+  } catch (const util::DecodeError&) {
+    return Verdict::kElectorGuilty;
+  }
+}
+
+Verdict judge_consumer_challenge(const ConsumerChallenge& challenge,
+                                 const SignedEnvelope& commitment,
+                                 const std::map<ClassId, SignedEnvelope>& elector_responses,
+                                 const KeyRegistry& keys, const Classifier& classifier) {
+  if (!check_envelope(challenge.offer, keys) || !check_envelope(challenge.signed_promise, keys)) {
+    return Verdict::kChallengeRejected;
+  }
+  OfferPayload offer;
+  PromisePayload promise;
+  CommitPayload commit;
+  try {
+    offer = OfferPayload::decode(challenge.offer.payload);
+    promise = PromisePayload::decode(challenge.signed_promise.payload);
+    commit = CommitPayload::decode(commitment.payload);
+  } catch (const util::DecodeError&) {
+    return Verdict::kChallengeRejected;
+  }
+  if (challenge.offer.signer != offer.elector || challenge.signed_promise.signer != offer.elector ||
+      promise.elector != offer.elector || promise.consumer != offer.consumer) {
+    return Verdict::kChallengeRejected;
+  }
+  if (!check_envelope(commitment, keys) || commitment.signer != offer.elector ||
+      commit.round != offer.round || commit.num_bits != classifier.num_classes()) {
+    return Verdict::kChallengeRejected;
+  }
+
+  const ClassId offered_cls = classifier.classify(offer.route);
+  for (ClassId cls : promise.promise.classes_better_than(offered_cls)) {
+    auto it = elector_responses.find(cls);
+    if (it == elector_responses.end()) return Verdict::kElectorGuilty;
+    if (!check_envelope(it->second, keys) || it->second.signer != offer.elector) {
+      return Verdict::kElectorGuilty;
+    }
+    try {
+      BitProofPayload payload = BitProofPayload::decode(it->second.payload);
+      if (payload.round != offer.round || payload.proof.index != cls) {
+        return Verdict::kElectorGuilty;
+      }
+      if (!FlatCommitment::verify(commit.root, commit.num_bits, payload.proof)) {
+        return Verdict::kElectorGuilty;
+      }
+      if (payload.proof.bit) return Verdict::kElectorGuilty;  // broken promise, now public
+    } catch (const util::DecodeError&) {
+      return Verdict::kElectorGuilty;
+    }
+  }
+  return Verdict::kChallengeRejected;
+}
+
+std::optional<std::pair<SignedEnvelope, SignedEnvelope>> cross_check_commitments(
+    const std::vector<SignedEnvelope>& commitments, const KeyRegistry& keys) {
+  for (std::size_t i = 0; i < commitments.size(); ++i) {
+    for (std::size_t j = i + 1; j < commitments.size(); ++j) {
+      if (validate_inconsistent_commit(commitments[i], commitments[j], keys)) {
+        return std::pair{commitments[i], commitments[j]};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace spider::core

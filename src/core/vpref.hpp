@@ -1,0 +1,380 @@
+// VPref: collaborative verification of promises about private choices
+// (paper §4).  Single-prefix, single-round version; the multi-prefix
+// version used by SPIDeR swaps the flat commitment for the MTT.
+//
+// Roles (Figure 3): producers P_i each advertise one route (possibly ⊥) to
+// the elector E; E picks e ∈ {⊥, r_1..r_n} and offers each consumer C_j
+// either e or ⊥.  E has promised each consumer a partial order over the
+// public indifference classes.  The protocol lets every neighbor check its
+// own lemma of "E kept its promises" without learning anything beyond its
+// own BGP view:
+//   commitment phase  — announcements, acks, bit commitment, offers;
+//   verification phase — bit proofs, cross-checked commitments, challenges.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/commitment.hpp"
+#include "core/promise.hpp"
+#include "crypto/rsa.hpp"
+
+namespace spider::core {
+
+using PartyId = std::uint32_t;
+
+// ---------------------------------------------------------------- wiring
+
+/// Public keys of every participant (Assumption 5: "the topology and the
+/// public keys are known to all ASes").
+class KeyRegistry {
+ public:
+  void add(PartyId id, std::unique_ptr<crypto::Verifier> verifier);
+  bool verify(PartyId id, ByteSpan message, ByteSpan signature) const;
+  bool known(PartyId id) const { return verifiers_.count(id) != 0; }
+
+ private:
+  std::map<PartyId, std::unique_ptr<crypto::Verifier>> verifiers_;
+};
+
+/// A signed protocol message: payload bytes plus the signer's signature.
+struct SignedEnvelope {
+  PartyId signer = 0;
+  Bytes payload;
+  Bytes signature;
+
+  /// Digest over signer + payload + signature; used in ACKs and logs.
+  Digest20 digest() const;
+
+  Bytes encode() const;
+  static SignedEnvelope decode(ByteSpan data);
+  bool operator==(const SignedEnvelope&) const = default;
+};
+
+SignedEnvelope sign_envelope(PartyId signer, const crypto::Signer& key, ByteSpan payload);
+bool check_envelope(const SignedEnvelope& env, const KeyRegistry& keys);
+
+// -------------------------------------------------------------- payloads
+
+enum class MsgType : std::uint8_t {
+  kAnnounce = 1,
+  kAck = 2,
+  kCommit = 3,
+  kOffer = 4,
+  kBitProof = 5,
+  kPromise = 6,
+};
+
+/// σ_P(r): producer P advertises route r (or ⊥) to the elector.
+struct AnnouncePayload {
+  PartyId producer = 0;
+  PartyId elector = 0;
+  std::uint64_t round = 0;
+  std::optional<bgp::Route> route;  // nullopt = the null route ⊥
+
+  Bytes encode() const;
+  static AnnouncePayload decode(ByteSpan data);
+};
+
+/// σ_E(σ_P(r)): elector acknowledges the producer's announcement.
+struct AckPayload {
+  PartyId elector = 0;
+  std::uint64_t round = 0;
+  Digest20 announce_digest{};  // digest of the announce envelope
+
+  Bytes encode() const;
+  static AckPayload decode(ByteSpan data);
+};
+
+/// σ_E(h): the commitment to the input bits.
+struct CommitPayload {
+  PartyId elector = 0;
+  std::uint64_t round = 0;
+  std::uint32_t num_bits = 0;
+  Digest20 root{};
+
+  Bytes encode() const;
+  static CommitPayload decode(ByteSpan data);
+};
+
+/// Step 6: σ_E(C_j, ⊥) or σ_E(C_j, σ_P(r_i), ...): the route offered to a
+/// consumer, carrying the producer's signed announcement when non-null so
+/// the consumer can check the route was not fabricated (as in S-BGP).
+struct OfferPayload {
+  PartyId elector = 0;
+  PartyId consumer = 0;
+  std::uint64_t round = 0;
+  std::optional<bgp::Route> route;
+  /// Present iff route is present: the producer's announce envelope.
+  std::optional<SignedEnvelope> producer_announce;
+
+  Bytes encode() const;
+  static OfferPayload decode(ByteSpan data);
+};
+
+/// A signed bit proof for one indifference class.
+struct BitProofPayload {
+  PartyId elector = 0;
+  std::uint64_t round = 0;
+  FlatBitProof proof;
+
+  Bytes encode() const;
+  static BitProofPayload decode(ByteSpan data);
+};
+
+/// σ_E(≤_j): the signed representation of the promise made to a consumer
+/// (Assumption 6), exchanged out of band (e.g. with the peering agreement).
+struct PromisePayload {
+  PartyId elector = 0;
+  PartyId consumer = 0;
+  Promise promise{1};
+
+  Bytes encode() const;
+  static PromisePayload decode(ByteSpan data);
+};
+
+// -------------------------------------------------------------- failures
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kBadSignature,        // message signature failed
+  kMalformedMessage,    // undecodable / wrong fields
+  kMissingMessage,      // expected message never arrived (raises alarm)
+  kInconsistentCommit,  // two different commitments for the same round
+  kMissingBitProof,     // elector refused to prove a due bit
+  kInvalidBitProof,     // proof does not open the commitment
+  kOmittedInput,        // producer's class proven 0 despite its input
+  kBrokenPromise,       // a class better than the offer proven 1
+};
+
+std::string fault_kind_name(FaultKind kind);
+
+/// A local detection, possibly carrying enough material to convince others.
+struct Detection {
+  FaultKind kind = FaultKind::kNone;
+  PartyId accused = 0;
+  std::string detail;
+};
+
+// ------------------------------------------------------------ challenges
+
+/// PROOFCHALLENGE from a producer (paper §4.5): "the elector acknowledged
+/// my input in class `claimed_class`, yet cannot prove that bit is 1."
+struct ProducerChallenge {
+  SignedEnvelope announce;  // producer-signed
+  SignedEnvelope ack;       // elector-signed
+  /// The (invalid or bit=0) proof received, when one was received at all.
+  std::optional<SignedEnvelope> received_proof;
+
+  Bytes encode() const;
+  static ProducerChallenge decode(ByteSpan data);
+};
+
+/// PROOFCHALLENGE from a consumer: "here is what the elector offered me and
+/// the promise it signed; the bit proofs show (or fail to show) a breach."
+struct ConsumerChallenge {
+  SignedEnvelope offer;           // elector-signed OfferPayload
+  SignedEnvelope signed_promise;  // elector-signed PromisePayload
+  /// Proofs received, keyed by class; classes due but absent are accusations
+  /// of refusal.
+  std::vector<SignedEnvelope> received_proofs;
+
+  Bytes encode() const;
+  static ConsumerChallenge decode(ByteSpan data);
+};
+
+/// INVALIDCOMMIT: two conflicting signed commitments are a self-contained
+/// proof of misbehavior.  Returns true when the evidence is valid.
+bool validate_inconsistent_commit(const SignedEnvelope& a, const SignedEnvelope& b,
+                                  const KeyRegistry& keys);
+
+enum class Verdict : std::uint8_t {
+  kElectorGuilty,
+  kChallengeRejected,  // challenge malformed or elector exonerated
+};
+
+/// Third-party arbitration of a producer challenge.  `elector_response` is
+/// the elector's answer to the re-challenge (a signed BitProofPayload), or
+/// nullopt if the elector refused.
+Verdict judge_producer_challenge(const ProducerChallenge& challenge,
+                                 const SignedEnvelope& commitment,
+                                 const std::optional<SignedEnvelope>& elector_response,
+                                 const KeyRegistry& keys, const Classifier& classifier);
+
+/// Third-party arbitration of a consumer challenge. `elector_responses`
+/// holds the elector's proof per class (absent entries = refusal).
+Verdict judge_consumer_challenge(const ConsumerChallenge& challenge,
+                                 const SignedEnvelope& commitment,
+                                 const std::map<ClassId, SignedEnvelope>& elector_responses,
+                                 const KeyRegistry& keys, const Classifier& classifier);
+
+// ---------------------------------------------------------------- elector
+
+/// The elector role.  Honest behavior throughout; the Faults knobs switch
+/// on the misbehaviors studied in §7.4 plus a few more for testing.
+class Elector {
+ public:
+  struct Faults {
+    /// "Overaggressive filter": silently ignore these producers' inputs.
+    std::set<PartyId> ignore_producers;
+    /// "Wrongly exporting": offer e to these consumers even when the
+    /// promise demands ⊥.
+    std::set<PartyId> force_export;
+    /// "Tampered bit proof": flip the revealed bit for these classes.
+    std::set<ClassId> tamper_proof_classes;
+    /// Send a different commitment to these parties (inconsistent commit).
+    std::set<PartyId> equivocate_to;
+    /// Refuse bit proofs for these classes.
+    std::set<ClassId> refuse_proof_classes;
+  };
+
+  /// `true_preference` is the elector's private total order: a permutation
+  /// of class ids, most preferred first.  It must be a linear extension of
+  /// every promise for the elector to be correct (tests construct both
+  /// consistent and inconsistent ones on purpose).
+  Elector(PartyId id, std::uint64_t round, const crypto::Signer& signer,
+          const Classifier& classifier, std::vector<ClassId> true_preference);
+
+  /// Registers the promise made to a consumer; returns σ_E(≤_j).
+  SignedEnvelope promise_to(PartyId consumer, Promise promise);
+
+  /// Step 1-2: receive a producer's announcement, return the ACK.
+  /// Throws std::invalid_argument on signature/shape violations (a real
+  /// elector would raise an alarm).
+  SignedEnvelope receive_announcement(const SignedEnvelope& announce, const KeyRegistry& keys);
+
+  /// Step 3-5: choose e, compute the input bits, build the commitment.
+  /// Returns the commitment envelope for `recipient` (faulty electors may
+  /// equivocate, so the recipient matters).
+  void decide_and_commit(const crypto::Seed& seed);
+  SignedEnvelope commitment_for(PartyId recipient) const;
+
+  /// Step 6: the signed offer for a consumer.
+  SignedEnvelope offer_for(PartyId consumer) const;
+
+  /// Verification phase: signed bit proof for one class, or nullopt when
+  /// the (faulty) elector refuses.
+  std::optional<SignedEnvelope> bit_proof_for(ClassId cls) const;
+
+  /// The chosen route e (test introspection).
+  const std::optional<bgp::Route>& chosen() const { return chosen_; }
+  ClassId chosen_class() const;
+  const std::vector<bool>& bits() const { return bits_; }
+
+  Faults& faults() { return faults_; }
+
+ private:
+  std::optional<bgp::Route> honest_choice() const;
+
+  PartyId id_;
+  std::uint64_t round_;
+  const crypto::Signer& signer_;
+  const Classifier& classifier_;
+  std::vector<ClassId> true_preference_;
+  std::map<PartyId, Promise> promises_;
+  std::map<PartyId, SignedEnvelope> inputs_;  // producer -> announce envelope
+  std::map<PartyId, std::optional<bgp::Route>> routes_;
+  std::optional<bgp::Route> chosen_;
+  std::optional<PartyId> chosen_producer_;
+  std::vector<bool> bits_;
+  std::optional<FlatCommitment> commitment_;
+  std::optional<FlatCommitment> equivocal_commitment_;  // for equivocate_to
+  Faults faults_;
+};
+
+// --------------------------------------------------------------- producer
+
+class Producer {
+ public:
+  Producer(PartyId id, PartyId elector, std::uint64_t round, const crypto::Signer& signer,
+           const Classifier& classifier);
+
+  /// Step 1: sign and return the announcement for `route` (⊥ = nullopt).
+  SignedEnvelope announce(std::optional<bgp::Route> route);
+
+  /// Step 2: validate the elector's ACK.
+  std::optional<Detection> receive_ack(const std::optional<SignedEnvelope>& ack,
+                                       const KeyRegistry& keys);
+
+  /// Step 5: record the commitment received from the elector.
+  std::optional<Detection> receive_commitment(const std::optional<SignedEnvelope>& commit,
+                                              const KeyRegistry& keys);
+
+  /// Verification: check the bit proof for this producer's class.
+  std::optional<Detection> check_bit_proof(const std::optional<SignedEnvelope>& proof,
+                                           const KeyRegistry& keys);
+
+  /// After a detection, the challenge that convinces third parties.
+  ProducerChallenge make_challenge() const;
+
+  const std::optional<SignedEnvelope>& commitment() const { return commitment_; }
+  std::optional<ClassId> my_class() const { return my_class_; }
+
+ private:
+  PartyId id_;
+  PartyId elector_;
+  std::uint64_t round_;
+  const crypto::Signer& signer_;
+  const Classifier& classifier_;
+  std::optional<SignedEnvelope> my_announce_;
+  std::optional<SignedEnvelope> ack_;
+  std::optional<SignedEnvelope> commitment_;
+  std::optional<SignedEnvelope> received_proof_;
+  std::optional<ClassId> my_class_;  // nullopt when we sent ⊥
+};
+
+// --------------------------------------------------------------- consumer
+
+class Consumer {
+ public:
+  Consumer(PartyId id, PartyId elector, std::uint64_t round, const Classifier& classifier);
+
+  /// Out-of-band: the signed promise from the elector (Assumption 6).
+  std::optional<Detection> receive_promise(const SignedEnvelope& signed_promise,
+                                           const KeyRegistry& keys);
+
+  std::optional<Detection> receive_commitment(const std::optional<SignedEnvelope>& commit,
+                                              const KeyRegistry& keys);
+
+  /// Step 6: validate the offer (signatures, embedded producer announce).
+  std::optional<Detection> receive_offer(const std::optional<SignedEnvelope>& offer,
+                                         const KeyRegistry& keys);
+
+  /// Classes this consumer is due proofs for: all classes strictly better
+  /// (under its promise) than the class of the offered route.
+  std::vector<ClassId> due_classes() const;
+
+  /// Verification: check all due proofs; `proofs` maps class -> envelope.
+  std::optional<Detection> check_bit_proofs(
+      const std::map<ClassId, SignedEnvelope>& proofs, const KeyRegistry& keys);
+
+  ConsumerChallenge make_challenge() const;
+
+  const std::optional<SignedEnvelope>& commitment() const { return commitment_; }
+  const std::optional<bgp::Route>& offered_route() const { return offered_route_; }
+
+ private:
+  PartyId id_;
+  PartyId elector_;
+  std::uint64_t round_;
+  const Classifier& classifier_;
+  std::optional<Promise> promise_;
+  std::optional<SignedEnvelope> signed_promise_;
+  std::optional<SignedEnvelope> offer_;
+  std::optional<bgp::Route> offered_route_;
+  std::optional<SignedEnvelope> commitment_;
+  std::vector<SignedEnvelope> received_proofs_;
+};
+
+/// VERIFY-phase cross-check (paper §4.5 first step): every party reveals
+/// the commitment it holds; any two that differ are an INVALIDCOMMIT proof.
+/// Returns the offending pair when found.
+std::optional<std::pair<SignedEnvelope, SignedEnvelope>> cross_check_commitments(
+    const std::vector<SignedEnvelope>& commitments, const KeyRegistry& keys);
+
+}  // namespace spider::core

@@ -1,0 +1,45 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace spider::crypto {
+
+HmacSha512::HmacSha512(ByteSpan key) {
+  std::array<std::uint8_t, 128> block{};
+  if (key.size() > block.size()) {
+    auto hashed = Sha512::hash(key);
+    std::memcpy(block.data(), hashed.data(), hashed.size());
+  } else {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, 128> ipad_key{};
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    ipad_key[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+  inner_.update(ByteSpan{ipad_key.data(), ipad_key.size()});
+}
+
+HmacSha512::Digest HmacSha512::finish() {
+  auto inner_digest = inner_.finish();
+  Sha512 outer;
+  outer.update(ByteSpan{opad_key_.data(), opad_key_.size()});
+  outer.update(ByteSpan{inner_digest.data(), inner_digest.size()});
+  return outer.finish();
+}
+
+HmacSha512::Digest HmacSha512::mac(ByteSpan key, ByteSpan message) {
+  HmacSha512 hmac(key);
+  hmac.update(message);
+  return hmac.finish();
+}
+
+util::Digest20 HmacSha512::mac20(ByteSpan key, ByteSpan message) {
+  auto full = mac(key, message);
+  util::Digest20 out{};
+  std::memcpy(out.data(), full.data(), out.size());
+  return out;
+}
+
+}  // namespace spider::crypto

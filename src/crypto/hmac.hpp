@@ -1,0 +1,35 @@
+// HMAC-SHA-512 (RFC 2104), from scratch on crypto/sha2.
+//
+// Used by the keyed-hash signature scheme (the fast test/simulation
+// alternative to RSA) and available for any MAC need in the protocol layer.
+#pragma once
+
+#include "crypto/sha2.hpp"
+#include "util/bytes.hpp"
+
+namespace spider::crypto {
+
+/// Streaming HMAC-SHA-512.
+class HmacSha512 {
+ public:
+  static constexpr std::size_t kDigestSize = Sha512::kDigestSize;
+  using Digest = Sha512::Digest;
+
+  /// Keys longer than the 128-byte block are hashed first, per RFC 2104.
+  explicit HmacSha512(ByteSpan key);
+
+  void update(ByteSpan data) { inner_.update(data); }
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest mac(ByteSpan key, ByteSpan message);
+
+  /// First 20 bytes of the MAC — the signature size used by HashSigner.
+  static util::Digest20 mac20(ByteSpan key, ByteSpan message);
+
+ private:
+  std::array<std::uint8_t, 128> opad_key_{};
+  Sha512 inner_;
+};
+
+}  // namespace spider::crypto

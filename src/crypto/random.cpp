@@ -1,0 +1,34 @@
+#include "crypto/random.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <random>
+
+namespace spider::crypto {
+
+Seed random_seed() {
+  // std::random_device is backed by OS entropy on Linux/glibc.
+  std::random_device rd;
+  Seed s;
+  for (std::size_t i = 0; i < s.data.size(); i += 4) {
+    std::uint32_t v = rd();
+    std::memcpy(s.data.data() + i, &v, 4);
+  }
+  return s;
+}
+
+Seed seed_from_string(std::string_view label) {
+  auto digest = Sha256::hash(ByteSpan{reinterpret_cast<const std::uint8_t*>(label.data()), label.size()});
+  Seed s;
+  std::memcpy(s.data.data(), digest.data(), s.data.size());
+  return s;
+}
+
+Digest20 CommitmentPrf::derive(char domain, std::uint64_t index) const {
+  std::uint8_t suffix[9];
+  suffix[0] = static_cast<std::uint8_t>(domain);
+  for (int i = 0; i < 8; ++i) suffix[1 + i] = static_cast<std::uint8_t>(index >> (56 - 8 * i));
+  return digest20_concat({seed_.span(), ByteSpan{suffix, sizeof(suffix)}});
+}
+
+}  // namespace spider::crypto

@@ -1,0 +1,65 @@
+// Cryptographic randomness for commitments.
+//
+// Each commitment draws all of its random bitstrings (the x_i values behind
+// bit nodes, and the labels of dummy nodes) from a per-commitment secret
+// seed (paper §6.5).  Storing only the seed — 32 bytes — lets the proof
+// generator reproduce every bitstring during replay, which is why a
+// commitment adds just a constant amount of data to the log.
+//
+// Two derivations are provided:
+//  * Rc4Csprng        — the paper's construction, a sequential stream;
+//  * CommitmentPrf    — a positional PRF, x(index) = SHA-512(seed || index)
+//                       truncated to 20 bytes.  Functionally equivalent for
+//                       privacy (outputs are indistinguishable from hash
+//                       values without the seed) but random-access, which
+//                       lets the MTT labeler run in parallel and generate
+//                       bit proofs without materializing 20 bytes for every
+//                       one of millions of bit nodes.  DESIGN.md documents
+//                       this substitution.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/rc4.hpp"
+#include "crypto/sha2.hpp"
+#include "util/bytes.hpp"
+
+namespace spider::crypto {
+
+using util::Digest20;
+
+/// A 32-byte commitment seed.
+struct Seed {
+  std::array<std::uint8_t, 32> data{};
+
+  ByteSpan span() const { return ByteSpan{data.data(), data.size()}; }
+  bool operator==(const Seed&) const = default;
+};
+
+/// Derives a fresh, unpredictable seed from OS entropy.
+Seed random_seed();
+
+/// Deterministically derives a seed from a label (tests and replayable sims).
+Seed seed_from_string(std::string_view label);
+
+/// Positional PRF over a commitment seed.  Domain-separated streams keep the
+/// x-values of bit nodes disjoint from dummy-node labels.
+class CommitmentPrf {
+ public:
+  explicit CommitmentPrf(const Seed& seed) : seed_(seed) {}
+
+  /// Random bitstring for the x value of bit node `index`.
+  Digest20 bit_randomness(std::uint64_t index) const { return derive('x', index); }
+
+  /// Random label for dummy node `index`.
+  Digest20 dummy_label(std::uint64_t index) const { return derive('d', index); }
+
+  const Seed& seed() const { return seed_; }
+
+ private:
+  Digest20 derive(char domain, std::uint64_t index) const;
+
+  Seed seed_;
+};
+
+}  // namespace spider::crypto

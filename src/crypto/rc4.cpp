@@ -1,0 +1,50 @@
+#include "crypto/rc4.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace spider::crypto {
+
+Rc4::Rc4(ByteSpan key) {
+  if (key.empty() || key.size() > 256) throw std::invalid_argument("Rc4: key length must be 1..256");
+  for (int i = 0; i < 256; ++i) s_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  std::uint8_t j = 0;
+  for (int i = 0; i < 256; ++i) {
+    j = static_cast<std::uint8_t>(j + s_[static_cast<std::size_t>(i)] + key[static_cast<std::size_t>(i) % key.size()]);
+    std::swap(s_[static_cast<std::size_t>(i)], s_[j]);
+  }
+}
+
+std::uint8_t Rc4::next_byte() {
+  i_ = static_cast<std::uint8_t>(i_ + 1);
+  j_ = static_cast<std::uint8_t>(j_ + s_[i_]);
+  std::swap(s_[i_], s_[j_]);
+  return s_[static_cast<std::uint8_t>(s_[i_] + s_[j_])];
+}
+
+void Rc4::keystream(std::uint8_t* out, std::size_t len) {
+  for (std::size_t k = 0; k < len; ++k) out[k] = next_byte();
+}
+
+Rc4Csprng::Rc4Csprng(ByteSpan seed) : rc4_(seed) {
+  std::uint8_t sink[256];
+  for (std::size_t dropped = 0; dropped < kDropBytes; dropped += sizeof(sink)) {
+    rc4_.keystream(sink, sizeof(sink));
+  }
+}
+
+Bytes Rc4Csprng::bytes(std::size_t len) {
+  Bytes out(len);
+  fill(out.data(), len);
+  return out;
+}
+
+std::uint64_t Rc4Csprng::next_u64() {
+  std::uint8_t b[8];
+  fill(b, 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | b[i];
+  return v;
+}
+
+}  // namespace spider::crypto

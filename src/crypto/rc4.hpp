@@ -1,0 +1,52 @@
+// RC4 stream cipher and the CSPRNG construction the paper describes
+// (§7.1: "The CSPRNG is implemented by encrypting sequences of zeroes with
+// RC4, discarding the first 3,072 bytes to mitigate known weaknesses").
+//
+// RC4 is used here exactly as in the paper: as a pseudo-random *generator*
+// for commitment bitstrings, never as a transport cipher.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace spider::crypto {
+
+using util::Bytes;
+using util::ByteSpan;
+
+/// Raw RC4 keystream generator.
+class Rc4 {
+ public:
+  /// Key length must be in [1, 256] bytes.
+  explicit Rc4(ByteSpan key);
+
+  /// Returns the next keystream byte.
+  std::uint8_t next_byte();
+
+  /// Fills `out` with keystream (equivalently: encrypts zeroes).
+  void keystream(std::uint8_t* out, std::size_t len);
+
+ private:
+  std::array<std::uint8_t, 256> s_{};
+  std::uint8_t i_ = 0;
+  std::uint8_t j_ = 0;
+};
+
+/// RC4-based CSPRNG with the standard RC4-drop[3072] hardening.
+class Rc4Csprng {
+ public:
+  static constexpr std::size_t kDropBytes = 3072;
+
+  explicit Rc4Csprng(ByteSpan seed);
+
+  void fill(std::uint8_t* out, std::size_t len) { rc4_.keystream(out, len); }
+  Bytes bytes(std::size_t len);
+  std::uint64_t next_u64();
+
+ private:
+  Rc4 rc4_;
+};
+
+}  // namespace spider::crypto

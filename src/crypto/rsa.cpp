@@ -1,0 +1,111 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha2.hpp"
+#include "util/serde.hpp"
+
+namespace spider::crypto {
+
+namespace {
+
+// DER prefix for a SHA-512 DigestInfo (RFC 8017, PKCS#1 v1.5).
+constexpr std::uint8_t kSha512DigestInfo[] = {
+    0x30, 0x51, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+    0x65, 0x03, 0x04, 0x02, 0x03, 0x05, 0x00, 0x04, 0x40};
+
+/// EMSA-PKCS1-v1_5 encoding of SHA-512(message) into `em_len` bytes.
+Bytes pkcs1_encode(ByteSpan message, std::size_t em_len) {
+  auto digest = Sha512::hash(message);
+  const std::size_t t_len = sizeof(kSha512DigestInfo) + digest.size();
+  if (em_len < t_len + 11) throw std::invalid_argument("pkcs1_encode: modulus too small");
+  Bytes em;
+  em.reserve(em_len);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.insert(em.end(), em_len - t_len - 3, 0xff);
+  em.push_back(0x00);
+  em.insert(em.end(), std::begin(kSha512DigestInfo), std::end(kSha512DigestInfo));
+  em.insert(em.end(), digest.begin(), digest.end());
+  return em;
+}
+
+}  // namespace
+
+Bytes RsaPublicKey::encode() const {
+  util::ByteWriter w;
+  w.bytes(n.to_bytes_be());
+  w.bytes(e.to_bytes_be());
+  return w.take();
+}
+
+RsaPublicKey RsaPublicKey::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  RsaPublicKey key;
+  key.n = BigInt::from_bytes_be(r.bytes());
+  key.e = BigInt::from_bytes_be(r.bytes());
+  r.expect_end();
+  return key;
+}
+
+RsaPrivateKey rsa_generate(std::size_t bits, util::SplitMix64& rng) {
+  if (bits < 128) throw std::invalid_argument("rsa_generate: modulus too small");
+  const BigInt e{65537};
+  for (;;) {
+    BigInt p = generate_prime(bits / 2, rng);
+    BigInt q = generate_prime(bits - bits / 2, rng);
+    if (p == q) continue;
+    if (p < q) std::swap(p, q);  // convention: p > q so qinv = q^-1 mod p works
+    BigInt n = p * q;
+    if (n.bit_length() != bits) continue;
+    BigInt phi = (p - BigInt{1}) * (q - BigInt{1});
+    if (BigInt::gcd(e, phi) != BigInt{1}) continue;
+    BigInt d = e.mod_inverse(phi);
+    RsaPrivateKey key;
+    key.n = n;
+    key.e = e;
+    key.d = d;
+    key.p = p;
+    key.q = q;
+    key.dp = d % (p - BigInt{1});
+    key.dq = d % (q - BigInt{1});
+    key.qinv = q.mod_inverse(p);
+    return key;
+  }
+}
+
+Bytes rsa_sign(const RsaPrivateKey& key, ByteSpan message) {
+  const std::size_t k = key.public_key().modulus_bytes();
+  BigInt m = BigInt::from_bytes_be(pkcs1_encode(message, k));
+
+  // CRT: s_p = m^dp mod p, s_q = m^dq mod q, recombine.
+  BigInt sp = m.mod_exp(key.dp, key.p);
+  BigInt sq = m.mod_exp(key.dq, key.q);
+  BigInt h = sp >= (sq % key.p) ? (sp - sq % key.p) : (key.p - (sq % key.p - sp));
+  h = (h * key.qinv) % key.p;
+  BigInt s = sq + h * key.q;
+  return s.to_bytes_be(k);
+}
+
+bool rsa_verify(const RsaPublicKey& key, ByteSpan message, ByteSpan signature) {
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+  BigInt s = BigInt::from_bytes_be(signature);
+  if (s >= key.n) return false;
+  BigInt m = s.mod_exp(key.e, key.n);
+  Bytes expected = pkcs1_encode(message, k);
+  return util::ct_equal(m.to_bytes_be(k), expected);
+}
+
+Bytes HashSigner::sign(ByteSpan message) const {
+  auto d = HmacSha512::mac20(key_, message);
+  return Bytes(d.begin(), d.end());
+}
+
+bool HashVerifier::verify(ByteSpan message, ByteSpan signature) const {
+  auto d = HmacSha512::mac20(key_, message);
+  return util::ct_equal(ByteSpan{d.data(), d.size()}, signature);
+}
+
+}  // namespace spider::crypto

@@ -1,0 +1,75 @@
+#include "netreview/auditor.hpp"
+
+namespace spider::netreview {
+
+AuditReport audit_full_disclosure(const MirrorState& state, bgp::AsNumber audited) {
+  AuditReport report;
+
+  for (const bgp::Prefix& prefix : state.all_prefixes()) {
+    ++report.prefixes_checked;
+
+    // Recompute the decision from the disclosed inputs, remembering which
+    // neighbor supplied the winner (split horizon exempts that neighbor
+    // from the export check).
+    std::vector<bgp::Route> candidates;
+    std::vector<bgp::AsNumber> sources;
+    for (const auto& [neighbor, routes] : state.inputs()) {
+      auto it = routes.find(prefix);
+      if (it != routes.end()) {
+        candidates.push_back(it->second.route);
+        sources.push_back(neighbor);
+      }
+    }
+    std::optional<bgp::Route> best = bgp::decide(candidates);
+    bgp::AsNumber best_source = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (best && candidates[i] == *best) best_source = sources[i];
+    }
+
+    // Each consumer's export must equal the recomputed best route (modulo
+    // the audited AS's own prepended ASN).
+    for (const auto& [consumer, routes] : state.exports()) {
+      auto it = routes.find(prefix);
+      ++report.decisions_checked;
+      if (it == routes.end()) {
+        // Split horizon: the best route is never exported back to the
+        // neighbor it was learned from.
+        if (best && best_source != consumer) {
+          report.findings.push_back(
+              {prefix, consumer, "best route not exported (possible hidden route)"});
+        }
+        continue;
+      }
+      bgp::Route underlying = proto::underlying_route(it->second.route, audited);
+      if (!best) {
+        report.findings.push_back({prefix, consumer, "exported a route with no known input"});
+        continue;
+      }
+      if (!(underlying.as_path == best->as_path)) {
+        // The export must not be worse than the best input.
+        if (bgp::better(*best, underlying)) {
+          report.findings.push_back(
+              {prefix, consumer, "exported route is worse than the best available input"});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::size_t audit_comparison_count(const MirrorState& state) {
+  std::size_t comparisons = 0;
+  for (const bgp::Prefix& prefix : state.all_prefixes()) {
+    std::size_t candidates = 0;
+    for (const auto& [neighbor, routes] : state.inputs()) {
+      if (routes.count(prefix)) ++candidates;
+    }
+    comparisons += candidates > 0 ? candidates - 1 : 0;
+    for (const auto& [consumer, routes] : state.exports()) {
+      if (routes.count(prefix)) ++comparisons;
+    }
+  }
+  return comparisons;
+}
+
+}  // namespace spider::netreview

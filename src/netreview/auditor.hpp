@@ -1,0 +1,52 @@
+// NetReview-style baseline auditor (Haeberlen et al., NSDI'09) — the
+// comparison system of the paper's evaluation (§7).
+//
+// NetReview achieves the same *verifiability* as SPIDeR by full disclosure:
+// an AS hands its neighbors the complete stream of BGP updates it received,
+// and the neighbors replay the declared policy against it to check every
+// routing decision.  There is no privacy (the neighbor sees all routes) and
+// no MTT — which is exactly why the paper's cost comparison attributes
+// "everything except MTT generation" to NetReview.
+//
+// Our auditor shares the recorder's log/messaging substrate (as the paper's
+// SPIDeR prototype shared NetReview's code) and implements the replay
+// check: for every prefix, recompute the best route from the disclosed
+// inputs and compare with what the audited AS exported.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/decision.hpp"
+#include "spider/state.hpp"
+
+namespace spider::netreview {
+
+using proto::MirrorState;
+
+struct AuditFinding {
+  bgp::Prefix prefix;
+  bgp::AsNumber consumer = 0;
+  std::string what;
+};
+
+struct AuditReport {
+  std::vector<AuditFinding> findings;
+  std::size_t prefixes_checked = 0;
+  std::size_t decisions_checked = 0;
+  bool clean() const { return findings.empty(); }
+};
+
+/// Audits a fully disclosed routing state: `state` is the audited AS's
+/// complete mirror (inputs from every neighbor — the disclosure SPIDeR
+/// avoids — plus its exports).  Checks, per prefix and consumer, that the
+/// exported route is the best available input under the standard decision
+/// process, and that no better input was hidden.
+AuditReport audit_full_disclosure(const MirrorState& state, bgp::AsNumber audited);
+
+/// Cost model hook: the number of route comparisons a full audit performs
+/// (used by the computation bench to report the NetReview/SPIDeR ratio).
+std::size_t audit_comparison_count(const MirrorState& state);
+
+}  // namespace spider::netreview

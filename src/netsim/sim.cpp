@@ -1,0 +1,109 @@
+#include "netsim/sim.hpp"
+
+#include <stdexcept>
+
+namespace spider::netsim {
+
+NodeId Simulator::add_node(Node& node, std::string name) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  node.node_id_ = id;
+  node.name_ = std::move(name);
+  nodes_.push_back(&node);
+  return id;
+}
+
+void Simulator::connect(NodeId a, NodeId b, Time latency) {
+  if (a == b) throw std::logic_error("connect: self-link");
+  if (a >= nodes_.size() || b >= nodes_.size()) throw std::logic_error("connect: unknown node");
+  links_[link_key(a, b)] = Link{latency, {}};
+}
+
+bool Simulator::connected(NodeId a, NodeId b) const { return links_.count(link_key(a, b)) != 0; }
+
+void Simulator::send(NodeId from, NodeId to, util::ByteSpan payload) {
+  auto it = links_.find(link_key(from, to));
+  if (it == links_.end()) throw std::logic_error("send: nodes not connected");
+  Link& link = it->second;
+  if (!link.up) {
+    link.dropped += 1;
+    return;
+  }
+  DirectionStats& dir = from < to ? link.stats.a_to_b : link.stats.b_to_a;
+  dir.messages += 1;
+  dir.bytes += payload.size();
+  bytes_sent_[from] += payload.size();
+
+  util::Bytes copy(payload.begin(), payload.end());
+  Node* dest = nodes_.at(to);
+  schedule_at(now_ + link.latency, [dest, from, data = std::move(copy)] {
+    dest->handle_message(from, data);
+  });
+}
+
+void Simulator::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) throw std::logic_error("schedule_at: time in the past");
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_in(Time delay, std::function<void()> fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the event must be moved out before
+    // pop, so copy the callable via const_cast-free extraction.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+}
+
+void Simulator::run_until(Time t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::set_link_up(NodeId a, NodeId b, bool up) {
+  auto it = links_.find(link_key(a, b));
+  if (it == links_.end()) throw std::logic_error("set_link_up: nodes not connected");
+  it->second.up = up;
+}
+
+bool Simulator::link_up(NodeId a, NodeId b) const {
+  auto it = links_.find(link_key(a, b));
+  if (it == links_.end()) throw std::logic_error("link_up: nodes not connected");
+  return it->second.up;
+}
+
+std::uint64_t Simulator::dropped_messages(NodeId a, NodeId b) const {
+  auto it = links_.find(link_key(a, b));
+  if (it == links_.end()) throw std::logic_error("dropped_messages: nodes not connected");
+  return it->second.dropped;
+}
+
+void Simulator::set_clock_skew(NodeId node, Time skew) { skews_[node] = skew; }
+
+Time Simulator::local_time(NodeId node) const {
+  auto it = skews_.find(node);
+  return now_ + (it == skews_.end() ? 0 : it->second);
+}
+
+const LinkStats& Simulator::link_stats(NodeId a, NodeId b) const {
+  auto it = links_.find(link_key(a, b));
+  if (it == links_.end()) throw std::logic_error("link_stats: nodes not connected");
+  return it->second.stats;
+}
+
+std::uint64_t Simulator::node_bytes_sent(NodeId node) const {
+  auto it = bytes_sent_.find(node);
+  return it == bytes_sent_.end() ? 0 : it->second;
+}
+
+}  // namespace spider::netsim

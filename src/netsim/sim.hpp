@@ -1,0 +1,136 @@
+// Discrete-event network simulator.
+//
+// Replaces the paper's testbed (11 machines, 36 Quagga daemons) with an
+// in-process event loop: nodes exchange serialized messages over links with
+// configurable latency, every byte is counted per link (the substrate for
+// the bandwidth experiment, §7.6), and per-node clock skew models the
+// "loosely synchronized clocks" assumption of §6.3/§6.4.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace spider::netsim {
+
+using NodeId = std::uint32_t;
+/// Simulated time in microseconds.
+using Time = std::int64_t;
+
+constexpr Time kMicrosPerSecond = 1'000'000;
+
+/// Base class for anything attached to the simulator.  The simulator does
+/// not own nodes; they must outlive it (they are typically members of the
+/// scenario object that also owns the Simulator).
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Delivery of one message. `from` is the sending node.
+  virtual void handle_message(NodeId from, util::ByteSpan payload) = 0;
+
+  NodeId node_id() const { return node_id_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Simulator;
+  NodeId node_id_ = 0;
+  std::string name_;
+};
+
+/// Byte/message counters for one direction of a link.
+struct DirectionStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct LinkStats {
+  DirectionStats a_to_b;
+  DirectionStats b_to_a;
+  std::uint64_t total_bytes() const { return a_to_b.bytes + b_to_a.bytes; }
+  std::uint64_t total_messages() const { return a_to_b.messages + b_to_a.messages; }
+};
+
+class Simulator {
+ public:
+  /// Registers a node; returns its id. `name` is for diagnostics.
+  NodeId add_node(Node& node, std::string name);
+
+  /// Creates a bidirectional link with the given one-way latency.
+  void connect(NodeId a, NodeId b, Time latency);
+
+  bool connected(NodeId a, NodeId b) const;
+
+  /// Sends `payload` from `from` to `to`; throws std::logic_error when the
+  /// nodes are not connected.  Bytes are counted at send time.  Messages
+  /// sent while the link is down are silently dropped (and counted), which
+  /// is how Assumption 7's transient disruptions are modeled.
+  void send(NodeId from, NodeId to, util::ByteSpan payload);
+
+  /// Takes a link down / brings it back up.  Messages in flight when the
+  /// link fails are still delivered (they already left the sender).
+  void set_link_up(NodeId a, NodeId b, bool up);
+  bool link_up(NodeId a, NodeId b) const;
+  /// Messages dropped on this link while it was down.
+  std::uint64_t dropped_messages(NodeId a, NodeId b) const;
+
+  /// Runs `fn` at absolute simulated time `t` (>= now).
+  void schedule_at(Time t, std::function<void()> fn);
+  /// Runs `fn` after `delay` microseconds.
+  void schedule_in(Time delay, std::function<void()> fn);
+
+  /// Processes events until the queue is empty.
+  void run();
+  /// Processes events with timestamps <= t, then sets now to t.
+  void run_until(Time t);
+
+  Time now() const { return now_; }
+
+  /// Clock skew: node-local time = now() + skew.  Models the loose clock
+  /// synchronization the recorders tolerate (§6.2: "reasonably close").
+  void set_clock_skew(NodeId node, Time skew);
+  Time local_time(NodeId node) const;
+
+  const LinkStats& link_stats(NodeId a, NodeId b) const;
+  /// Sum of traffic over every link adjacent to `node`.
+  std::uint64_t node_bytes_sent(NodeId node) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  Node& node(NodeId id) { return *nodes_.at(id); }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;  // tie-break preserves FIFO order per timestamp
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  struct Link {
+    Time latency;
+    LinkStats stats;
+    bool up = true;
+    std::uint64_t dropped = 0;
+  };
+
+  static std::pair<NodeId, NodeId> link_key(NodeId a, NodeId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  std::vector<Node*> nodes_;
+  std::map<std::pair<NodeId, NodeId>, Link> links_;
+  std::map<NodeId, Time> skews_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::map<NodeId, std::uint64_t> bytes_sent_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace spider::netsim

@@ -1,0 +1,56 @@
+// The SPIDeR checker (paper §6.1): runs at each neighbor of the AS under
+// verification and validates the bit proofs delivered by that AS's proof
+// generator against the commitment the neighbor holds.
+//
+//   * As a producer, the neighbor checks that every route it was exporting
+//     to the elector (within the loose-sync window) is proven present
+//     (bit = 1) in its class.
+//   * As a consumer, it checks that every class its promise ranks above
+//     the class of each route it was offered is proven absent (bit = 0).
+//
+// All failures surface as core::Detection values, with the same fault
+// taxonomy as single-prefix VPref.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/vpref.hpp"
+#include "spider/proof_generator.hpp"
+
+namespace spider::proto {
+
+class Checker {
+ public:
+  /// `my_window_routes` maps each prefix this neighbor was exporting to
+  /// the elector to the set of values that were in force at some point in
+  /// [T-δ, T]  (the neighbor knows its own history; for stable routes this
+  /// is a single value).
+  static std::optional<core::Detection> check_producer_proofs(
+      const SpiderCommit& commit, bgp::AsNumber elector,
+      const std::map<bgp::Prefix, std::vector<bgp::Route>>& my_window_routes,
+      const ProducerProofs& proofs, const core::Classifier& classifier);
+
+  /// `my_imports` maps each prefix to the route this neighbor currently
+  /// holds from the elector (its own Adj-RIB-In mirror).
+  static std::optional<core::Detection> check_consumer_proofs(
+      const SpiderCommit& commit, bgp::AsNumber elector, const core::Promise& promise,
+      const std::map<bgp::Prefix, bgp::Route>& my_imports, const ConsumerProofs& proofs,
+      bgp::AsNumber self, const core::Classifier& classifier);
+
+  /// Extended verification, consumer side (§6.6): every route this
+  /// consumer holds from the elector must be covered by a RE-ANNOUNCE from
+  /// the original producer; a missing one means the producer withdrew the
+  /// route and the elector failed to propagate the withdrawal.
+  static std::optional<core::Detection> check_re_announcements(
+      bgp::AsNumber elector, const std::map<bgp::Prefix, bgp::Route>& my_imports,
+      const std::vector<SpiderAnnounce>& re_announcements);
+
+  /// Cross-check of commitments gossiped between neighbors: any two
+  /// distinct roots for the same (elector, timestamp) prove equivocation.
+  static std::optional<core::Detection> cross_check_commits(
+      bgp::AsNumber elector, const std::vector<SpiderCommit>& commits);
+};
+
+}  // namespace spider::proto

@@ -1,0 +1,119 @@
+#include "spider/log.hpp"
+
+#include <algorithm>
+
+#include "util/serde.hpp"
+
+namespace spider::proto {
+
+namespace {
+Digest20 chain_hash(const Digest20& prev, const LogEntry& entry) {
+  util::ByteWriter w;
+  w.digest(prev);
+  w.u64(entry.seq);
+  w.i64(entry.timestamp);
+  w.u8(static_cast<std::uint8_t>(entry.direction));
+  w.u32(entry.peer_as);
+  w.bytes(entry.message);
+  return crypto::digest20(w.data());
+}
+}  // namespace
+
+const LogEntry& MessageLog::append(Time timestamp, LogDirection direction, std::uint32_t peer_as,
+                                   Bytes message, std::uint32_t signature_bytes) {
+  LogEntry entry;
+  entry.seq = next_seq_++;
+  entry.timestamp = timestamp;
+  entry.direction = direction;
+  entry.peer_as = peer_as;
+  entry.message = std::move(message);
+  entry.signature_bytes = signature_bytes;
+  entry.authenticator = chain_hash(head_, entry);
+  head_ = entry.authenticator;
+  message_bytes_ += entry.message.size();
+  signature_bytes_ += signature_bytes;
+  entries_.push_back(std::move(entry));
+  return entries_.back();
+}
+
+void MessageLog::add_checkpoint(Time timestamp, Bytes state) {
+  checkpoint_bytes_ += state.size();
+  checkpoints_.push_back(LogCheckpoint{timestamp, std::move(state)});
+}
+
+void MessageLog::record_commitment(const CommitmentRecord& record) {
+  commitments_[record.timestamp] = record;
+}
+
+bool MessageLog::verify_chain() const {
+  Digest20 prev{};
+  if (!entries_.empty() && entries_.front().seq != 0) {
+    // Pruned log: the first remaining entry carries the base; recompute
+    // forward from its stored authenticator.
+    prev = entries_.front().authenticator;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (chain_hash(prev, entries_[i]) != entries_[i].authenticator) return false;
+      prev = entries_[i].authenticator;
+    }
+    return true;
+  }
+  for (const LogEntry& entry : entries_) {
+    if (chain_hash(prev, entry) != entry.authenticator) return false;
+    prev = entry.authenticator;
+  }
+  return true;
+}
+
+const LogCheckpoint* MessageLog::checkpoint_before(Time t) const {
+  const LogCheckpoint* best = nullptr;
+  for (const auto& cp : checkpoints_) {
+    if (cp.timestamp <= t && (!best || cp.timestamp > best->timestamp)) best = &cp;
+  }
+  return best;
+}
+
+const CommitmentRecord* MessageLog::commitment_at(Time t) const {
+  auto it = commitments_.find(t);
+  return it == commitments_.end() ? nullptr : &it->second;
+}
+
+std::vector<const LogEntry*> MessageLog::entries_between(Time after, Time until) const {
+  std::vector<const LogEntry*> out;
+  for (const LogEntry& entry : entries_) {
+    if (entry.timestamp > after && entry.timestamp <= until) out.push_back(&entry);
+  }
+  return out;
+}
+
+void MessageLog::prune_before(Time cutoff) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [cutoff](const LogEntry& e) { return e.timestamp >= cutoff; });
+  for (auto del = entries_.begin(); del != it; ++del) {
+    message_bytes_ -= del->message.size();
+    signature_bytes_ -= del->signature_bytes;
+  }
+  entries_.erase(entries_.begin(), it);
+
+  // Keep the newest checkpoint older than the cutoff — replay of the oldest
+  // retained entries still needs a base state.
+  const LogCheckpoint* base = checkpoint_before(cutoff);
+  const bool has_base = base != nullptr;
+  const Time base_ts = has_base ? base->timestamp : 0;
+  auto cp_it = std::remove_if(checkpoints_.begin(), checkpoints_.end(),
+                              [&](const LogCheckpoint& cp) {
+                                if (has_base && cp.timestamp == base_ts) return false;
+                                return cp.timestamp < cutoff;
+                              });
+  for (auto del = cp_it; del != checkpoints_.end(); ++del) checkpoint_bytes_ -= del->state.size();
+  checkpoints_.erase(cp_it, checkpoints_.end());
+
+  for (auto c = commitments_.begin(); c != commitments_.end();) {
+    if (c->first < cutoff) {
+      c = commitments_.erase(c);
+    } else {
+      ++c;
+    }
+  }
+}
+
+}  // namespace spider::proto

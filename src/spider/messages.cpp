@@ -1,0 +1,170 @@
+#include "spider/messages.hpp"
+
+namespace spider::proto {
+
+namespace {
+void expect_type(util::ByteReader& r, SpiderMsgType type) {
+  if (r.u8() != static_cast<std::uint8_t>(type)) throw util::DecodeError("wrong spider msg type");
+}
+}  // namespace
+
+Bytes SpiderAnnounce::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(SpiderMsgType::kAnnounce));
+  w.i64(timestamp);
+  w.u32(from_as);
+  w.u32(to_as);
+  route.encode(w);
+  w.u32(underlying_from);
+  w.u8(underlying_digest ? 1 : 0);
+  if (underlying_digest) w.digest(*underlying_digest);
+  w.u8(re_announce ? 1 : 0);
+  return w.take();
+}
+
+SpiderAnnounce SpiderAnnounce::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  expect_type(r, SpiderMsgType::kAnnounce);
+  SpiderAnnounce m;
+  m.timestamp = r.i64();
+  m.from_as = r.u32();
+  m.to_as = r.u32();
+  m.route = bgp::Route::decode(r);
+  m.underlying_from = r.u32();
+  std::uint8_t flag = r.u8();
+  if (flag > 1) throw util::DecodeError("SpiderAnnounce: bad flag");
+  if (flag == 1) m.underlying_digest = r.digest();
+  std::uint8_t rean = r.u8();
+  if (rean > 1) throw util::DecodeError("SpiderAnnounce: bad re-announce flag");
+  m.re_announce = rean == 1;
+  r.expect_end();
+  return m;
+}
+
+Bytes SpiderWithdraw::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(SpiderMsgType::kWithdraw));
+  w.i64(timestamp);
+  w.u32(from_as);
+  w.u32(to_as);
+  prefix.encode(w);
+  return w.take();
+}
+
+SpiderWithdraw SpiderWithdraw::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  expect_type(r, SpiderMsgType::kWithdraw);
+  SpiderWithdraw m;
+  m.timestamp = r.i64();
+  m.from_as = r.u32();
+  m.to_as = r.u32();
+  m.prefix = bgp::Prefix::decode(r);
+  r.expect_end();
+  return m;
+}
+
+Bytes SpiderAck::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(SpiderMsgType::kAck));
+  w.i64(timestamp);
+  w.u32(from_as);
+  w.u32(to_as);
+  w.digest(message_digest);
+  return w.take();
+}
+
+SpiderAck SpiderAck::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  expect_type(r, SpiderMsgType::kAck);
+  SpiderAck m;
+  m.timestamp = r.i64();
+  m.from_as = r.u32();
+  m.to_as = r.u32();
+  m.message_digest = r.digest();
+  r.expect_end();
+  return m;
+}
+
+Bytes SpiderCommit::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(SpiderMsgType::kCommit));
+  w.i64(timestamp);
+  w.u32(from_as);
+  w.u32(num_classes);
+  w.digest(root);
+  return w.take();
+}
+
+SpiderCommit SpiderCommit::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  expect_type(r, SpiderMsgType::kCommit);
+  SpiderCommit m;
+  m.timestamp = r.i64();
+  m.from_as = r.u32();
+  m.num_classes = r.u32();
+  m.root = r.digest();
+  r.expect_end();
+  return m;
+}
+
+Bytes SpiderBatch::encode() const {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(parts.size()));
+  for (const Part& part : parts) {
+    w.u8(static_cast<std::uint8_t>(part.type));
+    w.bytes(part.body);
+  }
+  return w.take();
+}
+
+SpiderBatch SpiderBatch::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  SpiderBatch batch;
+  std::uint32_t n = r.u32();
+  if (n > 1u << 20) throw util::DecodeError("SpiderBatch: too many parts");
+  batch.parts.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Part part;
+    std::uint8_t type = r.u8();
+    if (type < 10 || type > 14) throw util::DecodeError("SpiderBatch: bad part type");
+    part.type = static_cast<SpiderMsgType>(type);
+    part.body = r.bytes();
+    batch.parts.push_back(std::move(part));
+  }
+  r.expect_end();
+  return batch;
+}
+
+SignedEnvelope sign_batch(bgp::AsNumber asn, const crypto::Signer& signer,
+                          const SpiderBatch& batch) {
+  return core::sign_envelope(asn, signer, batch.encode());
+}
+
+std::optional<Bytes> MessageQuote::extract(const core::KeyRegistry& keys) const {
+  if (!core::check_envelope(batch, keys)) return std::nullopt;
+  try {
+    SpiderBatch decoded = SpiderBatch::decode(batch.payload);
+    if (part >= decoded.parts.size()) return std::nullopt;
+    return decoded.parts[part].body;
+  } catch (const util::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes MessageQuote::encode() const {
+  util::ByteWriter w;
+  w.bytes(batch.encode());
+  w.u32(part);
+  return w.take();
+}
+
+MessageQuote MessageQuote::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  MessageQuote q;
+  q.batch = SignedEnvelope::decode(r.bytes());
+  q.part = r.u32();
+  r.expect_end();
+  return q;
+}
+
+}  // namespace spider::proto

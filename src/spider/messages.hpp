@@ -1,0 +1,131 @@
+// SPIDeR recorder-to-recorder wire messages (paper §6.2).
+//
+// A route announcement has the form
+//   σ_E(ANNOUNCE, t, C, p, σ_P(r'), σ_E(r))
+// where t is a timestamp/nonce, C the recipient AS, p the prefix, r' the
+// underlying route the elector imported (carried as the producer's signed
+// announcement so the recipient can check the route is genuine), and r the
+// exported route itself.  Withdrawals are σ_E(WITHDRAW, t, C, p); every
+// message is acknowledged with σ_R(ACK, t, C, H(m)).
+//
+// To bound signing cost during bursts, recorders sign *batches* of messages
+// with a single signature (§6.2, Nagle-style batching); the batch is the
+// signed envelope, individual messages are its parts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "core/vpref.hpp"
+#include "netsim/sim.hpp"
+
+namespace spider::proto {
+
+using core::SignedEnvelope;
+using netsim::Time;
+using util::Bytes;
+using util::ByteSpan;
+using util::Digest20;
+
+enum class SpiderMsgType : std::uint8_t {
+  kAnnounce = 10,
+  kWithdraw = 11,
+  kAck = 12,
+  kCommit = 13,
+  kReAnnounce = 14,
+};
+
+/// One route announcement inside a batch.
+///
+/// The paper's ANNOUNCE carries σ_P(r') inline.  Because our transport
+/// signatures are batched (one signature per SpiderBatch), quoting a single
+/// upstream message means quoting its whole signed batch; inlining that in
+/// every forwarded announcement would compound along the AS path.  We
+/// therefore inline only a *reference* — the digest of the producer's
+/// announce part — and furnish the full MessageQuote on demand during
+/// verification.  Semantics are preserved: a consumer can still verify the
+/// route was not fabricated before accepting any verification outcome, and
+/// fabrication is still provable evidence (DESIGN.md, substitution table).
+struct SpiderAnnounce {
+  Time timestamp = 0;
+  bgp::AsNumber from_as = 0;
+  bgp::AsNumber to_as = 0;
+  bgp::Route route;
+  /// AS that supplied the underlying imported route r'; 0 when locally
+  /// originated.
+  bgp::AsNumber underlying_from = 0;
+  /// Digest of the producer's announce part bytes for r'.
+  std::optional<Digest20> underlying_digest;
+  /// RE-ANNOUNCE marker for extended verification (§6.6): prevents replays
+  /// of re-announcements in place of originals.
+  bool re_announce = false;
+
+  Bytes encode() const;
+  static SpiderAnnounce decode(ByteSpan data);
+};
+
+/// A verifiable quotation of one message out of a signed batch.
+struct MessageQuote {
+  SignedEnvelope batch;    // the signed SpiderBatch envelope
+  std::uint32_t part = 0;  // index of the quoted part
+
+  /// Validates the batch signature and returns the quoted part's bytes;
+  /// nullopt when the signature or index is invalid.
+  std::optional<Bytes> extract(const core::KeyRegistry& keys) const;
+
+  Bytes encode() const;
+  static MessageQuote decode(ByteSpan data);
+};
+
+struct SpiderWithdraw {
+  Time timestamp = 0;
+  bgp::AsNumber from_as = 0;
+  bgp::AsNumber to_as = 0;
+  bgp::Prefix prefix;
+
+  Bytes encode() const;
+  static SpiderWithdraw decode(ByteSpan data);
+};
+
+struct SpiderAck {
+  Time timestamp = 0;
+  bgp::AsNumber from_as = 0;
+  bgp::AsNumber to_as = 0;
+  /// Digest of the acknowledged (batch) envelope.
+  Digest20 message_digest{};
+
+  Bytes encode() const;
+  static SpiderAck decode(ByteSpan data);
+};
+
+struct SpiderCommit {
+  Time timestamp = 0;
+  bgp::AsNumber from_as = 0;
+  std::uint32_t num_classes = 0;
+  Digest20 root{};
+
+  Bytes encode() const;
+  static SpiderCommit decode(ByteSpan data);
+};
+
+/// A batch of messages signed as one unit.  `parts` holds the encodings of
+/// SpiderAnnounce / SpiderWithdraw / SpiderCommit / SpiderAck messages,
+/// each tagged with its type.
+struct SpiderBatch {
+  struct Part {
+    SpiderMsgType type;
+    Bytes body;
+  };
+  std::vector<Part> parts;
+
+  Bytes encode() const;
+  static SpiderBatch decode(ByteSpan data);
+};
+
+/// Signs a batch with the AS's key.
+SignedEnvelope sign_batch(bgp::AsNumber asn, const crypto::Signer& signer,
+                          const SpiderBatch& batch);
+
+}  // namespace spider::proto

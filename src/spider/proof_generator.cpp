@@ -1,0 +1,275 @@
+#include "spider/proof_generator.hpp"
+
+#include <stdexcept>
+
+#include "util/timers.hpp"
+
+namespace spider::proto {
+
+std::size_t ProducerProofs::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& item : items) total += item.proof.byte_size();
+  return total;
+}
+
+std::size_t ConsumerProofs::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& item : items) total += item.proof.byte_size();
+  return total;
+}
+
+Bytes ProducerProofs::encode() const {
+  util::ByteWriter w;
+  w.i64(commit_time);
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const Item& item : items) {
+    item.prefix.encode(w);
+    item.used_route.encode(w);
+    w.u32(item.cls);
+    w.bytes(item.proof.encode());
+  }
+  return w.take();
+}
+
+ProducerProofs ProducerProofs::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  ProducerProofs proofs;
+  proofs.commit_time = r.i64();
+  std::uint32_t n = r.u32();
+  if (n > 1u << 24) throw util::DecodeError("ProducerProofs: too many items");
+  proofs.items.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Item item;
+    item.prefix = bgp::Prefix::decode(r);
+    item.used_route = bgp::Route::decode(r);
+    item.cls = r.u32();
+    item.proof = core::MttPrefixProof::decode(r.bytes());
+    proofs.items.push_back(std::move(item));
+  }
+  r.expect_end();
+  return proofs;
+}
+
+Bytes ConsumerProofs::encode() const {
+  util::ByteWriter w;
+  w.i64(commit_time);
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const Item& item : items) {
+    item.prefix.encode(w);
+    item.offered_route.encode(w);
+    w.bytes(item.proof.encode());
+  }
+  return w.take();
+}
+
+ConsumerProofs ConsumerProofs::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  ConsumerProofs proofs;
+  proofs.commit_time = r.i64();
+  std::uint32_t n = r.u32();
+  if (n > 1u << 24) throw util::DecodeError("ConsumerProofs: too many items");
+  proofs.items.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Item item;
+    item.prefix = bgp::Prefix::decode(r);
+    item.offered_route = bgp::Route::decode(r);
+    item.proof = core::MttPrefixProof::decode(r.bytes());
+    proofs.items.push_back(std::move(item));
+  }
+  r.expect_end();
+  return proofs;
+}
+
+ProofGenerator::Reconstruction ProofGenerator::reconstruct(Time commit_time,
+                                                           unsigned threads) const {
+  util::WallTimer timer;
+  const MessageLog& log = recorder_.log();
+  const CommitmentRecord* record = log.commitment_at(commit_time);
+  if (!record) throw std::invalid_argument("ProofGenerator: no commitment at requested time");
+  const LogCheckpoint* checkpoint = log.checkpoint_before(commit_time);
+  if (!checkpoint) throw std::invalid_argument("ProofGenerator: no checkpoint before commitment");
+
+  Reconstruction recon;
+  recon.commit_time = commit_time;
+  recon.seed = record->seed;
+  recon.state = MirrorState::deserialize(checkpoint->state);
+
+  const Time window_start = commit_time - recorder_.config().delta;
+  auto note_window = [&](bgp::AsNumber from, const bgp::Prefix& prefix, Time t) {
+    if (t <= window_start) return;
+    const InputRecord* before = recon.state.input(from, prefix);
+    auto& candidates = recon.window_candidates[{from, prefix}];
+    candidates.push_back(before ? std::optional<bgp::Route>(before->route) : std::nullopt);
+  };
+
+  // Replay the logged message trace (§6.5).
+  for (const LogEntry* entry : log.entries_between(checkpoint->timestamp, commit_time)) {
+    core::SignedEnvelope envelope = core::SignedEnvelope::decode(entry->message);
+    SpiderBatch batch = SpiderBatch::decode(envelope.payload);
+    for (const SpiderBatch::Part& part : batch.parts) {
+      switch (part.type) {
+        case SpiderMsgType::kAnnounce: {
+          SpiderAnnounce announce = SpiderAnnounce::decode(part.body);
+          if (announce.re_announce) break;  // never replayed in place of originals
+          if (entry->direction == LogDirection::kReceived) {
+            note_window(announce.from_as, announce.route.prefix, entry->timestamp);
+            recon.state.apply_announce_in(announce, crypto::digest20(part.body));
+          } else {
+            recon.state.apply_announce_out(announce);
+          }
+          break;
+        }
+        case SpiderMsgType::kWithdraw: {
+          SpiderWithdraw withdraw = SpiderWithdraw::decode(part.body);
+          if (entry->direction == LogDirection::kReceived) {
+            note_window(withdraw.from_as, withdraw.prefix, entry->timestamp);
+            recon.state.apply_withdraw_in(withdraw);
+          } else {
+            recon.state.apply_withdraw_out(withdraw);
+          }
+          break;
+        }
+        case SpiderMsgType::kAck:
+        case SpiderMsgType::kCommit:
+        case SpiderMsgType::kReAnnounce:
+          break;
+      }
+    }
+  }
+
+  // Final in-window value completes each candidate list.
+  for (auto& [key, candidates] : recon.window_candidates) {
+    const InputRecord* final_input = recon.state.input(key.first, key.second);
+    candidates.push_back(final_input ? std::optional<bgp::Route>(final_input->route)
+                                     : std::nullopt);
+  }
+
+  // Regenerate the MTT exactly as the recorder did at commit time.
+  auto entries = build_mtt_entries(recon.state, recorder_.classifier(), recorder_.promises(),
+                                   recorder_.faults().ignore_inputs);
+  recon.tree = core::Mtt::build(std::move(entries), recorder_.config().num_classes);
+  recon.tree.compute_labels(crypto::CommitmentPrf(recon.seed), threads);
+  recon.root_matches = recon.tree.root_label() == record->root;
+  recon.reconstruct_seconds = timer.seconds();
+  return recon;
+}
+
+ProducerProofs ProofGenerator::proofs_for_producer(const Reconstruction& recon,
+                                                   bgp::AsNumber producer,
+                                                   std::optional<bgp::Prefix> within) const {
+  ProducerProofs proofs;
+  proofs.commit_time = recon.commit_time;
+  const crypto::CommitmentPrf prf(recon.seed);
+  const auto& classifier = recorder_.classifier();
+
+  auto inputs_it = recon.state.inputs().find(producer);
+  if (inputs_it == recon.state.inputs().end()) return proofs;
+
+  for (const auto& [prefix, record] : inputs_it->second) {
+    if (within && !within->contains(prefix)) continue;
+    // Loose sync (§6.4): the elector may justify itself against any
+    // in-window value from this producer that would not have been
+    // preferred over the actual output.  We scan newest-first, so when the
+    // final value is acceptable (always true for an honest elector, since
+    // the output is the decision-process maximum) it is the one cited and
+    // the producer's own current state agrees.
+    bgp::Route used = record.route;
+    auto window_it = recon.window_candidates.find({producer, prefix});
+    if (window_it != recon.window_candidates.end()) {
+      std::optional<bgp::Route> chosen =
+          elector_choice(recon.state, prefix, recorder_.faults().ignore_inputs);
+      const auto& candidates = window_it->second;
+      for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+        if (!*it) continue;  // ⊥ needs no justification for producers
+        if (!chosen || !bgp::better(**it, *chosen)) {
+          used = **it;
+          break;
+        }
+      }
+    }
+
+    ProducerProofs::Item item;
+    item.prefix = prefix;
+    item.used_route = used;
+    item.cls = classifier.classify(used);
+    item.proof = recon.tree.prove(prf, prefix, {item.cls});
+    if (faults_.tamper_classes.count(item.cls) != 0) {
+      item.proof.revealed[0].bit = !item.proof.revealed[0].bit;
+    }
+    proofs.items.push_back(std::move(item));
+  }
+  return proofs;
+}
+
+ConsumerProofs ProofGenerator::proofs_for_consumer(const Reconstruction& recon,
+                                                   bgp::AsNumber consumer,
+                                                   std::optional<bgp::Prefix> within) const {
+  ConsumerProofs proofs;
+  proofs.commit_time = recon.commit_time;
+  const crypto::CommitmentPrf prf(recon.seed);
+  const auto& classifier = recorder_.classifier();
+  const auto& promises = recorder_.promises();
+  auto promise_it = promises.find(consumer);
+  if (promise_it == promises.end()) return proofs;
+
+  auto exports_it = recon.state.exports().find(consumer);
+  if (exports_it == recon.state.exports().end()) return proofs;
+
+  for (const auto& [prefix, record] : exports_it->second) {
+    if (within && !within->contains(prefix)) continue;
+    bgp::Route underlying = underlying_route(record.route, recorder_.config().asn);
+    core::ClassId cls = classifier.classify(underlying);
+    std::vector<core::ClassId> better = promise_it->second.classes_better_than(cls);
+
+    ConsumerProofs::Item item;
+    item.prefix = prefix;
+    item.offered_route = record.route;
+    item.proof = recon.tree.prove(prf, prefix, better);
+    for (auto& opened : item.proof.revealed) {
+      if (faults_.tamper_classes.count(opened.cls) != 0) opened.bit = !opened.bit;
+    }
+    proofs.items.push_back(std::move(item));
+  }
+  return proofs;
+}
+
+std::vector<SpiderAnnounce> ProofGenerator::select_re_announcements(
+    const Reconstruction& recon, bgp::AsNumber consumer,
+    const std::vector<ReAnnounceSet>& sets) const {
+  std::vector<SpiderAnnounce> selected;
+  auto exports_it = recon.state.exports().find(consumer);
+  if (exports_it == recon.state.exports().end()) return selected;
+
+  for (const auto& [prefix, record] : exports_it->second) {
+    bgp::Route underlying = underlying_route(record.route, recorder_.config().asn);
+    if (underlying.as_path.empty()) continue;  // locally originated
+    for (const ReAnnounceSet& set : sets) {
+      if (set.from_as != underlying.as_path.front()) continue;
+      for (const SpiderAnnounce& announce : set.announcements) {
+        if (announce.route.prefix == prefix && announce.route.as_path == underlying.as_path) {
+          selected.push_back(announce);
+        }
+      }
+    }
+  }
+  return selected;
+}
+
+ReAnnounceSet build_re_announce_set(const Recorder& producer_recorder, bgp::AsNumber elector,
+                                    Time commit_time) {
+  ReAnnounceSet set;
+  set.from_as = producer_recorder.config().asn;
+  set.commit_time = commit_time;
+  for (const auto& [prefix, route] : producer_recorder.my_exports_to(elector)) {
+    SpiderAnnounce announce;
+    announce.timestamp = commit_time;  // §6.6: timestamps equal commit time
+    announce.from_as = set.from_as;
+    announce.to_as = elector;
+    announce.route = route;
+    announce.re_announce = true;
+    set.announcements.push_back(std::move(announce));
+  }
+  return set;
+}
+
+}  // namespace spider::proto

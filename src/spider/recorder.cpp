@@ -1,0 +1,523 @@
+#include "spider/recorder.hpp"
+
+#include <stdexcept>
+
+namespace spider::proto {
+
+Recorder::Recorder(netsim::Simulator& sim, RecorderConfig config, const crypto::Signer& signer,
+                   const core::KeyRegistry& keys, bgp::Speaker& speaker)
+    : sim_(sim),
+      config_(std::move(config)),
+      signer_(signer),
+      keys_(keys),
+      speaker_(speaker),
+      classifier_(config_.num_classes) {}
+
+void Recorder::add_neighbor(bgp::AsNumber neighbor_as, netsim::NodeId node) {
+  neighbors_[neighbor_as] = node;
+  node_to_as_[node] = neighbor_as;
+}
+
+void Recorder::set_promise(bgp::AsNumber consumer, core::Promise promise) {
+  promises_.insert_or_assign(consumer, std::move(promise));
+}
+
+Time Recorder::local_now() const { return sim_.local_time(node_id()); }
+
+void Recorder::start(bool schedule_commitments) {
+  if (started_) throw std::logic_error("Recorder: already started");
+  started_ = true;
+
+  bgp::Speaker::Observer observer;
+  observer.on_update_out = [this](bgp::AsNumber to, const bgp::Update& update) {
+    observe_update_out(to, update);
+  };
+  observer.on_route_in = [this](bgp::AsNumber from, const bgp::Route& raw,
+                                const std::optional<bgp::Route>& imported) {
+    observe_route_in(from, raw, imported);
+  };
+  observer.on_withdraw_in = [this](bgp::AsNumber from, const bgp::Prefix& prefix) {
+    observe_withdraw_in(from, prefix);
+  };
+  speaker_.set_observer(std::move(observer));
+
+  // Initial full checkpoint: the base of every replay (§6.5).
+  log_.add_checkpoint(local_now(), state_.serialize());
+
+  if (config_.checkpoint_interval > 0) {
+    // Self-rescheduling periodic checkpoint task.
+    struct Rescheduler {
+      Recorder* recorder;
+      void operator()() const {
+        recorder->make_checkpoint();
+        recorder->sim_.schedule_in(recorder->config_.checkpoint_interval, *this);
+      }
+    };
+    sim_.schedule_in(config_.checkpoint_interval, Rescheduler{this});
+  }
+
+  if (schedule_commitments) schedule_commit();
+}
+
+void Recorder::make_checkpoint() { log_.add_checkpoint(local_now(), state_.serialize()); }
+
+void Recorder::schedule_commit() {
+  sim_.schedule_in(config_.commit_interval, [this] {
+    make_commitment();
+    schedule_commit();
+  });
+}
+
+void Recorder::schedule_flush() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  sim_.schedule_in(config_.batch_window, [this] {
+    flush_scheduled_ = false;
+    flush_batches();
+  });
+}
+
+core::SignedEnvelope Recorder::sign_now(const SpiderBatch& batch) {
+  util::ScopedCpu scope(sign_meter_);
+  ++signatures_;
+  return sign_batch(config_.asn, signer_, batch);
+}
+
+bool Recorder::verify_now(const core::SignedEnvelope& envelope) {
+  util::ScopedCpu scope(sign_meter_);
+  ++verifications_;
+  return core::check_envelope(envelope, keys_);
+}
+
+// ------------------------------------------------------- speaker observer
+
+void Recorder::observe_update_out(bgp::AsNumber to, const bgp::Update& update) {
+  util::ScopedCpu scope(total_meter_);
+  const Time now = local_now();
+  for (const bgp::Route& route : update.announced) {
+    SpiderAnnounce announce;
+    announce.timestamp = now;
+    announce.from_as = config_.asn;
+    announce.to_as = to;
+    announce.route = route;
+    // Reference to the underlying imported route (the r' of §6.2).
+    const bgp::Route* best = speaker_.loc_rib().find(route.prefix);
+    if (best && best->learned_from != 0) {
+      announce.underlying_from = best->learned_from;
+      if (const InputRecord* input = state_.input(best->learned_from, route.prefix)) {
+        announce.underlying_digest = input->part_digest;
+      }
+    }
+    state_.apply_announce_out(announce);
+    if (neighbors_.count(to) != 0) {
+      queue_part(to, SpiderMsgType::kAnnounce, announce.encode());
+    }
+  }
+  for (const bgp::Prefix& prefix : update.withdrawn) {
+    SpiderWithdraw withdraw;
+    withdraw.timestamp = now;
+    withdraw.from_as = config_.asn;
+    withdraw.to_as = to;
+    withdraw.prefix = prefix;
+    state_.apply_withdraw_out(withdraw);
+    if (neighbors_.count(to) != 0) {
+      queue_part(to, SpiderMsgType::kWithdraw, withdraw.encode());
+    }
+  }
+}
+
+void Recorder::observe_route_in(bgp::AsNumber from, const bgp::Route& raw,
+                                const std::optional<bgp::Route>& /*imported*/) {
+  util::ScopedCpu scope(total_meter_);
+  bgp_raw_[from][raw.prefix] = raw;
+  if (neighbors_.count(from) != 0) return;  // participant: input arrives signed
+
+  // Non-participant neighbor (§6.7): mirror the BGP view directly and log a
+  // synthetic, unsigned record so replay reproduces the same inputs.
+  SpiderAnnounce announce;
+  announce.timestamp = local_now();
+  announce.from_as = from;
+  announce.to_as = config_.asn;
+  announce.route = raw;
+  Bytes body = announce.encode();
+  Digest20 digest = crypto::digest20(body);
+  state_.apply_announce_in(announce, digest);
+  ++updates_mirrored_;
+
+  SpiderBatch batch;
+  batch.parts.push_back({SpiderMsgType::kAnnounce, std::move(body)});
+  core::SignedEnvelope envelope;
+  envelope.signer = from;
+  envelope.payload = batch.encode();
+  log_.append(announce.timestamp, LogDirection::kReceived, from, envelope.encode(), 0);
+}
+
+void Recorder::observe_withdraw_in(bgp::AsNumber from, const bgp::Prefix& prefix) {
+  util::ScopedCpu scope(total_meter_);
+  auto raw_it = bgp_raw_.find(from);
+  if (raw_it != bgp_raw_.end()) raw_it->second.erase(prefix);
+  if (neighbors_.count(from) != 0) return;
+
+  SpiderWithdraw withdraw;
+  withdraw.timestamp = local_now();
+  withdraw.from_as = from;
+  withdraw.to_as = config_.asn;
+  withdraw.prefix = prefix;
+  Bytes body = withdraw.encode();
+  state_.apply_withdraw_in(withdraw);
+  ++updates_mirrored_;
+
+  SpiderBatch batch;
+  batch.parts.push_back({SpiderMsgType::kWithdraw, std::move(body)});
+  core::SignedEnvelope envelope;
+  envelope.signer = from;
+  envelope.payload = batch.encode();
+  log_.append(withdraw.timestamp, LogDirection::kReceived, from, envelope.encode(), 0);
+}
+
+// ------------------------------------------------------------- batching
+
+void Recorder::queue_part(bgp::AsNumber neighbor, SpiderMsgType type, Bytes body) {
+  pending_parts_[neighbor].push_back({type, std::move(body)});
+  schedule_flush();
+}
+
+void Recorder::flush_batches() {
+  util::ScopedCpu scope(total_meter_);
+  for (auto& [neighbor, parts] : pending_parts_) {
+    if (parts.empty()) continue;
+    SpiderBatch batch;
+    batch.parts = std::move(parts);
+    parts.clear();
+
+    core::SignedEnvelope envelope = sign_now(batch);
+    Bytes wire = envelope.encode();
+    log_.append(local_now(), LogDirection::kSent, neighbor, wire,
+                static_cast<std::uint32_t>(envelope.signature.size()));
+    Digest20 digest = envelope.digest();
+    awaiting_ack_.push_back({digest, local_now(), neighbor, wire, 1});
+
+    auto node_it = neighbors_.find(neighbor);
+    if (node_it != neighbors_.end()) {
+      bytes_sent_ += wire.size();
+      sim_.send(node_id(), node_it->second, wire);
+    }
+    schedule_ack_check(digest);
+  }
+}
+
+void Recorder::schedule_ack_check(const Digest20& digest) {
+  // ACK deadline (T_max of §6.2): retransmit a few times, then raise an
+  // alarm to be handled out of band.
+  sim_.schedule_in(config_.ack_deadline, [this, digest] {
+    auto it = std::find_if(awaiting_ack_.begin(), awaiting_ack_.end(),
+                           [&](const PendingAck& p) { return p.digest == digest; });
+    if (it == awaiting_ack_.end()) return;  // acked in time
+    if (it->attempts > config_.max_retransmits) {
+      alarm("no ACK from AS" + std::to_string(it->to) + " after " +
+            std::to_string(it->attempts) + " transmissions");
+      return;
+    }
+    it->attempts += 1;
+    ++retransmissions_;
+    auto node_it = neighbors_.find(it->to);
+    if (node_it != neighbors_.end()) {
+      bytes_sent_ += it->wire.size();
+      sim_.send(node_id(), node_it->second, it->wire);
+    }
+    schedule_ack_check(digest);
+  });
+}
+
+// ------------------------------------------------------------- receiving
+
+void Recorder::handle_message(netsim::NodeId from, util::ByteSpan payload) {
+  util::ScopedCpu scope(total_meter_);
+  auto as_it = node_to_as_.find(from);
+  if (as_it == node_to_as_.end()) {
+    alarm("message from unknown recorder node");
+    return;
+  }
+  const bgp::AsNumber from_as = as_it->second;
+
+  core::SignedEnvelope envelope;
+  try {
+    envelope = core::SignedEnvelope::decode(payload);
+  } catch (const util::DecodeError&) {
+    alarm("undecodable envelope from AS" + std::to_string(from_as));
+    return;
+  }
+  if (envelope.signer != from_as || !verify_now(envelope)) {
+    alarm("bad signature from AS" + std::to_string(from_as));
+    return;
+  }
+  process_batch(from_as, envelope);
+}
+
+void Recorder::process_batch(bgp::AsNumber from, const core::SignedEnvelope& envelope) {
+  SpiderBatch batch;
+  try {
+    batch = SpiderBatch::decode(envelope.payload);
+  } catch (const util::DecodeError&) {
+    alarm("undecodable batch from AS" + std::to_string(from));
+    return;
+  }
+
+  bool needs_ack = false;
+  bool logged = false;
+  auto log_once = [&] {
+    if (logged) return;
+    log_.append(local_now(), LogDirection::kReceived, from, envelope.encode(),
+                static_cast<std::uint32_t>(envelope.signature.size()));
+    logged = true;
+  };
+
+  for (std::size_t i = 0; i < batch.parts.size(); ++i) {
+    const SpiderBatch::Part& part = batch.parts[i];
+    try {
+      switch (part.type) {
+        case SpiderMsgType::kAnnounce: {
+          SpiderAnnounce announce = SpiderAnnounce::decode(part.body);
+          if (announce.from_as != from || announce.to_as != config_.asn) {
+            alarm("announce with wrong endpoints from AS" + std::to_string(from));
+            break;
+          }
+          if (std::llabs(announce.timestamp - local_now()) > config_.max_clock_skew) {
+            alarm("announce timestamp outside skew bound from AS" + std::to_string(from));
+            break;
+          }
+          log_once();
+          state_.apply_announce_in(announce, crypto::digest20(part.body));
+          ++updates_mirrored_;
+          needs_ack = true;
+          break;
+        }
+        case SpiderMsgType::kWithdraw: {
+          SpiderWithdraw withdraw = SpiderWithdraw::decode(part.body);
+          if (withdraw.from_as != from || withdraw.to_as != config_.asn) {
+            alarm("withdraw with wrong endpoints from AS" + std::to_string(from));
+            break;
+          }
+          log_once();
+          state_.apply_withdraw_in(withdraw);
+          ++updates_mirrored_;
+          needs_ack = true;
+          break;
+        }
+        case SpiderMsgType::kCommit: {
+          SpiderCommit commit = SpiderCommit::decode(part.body);
+          if (commit.from_as != from) {
+            alarm("commit with wrong source from AS" + std::to_string(from));
+            break;
+          }
+          log_once();
+          received_commitments_[from][commit.timestamp] = commit;
+          needs_ack = true;
+          break;
+        }
+        case SpiderMsgType::kAck: {
+          SpiderAck ack = SpiderAck::decode(part.body);
+          auto it = std::find_if(awaiting_ack_.begin(), awaiting_ack_.end(),
+                                 [&](const PendingAck& pending) {
+                                   return pending.digest == ack.message_digest &&
+                                          pending.to == from;
+                                 });
+          if (it == awaiting_ack_.end()) {
+            alarm("unexpected ACK from AS" + std::to_string(from));
+            break;
+          }
+          log_once();
+          awaiting_ack_.erase(it);
+          break;
+        }
+        case SpiderMsgType::kReAnnounce:
+          // Extended verification traffic is handled by the proof
+          // generator / checker layer, not the live recorder.
+          break;
+      }
+    } catch (const util::DecodeError&) {
+      alarm("undecodable part from AS" + std::to_string(from));
+    }
+  }
+
+  if (needs_ack) send_ack(from, envelope);
+}
+
+void Recorder::send_ack(bgp::AsNumber to, const core::SignedEnvelope& batch_envelope) {
+  SpiderAck ack;
+  ack.timestamp = local_now();
+  ack.from_as = config_.asn;
+  ack.to_as = to;
+  ack.message_digest = batch_envelope.digest();
+
+  SpiderBatch batch;
+  batch.parts.push_back({SpiderMsgType::kAck, ack.encode()});
+  core::SignedEnvelope envelope = sign_now(batch);
+  Bytes wire = envelope.encode();
+  log_.append(local_now(), LogDirection::kSent, to, wire,
+              static_cast<std::uint32_t>(envelope.signature.size()));
+  auto node_it = neighbors_.find(to);
+  if (node_it != neighbors_.end()) {
+    bytes_sent_ += wire.size();
+    sim_.send(node_id(), node_it->second, wire);
+  }
+}
+
+// ------------------------------------------------------------ commitment
+
+const CommitmentRecord& Recorder::make_commitment() {
+  util::ScopedCpu scope(total_meter_);
+  cross_check_mirror();
+
+  const Time now = local_now();
+  CommitmentRecord record;
+  record.timestamp = now;
+  record.num_classes = config_.num_classes;
+  record.seed = crypto::seed_from_string(config_.seed_salt + "-" + std::to_string(config_.asn) +
+                                         "-" + std::to_string(commit_counter_++));
+
+  {
+    util::ScopedCpu mtt_scope(mtt_meter_);
+    auto entries = build_mtt_entries(state_, classifier_, promises_, faults_.ignore_inputs);
+    core::Mtt tree = core::Mtt::build(std::move(entries), config_.num_classes);
+    tree.compute_labels(crypto::CommitmentPrf(record.seed), config_.commit_threads);
+    record.root = tree.root_label();
+  }
+
+  log_.record_commitment(record);
+  ++commitments_made_;
+
+  SpiderCommit commit;
+  commit.timestamp = now;
+  commit.from_as = config_.asn;
+  commit.num_classes = config_.num_classes;
+  commit.root = record.root;
+  for (const auto& [neighbor, node] : neighbors_) {
+    queue_part(neighbor, SpiderMsgType::kCommit, commit.encode());
+  }
+  flush_batches();
+  return *log_.commitment_at(record.timestamp);
+}
+
+void Recorder::cross_check_mirror() {
+  // §6.2: the recorder compares the signed messages from each neighbor's
+  // recorder against what the local routers got via BGP.
+  for (const auto& [neighbor, node] : neighbors_) {
+    auto raw_it = bgp_raw_.find(neighbor);
+    const auto* raw = raw_it == bgp_raw_.end() ? nullptr : &raw_it->second;
+    auto mirror_it = state_.inputs().find(neighbor);
+    const auto* mirror = mirror_it == state_.inputs().end() ? nullptr : &mirror_it->second;
+    if (!raw && !mirror) continue;
+    if (raw && mirror) {
+      for (const auto& [prefix, route] : *raw) {
+        auto m = mirror->find(prefix);
+        // Compare the wire-visible attributes; learned_from/local_pref are
+        // import-side annotations and legitimately differ.
+        if (m != mirror->end() &&
+            (m->second.route.as_path != route.as_path || m->second.route.med != route.med ||
+             m->second.route.origin != route.origin ||
+             m->second.route.communities != route.communities)) {
+          alarm("mirror mismatch with AS" + std::to_string(neighbor) + " for " + prefix.str());
+        }
+      }
+    }
+  }
+}
+
+void Recorder::alarm(std::string what) { alarms_.push_back(std::move(what)); }
+
+std::map<bgp::Prefix, bgp::Route> Recorder::my_exports_to(bgp::AsNumber neighbor) const {
+  std::map<bgp::Prefix, bgp::Route> out;
+  auto it = state_.exports().find(neighbor);
+  if (it == state_.exports().end()) return out;
+  for (const auto& [prefix, record] : it->second) out.emplace(prefix, record.route);
+  return out;
+}
+
+std::map<bgp::Prefix, bgp::Route> Recorder::my_imports_from(bgp::AsNumber neighbor) const {
+  std::map<bgp::Prefix, bgp::Route> out;
+  auto it = state_.inputs().find(neighbor);
+  if (it == state_.inputs().end()) return out;
+  for (const auto& [prefix, record] : it->second) out.emplace(prefix, record.route);
+  return out;
+}
+
+namespace {
+
+/// Scans the log backwards for the newest part satisfying `match`.
+template <typename Match>
+std::optional<MessageQuote> find_part(const MessageLog& log, LogDirection direction,
+                                      bgp::AsNumber peer, Time until, Match&& match) {
+  const auto& entries = log.entries();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    if (it->direction != direction || it->peer_as != peer || it->timestamp > until) continue;
+    core::SignedEnvelope envelope;
+    SpiderBatch batch;
+    try {
+      envelope = core::SignedEnvelope::decode(it->message);
+      batch = SpiderBatch::decode(envelope.payload);
+    } catch (const util::DecodeError&) {
+      continue;
+    }
+    for (std::uint32_t part = 0; part < batch.parts.size(); ++part) {
+      if (match(batch.parts[part])) {
+        return MessageQuote{envelope, part};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<MessageQuote> Recorder::find_announce_quote(LogDirection direction,
+                                                          bgp::AsNumber peer,
+                                                          const bgp::Prefix& prefix,
+                                                          Time until) const {
+  return find_part(log_, direction, peer, until, [&](const SpiderBatch::Part& part) {
+    if (part.type != SpiderMsgType::kAnnounce) return false;
+    try {
+      return SpiderAnnounce::decode(part.body).route.prefix == prefix;
+    } catch (const util::DecodeError&) {
+      return false;
+    }
+  });
+}
+
+std::optional<MessageQuote> Recorder::find_withdraw_quote(LogDirection direction,
+                                                          bgp::AsNumber peer,
+                                                          const bgp::Prefix& prefix,
+                                                          Time until) const {
+  return find_part(log_, direction, peer, until, [&](const SpiderBatch::Part& part) {
+    if (part.type != SpiderMsgType::kWithdraw) return false;
+    try {
+      return SpiderWithdraw::decode(part.body).prefix == prefix;
+    } catch (const util::DecodeError&) {
+      return false;
+    }
+  });
+}
+
+std::optional<core::SignedEnvelope> Recorder::find_ack_for(const Digest20& batch_digest) const {
+  for (auto it = log_.entries().rbegin(); it != log_.entries().rend(); ++it) {
+    if (it->direction != LogDirection::kReceived) continue;
+    core::SignedEnvelope envelope;
+    SpiderBatch batch;
+    try {
+      envelope = core::SignedEnvelope::decode(it->message);
+      batch = SpiderBatch::decode(envelope.payload);
+    } catch (const util::DecodeError&) {
+      continue;
+    }
+    for (const SpiderBatch::Part& part : batch.parts) {
+      if (part.type != SpiderMsgType::kAck) continue;
+      try {
+        if (SpiderAck::decode(part.body).message_digest == batch_digest) return envelope;
+      } catch (const util::DecodeError&) {
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace spider::proto

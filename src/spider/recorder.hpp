@@ -1,0 +1,222 @@
+// The SPIDeR recorder (paper §6.1-6.2, §6.5).
+//
+// One recorder runs per AS, beside the BGP speaker.  It:
+//   * mirrors the speaker's routing state by observing the BGP message
+//     flow (the paper's iBGP/eBGP tap);
+//   * re-announces every UPDATE to the recorders of adjacent ASes with
+//     signatures, batching messages Nagle-style so bursts share one
+//     signature;
+//   * acknowledges every signed batch it receives and raises an alarm when
+//     an expected ACK never arrives or mirrored state disagrees with BGP;
+//   * appends everything to a tamper-evident log with periodic state
+//     checkpoints; and
+//   * periodically builds the MTT over its mirrored state and broadcasts
+//     the signed commitment (storing only the CSPRNG seed).
+//
+// Routes learned from neighbors that do not run SPIDeR (e.g. the
+// RouteViews trace peer) are logged from the local BGP view instead — the
+// incremental-deployment story of §6.7.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bgp/speaker.hpp"
+#include "core/mtt.hpp"
+#include "core/promise.hpp"
+#include "crypto/rsa.hpp"
+#include "spider/log.hpp"
+#include "spider/messages.hpp"
+#include "spider/state.hpp"
+#include "util/timers.hpp"
+
+namespace spider::proto {
+
+struct RecorderConfig {
+  bgp::AsNumber asn = 0;
+  std::uint32_t num_classes = 50;
+  /// Commitments are generated every commit_interval (paper: 60 s).
+  Time commit_interval = 60 * netsim::kMicrosPerSecond;
+  /// Outgoing messages are batched and signed once per window (§6.2).
+  Time batch_window = 50'000;  // 50 ms
+  /// ACKs must arrive within this deadline or the batch is retransmitted;
+  /// after max_retransmits the recorder raises an alarm (T_max of §6.2:
+  /// "If a router fails to acknowledge m after some time T_max, even after
+  /// several retransmissions, the sender raises an alarm").
+  Time ack_deadline = 2 * netsim::kMicrosPerSecond;
+  int max_retransmits = 3;
+  /// Additional full checkpoints every this often; 0 = only the initial
+  /// one (§6.5: "optionally some additional checkpoints").
+  Time checkpoint_interval = 0;
+  /// Received timestamps must be within this skew of the local clock.
+  Time max_clock_skew = 5 * netsim::kMicrosPerSecond;
+  /// Input-selection window for loose synchronization (δ of §6.4).
+  Time delta = 5 * netsim::kMicrosPerSecond;
+  /// Labeling threads (c of §7.1).
+  unsigned commit_threads = 1;
+  /// Secret salt for per-commitment seeds (deterministic in tests).
+  std::string seed_salt = "spider-seed";
+};
+
+class Recorder : public netsim::Node {
+ public:
+  /// Elector-side misbehaviors, mirroring §7.4's fault injection.  A
+  /// faulty AS controls its own recorder, so the recorder must be able to
+  /// lie in the same way its BGP configuration does.
+  struct Faults {
+    /// "Overaggressive filter": build commitments as if these neighbors
+    /// had sent nothing.
+    std::set<bgp::AsNumber> ignore_inputs;
+  };
+
+  Recorder(netsim::Simulator& sim, RecorderConfig config, const crypto::Signer& signer,
+           const core::KeyRegistry& keys, bgp::Speaker& speaker);
+
+  /// Declares that `neighbor_as`'s recorder lives at simulator node `node`.
+  void add_neighbor(bgp::AsNumber neighbor_as, netsim::NodeId node);
+
+  /// The promise made to a consumer neighbor (the ≤_j of VPref).
+  void set_promise(bgp::AsNumber consumer, core::Promise promise);
+
+  /// Installs the speaker observer, logs the initial checkpoint, and
+  /// schedules batch flushing (+ periodic commitments when enabled).
+  void start(bool schedule_commitments = true);
+
+  void handle_message(netsim::NodeId from, util::ByteSpan payload) override;
+
+  /// Builds and broadcasts a commitment over the current mirrored state;
+  /// returns the log record.  Normally driven by the commit timer.
+  const CommitmentRecord& make_commitment();
+
+  /// Flushes pending outgoing batches immediately (normally timer-driven).
+  void flush_batches();
+
+  // ------------------------------------------------------------- accessors
+  const RecorderConfig& config() const { return config_; }
+  const MirrorState& state() const { return state_; }
+  const MessageLog& log() const { return log_; }
+  MessageLog& mutable_log() { return log_; }
+  const core::PathLengthClassifier& classifier() const { return classifier_; }
+  const std::map<bgp::AsNumber, core::Promise>& promises() const { return promises_; }
+  Faults& faults() { return faults_; }
+  const Faults& faults() const { return faults_; }
+  const crypto::Signer& signer() const { return signer_; }
+
+  /// Commitments received from each neighbor, by commitment timestamp.
+  const std::map<bgp::AsNumber, std::map<Time, SpiderCommit>>& received_commitments() const {
+    return received_commitments_;
+  }
+
+  /// Raised alarms (missing ACKs, mirror/BGP mismatches, bad signatures).
+  const std::vector<std::string>& alarms() const { return alarms_; }
+
+  /// What this AS currently believes it is exporting to / importing from a
+  /// neighbor — the checker's ground truth when verifying that neighbor.
+  std::map<bgp::Prefix, bgp::Route> my_exports_to(bgp::AsNumber neighbor) const;
+  std::map<bgp::Prefix, bgp::Route> my_imports_from(bgp::AsNumber neighbor) const;
+
+  /// Writes a full checkpoint of the mirrored state into the log now.
+  void make_checkpoint();
+
+  /// Discards log entries, checkpoints and commitments older than `cutoff`
+  /// (the retention policy of §6.5; R days in the paper).
+  void enforce_retention(Time cutoff) { log_.prune_before(cutoff); }
+
+  /// Evidence construction (§6.3): the latest quotable announce (or
+  /// withdraw) exchanged with `peer` for `prefix` at or before `until`.
+  /// `direction` selects sent (my export) vs received (their export).
+  std::optional<MessageQuote> find_announce_quote(LogDirection direction, bgp::AsNumber peer,
+                                                  const bgp::Prefix& prefix, Time until) const;
+  std::optional<MessageQuote> find_withdraw_quote(LogDirection direction, bgp::AsNumber peer,
+                                                  const bgp::Prefix& prefix, Time until) const;
+
+  /// The peer's ACK covering the batch with this digest, if logged.
+  std::optional<core::SignedEnvelope> find_ack_for(const Digest20& batch_digest) const;
+
+  // ----------------------------------------------------------- statistics
+  std::uint64_t signatures_performed() const { return signatures_; }
+  std::uint64_t verifications_performed() const { return verifications_; }
+  std::uint64_t updates_mirrored() const { return updates_mirrored_; }
+  std::uint64_t commitments_made() const { return commitments_made_; }
+  double sign_cpu_seconds() const { return sign_meter_.total(); }
+  double mtt_cpu_seconds() const { return mtt_meter_.total(); }
+  double total_cpu_seconds() const { return total_meter_.total(); }
+  /// Total bytes this recorder has sent over SPIDeR links.
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void observe_update_out(bgp::AsNumber to, const bgp::Update& update);
+  void observe_route_in(bgp::AsNumber from, const bgp::Route& raw,
+                        const std::optional<bgp::Route>& imported);
+  void observe_withdraw_in(bgp::AsNumber from, const bgp::Prefix& prefix);
+
+  void queue_part(bgp::AsNumber neighbor, SpiderMsgType type, Bytes body);
+  void schedule_flush();
+  void schedule_commit();
+  void process_batch(bgp::AsNumber from, const core::SignedEnvelope& envelope);
+  void send_ack(bgp::AsNumber to, const core::SignedEnvelope& batch_envelope);
+  void cross_check_mirror();
+  void alarm(std::string what);
+
+  core::SignedEnvelope sign_now(const SpiderBatch& batch);
+  bool verify_now(const core::SignedEnvelope& envelope);
+
+  Time local_now() const;
+
+  netsim::Simulator& sim_;
+  RecorderConfig config_;
+  const crypto::Signer& signer_;
+  const core::KeyRegistry& keys_;
+  bgp::Speaker& speaker_;
+  core::PathLengthClassifier classifier_;
+
+  std::map<bgp::AsNumber, netsim::NodeId> neighbors_;
+  std::map<netsim::NodeId, bgp::AsNumber> node_to_as_;
+  std::map<bgp::AsNumber, core::Promise> promises_;
+
+  MirrorState state_;
+  MessageLog log_;
+  /// Raw routes as seen by the local BGP speaker, for the mirror
+  /// cross-check (§6.2).
+  std::map<bgp::AsNumber, std::map<bgp::Prefix, bgp::Route>> bgp_raw_;
+
+  std::map<bgp::AsNumber, std::vector<SpiderBatch::Part>> pending_parts_;
+  struct PendingAck {
+    Digest20 digest;
+    Time sent_at;
+    bgp::AsNumber to;
+    Bytes wire;        // retransmission payload
+    int attempts = 0;  // transmissions so far
+  };
+  std::vector<PendingAck> awaiting_ack_;
+  void schedule_ack_check(const Digest20& digest);
+  std::uint64_t retransmissions_ = 0;
+
+ public:
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+
+  std::map<bgp::AsNumber, std::map<Time, SpiderCommit>> received_commitments_;
+  std::vector<std::string> alarms_;
+  Faults faults_;
+
+  std::uint64_t commit_counter_ = 0;
+  std::uint64_t signatures_ = 0;
+  std::uint64_t verifications_ = 0;
+  std::uint64_t updates_mirrored_ = 0;
+  std::uint64_t commitments_made_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  util::CpuMeter sign_meter_;
+  util::CpuMeter mtt_meter_;
+  util::CpuMeter total_meter_;
+  bool flush_scheduled_ = false;
+  bool started_ = false;
+};
+
+}  // namespace spider::proto

@@ -1,0 +1,171 @@
+#include "spider/state.hpp"
+
+#include <stdexcept>
+
+namespace spider::proto {
+
+void MirrorState::apply_announce_in(const SpiderAnnounce& announce, const Digest20& part_digest) {
+  bgp::Route route = announce.route;
+  // Mirror the import-side provenance so decision-process tie-breaks (MED
+  // comparability, neighbor-AS) match the local speaker's view.
+  route.learned_from = announce.from_as;
+  inputs_[announce.from_as][route.prefix] =
+      InputRecord{std::move(route), part_digest, announce.timestamp};
+}
+
+void MirrorState::apply_withdraw_in(const SpiderWithdraw& withdraw) {
+  auto it = inputs_.find(withdraw.from_as);
+  if (it == inputs_.end()) return;
+  it->second.erase(withdraw.prefix);
+}
+
+void MirrorState::apply_announce_out(const SpiderAnnounce& announce) {
+  exports_[announce.to_as][announce.route.prefix] =
+      ExportRecord{announce.route, announce.timestamp};
+}
+
+void MirrorState::apply_withdraw_out(const SpiderWithdraw& withdraw) {
+  auto it = exports_.find(withdraw.to_as);
+  if (it == exports_.end()) return;
+  it->second.erase(withdraw.prefix);
+}
+
+const InputRecord* MirrorState::input(bgp::AsNumber from, const bgp::Prefix& prefix) const {
+  auto it = inputs_.find(from);
+  if (it == inputs_.end()) return nullptr;
+  auto rit = it->second.find(prefix);
+  return rit == it->second.end() ? nullptr : &rit->second;
+}
+
+const ExportRecord* MirrorState::exported(bgp::AsNumber to, const bgp::Prefix& prefix) const {
+  auto it = exports_.find(to);
+  if (it == exports_.end()) return nullptr;
+  auto rit = it->second.find(prefix);
+  return rit == it->second.end() ? nullptr : &rit->second;
+}
+
+std::set<bgp::Prefix> MirrorState::all_prefixes() const {
+  std::set<bgp::Prefix> out;
+  for (const auto& [neighbor, routes] : inputs_) {
+    for (const auto& [prefix, record] : routes) out.insert(prefix);
+  }
+  for (const auto& [neighbor, routes] : exports_) {
+    for (const auto& [prefix, record] : routes) out.insert(prefix);
+  }
+  return out;
+}
+
+Bytes MirrorState::serialize() const {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(inputs_.size()));
+  for (const auto& [neighbor, routes] : inputs_) {
+    w.u32(neighbor);
+    w.u32(static_cast<std::uint32_t>(routes.size()));
+    for (const auto& [prefix, record] : routes) {
+      record.route.encode(w);
+      w.digest(record.part_digest);
+      w.i64(record.received_at);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(exports_.size()));
+  for (const auto& [neighbor, routes] : exports_) {
+    w.u32(neighbor);
+    w.u32(static_cast<std::uint32_t>(routes.size()));
+    for (const auto& [prefix, record] : routes) {
+      record.route.encode(w);
+      w.i64(record.sent_at);
+    }
+  }
+  return w.take();
+}
+
+MirrorState MirrorState::deserialize(ByteSpan data) {
+  util::ByteReader r(data);
+  MirrorState state;
+  std::uint32_t n_in = r.u32();
+  for (std::uint32_t i = 0; i < n_in; ++i) {
+    bgp::AsNumber neighbor = r.u32();
+    std::uint32_t n_routes = r.u32();
+    state.inputs_[neighbor];  // preserve neighbors with zero live routes
+    for (std::uint32_t j = 0; j < n_routes; ++j) {
+      InputRecord record;
+      record.route = bgp::Route::decode(r);
+      record.part_digest = r.digest();
+      record.received_at = r.i64();
+      state.inputs_[neighbor][record.route.prefix] = std::move(record);
+    }
+  }
+  std::uint32_t n_out = r.u32();
+  for (std::uint32_t i = 0; i < n_out; ++i) {
+    bgp::AsNumber neighbor = r.u32();
+    std::uint32_t n_routes = r.u32();
+    state.exports_[neighbor];  // preserve neighbors with zero live routes
+    for (std::uint32_t j = 0; j < n_routes; ++j) {
+      ExportRecord record;
+      record.route = bgp::Route::decode(r);
+      record.sent_at = r.i64();
+      state.exports_[neighbor][record.route.prefix] = std::move(record);
+    }
+  }
+  r.expect_end();
+  return state;
+}
+
+std::optional<bgp::Route> elector_choice(const MirrorState& state, const bgp::Prefix& prefix,
+                                         const std::set<bgp::AsNumber>& ignored) {
+  std::vector<bgp::Route> candidates;
+  for (const auto& [neighbor, routes] : state.inputs()) {
+    if (ignored.count(neighbor) != 0) continue;
+    auto it = routes.find(prefix);
+    if (it != routes.end()) candidates.push_back(it->second.route);
+  }
+  return bgp::decide(candidates);
+}
+
+std::vector<std::pair<bgp::Prefix, std::vector<bool>>> build_mtt_entries(
+    const MirrorState& state, const core::Classifier& classifier,
+    const std::map<bgp::AsNumber, core::Promise>& promises,
+    const std::set<bgp::AsNumber>& ignored_producers) {
+  const std::uint32_t k = classifier.num_classes();
+  const core::ClassId null_class = classifier.classify(std::nullopt);
+
+  std::vector<std::pair<bgp::Prefix, std::vector<bool>>> entries;
+  for (const bgp::Prefix& prefix : state.all_prefixes()) {
+    std::vector<bool> bits(k, false);
+    bits[null_class] = true;  // ⊥ is always available
+
+    for (const auto& [neighbor, routes] : state.inputs()) {
+      if (ignored_producers.count(neighbor) != 0) continue;
+      auto it = routes.find(prefix);
+      if (it != routes.end()) bits[classifier.classify(it->second.route)] = true;
+    }
+
+    std::optional<bgp::Route> chosen = elector_choice(state, prefix, ignored_producers);
+    const core::ClassId chosen_class = classifier.classify(chosen);
+    for (core::ClassId j = 0; j < k; ++j) {
+      if (bits[j]) continue;
+      for (const auto& [consumer, promise] : promises) {
+        if (promise.prefers(chosen_class, j)) {
+          bits[j] = true;
+          break;
+        }
+      }
+    }
+    entries.emplace_back(prefix, std::move(bits));
+  }
+  return entries;
+}
+
+bool same_wire_route(const bgp::Route& a, const bgp::Route& b) {
+  return a.prefix == b.prefix && a.as_path == b.as_path && a.origin == b.origin &&
+         a.med == b.med && a.communities == b.communities;
+}
+
+bgp::Route underlying_route(bgp::Route exported, bgp::AsNumber elector) {
+  if (!exported.as_path.empty() && exported.as_path.front() == elector) {
+    exported.as_path.erase(exported.as_path.begin());
+  }
+  return exported;
+}
+
+}  // namespace spider::proto

@@ -1,0 +1,100 @@
+// The recorder's mirrored routing state, and the MTT construction shared by
+// the commit path (live) and the proof generator (checkpoint + replay).
+//
+// Keeping both paths on one code path guarantees that replaying the message
+// log reproduces a bit-identical MTT root (paper §6.5) — a property the
+// test suite asserts directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "bgp/decision.hpp"
+#include "core/mtt.hpp"
+#include "core/promise.hpp"
+#include "spider/messages.hpp"
+
+namespace spider::proto {
+
+/// A neighbor's current offer for one prefix, as mirrored from the signed
+/// SPIDeR channel.
+struct InputRecord {
+  bgp::Route route;
+  /// Digest of the announce part bytes (the quotable reference).
+  Digest20 part_digest{};
+  Time received_at = 0;
+
+  bool operator==(const InputRecord&) const = default;
+};
+
+/// What this AS has advertised to one neighbor for one prefix.
+struct ExportRecord {
+  bgp::Route route;  // as exported: own ASN prepended
+  Time sent_at = 0;
+
+  bool operator==(const ExportRecord&) const = default;
+};
+
+/// Mirror of the AS's SPIDeR-visible routing state: inputs per producer
+/// neighbor and exports per consumer neighbor.
+class MirrorState {
+ public:
+  void apply_announce_in(const SpiderAnnounce& announce, const Digest20& part_digest);
+  void apply_withdraw_in(const SpiderWithdraw& withdraw);
+  void apply_announce_out(const SpiderAnnounce& announce);
+  void apply_withdraw_out(const SpiderWithdraw& withdraw);
+
+  const InputRecord* input(bgp::AsNumber from, const bgp::Prefix& prefix) const;
+  const ExportRecord* exported(bgp::AsNumber to, const bgp::Prefix& prefix) const;
+
+  const std::map<bgp::AsNumber, std::map<bgp::Prefix, InputRecord>>& inputs() const {
+    return inputs_;
+  }
+  const std::map<bgp::AsNumber, std::map<bgp::Prefix, ExportRecord>>& exports() const {
+    return exports_;
+  }
+
+  /// Union of prefixes with any input or export: the MTT's prefix set.
+  std::set<bgp::Prefix> all_prefixes() const;
+
+  /// Checkpoint serialization (§6.5).
+  Bytes serialize() const;
+  static MirrorState deserialize(ByteSpan data);
+
+  bool operator==(const MirrorState&) const = default;
+
+ private:
+  std::map<bgp::AsNumber, std::map<bgp::Prefix, InputRecord>> inputs_;
+  std::map<bgp::AsNumber, std::map<bgp::Prefix, ExportRecord>> exports_;
+};
+
+/// The elector's (claimed) choice for a prefix: the best input under the
+/// standard decision process, restricted to non-ignored producers.  This is
+/// the e of VPref step 3; a faulty AS that filters a neighbor lists it in
+/// `ignored` so its commitment matches its (mis)behavior.
+std::optional<bgp::Route> elector_choice(const MirrorState& state, const bgp::Prefix& prefix,
+                                         const std::set<bgp::AsNumber>& ignored);
+
+/// Builds the per-prefix VPref input bits over the mirrored state:
+///   bit[j] = 1  iff  some considered input (or ⊥) falls in class j, or
+///                    class j is worse than the chosen class under at least
+///                    one promise (VPref step 3).
+std::vector<std::pair<bgp::Prefix, std::vector<bool>>> build_mtt_entries(
+    const MirrorState& state, const core::Classifier& classifier,
+    const std::map<bgp::AsNumber, core::Promise>& promises,
+    const std::set<bgp::AsNumber>& ignored_producers);
+
+/// Strips the elector's own ASN from an exported route, recovering the
+/// underlying imported route's shape for classification (the r' of §6.2).
+bgp::Route underlying_route(bgp::Route exported, bgp::AsNumber elector);
+
+/// Equality over the attributes that actually cross the wire.  learned_from
+/// and local_pref are import-side annotations: the sender's copy has them
+/// cleared while the receiver's mirror sets them, so protocol-level route
+/// comparisons must ignore them.
+bool same_wire_route(const bgp::Route& a, const bgp::Route& b);
+
+}  // namespace spider::proto

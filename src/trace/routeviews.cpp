@@ -1,0 +1,191 @@
+#include "trace/routeviews.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace spider::trace {
+
+using bgp::Prefix;
+using bgp::Route;
+using bgp::Update;
+
+const std::vector<double>& prefix_length_weights() {
+  // Approximate shape of a 2012-era global IPv4 table: /24 dominates
+  // (~55%), /16 and /20-/23 carry most of the rest, short prefixes rare.
+  static const std::vector<double> weights = [] {
+    std::vector<double> w(33, 0.0);
+    w[8] = 0.1;  w[9] = 0.05; w[10] = 0.1; w[11] = 0.25; w[12] = 0.6;
+    w[13] = 1.2; w[14] = 2.2; w[15] = 3.8; w[16] = 13.5; w[17] = 3.5;
+    w[18] = 6.0; w[19] = 12.0; w[20] = 9.5; w[21] = 10.0; w[22] = 13.0;
+    w[23] = 12.0; w[24] = 55.0;
+    return w;
+  }();
+  return weights;
+}
+
+namespace {
+
+std::uint8_t sample_length(util::SplitMix64& rng) {
+  const auto& weights = prefix_length_weights();
+  static const double total = [] {
+    double t = 0;
+    for (double w : prefix_length_weights()) t += w;
+    return t;
+  }();
+  double target = rng.uniform() * total;
+  for (std::uint8_t len = 0; len < weights.size(); ++len) {
+    target -= weights[len];
+    if (target <= 0) return len;
+  }
+  return 24;
+}
+
+Route make_route(const Prefix& prefix, bgp::AsNumber peer_as, util::SplitMix64& rng) {
+  Route route;
+  route.prefix = prefix;
+  route.learned_from = peer_as;
+  // AS-path length: 1 + geometric-ish, mean ~3.8 hops (typical for a
+  // RouteViews vantage point); capped at 12.
+  std::size_t hops = 1;
+  while (hops < 12 && rng.chance(0.72)) ++hops;
+  route.as_path.reserve(hops);
+  route.as_path.push_back(peer_as);
+  for (std::size_t i = 1; i < hops; ++i) {
+    route.as_path.push_back(static_cast<bgp::AsNumber>(2000 + rng.below(40000)));
+  }
+  route.origin = rng.chance(0.9) ? bgp::Origin::kIgp : bgp::Origin::kIncomplete;
+  route.med = static_cast<std::uint32_t>(rng.below(3) == 0 ? rng.below(100) : 0);
+  return route;
+}
+
+}  // namespace
+
+std::size_t RouteViewsTrace::announce_count() const {
+  std::size_t n = 0;
+  for (const auto& ev : events) n += ev.update.announced.size();
+  return n;
+}
+
+std::size_t RouteViewsTrace::withdraw_count() const {
+  std::size_t n = 0;
+  for (const auto& ev : events) n += ev.update.withdrawn.size();
+  return n;
+}
+
+RouteViewsTrace generate(const TraceConfig& config) {
+  if (config.num_prefixes == 0) throw std::invalid_argument("trace: num_prefixes must be > 0");
+  util::SplitMix64 rng(config.seed);
+  RouteViewsTrace trace;
+
+  // --- RIB snapshot: distinct prefixes with a realistic length histogram.
+  //
+  // Real tables are heavily *clustered*: most /17-/24 announcements sit
+  // inside a modest number of RIR allocation blocks, so their trie paths
+  // share almost all high bits.  We reproduce that by pre-allocating a pool
+  // of /16 blocks (~96 prefixes per block, which reproduces the paper's
+  // inner-node:prefix-node ratio of ≈2.4) and drawing long prefixes from
+  // within blocks; short prefixes (≤ /16) are placed independently.
+  const std::size_t num_blocks = std::max<std::size_t>(1, config.num_prefixes / 96);
+  std::vector<std::uint32_t> blocks;
+  blocks.reserve(num_blocks);
+  while (blocks.size() < num_blocks) {
+    std::uint32_t base = static_cast<std::uint32_t>(rng.next()) & 0xffff0000u;
+    std::uint32_t top = base >> 24;
+    if (top == 0 || top >= 224) continue;  // stay in unicast space
+    blocks.push_back(base);
+  }
+
+  std::set<Prefix> seen;
+  trace.rib_snapshot.reserve(config.num_prefixes);
+  while (seen.size() < config.num_prefixes) {
+    std::uint8_t len = sample_length(rng);
+    std::uint32_t bits;
+    if (len > 16) {
+      bits = blocks[rng.below(blocks.size())] |
+             (static_cast<std::uint32_t>(rng.next()) & 0x0000ffffu);
+    } else {
+      bits = static_cast<std::uint32_t>(rng.next());
+      std::uint32_t top = bits >> 24;
+      if (top == 0 || top >= 224) continue;
+    }
+    Prefix prefix(bits, len);
+    if (!seen.insert(prefix).second) continue;
+    trace.rib_snapshot.push_back(make_route(prefix, config.peer_as, rng));
+  }
+
+  // --- Update stream: bursts of announcements/withdrawals, Zipf-like
+  // concentration on unstable prefixes.
+  //
+  // A small pool of "flappy" prefixes receives most updates: rank r gets
+  // weight 1/(r+1), approximating the heavy concentration seen in real
+  // traces (a few prefixes in convergence churn dominate).
+  const std::size_t pool =
+      std::max<std::size_t>(1, std::min(config.num_prefixes, config.num_updates / 4 + 1));
+  std::vector<double> cumulative(pool);
+  double total = 0;
+  for (std::size_t r = 0; r < pool; ++r) {
+    total += 1.0 / static_cast<double>(r + 1);
+    cumulative[r] = total;
+  }
+  auto sample_prefix_index = [&]() -> std::size_t {
+    double target = rng.uniform() * total;
+    auto it = std::lower_bound(cumulative.begin(), cumulative.end(), target);
+    std::size_t rank = static_cast<std::size_t>(it - cumulative.begin());
+    // Flappy prefixes are scattered through the table deterministically.
+    return (rank * 2654435761u) % config.num_prefixes;
+  };
+
+  // Track whether each prefix is currently announced so the stream stays
+  // semantically valid (withdraw only what is announced).
+  std::vector<bool> announced(config.num_prefixes, true);
+
+  std::size_t emitted = 0;
+  netsim::Time now = 0;
+  netsim::Time last_time = 0;  // event times are kept monotonic so that the
+                               // announce/withdraw state machine stays valid
+  while (emitted < config.num_updates) {
+    // Burst start: exponential inter-arrival times filling the duration.
+    double expected_bursts = static_cast<double>(config.num_updates) / config.mean_burst;
+    netsim::Time mean_gap = static_cast<netsim::Time>(
+        static_cast<double>(config.duration) / std::max(1.0, expected_bursts));
+    now += static_cast<netsim::Time>(-static_cast<double>(mean_gap) * std::log(1.0 - rng.uniform()));
+    if (now >= config.duration) now = config.duration - 1;
+
+    std::size_t burst = 1;
+    while (burst < 64 && rng.chance(1.0 - 1.0 / config.mean_burst)) ++burst;
+    burst = std::min(burst, config.num_updates - emitted);
+
+    for (std::size_t i = 0; i < burst; ++i) {
+      std::size_t idx = sample_prefix_index();
+      TraceEvent ev;
+      // Messages inside a burst are 1-20 ms apart.
+      ev.time = std::min<netsim::Time>(config.duration - 1,
+                                       now + static_cast<netsim::Time>(i) *
+                                                 static_cast<netsim::Time>(1000 + rng.below(19000)));
+      ev.time = std::max(ev.time, last_time);
+      last_time = ev.time;
+      const Prefix& prefix = trace.rib_snapshot[idx].prefix;
+      bool do_withdraw = announced[idx] && rng.chance(config.withdraw_fraction);
+      if (do_withdraw) {
+        ev.update.withdrawn.push_back(prefix);
+        announced[idx] = false;
+      } else {
+        // Fresh path simulates route change / re-announcement.
+        ev.update.announced.push_back(make_route(prefix, config.peer_as, rng));
+        announced[idx] = true;
+      }
+      trace.events.push_back(std::move(ev));
+      ++emitted;
+    }
+  }
+
+  std::stable_sort(trace.events.begin(), trace.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.time < b.time; });
+  return trace;
+}
+
+}  // namespace spider::trace

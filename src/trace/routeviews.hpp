@@ -1,0 +1,66 @@
+// Synthetic RouteViews-style workload generator.
+//
+// The paper replays a 15-minute RouteViews trace (Equinix Ashburn,
+// 2012-01-18 10:00; 38,696 BGP messages; RIB snapshot with 391,028 distinct
+// prefixes) into one AS of its testbed (§7.2).  We do not have that trace,
+// so this module generates a deterministic synthetic equivalent that
+// preserves the properties the evaluation is sensitive to:
+//   * number of distinct prefixes and their length distribution
+//     (heavily /24, as in real BGP tables);
+//   * number of update messages and their bursty arrival pattern;
+//   * Zipf-like concentration of updates on a few unstable prefixes;
+//   * announce/withdraw mix and AS-path length distribution.
+// DESIGN.md documents this substitution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "netsim/sim.hpp"
+
+namespace spider::trace {
+
+struct TraceConfig {
+  /// Number of distinct prefixes in the RIB snapshot (paper: 391,028).
+  std::size_t num_prefixes = 391'028;
+  /// Number of UPDATE messages in the replay period (paper: 38,696).
+  std::size_t num_updates = 38'696;
+  /// Replay duration (paper: 15 minutes).
+  netsim::Time duration = 15LL * 60 * netsim::kMicrosPerSecond;
+  /// Deterministic seed; same seed => identical trace.
+  std::uint64_t seed = 1;
+  /// ASN announced as the trace peer (the AS whose full table we replay;
+  /// paper injects the trace at AS 2).
+  bgp::AsNumber peer_as = 1000;
+  /// Fraction of updates that are withdrawals (real traces: ~10-25%).
+  double withdraw_fraction = 0.2;
+  /// Mean burst size: real BGP updates arrive in convergence bursts.
+  double mean_burst = 8.0;
+};
+
+/// A timestamped BGP message.
+struct TraceEvent {
+  netsim::Time time = 0;
+  bgp::Update update;
+};
+
+struct RouteViewsTrace {
+  /// Initial RIB snapshot: one route per prefix, announced during the
+  /// setup period (paper: 30 minutes of slow announcement).
+  std::vector<bgp::Route> rib_snapshot;
+  /// The replay-period message stream, sorted by time.
+  std::vector<TraceEvent> events;
+
+  std::size_t announce_count() const;
+  std::size_t withdraw_count() const;
+};
+
+/// Generates the trace.  Deterministic in `config.seed`.
+RouteViewsTrace generate(const TraceConfig& config);
+
+/// Realistic prefix-length histogram used by the generator; exposed for
+/// tests and the MTT-size bench.  Index = prefix length, value = weight.
+const std::vector<double>& prefix_length_weights();
+
+}  // namespace spider::trace

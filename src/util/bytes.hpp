@@ -1,0 +1,46 @@
+// Byte-buffer utilities shared by every SPIDeR module.
+//
+// All protocol messages, digests and signatures are carried as `Bytes`
+// (a plain std::vector<std::uint8_t>).  Helpers here cover hex encoding,
+// concatenation, and constant-time comparison for digest material.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spider::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Encodes `data` as lowercase hex (two characters per byte).
+std::string to_hex(ByteSpan data);
+
+/// Decodes a hex string; throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Returns the concatenation of all spans in order.
+Bytes concat(std::initializer_list<ByteSpan> parts);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, ByteSpan src);
+
+/// Constant-time equality for secret/digest material: the running time
+/// depends only on the lengths, never on the contents.
+bool ct_equal(ByteSpan a, ByteSpan b);
+
+/// Converts an ASCII string to bytes (no terminator).
+Bytes str_bytes(std::string_view s);
+
+/// A 20-byte truncated digest, the unit of commitment labels throughout the
+/// paper's evaluation ("we use only the first 20 bytes of each digest").
+using Digest20 = std::array<std::uint8_t, 20>;
+
+/// Hex form of a Digest20, for logging and test assertions.
+std::string to_hex(const Digest20& d);
+
+}  // namespace spider::util

@@ -1,0 +1,41 @@
+// Deterministic (non-cryptographic) randomness for simulations and tests.
+//
+// All workload generation in this repository is seeded so that every
+// experiment is exactly reproducible.  Cryptographic randomness (commitment
+// bitstrings, dummy-node labels) lives in crypto/random.hpp instead.
+#pragma once
+
+#include <cstdint>
+
+namespace spider::util {
+
+/// SplitMix64: tiny, fast, full-period 64-bit generator.  Used to seed and
+/// to drive simulation-level choices (trace shapes, jitter, test fuzzing).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) { return lo + below(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace spider::util

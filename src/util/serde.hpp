@@ -1,0 +1,84 @@
+// Canonical byte serialization for protocol messages.
+//
+// Every signed SPIDeR message is serialized through ByteWriter before the
+// signature is computed, so that producer, elector and consumer agree on a
+// single canonical encoding.  Integers are fixed-width big-endian; variable-
+// length fields carry a u32 length prefix.  ByteReader is the strict inverse
+// and throws on truncation, which the protocol layer treats as a malformed
+// (and therefore incriminating) message.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace spider::util {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  /// Writes a u32 length prefix followed by the raw bytes.
+  void bytes(ByteSpan data);
+
+  /// Writes raw bytes with no length prefix (fixed-size fields).
+  void raw(ByteSpan data);
+
+  void digest(const Digest20& d) { raw(ByteSpan{d.data(), d.size()}); }
+  void str(std::string_view s);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Thrown when a reader runs past the end of its buffer or a field fails a
+/// sanity bound.  Receiving code converts this into a protocol fault.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  /// Reads a u32 length prefix then that many bytes.
+  Bytes bytes();
+
+  /// Reads exactly `n` raw bytes.
+  Bytes raw(std::size_t n);
+
+  Digest20 digest();
+  std::string str();
+
+  bool empty() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Throws DecodeError unless the whole buffer has been consumed.
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace spider::util

@@ -1,0 +1,46 @@
+// Fixed-size thread pool used by the parallel MTT labeler (paper §7.1:
+// "The number c of commitment threads can be varied to take advantage of
+// multiple cores; when c > 1, we break the MTT into subtrees that are each
+// labeled completely by one of the threads").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spider::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. `threads == 0` is treated as 1.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Tasks must not throw; a throwing task terminates.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace spider::util

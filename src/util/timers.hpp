@@ -1,0 +1,63 @@
+// Wall-clock and CPU-time measurement.
+//
+// The paper's computation-overhead experiment (§7.5) uses getrusage() to
+// measure the recorder's CPU time and separately instruments signature
+// generation and MTT labeling; CpuTimer and CostMeter reproduce that
+// methodology.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace spider::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Process CPU time (user + system) via getrusage, as in the paper.
+double process_cpu_seconds();
+
+/// Per-thread CPU time; used to attribute labeling work done in pool threads.
+double thread_cpu_seconds();
+
+/// Scoped accumulator: adds the enclosed region's thread-CPU time to a
+/// named counter.  Used to split recorder time into signatures / MTT / other.
+class CpuMeter {
+ public:
+  CpuMeter() = default;
+  void add(double seconds) { total_ += seconds; }
+  double total() const { return total_; }
+  void reset() { total_ = 0; }
+
+ private:
+  double total_ = 0;
+};
+
+class ScopedCpu {
+ public:
+  explicit ScopedCpu(CpuMeter& meter) : meter_(meter), start_(thread_cpu_seconds()) {}
+  ~ScopedCpu() { meter_.add(thread_cpu_seconds() - start_); }
+  ScopedCpu(const ScopedCpu&) = delete;
+  ScopedCpu& operator=(const ScopedCpu&) = delete;
+
+ private:
+  CpuMeter& meter_;
+  double start_;
+};
+
+/// Formats a byte count as a human-readable string ("137.5 MB").
+std::string human_bytes(std::uint64_t bytes);
+
+}  // namespace spider::util

@@ -1,0 +1,252 @@
+// Route flap damping (RFC 2439 model, §6.4), AS-path prepending in export
+// policy, and the collusion semantics of the paper's technical report.
+#include <gtest/gtest.h>
+
+#include "bgp/flap_damping.hpp"
+#include "bgp/speaker.hpp"
+#include "core/vpref.hpp"
+#include "netsim/sim.hpp"
+
+namespace sb = spider::bgp;
+namespace sn = spider::netsim;
+namespace sc = spider::core;
+namespace scr = spider::crypto;
+
+namespace {
+constexpr sn::Time kSecond = sn::kMicrosPerSecond;
+constexpr sn::Time kMinute = 60 * kSecond;
+
+sb::Route route(const char* prefix, std::vector<sb::AsNumber> path) {
+  sb::Route r;
+  r.prefix = sb::Prefix::parse(prefix);
+  r.as_path = std::move(path);
+  r.learned_from = r.as_path.empty() ? 0 : r.as_path.front();
+  return r;
+}
+}  // namespace
+
+// ---------------------------------------------------------- FlapDamper
+
+TEST(FlapDamper, PenaltyAccumulatesAndDecays) {
+  sb::FlapDampingConfig config;
+  sb::FlapDamper damper(config);
+  auto p = sb::Prefix::parse("10.0.0.0/8");
+
+  EXPECT_EQ(damper.penalty(2, p, 0), 0.0);
+  EXPECT_DOUBLE_EQ(damper.record_flap(2, p, 0), 1000.0);
+  EXPECT_DOUBLE_EQ(damper.record_flap(2, p, 0), 2000.0);
+  // One half-life later the penalty has halved.
+  EXPECT_NEAR(damper.penalty(2, p, config.half_life), 1000.0, 1.0);
+}
+
+TEST(FlapDamper, SuppressionHysteresis) {
+  sb::FlapDampingConfig config;
+  sb::FlapDamper damper(config);
+  auto p = sb::Prefix::parse("10.0.0.0/8");
+
+  damper.record_flap(2, p, 0);
+  EXPECT_FALSE(damper.suppressed(2, p, 0));  // 1000 < 2000
+  damper.record_flap(2, p, 0);
+  EXPECT_TRUE(damper.suppressed(2, p, 0));  // reached 2000
+
+  // Still suppressed at one half-life (penalty 1000 > reuse 750)...
+  EXPECT_TRUE(damper.suppressed(2, p, config.half_life));
+  // ...but reusable after enough decay.
+  sn::Time reuse = damper.reuse_time(2, p, 0);
+  EXPECT_GT(reuse, config.half_life);
+  EXPECT_FALSE(damper.suppressed(2, p, reuse + 1));
+}
+
+TEST(FlapDamper, PenaltyIsCapped) {
+  sb::FlapDampingConfig config;
+  sb::FlapDamper damper(config);
+  auto p = sb::Prefix::parse("10.0.0.0/8");
+  for (int i = 0; i < 100; ++i) damper.record_flap(2, p, 0);
+  EXPECT_LE(damper.penalty(2, p, 0), config.max_penalty);
+}
+
+TEST(FlapDamper, PerNeighborPerPrefixIsolation) {
+  sb::FlapDamper damper;
+  auto p = sb::Prefix::parse("10.0.0.0/8");
+  auto q = sb::Prefix::parse("11.0.0.0/8");
+  damper.record_flap(2, p, 0);
+  EXPECT_EQ(damper.penalty(3, p, 0), 0.0);
+  EXPECT_EQ(damper.penalty(2, q, 0), 0.0);
+}
+
+TEST(FlapDampingSpeaker, FlappyPrefixSuppressedThenReinstated) {
+  sn::Simulator sim;
+  sb::Speaker a(sim, 1, sb::Policy{}), b(sim, 2, sb::Policy{});
+  auto na = sim.add_node(a, "a");
+  auto nb = sim.add_node(b, "b");
+  sim.connect(na, nb, 1000);
+  a.add_neighbor(2, nb);
+  b.add_neighbor(1, na);
+
+  sb::FlapDampingConfig config;
+  config.half_life = 2 * kMinute;
+  b.enable_flap_damping(config);
+
+  // Flap the prefix from the non-simulated upstream neighbor 9.
+  auto p = sb::Prefix::parse("10.0.0.0/8");
+  sb::Update announce;
+  announce.announced.push_back(route("10.0.0.0/8", {9, 77}));
+  sb::Update withdraw;
+  withdraw.withdrawn.push_back(p);
+
+  b.inject(9, announce);   // initial
+  b.inject(9, withdraw);   // flap 1
+  b.inject(9, announce);   // flap 2 -> penalty 2000 -> suppressed
+  sim.run_until(sim.now() + 1);
+  EXPECT_EQ(b.loc_rib().find(p), nullptr);  // suppressed, not usable
+  EXPECT_GT(b.suppressions(), 0u);
+
+  // After decay the held route is reinstated automatically.
+  sim.run_until(sim.now() + 10 * kMinute);
+  sim.run();
+  ASSERT_NE(b.loc_rib().find(p), nullptr);
+  EXPECT_EQ(b.loc_rib().find(p)->as_path, (std::vector<sb::AsNumber>{9, 77}));
+}
+
+TEST(FlapDampingSpeaker, StableRoutesUnaffected) {
+  sn::Simulator sim;
+  sb::Speaker b(sim, 2, sb::Policy{});
+  sim.add_node(b, "b");
+  b.enable_flap_damping();
+  sb::Update announce;
+  announce.announced.push_back(route("10.0.0.0/8", {9, 77}));
+  b.inject(9, announce);
+  sim.run();
+  EXPECT_NE(b.loc_rib().find(sb::Prefix::parse("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(b.suppressions(), 0u);
+}
+
+// ----------------------------------------------------------- prepending
+
+TEST(Prepend, ExportRuleAddsSelfCopies) {
+  sb::Policy policy;
+  sb::ExportRule rule;
+  rule.match.neighbors = {7};
+  rule.action.prepend = 3;
+  policy.add_export_rule(rule);
+
+  auto exported = policy.apply_export(7, route("10.0.0.0/8", {9, 77}), /*self=*/5);
+  ASSERT_TRUE(exported.has_value());
+  EXPECT_EQ(exported->as_path, (std::vector<sb::AsNumber>{5, 5, 5, 9, 77}));
+
+  // Other neighbors unaffected.
+  auto plain = policy.apply_export(8, route("10.0.0.0/8", {9, 77}), 5);
+  EXPECT_EQ(plain->as_path, (std::vector<sb::AsNumber>{9, 77}));
+}
+
+TEST(Prepend, SpeakerMakesPathLookLonger) {
+  sn::Simulator sim;
+  sb::Policy policy;
+  sb::ExportRule rule;
+  rule.match.neighbors = {2};
+  rule.action.prepend = 2;
+  policy.add_export_rule(rule);
+
+  sb::Speaker a(sim, 1, std::move(policy)), b(sim, 2, sb::Policy{});
+  auto na = sim.add_node(a, "a");
+  auto nb = sim.add_node(b, "b");
+  sim.connect(na, nb, 1000);
+  a.add_neighbor(2, nb);
+  b.add_neighbor(1, na);
+
+  a.originate(sb::Prefix::parse("10.0.0.0/8"));
+  sim.run();
+  const sb::Route* r = b.loc_rib().find(sb::Prefix::parse("10.0.0.0/8"));
+  ASSERT_NE(r, nullptr);
+  // Two prepended copies plus the regular export prepend: [1, 1, 1].
+  EXPECT_EQ(r->as_path, (std::vector<sb::AsNumber>{1, 1, 1}));
+}
+
+// ---------------------------------------- collusion semantics (TR [43])
+
+namespace {
+spider::util::Bytes key_of(sc::PartyId id) {
+  std::string s = "collusion-key-" + std::to_string(id);
+  return spider::util::Bytes(s.begin(), s.end());
+}
+}  // namespace
+
+// "If the elector colludes with some of the producers, detection is only
+// guaranteed for violations that would exist for ANY combination of inputs
+// from the colluding producers."
+TEST(Collusion, ColludingProducerCanCoverForElector) {
+  // The elector hides the colluding producer's best route; the colluder
+  // does not challenge.  No honest party can detect anything: for the
+  // input combination "colluder sent nothing", the elector's behavior is
+  // correct.
+  sc::PathLengthClassifier classifier(4);
+  sc::KeyRegistry keys;
+  std::map<sc::PartyId, std::unique_ptr<scr::HashSigner>> signers;
+  for (sc::PartyId id : {1u, 10u, 11u, 20u}) {
+    signers[id] = std::make_unique<scr::HashSigner>(key_of(id));
+    keys.add(id, std::make_unique<scr::HashVerifier>(key_of(id)));
+  }
+  sc::Elector elector(1, 1, *signers[1], classifier, {0, 1, 2, 3});
+  auto promise_env = elector.promise_to(20, sc::Promise::total_order(4));
+  sc::Consumer honest_consumer(20, 1, 1, classifier);
+  honest_consumer.receive_promise(promise_env, keys);
+
+  sc::Producer colluder(10, 1, 1, *signers[10], classifier);
+  sc::Producer honest_producer(11, 1, 1, *signers[11], classifier);
+
+  sb::Route best = route("10.0.0.0/8", {100});        // 1 hop, class 0 (colluder's)
+  sb::Route second = route("10.0.0.0/8", {200, 201});  // 2 hops, class 1
+
+  auto colluder_ack = elector.receive_announcement(colluder.announce(best), keys);
+  colluder.receive_ack(colluder_ack, keys);
+  auto ack = elector.receive_announcement(honest_producer.announce(second), keys);
+  honest_producer.receive_ack(ack, keys);
+
+  elector.faults().ignore_producers = {10};  // hide the colluder's route
+  elector.decide_and_commit(scr::seed_from_string("collusion"));
+
+  // Honest parties: no detection anywhere.
+  EXPECT_FALSE(honest_producer.receive_commitment(elector.commitment_for(11), keys));
+  EXPECT_FALSE(honest_producer.check_bit_proof(elector.bit_proof_for(1), keys));
+  EXPECT_FALSE(honest_consumer.receive_commitment(elector.commitment_for(20), keys));
+  EXPECT_FALSE(honest_consumer.receive_offer(elector.offer_for(20), keys));
+  std::map<sc::ClassId, sc::SignedEnvelope> proofs;
+  for (sc::ClassId cls : honest_consumer.due_classes()) {
+    if (auto proof = elector.bit_proof_for(cls)) proofs.emplace(cls, *proof);
+  }
+  EXPECT_FALSE(honest_consumer.check_bit_proofs(proofs, keys));
+
+  // But the evidence trail still exists: if the colluder defects later,
+  // its challenge convicts the elector (the ack is incriminating).
+  auto challenge = colluder.make_challenge();
+  auto verdict = sc::judge_producer_challenge(challenge, elector.commitment_for(10),
+                                              elector.bit_proof_for(0), keys, classifier);
+  EXPECT_EQ(verdict, sc::Verdict::kElectorGuilty);
+}
+
+// Hiding an HONEST producer's route is detected even when another producer
+// colludes: the violation exists for every combination of colluder inputs.
+TEST(Collusion, HonestVictimStillProtected) {
+  sc::PathLengthClassifier classifier(4);
+  sc::KeyRegistry keys;
+  std::map<sc::PartyId, std::unique_ptr<scr::HashSigner>> signers;
+  for (sc::PartyId id : {1u, 10u, 11u, 20u}) {
+    signers[id] = std::make_unique<scr::HashSigner>(key_of(id));
+    keys.add(id, std::make_unique<scr::HashVerifier>(key_of(id)));
+  }
+  sc::Elector elector(1, 1, *signers[1], classifier, {0, 1, 2, 3});
+  elector.promise_to(20, sc::Promise::total_order(4));
+
+  sc::Producer colluder(10, 1, 1, *signers[10], classifier);
+  sc::Producer victim(11, 1, 1, *signers[11], classifier);
+  elector.receive_announcement(colluder.announce(route("10.0.0.0/8", {200, 201})), keys);
+  auto ack = elector.receive_announcement(victim.announce(route("10.0.0.0/8", {100})), keys);
+  victim.receive_ack(ack, keys);
+
+  elector.faults().ignore_producers = {11};  // hide the honest best route
+  elector.decide_and_commit(scr::seed_from_string("collusion-2"));
+  victim.receive_commitment(elector.commitment_for(11), keys);
+  auto detection = victim.check_bit_proof(elector.bit_proof_for(0), keys);
+  ASSERT_TRUE(detection.has_value());
+  EXPECT_EQ(detection->kind, sc::FaultKind::kOmittedInput);
+}

@@ -1,0 +1,330 @@
+// Policy engine and BGP speaker propagation over the simulator.
+#include <gtest/gtest.h>
+
+#include "bgp/policy.hpp"
+#include "bgp/speaker.hpp"
+#include "netsim/sim.hpp"
+
+namespace sb = spider::bgp;
+namespace sn = spider::netsim;
+
+using sb::Prefix;
+using sb::Route;
+
+namespace {
+Route route(const std::string& prefix, std::vector<sb::AsNumber> path) {
+  Route r;
+  r.prefix = Prefix::parse(prefix);
+  r.as_path = std::move(path);
+  return r;
+}
+}  // namespace
+
+TEST(Policy, EmptyPolicyAcceptsAndSetsLearnedFrom) {
+  sb::Policy policy;
+  auto imported = policy.import(1, 2, route("10.0.0.0/8", {2, 9}));
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_EQ(imported->learned_from, 2u);
+}
+
+TEST(Policy, LoopPreventionDropsOwnAsn) {
+  sb::Policy policy;
+  EXPECT_FALSE(policy.import(1, 2, route("10.0.0.0/8", {2, 1, 9})).has_value());
+}
+
+TEST(Policy, ImportSetsLocalPrefByNeighbor) {
+  sb::Policy policy;
+  sb::ImportRule rule;
+  rule.match.neighbors = {2};
+  rule.action.set_local_pref = 200;
+  policy.add_import_rule(rule);
+
+  auto from2 = policy.import(1, 2, route("10.0.0.0/8", {2}));
+  auto from3 = policy.import(1, 3, route("10.0.0.0/8", {3}));
+  EXPECT_EQ(from2->local_pref, 200u);
+  EXPECT_EQ(from3->local_pref, 100u);  // default preserved
+}
+
+TEST(Policy, ImportMatchesOnCommunity) {
+  // Paper §3.2 "Set local preference": community tag lowers preference.
+  sb::Policy policy;
+  sb::ImportRule rule;
+  rule.match.communities_any = {sb::lp_tier_community(1, 1)};
+  rule.action.set_local_pref = 80;
+  policy.add_import_rule(rule);
+
+  Route tagged = route("10.0.0.0/8", {2});
+  tagged.communities = {sb::lp_tier_community(1, 1)};
+  EXPECT_EQ(policy.import(1, 2, tagged)->local_pref, 80u);
+  EXPECT_EQ(policy.import(1, 2, route("10.0.0.0/8", {2}))->local_pref, 100u);
+}
+
+TEST(Policy, ImportDenyFilters) {
+  sb::Policy policy;
+  sb::ImportRule rule;
+  rule.match.prefixes_within = {Prefix::parse("10.0.0.0/8")};
+  rule.action.deny = true;
+  policy.add_import_rule(rule);
+  EXPECT_FALSE(policy.import(1, 2, route("10.1.0.0/16", {2})).has_value());
+  EXPECT_TRUE(policy.import(1, 2, route("11.0.0.0/8", {2})).has_value());
+}
+
+TEST(Policy, FirstMatchWins) {
+  sb::Policy policy;
+  sb::ImportRule first;
+  first.match.neighbors = {2};
+  first.action.set_local_pref = 200;
+  sb::ImportRule second;
+  second.match.neighbors = {2};
+  second.action.set_local_pref = 50;
+  policy.add_import_rule(first);
+  policy.add_import_rule(second);
+  EXPECT_EQ(policy.import(1, 2, route("10.0.0.0/8", {2}))->local_pref, 200u);
+}
+
+TEST(Policy, ExportDenyByCommunity) {
+  // Paper §3.2 "Selective export by specific AS".
+  sb::Policy policy;
+  sb::ExportRule rule;
+  rule.match.neighbors = {7};
+  rule.match.communities_any = {sb::no_export_to_community(7)};
+  rule.action.deny = true;
+  policy.add_export_rule(rule);
+
+  Route r = route("10.0.0.0/8", {2});
+  r.communities = {sb::no_export_to_community(7)};
+  EXPECT_FALSE(policy.apply_export(7, r).has_value());
+  EXPECT_TRUE(policy.apply_export(8, r).has_value());
+  EXPECT_TRUE(policy.apply_export(7, route("10.0.0.0/8", {2})).has_value());
+}
+
+TEST(Policy, ExportStripAndAddCommunities) {
+  sb::Policy policy;
+  sb::ExportRule rule;
+  rule.action.strip_communities = {sb::make_community(1, 1)};
+  rule.action.add_communities = {sb::make_community(1, 2)};
+  policy.add_export_rule(rule);
+
+  Route r = route("10.0.0.0/8", {2});
+  r.communities = {sb::make_community(1, 1)};
+  auto exported = policy.apply_export(9, r);
+  ASSERT_TRUE(exported.has_value());
+  EXPECT_FALSE(exported->has_community(sb::make_community(1, 1)));
+  EXPECT_TRUE(exported->has_community(sb::make_community(1, 2)));
+}
+
+TEST(Policy, GaoRexfordImportTiers) {
+  auto policy = sb::gao_rexford_policy({{2, sb::Relationship::kCustomer},
+                                        {3, sb::Relationship::kPeer},
+                                        {4, sb::Relationship::kProvider}});
+  EXPECT_EQ(policy.import(1, 2, route("10.0.0.0/8", {2}))->local_pref, sb::kLocalPrefCustomer);
+  EXPECT_EQ(policy.import(1, 3, route("10.0.0.0/8", {3}))->local_pref, sb::kLocalPrefPeer);
+  EXPECT_EQ(policy.import(1, 4, route("10.0.0.0/8", {4}))->local_pref, sb::kLocalPrefProvider);
+}
+
+TEST(Policy, GaoRexfordValleyFreeExport) {
+  auto policy = sb::gao_rexford_policy({{2, sb::Relationship::kCustomer},
+                                        {3, sb::Relationship::kPeer},
+                                        {4, sb::Relationship::kProvider}});
+  auto peer_route = policy.import(1, 3, route("10.0.0.0/8", {3}));
+  ASSERT_TRUE(peer_route.has_value());
+  // Peer route: export to customer only.
+  EXPECT_TRUE(policy.apply_export(2, *peer_route).has_value());
+  EXPECT_FALSE(policy.apply_export(3, *peer_route).has_value());
+  EXPECT_FALSE(policy.apply_export(4, *peer_route).has_value());
+
+  auto customer_route = policy.import(1, 2, route("11.0.0.0/8", {2}));
+  ASSERT_TRUE(customer_route.has_value());
+  // Customer route: export everywhere.
+  EXPECT_TRUE(policy.apply_export(3, *customer_route).has_value());
+  EXPECT_TRUE(policy.apply_export(4, *customer_route).has_value());
+}
+
+TEST(Policy, GaoRexfordScrubsInternalTags) {
+  auto policy = sb::gao_rexford_policy({{2, sb::Relationship::kCustomer},
+                                        {3, sb::Relationship::kPeer}});
+  auto peer_route = policy.import(1, 3, route("10.0.0.0/8", {3}));
+  auto exported = policy.apply_export(2, *peer_route);
+  ASSERT_TRUE(exported.has_value());
+  EXPECT_TRUE(exported->communities.empty());
+}
+
+// ------------------------------------------------------------- speaker
+
+namespace {
+
+/// Three ASes in a chain: 1 -- 2 -- 3.
+struct Chain {
+  sn::Simulator sim;
+  sb::Speaker as1, as2, as3;
+
+  Chain()
+      : as1(sim, 1, sb::Policy{}), as2(sim, 2, sb::Policy{}), as3(sim, 3, sb::Policy{}) {
+    auto n1 = sim.add_node(as1, "AS1");
+    auto n2 = sim.add_node(as2, "AS2");
+    auto n3 = sim.add_node(as3, "AS3");
+    sim.connect(n1, n2, 1000);
+    sim.connect(n2, n3, 1000);
+    as1.add_neighbor(2, n2);
+    as2.add_neighbor(1, n1);
+    as2.add_neighbor(3, n3);
+    as3.add_neighbor(2, n2);
+  }
+};
+
+}  // namespace
+
+TEST(Speaker, PropagatesOriginatedRouteAlongChain) {
+  Chain c;
+  c.as1.originate(Prefix::parse("10.0.0.0/8"));
+  c.sim.run();
+
+  const Route* at2 = c.as2.loc_rib().find(Prefix::parse("10.0.0.0/8"));
+  ASSERT_NE(at2, nullptr);
+  EXPECT_EQ(at2->as_path, (std::vector<sb::AsNumber>{1}));
+  EXPECT_EQ(at2->learned_from, 1u);
+
+  const Route* at3 = c.as3.loc_rib().find(Prefix::parse("10.0.0.0/8"));
+  ASSERT_NE(at3, nullptr);
+  EXPECT_EQ(at3->as_path, (std::vector<sb::AsNumber>{2, 1}));
+}
+
+TEST(Speaker, WithdrawPropagates) {
+  Chain c;
+  c.as1.originate(Prefix::parse("10.0.0.0/8"));
+  c.sim.run();
+  c.as1.withdraw_origin(Prefix::parse("10.0.0.0/8"));
+  c.sim.run();
+  EXPECT_EQ(c.as3.loc_rib().find(Prefix::parse("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(c.as2.adj_rib_in().size(), 0u);
+}
+
+TEST(Speaker, PrefersShorterPathAndSwitchesOnWithdraw) {
+  // Diamond: 1 and 4 both reach 3; 3 -- 2 -- 1 and 3 -- 4 -- 1? Build explicit:
+  //   AS1 originates; AS2 hears from AS1 directly and via AS3 (longer).
+  sn::Simulator sim;
+  sb::Speaker as1(sim, 1, sb::Policy{}), as2(sim, 2, sb::Policy{}), as3(sim, 3, sb::Policy{});
+  auto n1 = sim.add_node(as1, "AS1");
+  auto n2 = sim.add_node(as2, "AS2");
+  auto n3 = sim.add_node(as3, "AS3");
+  sim.connect(n1, n2, 1000);
+  sim.connect(n1, n3, 1000);
+  sim.connect(n2, n3, 1000);
+  as1.add_neighbor(2, n2);
+  as1.add_neighbor(3, n3);
+  as2.add_neighbor(1, n1);
+  as2.add_neighbor(3, n3);
+  as3.add_neighbor(1, n1);
+  as3.add_neighbor(2, n2);
+
+  as1.originate(Prefix::parse("10.0.0.0/8"));
+  sim.run();
+
+  const Route* best = as2.loc_rib().find(Prefix::parse("10.0.0.0/8"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->as_path, (std::vector<sb::AsNumber>{1}));  // direct beats via-3
+
+  // Direct link withdrawn: AS2 must fail over to the longer path via AS3.
+  // Simulate by injecting a withdraw from neighbor 1.
+  sb::Update wd;
+  wd.withdrawn.push_back(Prefix::parse("10.0.0.0/8"));
+  as2.inject(1, wd);
+  sim.run();
+  best = as2.loc_rib().find(Prefix::parse("10.0.0.0/8"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->as_path, (std::vector<sb::AsNumber>{3, 1}));
+}
+
+TEST(Speaker, LoopPreventionStopsPropagation) {
+  Chain c;
+  // AS3 originates; AS1 must not accept a route whose path already
+  // contains AS1 (inject a fabricated looped route at AS2).
+  sb::Update u;
+  u.announced.push_back(route("10.0.0.0/8", {3, 1}));
+  c.as2.inject(3, u);
+  c.sim.run();
+  // AS2 accepted (no loop for AS2), AS1 rejected (its own ASN in path).
+  EXPECT_NE(c.as2.loc_rib().find(Prefix::parse("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(c.as1.loc_rib().find(Prefix::parse("10.0.0.0/8")), nullptr);
+}
+
+TEST(Speaker, SplitHorizonDoesNotEchoRoute) {
+  Chain c;
+  c.as1.originate(Prefix::parse("10.0.0.0/8"));
+  c.sim.run();
+  // AS2's Adj-RIB-Out toward AS1 must not contain the route learned from AS1.
+  EXPECT_EQ(c.as2.adj_rib_out().find(1, Prefix::parse("10.0.0.0/8")), nullptr);
+}
+
+TEST(Speaker, ObserverSeesMessageFlow) {
+  Chain c;
+  int in_count = 0, out_count = 0, best_changes = 0, withdraws = 0;
+  sb::Speaker::Observer obs;
+  obs.on_route_in = [&](sb::AsNumber, const Route&, const std::optional<Route>&) { ++in_count; };
+  obs.on_withdraw_in = [&](sb::AsNumber, const Prefix&) { ++withdraws; };
+  obs.on_update_out = [&](sb::AsNumber, const sb::Update&) { ++out_count; };
+  obs.on_best_change = [&](const Prefix&, const std::optional<Route>&) { ++best_changes; };
+  c.as2.set_observer(std::move(obs));
+
+  c.as1.originate(Prefix::parse("10.0.0.0/8"));
+  c.sim.run();
+  EXPECT_EQ(in_count, 1);
+  EXPECT_EQ(out_count, 1);  // forwarded to AS3 only (split horizon)
+  EXPECT_EQ(best_changes, 1);
+
+  c.as1.withdraw_origin(Prefix::parse("10.0.0.0/8"));
+  c.sim.run();
+  EXPECT_EQ(withdraws, 1);
+  EXPECT_EQ(best_changes, 2);
+}
+
+TEST(Speaker, ImportFilterFaultSuppressesRoute) {
+  Chain c;
+  c.as2.inject_import_filter_fault(1);
+  c.as1.originate(Prefix::parse("10.0.0.0/8"));
+  c.sim.run();
+  EXPECT_EQ(c.as2.loc_rib().find(Prefix::parse("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(c.as3.loc_rib().find(Prefix::parse("10.0.0.0/8")), nullptr);
+}
+
+TEST(Speaker, ExportFaultLeaksDeniedRoute) {
+  sn::Simulator sim;
+  // AS2 has export policy denying exports to AS3, but the fault overrides it.
+  sb::Policy policy;
+  sb::ExportRule deny;
+  deny.match.neighbors = {3};
+  deny.action.deny = true;
+  policy.add_export_rule(deny);
+
+  sb::Speaker as1(sim, 1, sb::Policy{}), as2(sim, 2, std::move(policy)), as3(sim, 3, sb::Policy{});
+  auto n1 = sim.add_node(as1, "AS1");
+  auto n2 = sim.add_node(as2, "AS2");
+  auto n3 = sim.add_node(as3, "AS3");
+  sim.connect(n1, n2, 1);
+  sim.connect(n2, n3, 1);
+  as1.add_neighbor(2, n2);
+  as2.add_neighbor(1, n1);
+  as2.add_neighbor(3, n3);
+  as3.add_neighbor(2, n2);
+
+  as1.originate(Prefix::parse("10.0.0.0/8"));
+  sim.run();
+  EXPECT_EQ(as3.loc_rib().find(Prefix::parse("10.0.0.0/8")), nullptr);  // policy holds
+
+  as2.inject_export_fault(3);
+  as1.withdraw_origin(Prefix::parse("10.0.0.0/8"));
+  sim.run();
+  as1.originate(Prefix::parse("10.0.0.0/8"));
+  sim.run();
+  EXPECT_NE(as3.loc_rib().find(Prefix::parse("10.0.0.0/8")), nullptr);  // fault leaks
+}
+
+TEST(Speaker, UpdateCountersAdvance) {
+  Chain c;
+  c.as1.originate(Prefix::parse("10.0.0.0/8"));
+  c.sim.run();
+  EXPECT_GE(c.as1.updates_sent(), 1u);
+  EXPECT_GE(c.as2.updates_received(), 1u);
+  EXPECT_GE(c.as2.updates_sent(), 1u);
+  EXPECT_GE(c.as3.updates_received(), 1u);
+}

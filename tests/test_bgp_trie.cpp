@@ -1,0 +1,144 @@
+// Prefix trie: exact/longest match, subtree enumeration, churn.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "bgp/trie.hpp"
+#include "trace/routeviews.hpp"
+#include "util/rng.hpp"
+
+namespace sb = spider::bgp;
+using sb::Prefix;
+
+namespace {
+std::uint32_t addr(const char* dotted) { return Prefix::parse(std::string(dotted) + "/32").bits(); }
+}  // namespace
+
+TEST(PrefixTrie, InsertFindErase) {
+  sb::PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(Prefix::parse("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.insert(Prefix::parse("10.0.0.0/8"), 2));  // replace
+  ASSERT_NE(trie.find(Prefix::parse("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find(Prefix::parse("10.0.0.0/8")), 2);
+  EXPECT_EQ(trie.find(Prefix::parse("10.0.0.0/16")), nullptr);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_TRUE(trie.erase(Prefix::parse("10.0.0.0/8")));
+  EXPECT_FALSE(trie.erase(Prefix::parse("10.0.0.0/8")));
+  EXPECT_EQ(trie.size(), 0u);
+}
+
+TEST(PrefixTrie, LongestMatchPicksMostSpecific) {
+  sb::PrefixTrie<std::string> trie;
+  trie.insert(Prefix::parse("0.0.0.0/0"), "default");
+  trie.insert(Prefix::parse("10.0.0.0/8"), "corp");
+  trie.insert(Prefix::parse("10.1.0.0/16"), "site");
+  trie.insert(Prefix::parse("10.1.2.0/24"), "lab");
+
+  EXPECT_EQ(*trie.longest_match(addr("10.1.2.3")), "lab");
+  EXPECT_EQ(*trie.longest_match(addr("10.1.9.9")), "site");
+  EXPECT_EQ(*trie.longest_match(addr("10.9.9.9")), "corp");
+  EXPECT_EQ(*trie.longest_match(addr("192.168.0.1")), "default");
+
+  auto hit = trie.longest_match_prefix(addr("10.1.2.3"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, Prefix::parse("10.1.2.0/24"));
+}
+
+TEST(PrefixTrie, NoMatchWithoutDefault) {
+  sb::PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("10.0.0.0/8"), 1);
+  EXPECT_EQ(trie.longest_match(addr("11.0.0.1")), nullptr);
+  EXPECT_FALSE(trie.longest_match_prefix(addr("11.0.0.1")).has_value());
+}
+
+TEST(PrefixTrie, HostRouteWins) {
+  sb::PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(Prefix::parse("10.1.2.3/32"), 32);
+  EXPECT_EQ(*trie.longest_match(addr("10.1.2.3")), 32);
+  EXPECT_EQ(*trie.longest_match(addr("10.1.2.4")), 8);
+}
+
+TEST(PrefixTrie, VisitWithinEnumeratesSubtree) {
+  sb::PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("32.0.0.0/8"), 1);
+  trie.insert(Prefix::parse("32.1.0.0/16"), 2);
+  trie.insert(Prefix::parse("32.1.5.0/24"), 3);
+  trie.insert(Prefix::parse("33.0.0.0/8"), 4);
+  trie.insert(Prefix::parse("8.0.0.0/8"), 5);
+
+  std::map<Prefix, int> seen;
+  trie.visit_within(Prefix::parse("32.0.0.0/8"),
+                    [&seen](const Prefix& p, int v) { seen[p] = v; });
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen.at(Prefix::parse("32.0.0.0/8")), 1);
+  EXPECT_EQ(seen.at(Prefix::parse("32.1.0.0/16")), 2);
+  EXPECT_EQ(seen.at(Prefix::parse("32.1.5.0/24")), 3);
+  EXPECT_EQ(seen.count(Prefix::parse("33.0.0.0/8")), 0u);
+}
+
+TEST(PrefixTrie, VisitWithinMissingSubtreeIsEmpty) {
+  sb::PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("32.0.0.0/8"), 1);
+  int count = 0;
+  trie.visit_within(Prefix::parse("64.0.0.0/8"), [&count](const Prefix&, int) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PrefixTrie, AgreesWithLinearScanOnTraceTable) {
+  spider::trace::TraceConfig config;
+  config.num_prefixes = 3000;
+  config.num_updates = 1;
+  config.seed = 9;
+  auto tr = spider::trace::generate(config);
+
+  sb::PrefixTrie<std::size_t> trie;
+  std::vector<Prefix> prefixes;
+  for (std::size_t i = 0; i < tr.rib_snapshot.size(); ++i) {
+    prefixes.push_back(tr.rib_snapshot[i].prefix);
+    trie.insert(tr.rib_snapshot[i].prefix, i);
+  }
+  EXPECT_EQ(trie.size(), prefixes.size());
+
+  spider::util::SplitMix64 rng(10);
+  for (int probe = 0; probe < 500; ++probe) {
+    std::uint32_t address = static_cast<std::uint32_t>(rng.next());
+    // Linear reference: most specific containing prefix.
+    const Prefix* best = nullptr;
+    for (const Prefix& p : prefixes) {
+      if (p.contains(Prefix(address, 32))) {
+        if (!best || p.length() > best->length()) best = &p;
+      }
+    }
+    auto hit = trie.longest_match_prefix(address);
+    if (!best) {
+      EXPECT_FALSE(hit.has_value());
+    } else {
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_EQ(hit->first, *best);
+    }
+  }
+}
+
+TEST(PrefixTrie, ChurnKeepsInvariants) {
+  spider::util::SplitMix64 rng(11);
+  sb::PrefixTrie<int> trie;
+  std::map<Prefix, int> reference;
+  for (int op = 0; op < 5000; ++op) {
+    Prefix p(static_cast<std::uint32_t>(rng.next()), static_cast<std::uint8_t>(rng.below(25)));
+    if (rng.chance(0.6)) {
+      int v = static_cast<int>(rng.below(1000));
+      trie.insert(p, v);
+      reference[p] = v;
+    } else {
+      bool removed = trie.erase(p);
+      EXPECT_EQ(removed, reference.erase(p) > 0);
+    }
+  }
+  EXPECT_EQ(trie.size(), reference.size());
+  for (const auto& [p, v] : reference) {
+    ASSERT_NE(trie.find(p), nullptr) << p.str();
+    EXPECT_EQ(*trie.find(p), v);
+  }
+}

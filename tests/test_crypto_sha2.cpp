@@ -1,0 +1,149 @@
+// SHA-256 / SHA-512 against FIPS 180-4 / NIST CAVP reference vectors, plus
+// streaming-equivalence and truncated-digest tests.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/sha2.hpp"
+#include "util/bytes.hpp"
+
+namespace sc = spider::crypto;
+namespace su = spider::util;
+
+namespace {
+su::ByteSpan span_of(const std::string& s) {
+  return su::ByteSpan{reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+template <typename Digest>
+std::string hex_of(const Digest& d) {
+  return su::to_hex(su::ByteSpan{d.data(), d.size()});
+}
+}  // namespace
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(sc::Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of(sc::Sha256::hash(span_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(sc::Sha256::hash(span_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  sc::Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(span_of(chunk));
+  EXPECT_EQ(hex_of(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha512, EmptyString) {
+  EXPECT_EQ(hex_of(sc::Sha512::hash({})),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(hex_of(sc::Sha512::hash(span_of("abc"))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(sc::Sha512::hash(span_of(
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"))),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512, MillionAs) {
+  sc::Sha512 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(span_of(chunk));
+  EXPECT_EQ(hex_of(h.finish()),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb"
+            "de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b");
+}
+
+TEST(Sha512, StreamingMatchesOneShot) {
+  // Split the same message at every possible boundary; digests must agree.
+  std::string msg(300, '\0');
+  for (std::size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<char>(i * 31 + 7);
+  auto expected = sc::Sha512::hash(span_of(msg));
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{63}, std::size_t{64},
+                            std::size_t{127}, std::size_t{128}, std::size_t{129}, std::size_t{299}}) {
+    sc::Sha512 h;
+    h.update(su::ByteSpan{reinterpret_cast<const std::uint8_t*>(msg.data()), split});
+    h.update(su::ByteSpan{reinterpret_cast<const std::uint8_t*>(msg.data()) + split, msg.size() - split});
+    EXPECT_EQ(h.finish(), expected) << "split at " << split;
+  }
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  std::string msg(200, '\0');
+  for (std::size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<char>(i * 17 + 3);
+  auto expected = sc::Sha256::hash(span_of(msg));
+  for (std::size_t split : {std::size_t{1}, std::size_t{55}, std::size_t{56}, std::size_t{63},
+                            std::size_t{64}, std::size_t{65}}) {
+    sc::Sha256 h;
+    h.update(su::ByteSpan{reinterpret_cast<const std::uint8_t*>(msg.data()), split});
+    h.update(su::ByteSpan{reinterpret_cast<const std::uint8_t*>(msg.data()) + split, msg.size() - split});
+    EXPECT_EQ(h.finish(), expected) << "split at " << split;
+  }
+}
+
+TEST(Sha512, ReusableAfterFinish) {
+  sc::Sha512 h;
+  h.update(span_of("abc"));
+  auto first = h.finish();
+  h.update(span_of("abc"));
+  auto second = h.finish();
+  EXPECT_EQ(first, second);
+}
+
+TEST(Digest20, IsSha512Prefix) {
+  auto full = sc::Sha512::hash(span_of("abc"));
+  auto trunc = sc::digest20(span_of("abc"));
+  EXPECT_TRUE(std::equal(trunc.begin(), trunc.end(), full.begin()));
+}
+
+TEST(Digest20, ConcatMatchesManualConcat) {
+  su::Bytes a = {1, 2, 3};
+  su::Bytes b = {4, 5};
+  auto joined = su::concat({a, b});
+  EXPECT_EQ(sc::digest20_concat({a, b}), sc::digest20(joined));
+}
+
+TEST(Digest20, DistinctInputsDistinctDigests) {
+  EXPECT_NE(sc::digest20(span_of("a")), sc::digest20(span_of("b")));
+}
+
+// Boundary lengths around the SHA-512 padding edge (112 mod 128).
+TEST(Sha512, PaddingBoundaryLengths) {
+  for (std::size_t len : {std::size_t{111}, std::size_t{112}, std::size_t{113}, std::size_t{127},
+                          std::size_t{128}, std::size_t{129}, std::size_t{239}, std::size_t{240}}) {
+    std::string msg(len, 'x');
+    // Verify streaming one byte at a time matches one-shot at these edges.
+    sc::Sha512 h;
+    for (char c : msg) h.update(su::ByteSpan{reinterpret_cast<const std::uint8_t*>(&c), 1});
+    EXPECT_EQ(h.finish(), sc::Sha512::hash(span_of(msg))) << "len " << len;
+  }
+}
+
+TEST(Sha256, PaddingBoundaryLengths) {
+  for (std::size_t len : {std::size_t{55}, std::size_t{56}, std::size_t{57}, std::size_t{63},
+                          std::size_t{64}, std::size_t{65}}) {
+    std::string msg(len, 'y');
+    sc::Sha256 h;
+    for (char c : msg) h.update(su::ByteSpan{reinterpret_cast<const std::uint8_t*>(&c), 1});
+    EXPECT_EQ(h.finish(), sc::Sha256::hash(span_of(msg))) << "len " << len;
+  }
+}

@@ -1,0 +1,182 @@
+// Decoder robustness: every wire decoder must either succeed or throw
+// DecodeError on arbitrary input — never crash, hang, or allocate
+// unboundedly.  This matters because incoming SPIDeR messages are
+// attacker-controlled: a malformed message is evidence, not a DoS vector.
+#include <gtest/gtest.h>
+
+#include "bgp/route.hpp"
+#include "core/commitment.hpp"
+#include "core/mtt.hpp"
+#include "core/promise.hpp"
+#include "core/vpref.hpp"
+#include "spider/messages.hpp"
+#include "util/rng.hpp"
+
+namespace su = spider::util;
+namespace sb = spider::bgp;
+namespace sc = spider::core;
+namespace sp = spider::proto;
+
+namespace {
+
+/// Runs a decoder over random buffers and mutated valid encodings.
+template <typename Decode>
+void fuzz_decoder(const char* name, su::Bytes valid, Decode&& decode) {
+  su::SplitMix64 rng(su::Bytes(valid).size() * 2654435761u + 17);
+
+  // Pure random buffers of various sizes.
+  for (int iter = 0; iter < 300; ++iter) {
+    su::Bytes junk(rng.below(200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    try {
+      decode(junk);
+    } catch (const su::DecodeError&) {
+    } catch (const std::exception& e) {
+      FAIL() << name << ": unexpected exception type on junk input: " << e.what();
+    }
+  }
+
+  // Truncations of a valid encoding at every length.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    su::Bytes prefix(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(len));
+    try {
+      decode(prefix);
+    } catch (const su::DecodeError&) {
+    } catch (const std::exception& e) {
+      FAIL() << name << ": unexpected exception on truncation at " << len << ": " << e.what();
+    }
+  }
+
+  // Single-byte mutations of a valid encoding.
+  for (int iter = 0; iter < 500; ++iter) {
+    su::Bytes mutated = valid;
+    if (mutated.empty()) break;
+    mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    try {
+      decode(mutated);
+    } catch (const su::DecodeError&) {
+    } catch (const std::exception& e) {
+      FAIL() << name << ": unexpected exception on mutation: " << e.what();
+    }
+  }
+
+  // The valid encoding itself must decode.
+  EXPECT_NO_THROW(decode(valid)) << name;
+}
+
+sb::Route sample_route() {
+  sb::Route r;
+  r.prefix = sb::Prefix::parse("10.20.0.0/16");
+  r.as_path = {2, 3, 7};
+  r.learned_from = 2;
+  r.med = 42;
+  r.communities = {sb::make_community(2, 100)};
+  return r;
+}
+
+}  // namespace
+
+TEST(DecodeRobustness, BgpUpdate) {
+  sb::Update u;
+  u.announced.push_back(sample_route());
+  u.withdrawn.push_back(sb::Prefix::parse("11.0.0.0/8"));
+  fuzz_decoder("Update", u.encode(), [](su::ByteSpan data) { (void)sb::Update::decode(data); });
+}
+
+TEST(DecodeRobustness, Promise) {
+  sc::Promise p(6);
+  p.add_preference(0, 3);
+  p.add_preference(3, 5);
+  fuzz_decoder("Promise", p.encode(), [](su::ByteSpan data) { (void)sc::Promise::decode(data); });
+}
+
+TEST(DecodeRobustness, FlatBitProof) {
+  spider::crypto::CommitmentPrf prf(spider::crypto::seed_from_string("fuzz"));
+  sc::FlatCommitment commitment({true, false, true}, prf);
+  fuzz_decoder("FlatBitProof", commitment.prove(1).encode(),
+               [](su::ByteSpan data) { (void)sc::FlatBitProof::decode(data); });
+}
+
+TEST(DecodeRobustness, MttPrefixProof) {
+  std::vector<std::pair<sb::Prefix, std::vector<bool>>> entries = {
+      {sb::Prefix::parse("10.0.0.0/8"), {true, false, true, false}}};
+  auto tree = sc::Mtt::build(entries, 4);
+  spider::crypto::CommitmentPrf prf(spider::crypto::seed_from_string("fuzz-mtt"));
+  tree.compute_labels(prf);
+  auto proof = tree.prove(prf, sb::Prefix::parse("10.0.0.0/8"), {0, 2});
+  fuzz_decoder("MttPrefixProof", proof.encode(),
+               [](su::ByteSpan data) { (void)sc::MttPrefixProof::decode(data); });
+}
+
+TEST(DecodeRobustness, SignedEnvelope) {
+  sc::SignedEnvelope env;
+  env.signer = 7;
+  env.payload = su::str_bytes("payload");
+  env.signature = su::str_bytes("signature");
+  fuzz_decoder("SignedEnvelope", env.encode(),
+               [](su::ByteSpan data) { (void)sc::SignedEnvelope::decode(data); });
+}
+
+TEST(DecodeRobustness, VprefPayloads) {
+  sc::AnnouncePayload announce;
+  announce.producer = 1;
+  announce.elector = 2;
+  announce.round = 3;
+  announce.route = sample_route();
+  fuzz_decoder("AnnouncePayload", announce.encode(),
+               [](su::ByteSpan data) { (void)sc::AnnouncePayload::decode(data); });
+
+  sc::OfferPayload offer;
+  offer.elector = 2;
+  offer.consumer = 9;
+  offer.round = 3;
+  offer.route = sample_route();
+  fuzz_decoder("OfferPayload", offer.encode(),
+               [](su::ByteSpan data) { (void)sc::OfferPayload::decode(data); });
+
+  sc::CommitPayload commit;
+  commit.elector = 2;
+  commit.round = 3;
+  commit.num_bits = 4;
+  fuzz_decoder("CommitPayload", commit.encode(),
+               [](su::ByteSpan data) { (void)sc::CommitPayload::decode(data); });
+}
+
+TEST(DecodeRobustness, SpiderMessages) {
+  sp::SpiderAnnounce announce;
+  announce.timestamp = 1000;
+  announce.from_as = 1;
+  announce.to_as = 2;
+  announce.route = sample_route();
+  announce.underlying_from = 9;
+  announce.underlying_digest = spider::crypto::digest20(su::str_bytes("u"));
+  fuzz_decoder("SpiderAnnounce", announce.encode(),
+               [](su::ByteSpan data) { (void)sp::SpiderAnnounce::decode(data); });
+
+  sp::SpiderBatch batch;
+  batch.parts.push_back({sp::SpiderMsgType::kAnnounce, announce.encode()});
+  batch.parts.push_back(
+      {sp::SpiderMsgType::kWithdraw,
+       sp::SpiderWithdraw{1, 1, 2, sb::Prefix::parse("10.0.0.0/8")}.encode()});
+  fuzz_decoder("SpiderBatch", batch.encode(),
+               [](su::ByteSpan data) { (void)sp::SpiderBatch::decode(data); });
+}
+
+TEST(DecodeRobustness, Challenges) {
+  sc::SignedEnvelope env;
+  env.signer = 7;
+  env.payload = su::str_bytes("p");
+  env.signature = su::str_bytes("s");
+  sc::ProducerChallenge pc;
+  pc.announce = env;
+  pc.ack = env;
+  fuzz_decoder("ProducerChallenge", pc.encode(),
+               [](su::ByteSpan data) { (void)sc::ProducerChallenge::decode(data); });
+
+  sc::ConsumerChallenge cc;
+  cc.offer = env;
+  cc.signed_promise = env;
+  cc.received_proofs.push_back(env);
+  fuzz_decoder("ConsumerChallenge", cc.encode(),
+               [](su::ByteSpan data) { (void)sc::ConsumerChallenge::decode(data); });
+}

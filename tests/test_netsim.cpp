@@ -1,0 +1,202 @@
+// Discrete-event simulator: ordering, delivery, byte accounting, clocks.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "netsim/sim.hpp"
+
+namespace sn = spider::netsim;
+namespace su = spider::util;
+
+namespace {
+
+/// Records every delivery with its arrival time.
+class Recorder : public sn::Node {
+ public:
+  explicit Recorder(sn::Simulator& sim) : sim_(sim) {}
+  void handle_message(sn::NodeId from, su::ByteSpan payload) override {
+    deliveries.push_back({sim_.now(), from, su::Bytes(payload.begin(), payload.end())});
+  }
+  struct Delivery {
+    sn::Time time;
+    sn::NodeId from;
+    su::Bytes payload;
+  };
+  std::vector<Delivery> deliveries;
+
+ private:
+  sn::Simulator& sim_;
+};
+
+su::Bytes payload(const std::string& s) { return su::Bytes(s.begin(), s.end()); }
+
+}  // namespace
+
+TEST(Sim, DeliversWithLatency) {
+  sn::Simulator sim;
+  Recorder a(sim), b(sim);
+  auto ida = sim.add_node(a, "a");
+  auto idb = sim.add_node(b, "b");
+  sim.connect(ida, idb, 500);
+
+  sim.send(ida, idb, payload("hello"));
+  sim.run();
+
+  ASSERT_EQ(b.deliveries.size(), 1u);
+  EXPECT_EQ(b.deliveries[0].time, 500);
+  EXPECT_EQ(b.deliveries[0].from, ida);
+  EXPECT_EQ(b.deliveries[0].payload, payload("hello"));
+}
+
+TEST(Sim, FifoOrderForEqualTimestamps) {
+  sn::Simulator sim;
+  Recorder a(sim), b(sim);
+  auto ida = sim.add_node(a, "a");
+  auto idb = sim.add_node(b, "b");
+  sim.connect(ida, idb, 100);
+  for (int i = 0; i < 10; ++i) sim.send(ida, idb, payload(std::to_string(i)));
+  sim.run();
+  ASSERT_EQ(b.deliveries.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(b.deliveries[static_cast<std::size_t>(i)].payload, payload(std::to_string(i)));
+}
+
+TEST(Sim, EventsRunInTimeOrder) {
+  sn::Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(300, [&order] { order.push_back(3); });
+  sim.schedule_at(100, [&order] { order.push_back(1); });
+  sim.schedule_at(200, [&order] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(Sim, RunUntilStopsAtBoundary) {
+  sn::Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(100, [&order] { order.push_back(1); });
+  sim.schedule_at(200, [&order] { order.push_back(2); });
+  sim.run_until(150);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.now(), 150);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Sim, ScheduleInIsRelative) {
+  sn::Simulator sim;
+  sn::Time fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_in(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Sim, SchedulingInPastThrows) {
+  sn::Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(50, [] {}), std::logic_error);
+}
+
+TEST(Sim, SendWithoutLinkThrows) {
+  sn::Simulator sim;
+  Recorder a(sim), b(sim);
+  auto ida = sim.add_node(a, "a");
+  auto idb = sim.add_node(b, "b");
+  EXPECT_THROW(sim.send(ida, idb, payload("x")), std::logic_error);
+}
+
+TEST(Sim, SelfLinkRejected) {
+  sn::Simulator sim;
+  Recorder a(sim);
+  auto ida = sim.add_node(a, "a");
+  EXPECT_THROW(sim.connect(ida, ida, 1), std::logic_error);
+}
+
+TEST(Sim, LinkStatsCountBothDirections) {
+  sn::Simulator sim;
+  Recorder a(sim), b(sim);
+  auto ida = sim.add_node(a, "a");
+  auto idb = sim.add_node(b, "b");
+  sim.connect(ida, idb, 1);
+  sim.send(ida, idb, payload("12345"));
+  sim.send(idb, ida, payload("123"));
+  sim.send(idb, ida, payload("7"));
+  sim.run();
+
+  const auto& stats = sim.link_stats(ida, idb);
+  EXPECT_EQ(stats.a_to_b.messages, 1u);
+  EXPECT_EQ(stats.a_to_b.bytes, 5u);
+  EXPECT_EQ(stats.b_to_a.messages, 2u);
+  EXPECT_EQ(stats.b_to_a.bytes, 4u);
+  EXPECT_EQ(stats.total_bytes(), 9u);
+  EXPECT_EQ(stats.total_messages(), 3u);
+}
+
+TEST(Sim, NodeBytesSentAggregates) {
+  sn::Simulator sim;
+  Recorder a(sim), b(sim), c(sim);
+  auto ida = sim.add_node(a, "a");
+  auto idb = sim.add_node(b, "b");
+  auto idc = sim.add_node(c, "c");
+  sim.connect(ida, idb, 1);
+  sim.connect(ida, idc, 1);
+  sim.send(ida, idb, payload("xx"));
+  sim.send(ida, idc, payload("yyy"));
+  sim.run();
+  EXPECT_EQ(sim.node_bytes_sent(ida), 5u);
+  EXPECT_EQ(sim.node_bytes_sent(idb), 0u);
+}
+
+TEST(Sim, ClockSkewAppliesPerNode) {
+  sn::Simulator sim;
+  Recorder a(sim), b(sim);
+  auto ida = sim.add_node(a, "a");
+  auto idb = sim.add_node(b, "b");
+  sim.set_clock_skew(ida, 2'000'000);
+  sim.set_clock_skew(idb, -500'000);
+  sim.schedule_at(1'000'000, [] {});
+  sim.run();
+  EXPECT_EQ(sim.local_time(ida), 3'000'000);
+  EXPECT_EQ(sim.local_time(idb), 500'000);
+}
+
+TEST(Sim, ConnectedQuery) {
+  sn::Simulator sim;
+  Recorder a(sim), b(sim), c(sim);
+  auto ida = sim.add_node(a, "a");
+  auto idb = sim.add_node(b, "b");
+  auto idc = sim.add_node(c, "c");
+  sim.connect(ida, idb, 1);
+  EXPECT_TRUE(sim.connected(ida, idb));
+  EXPECT_TRUE(sim.connected(idb, ida));
+  EXPECT_FALSE(sim.connected(ida, idc));
+}
+
+TEST(Sim, PayloadIsCopiedNotAliased) {
+  sn::Simulator sim;
+  Recorder a(sim), b(sim);
+  auto ida = sim.add_node(a, "a");
+  auto idb = sim.add_node(b, "b");
+  sim.connect(ida, idb, 10);
+  {
+    su::Bytes msg = payload("scoped");
+    sim.send(ida, idb, msg);
+    msg.assign(msg.size(), 0);  // mutate after send
+  }
+  sim.run();
+  ASSERT_EQ(b.deliveries.size(), 1u);
+  EXPECT_EQ(b.deliveries[0].payload, payload("scoped"));
+}
+
+TEST(Sim, NamesAndIds) {
+  sn::Simulator sim;
+  Recorder a(sim);
+  auto ida = sim.add_node(a, "alpha");
+  EXPECT_EQ(a.node_id(), ida);
+  EXPECT_EQ(a.name(), "alpha");
+  EXPECT_EQ(sim.node_count(), 1u);
+}

@@ -1,0 +1,360 @@
+// End-to-end SPIDeR over the Figure-5 deployment: mirroring, commitments,
+// checkpoint+replay reconstruction, producer/consumer verification, the
+// three §7.4 fault injections, extended verification, and the NetReview
+// baseline.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "netreview/auditor.hpp"
+#include "spider/checker.hpp"
+#include "spider/deployment.hpp"
+#include "spider/proof_generator.hpp"
+
+namespace sp = spider::proto;
+namespace sc = spider::core;
+namespace sb = spider::bgp;
+namespace st = spider::trace;
+namespace sn = spider::netsim;
+
+namespace {
+
+constexpr sn::Time kSecond = sn::kMicrosPerSecond;
+
+st::RouteViewsTrace small_trace() {
+  st::TraceConfig config;
+  config.num_prefixes = 200;
+  config.num_updates = 120;
+  config.duration = 30 * kSecond;
+  config.seed = 77;
+  return st::generate(config);
+}
+
+sp::DeploymentConfig small_config() {
+  sp::DeploymentConfig config;
+  config.num_classes = 10;
+  config.commit_ases = {};  // commitments driven manually by the tests
+  return config;
+}
+
+/// A deployment that has completed setup + replay of the small trace.
+struct World {
+  st::RouteViewsTrace trace = small_trace();
+  sp::Fig5Deployment deploy;
+
+  explicit World(sp::DeploymentConfig config = small_config(),
+                 std::function<void(sp::Fig5Deployment&)> before_traffic = {})
+      : deploy(std::move(config)) {
+    if (before_traffic) before_traffic(deploy);
+    sn::Time start = deploy.run_setup(trace, 30 * kSecond);
+    deploy.run_replay(trace, start, 5 * kSecond);
+  }
+
+  /// Commits at AS 5 and returns (record, reconstruction-ready generator).
+  const sp::CommitmentRecord& commit_as5() {
+    const auto& record = deploy.recorder(5).make_commitment();
+    deploy.sim().run();  // deliver the commitment + acks
+    return record;
+  }
+
+  sp::SpiderCommit commit_seen_by(sb::AsNumber neighbor, sn::Time t) {
+    return deploy.recorder(neighbor).received_commitments().at(5).at(t);
+  }
+
+  /// The producer-side window history: stable single values in these tests.
+  std::map<sb::Prefix, std::vector<sb::Route>> window_of(sb::AsNumber producer) {
+    std::map<sb::Prefix, std::vector<sb::Route>> out;
+    for (const auto& [prefix, route] : deploy.recorder(producer).my_exports_to(5)) {
+      out[prefix] = {route};
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+TEST(SpiderIntegration, SetupPropagatesRoutesEverywhere) {
+  World world;
+  for (sb::AsNumber asn : sp::Fig5Deployment::ases()) {
+    EXPECT_GT(world.deploy.speaker(asn).loc_rib().size(), world.trace.rib_snapshot.size() * 9 / 10)
+        << "AS" << asn << " is missing routes";
+  }
+}
+
+TEST(SpiderIntegration, NoAlarmsInFaultFreeRun) {
+  World world;
+  for (sb::AsNumber asn : sp::Fig5Deployment::ases()) {
+    EXPECT_TRUE(world.deploy.recorder(asn).alarms().empty())
+        << "AS" << asn << ": " << world.deploy.recorder(asn).alarms().front();
+  }
+}
+
+TEST(SpiderIntegration, RecorderMirrorsMatchBgpState) {
+  World world;
+  // AS5's mirrored inputs from AS2 must equal what AS2's recorder says it
+  // exported to AS5, and agree with AS5's own BGP Adj-RIB-In.
+  auto as5_inputs = world.deploy.recorder(5).my_imports_from(2);
+  auto as2_exports = world.deploy.recorder(2).my_exports_to(5);
+  EXPECT_EQ(as5_inputs.size(), as2_exports.size());
+  for (const auto& [prefix, route] : as5_inputs) {
+    auto it = as2_exports.find(prefix);
+    ASSERT_NE(it, as2_exports.end()) << prefix.str();
+    EXPECT_EQ(it->second.as_path, route.as_path);
+    const sb::Route* raw = world.deploy.speaker(5).adj_rib_in().find(2, prefix);
+    ASSERT_NE(raw, nullptr);
+    EXPECT_EQ(raw->as_path, route.as_path);
+  }
+  EXPECT_GT(as5_inputs.size(), 0u);
+}
+
+TEST(SpiderIntegration, SignaturesAreBatched) {
+  World world;
+  const auto& recorder = world.deploy.recorder(2);
+  // Far fewer signatures than mirrored updates (Nagle batching, §6.2).
+  EXPECT_GT(recorder.updates_mirrored(), 0u);
+  EXPECT_LT(recorder.signatures_performed(), recorder.updates_mirrored());
+}
+
+TEST(SpiderIntegration, CommitmentReachesAllNeighbors) {
+  World world;
+  const auto& record = world.commit_as5();
+  for (sb::AsNumber neighbor : world.deploy.neighbors_of(5)) {
+    auto commit = world.commit_seen_by(neighbor, record.timestamp);
+    EXPECT_EQ(commit.root, record.root);
+    EXPECT_EQ(commit.num_classes, 10u);
+  }
+}
+
+TEST(SpiderIntegration, ReplayReconstructsIdenticalRoot) {
+  // The §6.5 property: checkpoint + log replay + stored seed reproduce a
+  // bit-identical MTT root, so MTTs need not be stored.
+  World world;
+  const auto& record = world.commit_as5();
+  sp::ProofGenerator generator(world.deploy.recorder(5));
+  auto recon = generator.reconstruct(record.timestamp);
+  EXPECT_TRUE(recon.root_matches);
+  EXPECT_EQ(recon.tree.root_label(), record.root);
+  // And the replayed mirror equals the live mirror (no traffic since T).
+  EXPECT_TRUE(recon.state == world.deploy.recorder(5).state());
+}
+
+TEST(SpiderIntegration, ProducerProofsSatisfyHonestNeighbors) {
+  World world;
+  const auto& record = world.commit_as5();
+  sp::ProofGenerator generator(world.deploy.recorder(5));
+  auto recon = generator.reconstruct(record.timestamp);
+
+  for (sb::AsNumber producer : world.deploy.neighbors_of(5)) {
+    auto proofs = generator.proofs_for_producer(recon, producer);
+    auto commit = world.commit_seen_by(producer, record.timestamp);
+    auto detection = sp::Checker::check_producer_proofs(
+        commit, 5, world.window_of(producer), proofs,
+        world.deploy.recorder(producer).classifier());
+    EXPECT_FALSE(detection.has_value())
+        << "AS" << producer << ": " << detection->detail;
+    // Items exist exactly for neighbors that export routes to AS 5 (split
+    // horizon means AS 5's downstream neighbors often export nothing back).
+    EXPECT_EQ(proofs.items.empty(), world.window_of(producer).empty());
+  }
+}
+
+TEST(SpiderIntegration, ConsumerProofsSatisfyHonestNeighbors) {
+  World world;
+  const auto& record = world.commit_as5();
+  sp::ProofGenerator generator(world.deploy.recorder(5));
+  auto recon = generator.reconstruct(record.timestamp);
+
+  for (sb::AsNumber consumer : world.deploy.neighbors_of(5)) {
+    auto proofs = generator.proofs_for_consumer(recon, consumer);
+    auto commit = world.commit_seen_by(consumer, record.timestamp);
+    const auto& rec = world.deploy.recorder(consumer);
+    auto detection = sp::Checker::check_consumer_proofs(
+        commit, 5, sc::Promise::total_order(10), rec.my_imports_from(5), proofs, consumer,
+        rec.classifier());
+    EXPECT_FALSE(detection.has_value())
+        << "AS" << consumer << ": " << detection->detail;
+    EXPECT_EQ(proofs.items.empty(), rec.my_imports_from(5).empty());
+  }
+}
+
+// ------------------------------------------------- §7.4 fault injections
+
+TEST(SpiderIntegration, Fault1_OveraggressiveFilterDetectedByProducer) {
+  // AS5 filters everything AS2 sends (and its recorder lies consistently).
+  World world(small_config(), [](sp::Fig5Deployment& deploy) {
+    deploy.speaker(5).inject_import_filter_fault(2);
+    deploy.recorder(5).faults().ignore_inputs = {2};
+  });
+  const auto& record = world.commit_as5();
+  sp::ProofGenerator generator(world.deploy.recorder(5));
+  auto recon = generator.reconstruct(record.timestamp);
+  EXPECT_TRUE(recon.root_matches);
+
+  auto proofs = generator.proofs_for_producer(recon, 2);
+  auto commit = world.commit_seen_by(2, record.timestamp);
+  auto detection = sp::Checker::check_producer_proofs(commit, 5, world.window_of(2), proofs,
+                                                      world.deploy.recorder(2).classifier());
+  ASSERT_TRUE(detection.has_value());
+  EXPECT_EQ(detection->kind, sc::FaultKind::kOmittedInput);
+  EXPECT_EQ(detection->accused, 5u);
+
+  // The consumers, meanwhile, see nothing wrong: the commitment matches
+  // the (worse) routes they actually received.
+  for (sb::AsNumber consumer : {6u, 7u, 8u}) {
+    auto cproofs = generator.proofs_for_consumer(recon, consumer);
+    auto ccommit = world.commit_seen_by(consumer, record.timestamp);
+    const auto& rec = world.deploy.recorder(consumer);
+    auto cdetection = sp::Checker::check_consumer_proofs(ccommit, 5,
+                                                         sc::Promise::total_order(10),
+                                                         rec.my_imports_from(5), cproofs,
+                                                         consumer, rec.classifier());
+    EXPECT_FALSE(cdetection.has_value()) << "AS" << consumer << ": " << cdetection->detail;
+  }
+}
+
+TEST(SpiderIntegration, Fault2_WronglyExportedRouteDetectedByConsumer) {
+  // The promise to AS6 says: routes with underlying path length >= 3
+  // (classes 2..8) must never be exported — the null route (class 9) is
+  // ranked above them.  AS5 exports them anyway (its BGP config ignores
+  // the agreement), and AS6 catches it because the null class bit is
+  // always 1.
+  sc::Promise never_long(10);
+  never_long.add_preference(0, 1);
+  for (sc::ClassId cls = 2; cls < 9; ++cls) never_long.add_preference(9, cls);
+  never_long.add_preference(1, 9);
+  World world(small_config(), [&](sp::Fig5Deployment& deploy) {
+    deploy.recorder(5).set_promise(6, never_long);
+  });
+
+  const auto& record = world.commit_as5();
+  sp::ProofGenerator generator(world.deploy.recorder(5));
+  auto recon = generator.reconstruct(record.timestamp);
+
+  auto proofs = generator.proofs_for_consumer(recon, 6);
+  auto commit = world.commit_seen_by(6, record.timestamp);
+  const auto& rec = world.deploy.recorder(6);
+  auto detection = sp::Checker::check_consumer_proofs(commit, 5, never_long,
+                                                      rec.my_imports_from(5), proofs, 6,
+                                                      rec.classifier());
+  ASSERT_TRUE(detection.has_value());
+  EXPECT_EQ(detection->kind, sc::FaultKind::kBrokenPromise);
+  EXPECT_EQ(detection->accused, 5u);
+}
+
+TEST(SpiderIntegration, Fault3_TamperedBitProofDetected) {
+  World world;
+  const auto& record = world.commit_as5();
+  sp::ProofGenerator generator(world.deploy.recorder(5));
+  generator.faults().tamper_classes = {0};  // lie about the best class
+  auto recon = generator.reconstruct(record.timestamp);
+
+  auto proofs = generator.proofs_for_consumer(recon, 6);
+  auto commit = world.commit_seen_by(6, record.timestamp);
+  const auto& rec = world.deploy.recorder(6);
+  auto detection = sp::Checker::check_consumer_proofs(commit, 5, sc::Promise::total_order(10),
+                                                      rec.my_imports_from(5), proofs, 6,
+                                                      rec.classifier());
+  ASSERT_TRUE(detection.has_value());
+  EXPECT_EQ(detection->kind, sc::FaultKind::kInvalidBitProof);
+}
+
+TEST(SpiderIntegration, CrossCheckCatchesEquivocation) {
+  World world;
+  const auto& record = world.commit_as5();
+  auto honest = world.commit_seen_by(2, record.timestamp);
+  auto forged = honest;
+  forged.root[0] ^= 1;
+  auto detection = sp::Checker::cross_check_commits(5, {honest, forged});
+  ASSERT_TRUE(detection.has_value());
+  EXPECT_EQ(detection->kind, sc::FaultKind::kInconsistentCommit);
+  EXPECT_FALSE(sp::Checker::cross_check_commits(5, {honest, honest}).has_value());
+}
+
+// ------------------------------------------- extended verification (§6.6)
+
+TEST(SpiderIntegration, ExtendedVerificationPassesWhenConsistent) {
+  World world;
+  const auto& record = world.commit_as5();
+  sp::ProofGenerator generator(world.deploy.recorder(5));
+  auto recon = generator.reconstruct(record.timestamp);
+
+  std::vector<sp::ReAnnounceSet> sets;
+  for (sb::AsNumber producer : world.deploy.neighbors_of(5)) {
+    sets.push_back(sp::build_re_announce_set(world.deploy.recorder(producer), 5,
+                                             record.timestamp));
+  }
+  auto selected = generator.select_re_announcements(recon, 6, sets);
+  auto detection = sp::Checker::check_re_announcements(
+      5, world.deploy.recorder(6).my_imports_from(5), selected);
+  EXPECT_FALSE(detection.has_value()) << detection->detail;
+  EXPECT_FALSE(selected.empty());
+  for (const auto& announce : selected) EXPECT_TRUE(announce.re_announce);
+}
+
+TEST(SpiderIntegration, ExtendedVerificationCatchesUnpropagatedWithdrawal) {
+  World world;
+  const auto& record = world.commit_as5();
+
+  // Snapshot what AS6 believes it holds from AS5 *before* the withdrawal.
+  auto imports_before = world.deploy.recorder(6).my_imports_from(5);
+  ASSERT_FALSE(imports_before.empty());
+
+  // The producers later withdraw a prefix AS6 still relies on; a faulty
+  // elector fails to propagate.  RE-ANNOUNCE sets built afterwards no
+  // longer cover that route.
+  const sb::Prefix victim = imports_before.begin()->first;
+  std::vector<sp::ReAnnounceSet> sets;
+  for (sb::AsNumber producer : world.deploy.neighbors_of(5)) {
+    auto set = sp::build_re_announce_set(world.deploy.recorder(producer), 5, record.timestamp);
+    set.announcements.erase(
+        std::remove_if(set.announcements.begin(), set.announcements.end(),
+                       [&](const sp::SpiderAnnounce& a) { return a.route.prefix == victim; }),
+        set.announcements.end());
+    sets.push_back(std::move(set));
+  }
+
+  std::vector<sp::SpiderAnnounce> selected;
+  for (const auto& set : sets) {
+    for (const auto& announce : set.announcements) selected.push_back(announce);
+  }
+  auto detection = sp::Checker::check_re_announcements(5, imports_before, selected);
+  ASSERT_TRUE(detection.has_value());
+  EXPECT_EQ(detection->kind, sc::FaultKind::kBrokenPromise);
+}
+
+// ------------------------------------------------------------- NetReview
+
+TEST(NetReview, CleanRunAuditsClean) {
+  World world;
+  auto report = spider::netreview::audit_full_disclosure(world.deploy.recorder(5).state(), 5);
+  EXPECT_TRUE(report.clean()) << report.findings.front().what;
+  EXPECT_GT(report.prefixes_checked, 0u);
+  EXPECT_GT(report.decisions_checked, 0u);
+}
+
+TEST(NetReview, HiddenRouteFoundByFullDisclosureAudit) {
+  // Under NetReview the same "overaggressive filter" fault is visible in
+  // the disclosed state itself: the exports are worse than the best input.
+  World world(small_config(), [](sp::Fig5Deployment& deploy) {
+    deploy.speaker(5).inject_import_filter_fault(2);
+    // Note: the recorder still mirrors AS2's *actual* inputs — NetReview
+    // requires full disclosure, so the audit sees the hidden route.
+  });
+  auto report = spider::netreview::audit_full_disclosure(world.deploy.recorder(5).state(), 5);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(NetReview, ComparisonCountScalesWithState) {
+  World world;
+  auto count = spider::netreview::audit_comparison_count(world.deploy.recorder(5).state());
+  EXPECT_GT(count, world.trace.rib_snapshot.size());
+}
+
+// ----------------------------------------------------------- state serde
+
+TEST(MirrorState, SerializeDeserializeRoundtrip) {
+  World world;
+  const auto& state = world.deploy.recorder(5).state();
+  auto restored = sp::MirrorState::deserialize(state.serialize());
+  EXPECT_TRUE(restored == state);
+}

@@ -1,0 +1,337 @@
+// SPIDeR wire messages, signed batches/quotes, the tamper-evident log, and
+// timestamped evidence of import/export (§6.2, §6.3, §6.5).
+#include <gtest/gtest.h>
+
+#include "spider/evidence.hpp"
+#include "spider/log.hpp"
+#include "spider/messages.hpp"
+
+namespace sp = spider::proto;
+namespace sc = spider::core;
+namespace scr = spider::crypto;
+namespace sb = spider::bgp;
+namespace su = spider::util;
+
+namespace {
+
+su::Bytes key_of(std::uint32_t asn) {
+  std::string s = "as-key-" + std::to_string(asn);
+  return su::Bytes(s.begin(), s.end());
+}
+
+struct TwoParty {
+  sc::KeyRegistry keys;
+  scr::HashSigner alice{key_of(1)};
+  scr::HashSigner bob{key_of(2)};
+  TwoParty() {
+    keys.add(1, std::make_unique<scr::HashVerifier>(key_of(1)));
+    keys.add(2, std::make_unique<scr::HashVerifier>(key_of(2)));
+  }
+};
+
+sb::Route sample_route(const char* prefix = "10.0.0.0/8") {
+  sb::Route r;
+  r.prefix = sb::Prefix::parse(prefix);
+  r.as_path = {2, 77};
+  r.learned_from = 2;
+  return r;
+}
+
+sp::SpiderAnnounce sample_announce(sp::Time t = 1000) {
+  sp::SpiderAnnounce a;
+  a.timestamp = t;
+  a.from_as = 1;
+  a.to_as = 2;
+  a.route = sample_route();
+  a.underlying_from = 77;
+  a.underlying_digest = scr::digest20(su::str_bytes("underlying"));
+  return a;
+}
+
+}  // namespace
+
+TEST(SpiderMessages, AnnounceRoundtrip) {
+  auto a = sample_announce();
+  auto decoded = sp::SpiderAnnounce::decode(a.encode());
+  EXPECT_EQ(decoded.timestamp, a.timestamp);
+  EXPECT_EQ(decoded.from_as, a.from_as);
+  EXPECT_EQ(decoded.to_as, a.to_as);
+  EXPECT_EQ(decoded.route, a.route);
+  EXPECT_EQ(decoded.underlying_from, a.underlying_from);
+  EXPECT_EQ(decoded.underlying_digest, a.underlying_digest);
+  EXPECT_FALSE(decoded.re_announce);
+}
+
+TEST(SpiderMessages, ReAnnounceFlagSurvives) {
+  auto a = sample_announce();
+  a.re_announce = true;
+  EXPECT_TRUE(sp::SpiderAnnounce::decode(a.encode()).re_announce);
+}
+
+TEST(SpiderMessages, WithdrawAckCommitRoundtrip) {
+  sp::SpiderWithdraw w{500, 1, 2, sb::Prefix::parse("10.0.0.0/8")};
+  auto wd = sp::SpiderWithdraw::decode(w.encode());
+  EXPECT_EQ(wd.prefix, w.prefix);
+  EXPECT_EQ(wd.timestamp, 500);
+
+  sp::SpiderAck ack{600, 2, 1, scr::digest20(su::str_bytes("m"))};
+  auto ad = sp::SpiderAck::decode(ack.encode());
+  EXPECT_EQ(ad.message_digest, ack.message_digest);
+
+  sp::SpiderCommit commit{700, 5, 50, scr::digest20(su::str_bytes("root"))};
+  auto cd = sp::SpiderCommit::decode(commit.encode());
+  EXPECT_EQ(cd.root, commit.root);
+  EXPECT_EQ(cd.num_classes, 50u);
+}
+
+TEST(SpiderMessages, TypeConfusionRejected) {
+  auto a = sample_announce();
+  EXPECT_THROW(sp::SpiderWithdraw::decode(a.encode()), su::DecodeError);
+}
+
+TEST(SpiderMessages, BatchRoundtripAndSigning) {
+  TwoParty net;
+  sp::SpiderBatch batch;
+  batch.parts.push_back({sp::SpiderMsgType::kAnnounce, sample_announce().encode()});
+  batch.parts.push_back(
+      {sp::SpiderMsgType::kWithdraw,
+       sp::SpiderWithdraw{2, 1, 2, sb::Prefix::parse("11.0.0.0/8")}.encode()});
+
+  auto envelope = sp::sign_batch(1, net.alice, batch);
+  EXPECT_TRUE(sc::check_envelope(envelope, net.keys));
+  auto decoded = sp::SpiderBatch::decode(envelope.payload);
+  ASSERT_EQ(decoded.parts.size(), 2u);
+  EXPECT_EQ(decoded.parts[0].type, sp::SpiderMsgType::kAnnounce);
+  EXPECT_EQ(decoded.parts[1].type, sp::SpiderMsgType::kWithdraw);
+}
+
+TEST(SpiderMessages, QuoteExtractsPart) {
+  TwoParty net;
+  sp::SpiderBatch batch;
+  batch.parts.push_back({sp::SpiderMsgType::kAnnounce, sample_announce().encode()});
+  batch.parts.push_back({sp::SpiderMsgType::kAnnounce, sample_announce(2000).encode()});
+  auto envelope = sp::sign_batch(1, net.alice, batch);
+
+  sp::MessageQuote quote{envelope, 1};
+  auto body = quote.extract(net.keys);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(sp::SpiderAnnounce::decode(*body).timestamp, 2000);
+
+  // Out-of-range part index.
+  sp::MessageQuote bad{envelope, 7};
+  EXPECT_FALSE(bad.extract(net.keys).has_value());
+
+  // Tampered batch.
+  sp::MessageQuote forged{envelope, 0};
+  forged.batch.payload.back() ^= 1;
+  EXPECT_FALSE(forged.extract(net.keys).has_value());
+}
+
+TEST(SpiderMessages, QuoteRoundtrip) {
+  TwoParty net;
+  sp::SpiderBatch batch;
+  batch.parts.push_back({sp::SpiderMsgType::kAnnounce, sample_announce().encode()});
+  sp::MessageQuote quote{sp::sign_batch(1, net.alice, batch), 0};
+  auto decoded = sp::MessageQuote::decode(quote.encode());
+  EXPECT_EQ(decoded.part, 0u);
+  EXPECT_TRUE(decoded.extract(net.keys).has_value());
+}
+
+// -------------------------------------------------------------------- log
+
+TEST(MessageLog, ChainVerifies) {
+  sp::MessageLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.append(i * 100, sp::LogDirection::kSent, 2, su::str_bytes("msg" + std::to_string(i)), 4);
+  }
+  EXPECT_TRUE(log.verify_chain());
+  EXPECT_EQ(log.entries().size(), 10u);
+}
+
+TEST(MessageLog, TamperBreaksChain) {
+  sp::MessageLog log;
+  log.append(100, sp::LogDirection::kSent, 2, su::str_bytes("aaa"), 0);
+  log.append(200, sp::LogDirection::kReceived, 3, su::str_bytes("bbb"), 0);
+  EXPECT_TRUE(log.verify_chain());
+  // A direct mutation of history must be detectable.
+  auto& entries = const_cast<std::vector<sp::LogEntry>&>(log.entries());
+  entries[0].message[0] ^= 1;
+  EXPECT_FALSE(log.verify_chain());
+}
+
+TEST(MessageLog, ByteAccounting) {
+  sp::MessageLog log;
+  log.append(1, sp::LogDirection::kSent, 2, su::Bytes(100, 7), 30);
+  log.append(2, sp::LogDirection::kSent, 2, su::Bytes(50, 7), 20);
+  EXPECT_EQ(log.message_bytes(), 150u);
+  EXPECT_EQ(log.signature_bytes(), 50u);
+}
+
+TEST(MessageLog, CheckpointLookup) {
+  sp::MessageLog log;
+  log.add_checkpoint(0, su::str_bytes("cp0"));
+  log.add_checkpoint(1000, su::str_bytes("cp1"));
+  log.add_checkpoint(5000, su::str_bytes("cp2"));
+  EXPECT_EQ(log.checkpoint_before(999)->timestamp, 0);
+  EXPECT_EQ(log.checkpoint_before(1000)->timestamp, 1000);
+  EXPECT_EQ(log.checkpoint_before(99999)->timestamp, 5000);
+  EXPECT_EQ(log.checkpoint_bytes(), 9u);
+}
+
+TEST(MessageLog, CommitmentRecords) {
+  sp::MessageLog log;
+  sp::CommitmentRecord record;
+  record.timestamp = 60;
+  record.seed = scr::seed_from_string("s");
+  record.num_classes = 50;
+  log.record_commitment(record);
+  ASSERT_NE(log.commitment_at(60), nullptr);
+  EXPECT_EQ(log.commitment_at(60)->seed, record.seed);
+  EXPECT_EQ(log.commitment_at(61), nullptr);
+  // §7.7: a commitment costs just the 32-byte seed.
+  EXPECT_EQ(log.commitment_bytes(), 32u);
+}
+
+TEST(MessageLog, EntriesBetweenBounds) {
+  sp::MessageLog log;
+  for (int i = 1; i <= 5; ++i) {
+    log.append(i * 100, sp::LogDirection::kSent, 2, su::str_bytes("m"), 0);
+  }
+  auto window = log.entries_between(100, 400);
+  ASSERT_EQ(window.size(), 3u);  // 200, 300, 400 (exclusive lower, inclusive upper)
+  EXPECT_EQ(window.front()->timestamp, 200);
+  EXPECT_EQ(window.back()->timestamp, 400);
+}
+
+TEST(MessageLog, PruneRetainsBaseCheckpointAndChain) {
+  sp::MessageLog log;
+  log.add_checkpoint(0, su::str_bytes("cp0"));
+  for (int i = 1; i <= 10; ++i) {
+    log.append(i * 100, sp::LogDirection::kSent, 2, su::str_bytes("m" + std::to_string(i)), 2);
+  }
+  log.add_checkpoint(500, su::str_bytes("cp5"));
+  sp::CommitmentRecord old_commit;
+  old_commit.timestamp = 300;
+  log.record_commitment(old_commit);
+  sp::CommitmentRecord new_commit;
+  new_commit.timestamp = 900;
+  log.record_commitment(new_commit);
+
+  log.prune_before(600);
+  EXPECT_TRUE(log.verify_chain());
+  EXPECT_EQ(log.entries().front().timestamp, 600);
+  EXPECT_EQ(log.commitment_at(300), nullptr);
+  EXPECT_NE(log.commitment_at(900), nullptr);
+  // The newest checkpoint before the cutoff survives as the replay base.
+  ASSERT_NE(log.checkpoint_before(600), nullptr);
+  EXPECT_EQ(log.checkpoint_before(600)->timestamp, 500);
+}
+
+// -------------------------------------------------------------- evidence
+
+namespace {
+
+struct EvidenceWorld {
+  TwoParty net;
+  sc::SignedEnvelope announce_batch;
+  sc::SignedEnvelope ack_batch;
+  sc::SignedEnvelope withdraw_batch;
+  sc::SignedEnvelope withdraw_ack_batch;
+
+  EvidenceWorld() {
+    // Alice (AS1) announces to Bob (AS2) at t=1000.
+    sp::SpiderBatch announce;
+    announce.parts.push_back({sp::SpiderMsgType::kAnnounce, sample_announce(1000).encode()});
+    announce_batch = sp::sign_batch(1, net.alice, announce);
+
+    // Bob acks.
+    sp::SpiderAck ack{1010, 2, 1, announce_batch.digest()};
+    sp::SpiderBatch ack_wrapper;
+    ack_wrapper.parts.push_back({sp::SpiderMsgType::kAck, ack.encode()});
+    ack_batch = sp::sign_batch(2, net.bob, ack_wrapper);
+
+    // Alice withdraws at t=2000.
+    sp::SpiderWithdraw withdraw{2000, 1, 2, sb::Prefix::parse("10.0.0.0/8")};
+    sp::SpiderBatch withdraw_wrapper;
+    withdraw_wrapper.parts.push_back({sp::SpiderMsgType::kWithdraw, withdraw.encode()});
+    withdraw_batch = sp::sign_batch(1, net.alice, withdraw_wrapper);
+
+    // Bob acks the withdrawal.
+    sp::SpiderAck wack{2010, 2, 1, withdraw_batch.digest()};
+    sp::SpiderBatch wack_wrapper;
+    wack_wrapper.parts.push_back({sp::SpiderMsgType::kAck, wack.encode()});
+    withdraw_ack_batch = sp::sign_batch(2, net.bob, wack_wrapper);
+  }
+
+  sp::ImportEvidence import_evidence() const {
+    return sp::ImportEvidence{{sp::MessageQuote{announce_batch, 0}}, ack_batch};
+  }
+  sp::ExportEvidence export_evidence() const {
+    return sp::ExportEvidence{{sp::MessageQuote{announce_batch, 0}}};
+  }
+  sp::EvidenceRefutation refutation(bool with_ack) const {
+    sp::EvidenceRefutation r{{sp::MessageQuote{withdraw_batch, 0}}, std::nullopt};
+    if (with_ack) r.ack = withdraw_ack_batch;
+    return r;
+  }
+};
+
+}  // namespace
+
+TEST(Evidence, ImportUpheldWithoutRefutation) {
+  EvidenceWorld world;
+  EXPECT_EQ(sp::check_evidence_of_import(world.import_evidence(), 1500, std::nullopt, world.net.keys),
+            sp::EvidenceVerdict::kUpheld);
+}
+
+TEST(Evidence, ImportRefutedByLaterWithdraw) {
+  EvidenceWorld world;
+  // Verification at t=3000: the withdraw at t=2000 lies in (1000, 3000).
+  EXPECT_EQ(sp::check_evidence_of_import(world.import_evidence(), 3000,
+                                         world.refutation(false), world.net.keys),
+            sp::EvidenceVerdict::kRefuted);
+}
+
+TEST(Evidence, ImportNotRefutedByWithdrawAfterT) {
+  EvidenceWorld world;
+  // Verification at t=1500: the withdraw at t=2000 is AFTER t — no refutation.
+  EXPECT_EQ(sp::check_evidence_of_import(world.import_evidence(), 1500,
+                                         world.refutation(false), world.net.keys),
+            sp::EvidenceVerdict::kUpheld);
+}
+
+TEST(Evidence, ImportInvalidWhenAnnounceAfterT) {
+  EvidenceWorld world;
+  EXPECT_EQ(sp::check_evidence_of_import(world.import_evidence(), 500, std::nullopt, world.net.keys),
+            sp::EvidenceVerdict::kInvalid);
+}
+
+TEST(Evidence, ImportInvalidWithWrongAck) {
+  EvidenceWorld world;
+  sp::ImportEvidence evidence = world.import_evidence();
+  evidence.ack = world.withdraw_ack_batch;  // acks a different message
+  EXPECT_EQ(sp::check_evidence_of_import(evidence, 1500, std::nullopt, world.net.keys),
+            sp::EvidenceVerdict::kInvalid);
+}
+
+TEST(Evidence, ExportUpheldAndRefutedWithAck) {
+  EvidenceWorld world;
+  EXPECT_EQ(sp::check_evidence_of_export(world.export_evidence(), 1500, std::nullopt, world.net.keys),
+            sp::EvidenceVerdict::kUpheld);
+  // Refuting an export claim needs the recipient's ACK on the withdraw.
+  EXPECT_EQ(sp::check_evidence_of_export(world.export_evidence(), 3000,
+                                         world.refutation(true), world.net.keys),
+            sp::EvidenceVerdict::kRefuted);
+  // Without the ACK the refutation fails and the evidence stands.
+  EXPECT_EQ(sp::check_evidence_of_export(world.export_evidence(), 3000,
+                                         world.refutation(false), world.net.keys),
+            sp::EvidenceVerdict::kUpheld);
+}
+
+TEST(Evidence, TamperedQuoteInvalid) {
+  EvidenceWorld world;
+  auto evidence = world.import_evidence();
+  evidence.announce.quote.batch.signature.back() ^= 1;
+  EXPECT_EQ(sp::check_evidence_of_import(evidence, 1500, std::nullopt, world.net.keys),
+            sp::EvidenceVerdict::kInvalid);
+}

@@ -1,0 +1,153 @@
+// Synthetic RouteViews trace generator: scale, determinism, distributions.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/routeviews.hpp"
+
+namespace st = spider::trace;
+namespace sb = spider::bgp;
+
+namespace {
+st::TraceConfig small_config() {
+  st::TraceConfig config;
+  config.num_prefixes = 5000;
+  config.num_updates = 2000;
+  config.duration = 60LL * spider::netsim::kMicrosPerSecond;
+  config.seed = 42;
+  return config;
+}
+}  // namespace
+
+TEST(Trace, SnapshotHasRequestedDistinctPrefixes) {
+  auto trace = st::generate(small_config());
+  EXPECT_EQ(trace.rib_snapshot.size(), 5000u);
+  std::set<sb::Prefix> distinct;
+  for (const auto& route : trace.rib_snapshot) distinct.insert(route.prefix);
+  EXPECT_EQ(distinct.size(), 5000u);
+}
+
+TEST(Trace, UpdateCountMatches) {
+  auto trace = st::generate(small_config());
+  EXPECT_EQ(trace.announce_count() + trace.withdraw_count(), 2000u);
+}
+
+TEST(Trace, DeterministicForSameSeed) {
+  auto a = st::generate(small_config());
+  auto b = st::generate(small_config());
+  ASSERT_EQ(a.rib_snapshot.size(), b.rib_snapshot.size());
+  EXPECT_EQ(a.rib_snapshot.front(), b.rib_snapshot.front());
+  EXPECT_EQ(a.rib_snapshot.back(), b.rib_snapshot.back());
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].update.announced, b.events[i].update.announced);
+    EXPECT_EQ(a.events[i].update.withdrawn, b.events[i].update.withdrawn);
+  }
+}
+
+TEST(Trace, DifferentSeedsDiffer) {
+  auto a = st::generate(small_config());
+  auto config = small_config();
+  config.seed = 43;
+  auto b = st::generate(config);
+  EXPECT_NE(a.rib_snapshot.front().prefix, b.rib_snapshot.front().prefix);
+}
+
+TEST(Trace, EventsSortedWithinDuration) {
+  auto trace = st::generate(small_config());
+  spider::netsim::Time last = 0;
+  for (const auto& ev : trace.events) {
+    EXPECT_GE(ev.time, last);
+    EXPECT_LT(ev.time, small_config().duration);
+    last = ev.time;
+  }
+}
+
+TEST(Trace, PrefixLengthsFollowRealisticHistogram) {
+  auto config = small_config();
+  config.num_prefixes = 20000;
+  auto trace = st::generate(config);
+  std::map<std::uint8_t, std::size_t> hist;
+  for (const auto& route : trace.rib_snapshot) hist[route.prefix.length()]++;
+  // /24 must dominate (roughly half the table), /8 must be rare, and no
+  // prefix may be shorter than /8 or longer than /24.
+  EXPECT_GT(hist[24], trace.rib_snapshot.size() * 4 / 10);
+  EXPECT_LT(hist[8], trace.rib_snapshot.size() / 100);
+  for (const auto& [len, count] : hist) {
+    EXPECT_GE(len, 8);
+    EXPECT_LE(len, 24);
+  }
+}
+
+TEST(Trace, WithdrawFractionApproximatelyRespected) {
+  auto config = small_config();
+  config.num_updates = 10000;
+  auto trace = st::generate(config);
+  double frac = static_cast<double>(trace.withdraw_count()) /
+                static_cast<double>(trace.withdraw_count() + trace.announce_count());
+  EXPECT_GT(frac, 0.08);
+  EXPECT_LT(frac, 0.32);
+}
+
+TEST(Trace, WithdrawalsOnlyForAnnouncedPrefixes) {
+  // Semantic validity: replaying the stream against a table never
+  // withdraws a prefix that is currently withdrawn.
+  auto trace = st::generate(small_config());
+  std::set<sb::Prefix> alive;
+  for (const auto& route : trace.rib_snapshot) alive.insert(route.prefix);
+  for (const auto& ev : trace.events) {
+    for (const auto& p : ev.update.withdrawn) {
+      EXPECT_TRUE(alive.count(p)) << "withdraw of non-announced " << p.str();
+      alive.erase(p);
+    }
+    for (const auto& r : ev.update.announced) alive.insert(r.prefix);
+  }
+}
+
+TEST(Trace, RoutesHavePlausiblePaths) {
+  auto trace = st::generate(small_config());
+  for (const auto& route : trace.rib_snapshot) {
+    ASSERT_FALSE(route.as_path.empty());
+    EXPECT_EQ(route.as_path.front(), small_config().peer_as);
+    EXPECT_LE(route.path_length(), 12u);
+    EXPECT_EQ(route.learned_from, small_config().peer_as);
+  }
+}
+
+TEST(Trace, UpdatesConcentrateOnFewPrefixes) {
+  // Zipf-like churn: the busiest decile of touched prefixes should carry
+  // well over half of all updates.
+  auto config = small_config();
+  config.num_updates = 8000;
+  auto trace = st::generate(config);
+  std::map<sb::Prefix, std::size_t> touches;
+  for (const auto& ev : trace.events) {
+    for (const auto& r : ev.update.announced) touches[r.prefix]++;
+    for (const auto& p : ev.update.withdrawn) touches[p]++;
+  }
+  std::vector<std::size_t> counts;
+  std::size_t total = 0;
+  for (const auto& [prefix, count] : touches) {
+    counts.push_back(count);
+    total += count;
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  std::size_t top_decile = 0;
+  for (std::size_t i = 0; i < counts.size() / 10 + 1; ++i) top_decile += counts[i];
+  EXPECT_GT(top_decile * 2, total);
+}
+
+TEST(Trace, PaperScaleParametersAreDefault) {
+  st::TraceConfig config;
+  EXPECT_EQ(config.num_prefixes, 391'028u);
+  EXPECT_EQ(config.num_updates, 38'696u);
+  EXPECT_EQ(config.duration, 15LL * 60 * spider::netsim::kMicrosPerSecond);
+}
+
+TEST(Trace, ZeroPrefixesRejected) {
+  st::TraceConfig config;
+  config.num_prefixes = 0;
+  EXPECT_THROW(st::generate(config), std::invalid_argument);
+}

@@ -1,0 +1,202 @@
+// Unit tests for the util substrate: bytes/hex, canonical serde, rng,
+// thread pool, and timers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timers.hpp"
+
+namespace su = spider::util;
+
+TEST(Bytes, HexRoundtrip) {
+  su::Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(su::to_hex(data), "0001abff7f");
+  EXPECT_EQ(su::from_hex("0001abff7f"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(su::to_hex(su::Bytes{}), "");
+  EXPECT_TRUE(su::from_hex("").empty());
+}
+
+TEST(Bytes, HexUppercaseAccepted) {
+  EXPECT_EQ(su::from_hex("ABCDEF"), (su::Bytes{0xab, 0xcd, 0xef}));
+}
+
+TEST(Bytes, HexRejectsOddLength) { EXPECT_THROW(su::from_hex("abc"), std::invalid_argument); }
+
+TEST(Bytes, HexRejectsNonHex) { EXPECT_THROW(su::from_hex("zz"), std::invalid_argument); }
+
+TEST(Bytes, Concat) {
+  su::Bytes a = {1, 2};
+  su::Bytes b = {3};
+  su::Bytes c = su::concat({a, b});
+  EXPECT_EQ(c, (su::Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, CtEqual) {
+  su::Bytes a = {1, 2, 3};
+  su::Bytes b = {1, 2, 3};
+  su::Bytes c = {1, 2, 4};
+  su::Bytes d = {1, 2};
+  EXPECT_TRUE(su::ct_equal(a, b));
+  EXPECT_FALSE(su::ct_equal(a, c));
+  EXPECT_FALSE(su::ct_equal(a, d));
+}
+
+TEST(Serde, IntegersRoundtrip) {
+  su::ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+
+  su::ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Serde, BytesAndStrings) {
+  su::ByteWriter w;
+  w.bytes(su::Bytes{9, 8, 7});
+  w.str("hello");
+  su::ByteReader r(w.data());
+  EXPECT_EQ(r.bytes(), (su::Bytes{9, 8, 7}));
+  EXPECT_EQ(r.str(), "hello");
+  r.expect_end();
+}
+
+TEST(Serde, BigEndianWireFormat) {
+  su::ByteWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (su::Bytes{1, 2, 3, 4}));
+}
+
+TEST(Serde, TruncationThrows) {
+  su::Bytes data = {0x00, 0x00};
+  su::ByteReader r(data);
+  EXPECT_THROW(r.u32(), su::DecodeError);
+}
+
+TEST(Serde, LengthPrefixOverrunThrows) {
+  su::ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  su::ByteReader r(w.data());
+  EXPECT_THROW(r.bytes(), su::DecodeError);
+}
+
+TEST(Serde, ExpectEndThrowsOnTrailing) {
+  su::Bytes data = {1, 2, 3};
+  su::ByteReader r(data);
+  r.u8();
+  EXPECT_THROW(r.expect_end(), su::DecodeError);
+}
+
+TEST(Serde, DigestRoundtrip) {
+  su::Digest20 d{};
+  for (std::size_t i = 0; i < d.size(); ++i) d[i] = static_cast<std::uint8_t>(i);
+  su::ByteWriter w;
+  w.digest(d);
+  su::ByteReader r(w.data());
+  EXPECT_EQ(r.digest(), d);
+}
+
+TEST(Rng, Deterministic) {
+  su::SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  su::SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowInRange) {
+  su::SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  su::SplitMix64 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.range(3, 5));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5}));
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  su::SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  su::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  su::ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, ZeroThreadsBecomesOne) {
+  su::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Timers, WallTimerAdvances) {
+  su::WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Timers, CpuMeterAccumulates) {
+  su::CpuMeter meter;
+  {
+    su::ScopedCpu scope(meter);
+    volatile double sink = 0;
+    for (int i = 0; i < 1000000; ++i) sink = sink + 1.0;
+  }
+  EXPECT_GT(meter.total(), 0.0);
+  double first = meter.total();
+  {
+    su::ScopedCpu scope(meter);
+    volatile double sink = 0;
+    for (int i = 0; i < 1000000; ++i) sink = sink + 1.0;
+  }
+  EXPECT_GT(meter.total(), first);
+}
+
+TEST(Timers, HumanBytes) {
+  EXPECT_EQ(su::human_bytes(512), "512.0 B");
+  EXPECT_EQ(su::human_bytes(2048), "2.0 kB");
+  EXPECT_EQ(su::human_bytes(144179200), "137.5 MB");
+}

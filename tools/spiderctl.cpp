@@ -1,0 +1,164 @@
+// spiderctl — command-line driver for the SPIDeR reproduction.
+//
+//   spiderctl demo [prefixes] [updates]      run the Fig. 5 deployment and
+//                                            verify AS 5's latest commitment
+//   spiderctl verify <as> [prefixes]         commit + verify any AS
+//   spiderctl faults [prefixes]              run the §7.4 fault matrix
+//   spiderctl trace [prefixes] [updates]     print synthetic-trace statistics
+//   spiderctl mtt <prefixes> [classes]       build + label an MTT, print stats
+//
+// All runs are deterministic for a given size (fixed seeds).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "spider/verification.hpp"
+
+using namespace spider;
+
+namespace {
+
+constexpr netsim::Time kSecond = netsim::kMicrosPerSecond;
+
+trace::RouteViewsTrace make_trace(std::size_t prefixes, std::size_t updates) {
+  trace::TraceConfig config;
+  config.num_prefixes = prefixes;
+  config.num_updates = updates;
+  config.duration = 60 * kSecond;
+  config.seed = 20120813;
+  return trace::generate(config);
+}
+
+void print_report(const proto::VerificationReport& report) {
+  std::printf("verification of AS%u @ T=%.1fs: %s (%.2f s, %s of proofs)\n", report.elector,
+              static_cast<double>(report.commit_time) / kSecond,
+              report.clean() ? "CLEAN" : "FINDINGS", report.elapsed_seconds,
+              util::human_bytes(report.proof_bytes).c_str());
+  std::printf("  replayed root: %s\n", report.root_matches ? "matches commitment" : "MISMATCH");
+  for (const auto& verdict : report.verdicts) {
+    std::printf("  AS%-2u %s\n", verdict.neighbor, verdict.clean() ? "ok" : "VIOLATION");
+  }
+  for (const auto& finding : report.findings()) std::printf("  ! %s\n", finding.c_str());
+}
+
+int cmd_verify(bgp::AsNumber elector, std::size_t prefixes, bool inject_fault) {
+  auto tr = make_trace(prefixes, prefixes / 4);
+  proto::DeploymentConfig config;
+  config.num_classes = 50;
+  config.commit_ases = {};
+  proto::Fig5Deployment deploy(config);
+  if (inject_fault) {
+    deploy.speaker(5).inject_import_filter_fault(2);
+    deploy.recorder(5).faults().ignore_inputs = {2};
+    std::printf("(injected: AS5 silently filters AS2's routes)\n");
+  }
+  std::printf("running setup + replay over the Fig. 5 topology (%zu prefixes)...\n", prefixes);
+  auto start = deploy.run_setup(tr, 60 * kSecond);
+  deploy.run_replay(tr, start, 5 * kSecond);
+
+  auto commit_time = deploy.recorder(elector).make_commitment().timestamp;
+  deploy.sim().run();
+  auto report = proto::run_verification(deploy, elector, commit_time, /*extended=*/true);
+  print_report(report);
+  return report.clean() == !inject_fault ? 0 : 1;
+}
+
+int cmd_faults(std::size_t prefixes) {
+  int bad = 0;
+  std::printf("== control (no fault): expect clean ==\n");
+  bad += cmd_verify(5, prefixes, false);
+  std::printf("\n== overaggressive filter: expect AS2 to detect ==\n");
+  bad += cmd_verify(5, prefixes, true);
+  return bad;
+}
+
+int cmd_trace(std::size_t prefixes, std::size_t updates) {
+  auto tr = make_trace(prefixes, updates);
+  std::map<std::uint8_t, std::size_t> lengths;
+  for (const auto& route : tr.rib_snapshot) lengths[route.prefix.length()]++;
+  std::printf("snapshot: %zu prefixes; replay: %zu events (%zu announce / %zu withdraw)\n",
+              tr.rib_snapshot.size(), tr.events.size(), tr.announce_count(),
+              tr.withdraw_count());
+  std::printf("prefix-length histogram:\n");
+  for (const auto& [len, count] : lengths) {
+    std::printf("  /%-2u %6zu  %s\n", len, count,
+                std::string(count * 60 / tr.rib_snapshot.size() + 1, '#').c_str());
+  }
+  return 0;
+}
+
+int cmd_mtt(std::size_t prefixes, std::uint32_t classes) {
+  auto tr = make_trace(prefixes, 1);
+  std::vector<std::pair<bgp::Prefix, std::vector<bool>>> entries;
+  for (const auto& route : tr.rib_snapshot) {
+    entries.emplace_back(route.prefix, std::vector<bool>(classes, false));
+  }
+  util::WallTimer build_timer;
+  auto tree = core::Mtt::build(std::move(entries), classes);
+  double build_s = build_timer.seconds();
+  crypto::CommitmentPrf prf(crypto::seed_from_string("spiderctl"));
+  util::WallTimer label_timer;
+  tree.compute_labels(prf);
+  auto counts = tree.counts();
+  std::printf("MTT over %zu prefixes x %u classes:\n", prefixes, classes);
+  std::printf("  nodes: %zu inner, %zu prefix, %zu dummy, %zu bit (%zu total)\n", counts.inner,
+              counts.prefix, counts.dummy, counts.bit, counts.total());
+  std::printf("  build %.3f s, label %.3f s (%llu hashes), memory %s\n", build_s,
+              label_timer.seconds(), static_cast<unsigned long long>(tree.last_label_hashes()),
+              util::human_bytes(tree.memory_bytes()).c_str());
+  std::printf("  root: %s\n", util::to_hex(tree.root_label()).c_str());
+  return 0;
+}
+
+std::size_t arg_or(int argc, char** argv, int index, std::size_t fallback) {
+  if (argc <= index) return fallback;
+  return static_cast<std::size_t>(std::strtoull(argv[index], nullptr, 10));
+}
+
+void usage() {
+  std::printf(
+      "spiderctl — SPIDeR (SIGCOMM'12) reproduction driver\n"
+      "  spiderctl demo   [prefixes] [updates]   full deployment + verification\n"
+      "  spiderctl verify <as> [prefixes]        commit + verify one AS\n"
+      "  spiderctl faults [prefixes]             run the fault matrix\n"
+      "  spiderctl trace  [prefixes] [updates]   synthetic trace statistics\n"
+      "  spiderctl mtt    <prefixes> [classes]   build + label an MTT\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "demo") == 0) {
+    return cmd_verify(5, arg_or(argc, argv, 2, 2000), false);
+  }
+  if (std::strcmp(cmd, "verify") == 0) {
+    if (argc < 3) {
+      usage();
+      return 2;
+    }
+    return cmd_verify(static_cast<bgp::AsNumber>(std::atoi(argv[2])),
+                      arg_or(argc, argv, 3, 2000), false);
+  }
+  if (std::strcmp(cmd, "faults") == 0) {
+    return cmd_faults(arg_or(argc, argv, 2, 1000));
+  }
+  if (std::strcmp(cmd, "trace") == 0) {
+    return cmd_trace(arg_or(argc, argv, 2, 20000), arg_or(argc, argv, 3, 2000));
+  }
+  if (std::strcmp(cmd, "mtt") == 0) {
+    if (argc < 3) {
+      usage();
+      return 2;
+    }
+    return cmd_mtt(arg_or(argc, argv, 2, 20000),
+                   static_cast<std::uint32_t>(arg_or(argc, argv, 3, 50)));
+  }
+  usage();
+  return 2;
+}
