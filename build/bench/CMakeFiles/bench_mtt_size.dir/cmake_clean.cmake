@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mtt_size.dir/bench_mtt_size.cpp.o"
+  "CMakeFiles/bench_mtt_size.dir/bench_mtt_size.cpp.o.d"
+  "bench_mtt_size"
+  "bench_mtt_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mtt_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

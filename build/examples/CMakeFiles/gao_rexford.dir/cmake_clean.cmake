@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gao_rexford.dir/gao_rexford.cpp.o"
+  "CMakeFiles/gao_rexford.dir/gao_rexford.cpp.o.d"
+  "gao_rexford"
+  "gao_rexford.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gao_rexford.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

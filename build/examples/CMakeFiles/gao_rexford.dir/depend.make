@@ -1,0 +1,2 @@
+# Empty dependencies file for gao_rexford.
+# This may be replaced when dependencies are built.

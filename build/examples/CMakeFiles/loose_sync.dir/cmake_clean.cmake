@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loose_sync.dir/loose_sync.cpp.o"
+  "CMakeFiles/loose_sync.dir/loose_sync.cpp.o.d"
+  "loose_sync"
+  "loose_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loose_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selective_export.dir/selective_export.cpp.o"
+  "CMakeFiles/selective_export.dir/selective_export.cpp.o.d"
+  "selective_export"
+  "selective_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selective_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

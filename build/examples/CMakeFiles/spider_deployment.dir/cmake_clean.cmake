@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_deployment.dir/spider_deployment.cpp.o"
+  "CMakeFiles/spider_deployment.dir/spider_deployment.cpp.o.d"
+  "spider_deployment"
+  "spider_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/decision.cpp" "src/bgp/CMakeFiles/spider_bgp.dir/decision.cpp.o" "gcc" "src/bgp/CMakeFiles/spider_bgp.dir/decision.cpp.o.d"
+  "/root/repo/src/bgp/flap_damping.cpp" "src/bgp/CMakeFiles/spider_bgp.dir/flap_damping.cpp.o" "gcc" "src/bgp/CMakeFiles/spider_bgp.dir/flap_damping.cpp.o.d"
+  "/root/repo/src/bgp/policy.cpp" "src/bgp/CMakeFiles/spider_bgp.dir/policy.cpp.o" "gcc" "src/bgp/CMakeFiles/spider_bgp.dir/policy.cpp.o.d"
+  "/root/repo/src/bgp/prefix.cpp" "src/bgp/CMakeFiles/spider_bgp.dir/prefix.cpp.o" "gcc" "src/bgp/CMakeFiles/spider_bgp.dir/prefix.cpp.o.d"
+  "/root/repo/src/bgp/rib.cpp" "src/bgp/CMakeFiles/spider_bgp.dir/rib.cpp.o" "gcc" "src/bgp/CMakeFiles/spider_bgp.dir/rib.cpp.o.d"
+  "/root/repo/src/bgp/route.cpp" "src/bgp/CMakeFiles/spider_bgp.dir/route.cpp.o" "gcc" "src/bgp/CMakeFiles/spider_bgp.dir/route.cpp.o.d"
+  "/root/repo/src/bgp/speaker.cpp" "src/bgp/CMakeFiles/spider_bgp.dir/speaker.cpp.o" "gcc" "src/bgp/CMakeFiles/spider_bgp.dir/speaker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/spider_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

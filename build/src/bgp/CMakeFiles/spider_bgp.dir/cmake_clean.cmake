@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_bgp.dir/decision.cpp.o"
+  "CMakeFiles/spider_bgp.dir/decision.cpp.o.d"
+  "CMakeFiles/spider_bgp.dir/flap_damping.cpp.o"
+  "CMakeFiles/spider_bgp.dir/flap_damping.cpp.o.d"
+  "CMakeFiles/spider_bgp.dir/policy.cpp.o"
+  "CMakeFiles/spider_bgp.dir/policy.cpp.o.d"
+  "CMakeFiles/spider_bgp.dir/prefix.cpp.o"
+  "CMakeFiles/spider_bgp.dir/prefix.cpp.o.d"
+  "CMakeFiles/spider_bgp.dir/rib.cpp.o"
+  "CMakeFiles/spider_bgp.dir/rib.cpp.o.d"
+  "CMakeFiles/spider_bgp.dir/route.cpp.o"
+  "CMakeFiles/spider_bgp.dir/route.cpp.o.d"
+  "CMakeFiles/spider_bgp.dir/speaker.cpp.o"
+  "CMakeFiles/spider_bgp.dir/speaker.cpp.o.d"
+  "libspider_bgp.a"
+  "libspider_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

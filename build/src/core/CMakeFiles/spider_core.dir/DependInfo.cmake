@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/commitment.cpp" "src/core/CMakeFiles/spider_core.dir/commitment.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/commitment.cpp.o.d"
+  "/root/repo/src/core/mtt.cpp" "src/core/CMakeFiles/spider_core.dir/mtt.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/mtt.cpp.o.d"
+  "/root/repo/src/core/promise.cpp" "src/core/CMakeFiles/spider_core.dir/promise.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/promise.cpp.o.d"
+  "/root/repo/src/core/vpref.cpp" "src/core/CMakeFiles/spider_core.dir/vpref.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/vpref.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/spider_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/spider_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/spider_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_core.dir/commitment.cpp.o"
+  "CMakeFiles/spider_core.dir/commitment.cpp.o.d"
+  "CMakeFiles/spider_core.dir/mtt.cpp.o"
+  "CMakeFiles/spider_core.dir/mtt.cpp.o.d"
+  "CMakeFiles/spider_core.dir/promise.cpp.o"
+  "CMakeFiles/spider_core.dir/promise.cpp.o.d"
+  "CMakeFiles/spider_core.dir/vpref.cpp.o"
+  "CMakeFiles/spider_core.dir/vpref.cpp.o.d"
+  "libspider_core.a"
+  "libspider_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bignum.cpp" "src/crypto/CMakeFiles/spider_crypto.dir/bignum.cpp.o" "gcc" "src/crypto/CMakeFiles/spider_crypto.dir/bignum.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/spider_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/spider_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/random.cpp" "src/crypto/CMakeFiles/spider_crypto.dir/random.cpp.o" "gcc" "src/crypto/CMakeFiles/spider_crypto.dir/random.cpp.o.d"
+  "/root/repo/src/crypto/rc4.cpp" "src/crypto/CMakeFiles/spider_crypto.dir/rc4.cpp.o" "gcc" "src/crypto/CMakeFiles/spider_crypto.dir/rc4.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/spider_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/spider_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha2.cpp" "src/crypto/CMakeFiles/spider_crypto.dir/sha2.cpp.o" "gcc" "src/crypto/CMakeFiles/spider_crypto.dir/sha2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

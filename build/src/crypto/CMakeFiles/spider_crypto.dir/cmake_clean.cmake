@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/spider_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/spider_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/spider_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/spider_crypto.dir/random.cpp.o"
+  "CMakeFiles/spider_crypto.dir/random.cpp.o.d"
+  "CMakeFiles/spider_crypto.dir/rc4.cpp.o"
+  "CMakeFiles/spider_crypto.dir/rc4.cpp.o.d"
+  "CMakeFiles/spider_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/spider_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/spider_crypto.dir/sha2.cpp.o"
+  "CMakeFiles/spider_crypto.dir/sha2.cpp.o.d"
+  "libspider_crypto.a"
+  "libspider_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_netreview.dir/auditor.cpp.o"
+  "CMakeFiles/spider_netreview.dir/auditor.cpp.o.d"
+  "libspider_netreview.a"
+  "libspider_netreview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_netreview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_netsim.dir/sim.cpp.o"
+  "CMakeFiles/spider_netsim.dir/sim.cpp.o.d"
+  "libspider_netsim.a"
+  "libspider_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spider/checker.cpp" "src/spider/CMakeFiles/spider_proto.dir/checker.cpp.o" "gcc" "src/spider/CMakeFiles/spider_proto.dir/checker.cpp.o.d"
+  "/root/repo/src/spider/deployment.cpp" "src/spider/CMakeFiles/spider_proto.dir/deployment.cpp.o" "gcc" "src/spider/CMakeFiles/spider_proto.dir/deployment.cpp.o.d"
+  "/root/repo/src/spider/evidence.cpp" "src/spider/CMakeFiles/spider_proto.dir/evidence.cpp.o" "gcc" "src/spider/CMakeFiles/spider_proto.dir/evidence.cpp.o.d"
+  "/root/repo/src/spider/log.cpp" "src/spider/CMakeFiles/spider_proto.dir/log.cpp.o" "gcc" "src/spider/CMakeFiles/spider_proto.dir/log.cpp.o.d"
+  "/root/repo/src/spider/messages.cpp" "src/spider/CMakeFiles/spider_proto.dir/messages.cpp.o" "gcc" "src/spider/CMakeFiles/spider_proto.dir/messages.cpp.o.d"
+  "/root/repo/src/spider/proof_generator.cpp" "src/spider/CMakeFiles/spider_proto.dir/proof_generator.cpp.o" "gcc" "src/spider/CMakeFiles/spider_proto.dir/proof_generator.cpp.o.d"
+  "/root/repo/src/spider/recorder.cpp" "src/spider/CMakeFiles/spider_proto.dir/recorder.cpp.o" "gcc" "src/spider/CMakeFiles/spider_proto.dir/recorder.cpp.o.d"
+  "/root/repo/src/spider/state.cpp" "src/spider/CMakeFiles/spider_proto.dir/state.cpp.o" "gcc" "src/spider/CMakeFiles/spider_proto.dir/state.cpp.o.d"
+  "/root/repo/src/spider/verification.cpp" "src/spider/CMakeFiles/spider_proto.dir/verification.cpp.o" "gcc" "src/spider/CMakeFiles/spider_proto.dir/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spider_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/spider_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/spider_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spider_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/spider_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

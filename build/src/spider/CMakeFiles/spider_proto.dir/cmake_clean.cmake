@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_proto.dir/checker.cpp.o"
+  "CMakeFiles/spider_proto.dir/checker.cpp.o.d"
+  "CMakeFiles/spider_proto.dir/deployment.cpp.o"
+  "CMakeFiles/spider_proto.dir/deployment.cpp.o.d"
+  "CMakeFiles/spider_proto.dir/evidence.cpp.o"
+  "CMakeFiles/spider_proto.dir/evidence.cpp.o.d"
+  "CMakeFiles/spider_proto.dir/log.cpp.o"
+  "CMakeFiles/spider_proto.dir/log.cpp.o.d"
+  "CMakeFiles/spider_proto.dir/messages.cpp.o"
+  "CMakeFiles/spider_proto.dir/messages.cpp.o.d"
+  "CMakeFiles/spider_proto.dir/proof_generator.cpp.o"
+  "CMakeFiles/spider_proto.dir/proof_generator.cpp.o.d"
+  "CMakeFiles/spider_proto.dir/recorder.cpp.o"
+  "CMakeFiles/spider_proto.dir/recorder.cpp.o.d"
+  "CMakeFiles/spider_proto.dir/state.cpp.o"
+  "CMakeFiles/spider_proto.dir/state.cpp.o.d"
+  "CMakeFiles/spider_proto.dir/verification.cpp.o"
+  "CMakeFiles/spider_proto.dir/verification.cpp.o.d"
+  "libspider_proto.a"
+  "libspider_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

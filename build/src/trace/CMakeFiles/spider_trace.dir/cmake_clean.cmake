@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_trace.dir/routeviews.cpp.o"
+  "CMakeFiles/spider_trace.dir/routeviews.cpp.o.d"
+  "libspider_trace.a"
+  "libspider_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_util.dir/bytes.cpp.o"
+  "CMakeFiles/spider_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/spider_util.dir/serde.cpp.o"
+  "CMakeFiles/spider_util.dir/serde.cpp.o.d"
+  "CMakeFiles/spider_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/spider_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/spider_util.dir/timers.cpp.o"
+  "CMakeFiles/spider_util.dir/timers.cpp.o.d"
+  "libspider_util.a"
+  "libspider_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

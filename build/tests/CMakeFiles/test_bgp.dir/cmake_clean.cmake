@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp.dir/test_bgp_core.cpp.o"
+  "CMakeFiles/test_bgp.dir/test_bgp_core.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/test_bgp_policy_speaker.cpp.o"
+  "CMakeFiles/test_bgp.dir/test_bgp_policy_speaker.cpp.o.d"
+  "test_bgp"
+  "test_bgp.pdb"
+  "test_bgp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bgp_trie.cpp" "tests/CMakeFiles/test_bgp_trie.dir/test_bgp_trie.cpp.o" "gcc" "tests/CMakeFiles/test_bgp_trie.dir/test_bgp_trie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/spider_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spider_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/spider_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_trie.dir/test_bgp_trie.cpp.o"
+  "CMakeFiles/test_bgp_trie.dir/test_bgp_trie.cpp.o.d"
+  "test_bgp_trie"
+  "test_bgp_trie.pdb"
+  "test_bgp_trie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/test_crypto_bignum.cpp.o"
+  "CMakeFiles/test_crypto.dir/test_crypto_bignum.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/test_crypto_rsa_rc4.cpp.o"
+  "CMakeFiles/test_crypto.dir/test_crypto_rsa_rc4.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/test_crypto_sha2.cpp.o"
+  "CMakeFiles/test_crypto.dir/test_crypto_sha2.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

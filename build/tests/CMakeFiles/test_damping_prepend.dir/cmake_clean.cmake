@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_damping_prepend.dir/test_bgp_damping_prepend.cpp.o"
+  "CMakeFiles/test_damping_prepend.dir/test_bgp_damping_prepend.cpp.o.d"
+  "test_damping_prepend"
+  "test_damping_prepend.pdb"
+  "test_damping_prepend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_damping_prepend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

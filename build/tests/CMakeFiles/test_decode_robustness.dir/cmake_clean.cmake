@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decode_robustness.dir/test_decode_robustness.cpp.o"
+  "CMakeFiles/test_decode_robustness.dir/test_decode_robustness.cpp.o.d"
+  "test_decode_robustness"
+  "test_decode_robustness.pdb"
+  "test_decode_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decode_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_decode_robustness.
+# This may be replaced when dependencies are built.

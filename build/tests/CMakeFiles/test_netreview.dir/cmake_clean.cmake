@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netreview.dir/test_netreview.cpp.o"
+  "CMakeFiles/test_netreview.dir/test_netreview.cpp.o.d"
+  "test_netreview"
+  "test_netreview.pdb"
+  "test_netreview[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netreview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_spider_integration.cpp" "tests/CMakeFiles/test_spider.dir/test_spider_integration.cpp.o" "gcc" "tests/CMakeFiles/test_spider.dir/test_spider_integration.cpp.o.d"
+  "/root/repo/tests/test_spider_messages_log.cpp" "tests/CMakeFiles/test_spider.dir/test_spider_messages_log.cpp.o" "gcc" "tests/CMakeFiles/test_spider.dir/test_spider_messages_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spider/CMakeFiles/spider_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netreview/CMakeFiles/spider_netreview.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spider_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/spider_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spider_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/spider_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/spider_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

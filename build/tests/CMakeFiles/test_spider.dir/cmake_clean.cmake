@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spider.dir/test_spider_integration.cpp.o"
+  "CMakeFiles/test_spider.dir/test_spider_integration.cpp.o.d"
+  "CMakeFiles/test_spider.dir/test_spider_messages_log.cpp.o"
+  "CMakeFiles/test_spider.dir/test_spider_messages_log.cpp.o.d"
+  "test_spider"
+  "test_spider.pdb"
+  "test_spider[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

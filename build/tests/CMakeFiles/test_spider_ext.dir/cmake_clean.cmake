@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spider_ext.dir/test_spider_extensions.cpp.o"
+  "CMakeFiles/test_spider_ext.dir/test_spider_extensions.cpp.o.d"
+  "test_spider_ext"
+  "test_spider_ext.pdb"
+  "test_spider_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spider_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_netsim[1]_include.cmake")
+include("/root/repo/build/tests/test_bgp[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_spider[1]_include.cmake")
+include("/root/repo/build/tests/test_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_bgp_trie[1]_include.cmake")
+include("/root/repo/build/tests/test_spider_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_damping_prepend[1]_include.cmake")
+include("/root/repo/build/tests/test_spider_verification[1]_include.cmake")
+include("/root/repo/build/tests/test_decode_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_netreview[1]_include.cmake")

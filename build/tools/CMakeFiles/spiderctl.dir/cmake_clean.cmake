@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spiderctl.dir/spiderctl.cpp.o"
+  "CMakeFiles/spiderctl.dir/spiderctl.cpp.o.d"
+  "spiderctl"
+  "spiderctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spiderctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
