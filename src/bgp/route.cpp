@@ -52,7 +52,7 @@ void Route::encode(util::ByteWriter& w) const {
 Route Route::decode(util::ByteReader& r) {
   Route route;
   route.prefix = Prefix::decode(r);
-  std::uint16_t path_len = r.u16();
+  std::uint16_t path_len = static_cast<std::uint16_t>(r.check_count(r.u16(), 4, "Route as_path"));
   route.as_path.reserve(path_len);
   for (std::uint16_t i = 0; i < path_len; ++i) route.as_path.push_back(r.u32());
   route.learned_from = r.u32();
@@ -61,7 +61,7 @@ Route Route::decode(util::ByteReader& r) {
   route.origin = static_cast<Origin>(origin);
   route.med = r.u32();
   route.local_pref = r.u32();
-  std::uint16_t comm_len = r.u16();
+  std::uint16_t comm_len = static_cast<std::uint16_t>(r.check_count(r.u16(), 4, "Route communities"));
   route.communities.reserve(comm_len);
   for (std::uint16_t i = 0; i < comm_len; ++i) route.communities.push_back(r.u32());
   return route;
@@ -79,10 +79,11 @@ util::Bytes Update::encode() const {
 Update Update::decode(util::ByteSpan data) {
   util::ByteReader r(data);
   Update u;
-  std::uint16_t n_ann = r.u16();
+  // An empty route still encodes to 22 bytes, an empty prefix to 5.
+  std::uint16_t n_ann = static_cast<std::uint16_t>(r.check_count(r.u16(), 22, "Update announced"));
   u.announced.reserve(n_ann);
   for (std::uint16_t i = 0; i < n_ann; ++i) u.announced.push_back(Route::decode(r));
-  std::uint16_t n_wd = r.u16();
+  std::uint16_t n_wd = static_cast<std::uint16_t>(r.check_count(r.u16(), 5, "Update withdrawn"));
   u.withdrawn.reserve(n_wd);
   for (std::uint16_t i = 0; i < n_wd; ++i) u.withdrawn.push_back(Prefix::decode(r));
   r.expect_end();

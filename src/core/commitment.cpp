@@ -69,8 +69,7 @@ FlatBitProof FlatBitProof::decode(ByteSpan data) {
   if (bit > 1) throw util::DecodeError("FlatBitProof: bad bit");
   proof.bit = bit == 1;
   proof.x = r.digest();
-  std::uint32_t n = r.u32();
-  if (n > 1u << 20) throw util::DecodeError("FlatBitProof: too many leaves");
+  std::uint32_t n = r.check_count(r.u32(), 20, "FlatBitProof leaves");
   proof.leaves.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) proof.leaves.push_back(r.digest());
   r.expect_end();

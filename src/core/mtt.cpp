@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <set>
 #include <stdexcept>
 
 #include "crypto/sha2.hpp"
@@ -305,22 +306,31 @@ MttPrefixProof MttPrefixProof::decode(util::ByteSpan data) {
   util::ByteReader r(data);
   MttPrefixProof proof;
   proof.prefix = bgp::Prefix::decode(r);
-  std::uint32_t n_revealed = r.u32();
-  if (n_revealed > 1u << 16) throw util::DecodeError("MttPrefixProof: too many revealed bits");
+  std::uint32_t n_revealed = r.check_count(r.u32(), 25, "MttPrefixProof revealed");
+  proof.revealed.reserve(n_revealed);
+  std::set<ClassId> seen_classes;
   for (std::uint32_t i = 0; i < n_revealed; ++i) {
     MttPrefixProof::Opened opened;
     opened.cls = r.u32();
+    // A class opened twice is a non-canonical encoding: checkers look up
+    // classes with find-first, so a second entry could carry a different
+    // bit than the one actually verified against the commitment.
+    if (!seen_classes.insert(opened.cls).second) {
+      throw util::DecodeError("MttPrefixProof: duplicate revealed class");
+    }
     std::uint8_t bit = r.u8();
     if (bit > 1) throw util::DecodeError("MttPrefixProof: bad bit");
     opened.bit = bit == 1;
     opened.x = r.digest();
     proof.revealed.push_back(opened);
   }
-  std::uint32_t n_labels = r.u32();
-  if (n_labels > 1u << 16) throw util::DecodeError("MttPrefixProof: too many bit labels");
+  std::uint32_t n_labels = r.check_count(r.u32(), 20, "MttPrefixProof bit labels");
+  proof.bit_labels.reserve(n_labels);
   for (std::uint32_t i = 0; i < n_labels; ++i) proof.bit_labels.push_back(r.digest());
   std::uint32_t n_sibs = r.u32();
   if (n_sibs > 33) throw util::DecodeError("MttPrefixProof: path too long");
+  r.check_count(n_sibs, 40, "MttPrefixProof siblings");
+  proof.siblings.reserve(n_sibs);
   for (std::uint32_t i = 0; i < n_sibs; ++i) {
     std::array<Digest20, 2> pair{};
     pair[0] = r.digest();

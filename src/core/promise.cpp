@@ -86,12 +86,21 @@ Promise Promise::decode(util::ByteSpan data) {
   util::ByteReader r(data);
   std::uint32_t k = r.u32();
   if (k == 0 || k > 4096) throw util::DecodeError("Promise: bad class count");
-  Promise p(k);
   const std::size_t total = static_cast<std::size_t>(k) * k;
+  // The whole closure matrix must be present before the k*k-bit matrix is
+  // allocated; otherwise a 4-byte header commands a ~2 MB allocation.
+  if (r.remaining() < (total + 7) / 8) throw util::DecodeError("Promise: truncated matrix");
+  Promise p(k);
   std::uint8_t acc = 0;
   for (std::size_t i = 0; i < total; ++i) {
     if (i % 8 == 0) acc = r.u8();
     p.prefers_[i] = (acc >> (7 - i % 8)) & 1;
+  }
+  // Unused padding bits in the final byte must be zero, or two distinct
+  // byte strings would decode to the same promise (and re-encode to a
+  // different digest than the one that was signed).
+  if (total % 8 != 0 && (acc & ((1u << (8 - total % 8)) - 1)) != 0) {
+    throw util::DecodeError("Promise: non-zero padding bits");
   }
   r.expect_end();
   // Sanity: a decoded promise must still be a strict order (no cycles,

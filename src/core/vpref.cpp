@@ -622,7 +622,9 @@ ProducerChallenge ProducerChallenge::decode(ByteSpan data) {
   ProducerChallenge c;
   c.announce = SignedEnvelope::decode(r.bytes());
   c.ack = SignedEnvelope::decode(r.bytes());
-  if (r.u8() == 1) c.received_proof = SignedEnvelope::decode(r.bytes());
+  std::uint8_t flag = r.u8();
+  if (flag > 1) throw util::DecodeError("ProducerChallenge: bad flag");
+  if (flag == 1) c.received_proof = SignedEnvelope::decode(r.bytes());
   r.expect_end();
   return c;
 }
@@ -641,7 +643,9 @@ ConsumerChallenge ConsumerChallenge::decode(ByteSpan data) {
   ConsumerChallenge c;
   c.offer = SignedEnvelope::decode(r.bytes());
   c.signed_promise = SignedEnvelope::decode(r.bytes());
-  std::uint32_t n = r.u32();
+  // Each proof envelope is a length prefix plus a 12-byte minimum envelope.
+  std::uint32_t n = r.check_count(r.u32(), 16, "ConsumerChallenge proofs");
+  c.received_proofs.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) c.received_proofs.push_back(SignedEnvelope::decode(r.bytes()));
   r.expect_end();
   return c;

@@ -40,11 +40,24 @@ Bytes RsaPublicKey::encode() const {
   return w.take();
 }
 
+namespace {
+/// Keys are compared and digested by their encoded bytes, so the integer
+/// fields must be minimal: a leading zero byte would make two encodings of
+/// the same key unequal.
+Bytes minimal_be(util::ByteReader& r, const char* what) {
+  Bytes bytes = r.bytes();
+  if (!bytes.empty() && bytes.front() == 0) {
+    throw util::DecodeError(std::string(what) + ": non-minimal integer encoding");
+  }
+  return bytes;
+}
+}  // namespace
+
 RsaPublicKey RsaPublicKey::decode(ByteSpan data) {
   util::ByteReader r(data);
   RsaPublicKey key;
-  key.n = BigInt::from_bytes_be(r.bytes());
-  key.e = BigInt::from_bytes_be(r.bytes());
+  key.n = BigInt::from_bytes_be(minimal_be(r, "RsaPublicKey n"));
+  key.e = BigInt::from_bytes_be(minimal_be(r, "RsaPublicKey e"));
   r.expect_end();
   return key;
 }

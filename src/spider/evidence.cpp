@@ -22,6 +22,55 @@ std::optional<SpiderWithdraw> QuotedMessage::as_withdraw(const core::KeyRegistry
   }
 }
 
+Bytes ImportEvidence::encode() const {
+  util::ByteWriter w;
+  w.bytes(announce.encode());
+  w.bytes(ack.encode());
+  return w.take();
+}
+
+ImportEvidence ImportEvidence::decode(util::ByteSpan data) {
+  util::ByteReader r(data);
+  ImportEvidence evidence;
+  evidence.announce = QuotedMessage::decode(r.bytes());
+  evidence.ack = core::SignedEnvelope::decode(r.bytes());
+  r.expect_end();
+  return evidence;
+}
+
+Bytes ExportEvidence::encode() const {
+  util::ByteWriter w;
+  w.bytes(announce.encode());
+  return w.take();
+}
+
+ExportEvidence ExportEvidence::decode(util::ByteSpan data) {
+  util::ByteReader r(data);
+  ExportEvidence evidence;
+  evidence.announce = QuotedMessage::decode(r.bytes());
+  r.expect_end();
+  return evidence;
+}
+
+Bytes EvidenceRefutation::encode() const {
+  util::ByteWriter w;
+  w.bytes(withdraw.encode());
+  w.u8(ack ? 1 : 0);
+  if (ack) w.bytes(ack->encode());
+  return w.take();
+}
+
+EvidenceRefutation EvidenceRefutation::decode(util::ByteSpan data) {
+  util::ByteReader r(data);
+  EvidenceRefutation refutation;
+  refutation.withdraw = QuotedMessage::decode(r.bytes());
+  std::uint8_t flag = r.u8();
+  if (flag > 1) throw util::DecodeError("EvidenceRefutation: bad flag");
+  if (flag == 1) refutation.ack = core::SignedEnvelope::decode(r.bytes());
+  r.expect_end();
+  return refutation;
+}
+
 namespace {
 
 /// Validates an ACK envelope: signed by `expected_signer` and covering the

@@ -27,17 +27,26 @@ struct QuotedMessage {
   /// Decodes the quoted part as an announce; nullopt if invalid/not one.
   std::optional<SpiderAnnounce> as_announce(const core::KeyRegistry& keys) const;
   std::optional<SpiderWithdraw> as_withdraw(const core::KeyRegistry& keys) const;
+
+  Bytes encode() const { return quote.encode(); }
+  static QuotedMessage decode(util::ByteSpan data) { return {MessageQuote::decode(data)}; }
 };
 
 /// "Alice was exporting `route` to Bob at time T."
 struct ImportEvidence {
   QuotedMessage announce;          // Alice-signed ANNOUNCE, timestamp t' < T
   core::SignedEnvelope ack;        // Bob-signed ACK of the announce's batch
+
+  Bytes encode() const;
+  static ImportEvidence decode(util::ByteSpan data);
 };
 
 /// "Bob was exporting `route` to Alice at time T."
 struct ExportEvidence {
   QuotedMessage announce;  // Bob-signed ANNOUNCE, timestamp t' < T
+
+  Bytes encode() const;
+  static ExportEvidence decode(util::ByteSpan data);
 };
 
 /// A refutation: the matching WITHDRAW with t' < t'' < T (for export
@@ -45,6 +54,9 @@ struct ExportEvidence {
 struct EvidenceRefutation {
   QuotedMessage withdraw;
   std::optional<core::SignedEnvelope> ack;
+
+  Bytes encode() const;
+  static EvidenceRefutation decode(util::ByteSpan data);
 };
 
 enum class EvidenceVerdict : std::uint8_t {

@@ -19,6 +19,71 @@ Digest20 chain_hash(const Digest20& prev, const LogEntry& entry) {
 }
 }  // namespace
 
+Bytes LogEntry::encode() const {
+  util::ByteWriter w;
+  w.u64(seq);
+  w.i64(timestamp);
+  w.u8(static_cast<std::uint8_t>(direction));
+  w.u32(peer_as);
+  w.bytes(message);
+  w.u32(signature_bytes);
+  w.digest(authenticator);
+  return w.take();
+}
+
+LogEntry LogEntry::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  LogEntry entry;
+  entry.seq = r.u64();
+  entry.timestamp = r.i64();
+  std::uint8_t direction = r.u8();
+  if (direction > 1) throw util::DecodeError("LogEntry: bad direction");
+  entry.direction = static_cast<LogDirection>(direction);
+  entry.peer_as = r.u32();
+  entry.message = r.bytes();
+  entry.signature_bytes = r.u32();
+  entry.authenticator = r.digest();
+  r.expect_end();
+  return entry;
+}
+
+Bytes LogCheckpoint::encode() const {
+  util::ByteWriter w;
+  w.i64(timestamp);
+  w.bytes(state);
+  return w.take();
+}
+
+LogCheckpoint LogCheckpoint::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  LogCheckpoint cp;
+  cp.timestamp = r.i64();
+  cp.state = r.bytes();
+  r.expect_end();
+  return cp;
+}
+
+Bytes CommitmentRecord::encode() const {
+  util::ByteWriter w;
+  w.i64(timestamp);
+  w.raw(seed.span());
+  w.digest(root);
+  w.u32(num_classes);
+  return w.take();
+}
+
+CommitmentRecord CommitmentRecord::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  CommitmentRecord record;
+  record.timestamp = r.i64();
+  Bytes seed_bytes = r.raw(record.seed.data.size());
+  std::copy(seed_bytes.begin(), seed_bytes.end(), record.seed.data.begin());
+  record.root = r.digest();
+  record.num_classes = r.u32();
+  r.expect_end();
+  return record;
+}
+
 const LogEntry& MessageLog::append(Time timestamp, LogDirection direction, std::uint32_t peer_as,
                                    Bytes message, std::uint32_t signature_bytes) {
   LogEntry entry;

@@ -38,6 +38,12 @@ struct LogEntry {
   std::uint32_t signature_bytes = 0;
   /// Chain authenticator: H(prev_auth || seq || timestamp || message).
   Digest20 authenticator{};
+
+  /// Wire form for audit transfer (§6.5): an auditor fetches log segments
+  /// from a recorder it does not trust, so decode treats the bytes as
+  /// adversarial and re-verifies the hash chain separately.
+  Bytes encode() const;
+  static LogEntry decode(ByteSpan data);
 };
 
 /// A full snapshot of the recorder's mirrored routing state at some time
@@ -45,6 +51,9 @@ struct LogEntry {
 struct LogCheckpoint {
   Time timestamp = 0;
   Bytes state;
+
+  Bytes encode() const;
+  static LogCheckpoint decode(ByteSpan data);
 };
 
 /// What a commitment adds to the log: just the seed (32 bytes) — the tree
@@ -54,6 +63,9 @@ struct CommitmentRecord {
   crypto::Seed seed;
   Digest20 root{};  // convenience copy; also present in the logged message
   std::uint32_t num_classes = 0;
+
+  Bytes encode() const;
+  static CommitmentRecord decode(ByteSpan data);
 };
 
 class MessageLog {

@@ -120,8 +120,11 @@ Bytes SpiderBatch::encode() const {
 SpiderBatch SpiderBatch::decode(ByteSpan data) {
   util::ByteReader r(data);
   SpiderBatch batch;
-  std::uint32_t n = r.u32();
-  if (n > 1u << 20) throw util::DecodeError("SpiderBatch: too many parts");
+  // Each part is at least a type byte plus a u32 body length; a count that
+  // claims more parts than the remaining bytes could hold is malformed, and
+  // sizing the vector from it would let a 4-byte header demand an
+  // attacker-chosen allocation.
+  std::uint32_t n = r.check_count(r.u32(), 5, "SpiderBatch parts");
   batch.parts.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     Part part;

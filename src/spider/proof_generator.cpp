@@ -35,8 +35,8 @@ ProducerProofs ProducerProofs::decode(ByteSpan data) {
   util::ByteReader r(data);
   ProducerProofs proofs;
   proofs.commit_time = r.i64();
-  std::uint32_t n = r.u32();
-  if (n > 1u << 24) throw util::DecodeError("ProducerProofs: too many items");
+  // prefix (5) + empty route (22) + cls (4) + proof length prefix (4).
+  std::uint32_t n = r.check_count(r.u32(), 35, "ProducerProofs items");
   proofs.items.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     Item item;
@@ -66,8 +66,8 @@ ConsumerProofs ConsumerProofs::decode(ByteSpan data) {
   util::ByteReader r(data);
   ConsumerProofs proofs;
   proofs.commit_time = r.i64();
-  std::uint32_t n = r.u32();
-  if (n > 1u << 24) throw util::DecodeError("ConsumerProofs: too many items");
+  // prefix (5) + empty route (22) + proof length prefix (4).
+  std::uint32_t n = r.check_count(r.u32(), 31, "ConsumerProofs items");
   proofs.items.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     Item item;

@@ -82,10 +82,11 @@ Bytes MirrorState::serialize() const {
 MirrorState MirrorState::deserialize(ByteSpan data) {
   util::ByteReader r(data);
   MirrorState state;
-  std::uint32_t n_in = r.u32();
+  std::uint32_t n_in = r.check_count(r.u32(), 8, "MirrorState inputs");
   for (std::uint32_t i = 0; i < n_in; ++i) {
     bgp::AsNumber neighbor = r.u32();
-    std::uint32_t n_routes = r.u32();
+    // route (22) + part digest (20) + received_at (8) per record.
+    std::uint32_t n_routes = r.check_count(r.u32(), 50, "MirrorState input routes");
     state.inputs_[neighbor];  // preserve neighbors with zero live routes
     for (std::uint32_t j = 0; j < n_routes; ++j) {
       InputRecord record;
@@ -95,10 +96,11 @@ MirrorState MirrorState::deserialize(ByteSpan data) {
       state.inputs_[neighbor][record.route.prefix] = std::move(record);
     }
   }
-  std::uint32_t n_out = r.u32();
+  std::uint32_t n_out = r.check_count(r.u32(), 8, "MirrorState exports");
   for (std::uint32_t i = 0; i < n_out; ++i) {
     bgp::AsNumber neighbor = r.u32();
-    std::uint32_t n_routes = r.u32();
+    // route (22) + sent_at (8) per record.
+    std::uint32_t n_routes = r.check_count(r.u32(), 30, "MirrorState export routes");
     state.exports_[neighbor];  // preserve neighbors with zero live routes
     for (std::uint32_t j = 0; j < n_routes; ++j) {
       ExportRecord record;

@@ -88,6 +88,16 @@ std::string ByteReader::str() {
   return std::string(b.begin(), b.end());
 }
 
+std::uint32_t ByteReader::check_count(std::uint32_t n, std::size_t min_bytes_each,
+                                      const char* what) const {
+  const std::size_t per = min_bytes_each == 0 ? 1 : min_bytes_each;
+  if (n > remaining() / per) {
+    throw DecodeError(std::string(what) + ": count " + std::to_string(n) +
+                      " exceeds bytes remaining");
+  }
+  return n;
+}
+
 void ByteReader::expect_end() const {
   if (pos_ != data_.size()) throw DecodeError("trailing bytes in message");
 }

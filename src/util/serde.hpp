@@ -71,6 +71,14 @@ class ByteReader {
   bool empty() const { return pos_ == data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }
 
+  /// Validates a wire-supplied element count before any container is sized
+  /// from it: each element occupies at least `min_bytes_each` bytes of
+  /// encoding, so a count larger than remaining()/min_bytes_each cannot be
+  /// honest and would otherwise drive an attacker-chosen allocation from a
+  /// few header bytes.  Returns `n` (for use in reserve()) or throws
+  /// DecodeError naming `what`.
+  std::uint32_t check_count(std::uint32_t n, std::size_t min_bytes_each, const char* what) const;
+
   /// Throws DecodeError unless the whole buffer has been consumed.
   void expect_end() const;
 

@@ -1,0 +1,13 @@
+# Fails when the registered fuzz targets (spider_fuzz --list) differ from
+# the per-target ctest entries declared in CMakeLists.txt.
+execute_process(COMMAND ${FUZZ_BIN} --list
+                OUTPUT_VARIABLE actual RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "spider_fuzz --list failed with ${rc}")
+endif()
+file(READ ${EXPECTED} expected)
+if(NOT actual STREQUAL expected)
+  message(FATAL_ERROR
+    "fuzz target list drifted.\n--- registered (spider_fuzz --list):\n${actual}"
+    "--- ctest entries (tests/fuzz/CMakeLists.txt):\n${expected}")
+endif()

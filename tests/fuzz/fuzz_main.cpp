@@ -1,0 +1,160 @@
+// Command-line driver for the decode fuzz harness.
+//
+//   spider_fuzz --list
+//   spider_fuzz [--target NAME] [--seed N] [--iters N]
+//   spider_fuzz --target NAME --repro HEX
+//
+// Exits non-zero on any failure and prints each failing input as hex so it
+// can be replayed with --repro under a debugger or sanitizer build.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness.hpp"
+#include "util/serde.hpp"
+
+namespace {
+
+using spider::fuzz::Bytes;
+
+std::string to_hex(const Bytes& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+bool from_hex(const std::string& hex, Bytes& out) {
+  if (hex.size() % 2 != 0) return false;
+  out.clear();
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      return -1;
+    };
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list] [--target NAME] [--seed N] [--iters N] [--repro HEX]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spider::fuzz::register_all_targets();
+  spider::fuzz::Options options;
+  std::string only_target;
+  std::string repro_hex;
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--target") {
+      only_target = next("--target");
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next("--seed"), nullptr, 0);
+    } else if (arg == "--iters") {
+      options.iterations = static_cast<int>(std::strtol(next("--iters"), nullptr, 0));
+    } else if (arg == "--repro") {
+      repro_hex = next("--repro");
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (list_only) {
+    for (const auto& target : spider::fuzz::registry()) {
+      std::printf("%s\n", target.name.c_str());
+    }
+    return 0;
+  }
+
+  if (!repro_hex.empty()) {
+    if (only_target.empty()) {
+      std::fprintf(stderr, "--repro requires --target\n");
+      return 2;
+    }
+    Bytes input;
+    if (!from_hex(repro_hex, input)) {
+      std::fprintf(stderr, "--repro: invalid hex\n");
+      return 2;
+    }
+    for (const auto& target : spider::fuzz::registry()) {
+      if (target.name != only_target) continue;
+      // Decode without a try/catch net so a debugger or sanitizer stops at
+      // the fault; DecodeError propagating out counts as a clean rejection.
+      try {
+        target.decode(input);
+        std::printf("%s: input accepted\n", target.name.c_str());
+        if (target.canonical && target.reencode) {
+          const Bytes again = target.reencode(input);
+          if (again != input) {
+            std::printf("  but re-encode differs: %s\n", to_hex(again).c_str());
+            return 1;
+          }
+        }
+      } catch (const spider::util::DecodeError& e) {
+        std::printf("%s: rejected (DecodeError: %s)\n", target.name.c_str(), e.what());
+      }
+      return 0;
+    }
+    std::fprintf(stderr, "unknown target: %s\n", only_target.c_str());
+    return 2;
+  }
+
+  int total_failures = 0;
+  int ran = 0;
+  for (const auto& target : spider::fuzz::registry()) {
+    if (!only_target.empty() && target.name != only_target) continue;
+    ++ran;
+    const auto failures = spider::fuzz::run_target(target, options);
+    if (failures.empty()) {
+      std::printf("[ok]   %-20s corpus=%zu iters=%d seed=0x%llx\n", target.name.c_str(),
+                  target.corpus.size(), options.iterations,
+                  static_cast<unsigned long long>(options.seed));
+      continue;
+    }
+    total_failures += static_cast<int>(failures.size());
+    for (const auto& failure : failures) {
+      std::printf("[FAIL] %s: %s\n", failure.target.c_str(), failure.detail.c_str());
+      std::printf("       repro: --target %s --repro %s\n", failure.target.c_str(),
+                  to_hex(failure.input).c_str());
+    }
+  }
+
+  if (ran == 0) {
+    std::fprintf(stderr, "unknown target: %s\n", only_target.c_str());
+    return 2;
+  }
+  if (total_failures > 0) {
+    std::printf("%d failure(s)\n", total_failures);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "harness.hpp"
+
+#include "util/serde.hpp"
+
+namespace spider::fuzz {
+
+std::vector<Target>& registry() {
+  static std::vector<Target> targets;
+  return targets;
+}
+
+namespace {
+
+/// Feeds one input to the decoder and applies the accept-implies-canonical
+/// check.  Returns true when the behavior is acceptable.
+bool try_input(const Target& target, const Bytes& input, std::string& detail) {
+  bool accepted = false;
+  try {
+    target.decode(input);
+    accepted = true;
+  } catch (const util::DecodeError&) {
+    return true;  // rejection is the expected outcome for malformed input
+  } catch (const std::exception& e) {
+    detail = std::string("unexpected exception type: ") + e.what();
+    return false;
+  } catch (...) {
+    detail = "unexpected non-std exception";
+    return false;
+  }
+  if (accepted && target.canonical && target.reencode) {
+    Bytes again;
+    try {
+      again = target.reencode(input);
+    } catch (const std::exception& e) {
+      detail = std::string("decode accepted but re-encode threw: ") + e.what();
+      return false;
+    }
+    if (!std::equal(again.begin(), again.end(), input.begin(), input.end())) {
+      detail = "accepted non-canonical input: re-encode differs from wire bytes";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Failure> run_target(const Target& target, const Options& options) {
+  std::vector<Failure> failures;
+  std::string detail;
+
+  // Property 1: the corpus itself round-trips.
+  for (const Bytes& valid : target.corpus) {
+    try {
+      target.decode(valid);
+    } catch (const std::exception& e) {
+      failures.push_back({target.name,
+                          std::string("valid corpus entry failed to decode: ") + e.what(), valid});
+      continue;
+    }
+    if (target.reencode) {
+      Bytes again = target.reencode(valid);
+      if (again != valid) {
+        failures.push_back({target.name, "corpus entry does not round-trip", valid});
+      }
+    }
+  }
+
+  // Exhaustive truncation sweep of the first corpus entry: every prefix
+  // must be rejected cleanly (or accepted canonically, for prefixes that
+  // happen to be valid encodings of a smaller value).
+  if (!target.corpus.empty()) {
+    const Bytes& base = target.corpus.front();
+    for (std::size_t len = 0; len < base.size(); ++len) {
+      Bytes prefix(base.begin(), base.begin() + static_cast<std::ptrdiff_t>(len));
+      if (!try_input(target, prefix, detail)) {
+        failures.push_back({target.name, "truncation at " + std::to_string(len) + ": " + detail,
+                            prefix});
+      }
+    }
+  }
+
+  // Properties 2+3 over seeded mutations.
+  SplitMix64 rng(options.seed ^ std::hash<std::string>{}(target.name));
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    Bytes input = mutate(rng, target.corpus);
+    if (!try_input(target, input, detail)) {
+      failures.push_back(
+          {target.name, "iteration " + std::to_string(iter) + ": " + detail, input});
+    }
+  }
+  return failures;
+}
+
+}  // namespace spider::fuzz

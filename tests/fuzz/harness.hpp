@@ -1,0 +1,62 @@
+// Deterministic, structure-aware fuzz harness for every wire decoder.
+//
+// Each Target couples a decoder entry point with a corpus of valid
+// encodings produced by round-trip generators.  One run checks three
+// properties in the same pass:
+//   1. every corpus entry decodes, and re-encodes to the identical bytes
+//      (encode(decode(x)) == x);
+//   2. every mutated or random input either decodes or throws
+//      util::DecodeError — never any other exception, crash, or unbounded
+//      allocation (the sanitizer build turns UB into an abort here);
+//   3. any *accepted* input is canonical: it re-encodes to exactly the
+//      bytes that were decoded, so two distinct byte strings can never
+//      alias the same signed message.
+// Failures carry the offending input so `spider_fuzz --repro <hex>` can
+// replay it under a debugger.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mutators.hpp"
+#include "util/bytes.hpp"
+
+namespace spider::fuzz {
+
+using util::ByteSpan;
+
+struct Target {
+  std::string name;
+  /// Valid encodings to mutate; produced by generators, verified round-trip.
+  std::vector<Bytes> corpus;
+  /// The decoder under test.  Must either succeed or throw DecodeError.
+  std::function<void(ByteSpan)> decode;
+  /// encode(decode(x)); used for round-trip and canonical-accept checks.
+  std::function<Bytes(ByteSpan)> reencode;
+  /// False for formats that legitimately re-serialize in a normalized order
+  /// (e.g. map-backed state snapshots); such targets skip property 3.
+  bool canonical = true;
+};
+
+struct Options {
+  std::uint64_t seed = 20260805;
+  /// Mutations per target (on top of the corpus round-trip and the
+  /// exhaustive truncation sweep of the first corpus entry).
+  int iterations = 1200;
+};
+
+struct Failure {
+  std::string target;
+  std::string detail;
+  Bytes input;
+};
+
+/// The process-wide target list; populated once by register_all_targets().
+std::vector<Target>& registry();
+void register_all_targets();
+
+/// Runs every check for one target; returns all failures (empty == pass).
+std::vector<Failure> run_target(const Target& target, const Options& options);
+
+}  // namespace spider::fuzz

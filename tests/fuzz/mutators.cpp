@@ -1,0 +1,119 @@
+#include "mutators.hpp"
+
+#include <algorithm>
+
+namespace spider::fuzz {
+
+namespace {
+
+std::size_t pick_offset(SplitMix64& rng, const Bytes& input) {
+  return input.empty() ? 0 : rng.below(input.size());
+}
+
+}  // namespace
+
+Bytes truncate(SplitMix64& rng, const Bytes& input) {
+  if (input.empty()) return input;
+  Bytes out = input;
+  out.resize(rng.below(input.size()));
+  return out;
+}
+
+Bytes bit_flip(SplitMix64& rng, const Bytes& input) {
+  if (input.empty()) return input;
+  Bytes out = input;
+  const std::size_t flips = 1 + rng.below(4);
+  for (std::size_t i = 0; i < flips; ++i) {
+    out[pick_offset(rng, out)] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+  }
+  return out;
+}
+
+Bytes byte_boundary(SplitMix64& rng, const Bytes& input) {
+  if (input.empty()) return input;
+  static constexpr std::uint8_t kBoundaries[] = {0x00, 0x01, 0x7f, 0x80, 0xff};
+  Bytes out = input;
+  out[pick_offset(rng, out)] = kBoundaries[rng.below(std::size(kBoundaries))];
+  return out;
+}
+
+Bytes length_inflate(SplitMix64& rng, const Bytes& input) {
+  if (input.empty()) return input;
+  Bytes out = input;
+  // Values chosen to straddle the caps decoders might apply: huge, just
+  // under/over common powers of two, and "slightly more than remaining".
+  static constexpr std::uint64_t kInflated[] = {
+      0xffffffffull, 0x7fffffffull, 0x80000000ull, (1ull << 24), (1ull << 20),
+      (1ull << 16),  0xffffull,     1025ull,       255ull};
+  const std::uint64_t value = kInflated[rng.below(std::size(kInflated))];
+  const std::size_t offset = pick_offset(rng, out);
+  const std::size_t width = rng.below(2) == 0 ? 4 : 2;
+  for (std::size_t i = 0; i < width && offset + i < out.size(); ++i) {
+    out[offset + i] = static_cast<std::uint8_t>(value >> (8 * (width - 1 - i)));
+  }
+  return out;
+}
+
+Bytes splice(SplitMix64& rng, const Bytes& input, const Bytes& other) {
+  const std::size_t cut_a = input.empty() ? 0 : rng.below(input.size() + 1);
+  const std::size_t cut_b = other.empty() ? 0 : rng.below(other.size() + 1);
+  Bytes out(input.begin(), input.begin() + static_cast<std::ptrdiff_t>(cut_a));
+  out.insert(out.end(), other.begin() + static_cast<std::ptrdiff_t>(cut_b), other.end());
+  return out;
+}
+
+Bytes insert_bytes(SplitMix64& rng, const Bytes& input) {
+  Bytes out = input;
+  const std::size_t count = 1 + rng.below(16);
+  Bytes junk(count);
+  for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+  const std::size_t at = input.empty() ? 0 : rng.below(input.size() + 1);
+  out.insert(out.begin() + static_cast<std::ptrdiff_t>(at), junk.begin(), junk.end());
+  return out;
+}
+
+Bytes delete_bytes(SplitMix64& rng, const Bytes& input) {
+  if (input.empty()) return input;
+  Bytes out = input;
+  const std::size_t at = rng.below(out.size());
+  const std::size_t count = std::min(out.size() - at, 1 + rng.below(8));
+  out.erase(out.begin() + static_cast<std::ptrdiff_t>(at),
+            out.begin() + static_cast<std::ptrdiff_t>(at + count));
+  return out;
+}
+
+Bytes append_bytes(SplitMix64& rng, const Bytes& input) {
+  Bytes out = input;
+  const std::size_t count = 1 + rng.below(16);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(static_cast<std::uint8_t>(rng.next()));
+  return out;
+}
+
+Bytes random_buffer(SplitMix64& rng) {
+  Bytes out(rng.below(256));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+Bytes mutate(SplitMix64& rng, const std::vector<Bytes>& corpus) {
+  // 1 in 8 inputs carries no structure at all.
+  if (corpus.empty() || rng.below(8) == 0) return random_buffer(rng);
+
+  Bytes out = corpus[rng.below(corpus.size())];
+  const std::size_t rounds = 1 + rng.below(3);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    switch (rng.below(8)) {
+      case 0: out = truncate(rng, out); break;
+      case 1: out = bit_flip(rng, out); break;
+      case 2: out = byte_boundary(rng, out); break;
+      case 3: out = length_inflate(rng, out); break;
+      case 4: out = splice(rng, out, corpus[rng.below(corpus.size())]); break;
+      case 5: out = insert_bytes(rng, out); break;
+      case 6: out = delete_bytes(rng, out); break;
+      case 7: out = append_bytes(rng, out); break;
+    }
+  }
+  return out;
+}
+
+}  // namespace spider::fuzz

@@ -1,0 +1,53 @@
+// Seeded byte-level mutators for the decode fuzz harness.
+//
+// Mutations are structure-aware in the sense that they target the shapes
+// our wire format actually uses — u16/u32 big-endian length fields, flag
+// bytes, length-prefixed blobs — rather than only flipping random bits.
+// Every mutator draws from a SplitMix64, so a (seed, iteration) pair
+// reproduces the exact input that a failing run saw.
+#pragma once
+
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace spider::fuzz {
+
+using util::Bytes;
+using util::SplitMix64;
+
+/// Truncates to a random length in [0, size).
+Bytes truncate(SplitMix64& rng, const Bytes& input);
+
+/// Flips 1–4 random bits.
+Bytes bit_flip(SplitMix64& rng, const Bytes& input);
+
+/// Overwrites a random byte with a boundary value (0x00/0x7f/0x80/0xff).
+Bytes byte_boundary(SplitMix64& rng, const Bytes& input);
+
+/// Overwrites a random 2- or 4-byte window with a huge big-endian integer —
+/// the mutation that catches reserve()-from-header allocation bugs.
+Bytes length_inflate(SplitMix64& rng, const Bytes& input);
+
+/// Concatenates a prefix of `input` with a suffix of `other` cut at
+/// independent points, so length prefixes stop matching their bodies.
+Bytes splice(SplitMix64& rng, const Bytes& input, const Bytes& other);
+
+/// Inserts 1–16 random bytes at a random position.
+Bytes insert_bytes(SplitMix64& rng, const Bytes& input);
+
+/// Deletes a short run of bytes at a random position.
+Bytes delete_bytes(SplitMix64& rng, const Bytes& input);
+
+/// Appends 1–16 random trailing bytes (must trip expect_end()).
+Bytes append_bytes(SplitMix64& rng, const Bytes& input);
+
+/// A fully random buffer of size < 256 with no structure at all.
+Bytes random_buffer(SplitMix64& rng);
+
+/// Applies 1–3 randomly chosen mutators to a random corpus entry; a small
+/// fraction of calls returns a purely random buffer instead.
+Bytes mutate(SplitMix64& rng, const std::vector<Bytes>& corpus);
+
+}  // namespace spider::fuzz

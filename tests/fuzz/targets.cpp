@@ -1,0 +1,408 @@
+// Registers every wire decoder in the codebase with the fuzz harness.
+//
+// Corpora are built by the same code paths that produce real protocol
+// messages, so the mutators start from byte strings whose length fields,
+// flags and nesting are initially consistent — that is what lets a bit
+// flip or a length inflation land *inside* a structure instead of being
+// rejected at byte 0.
+#include "harness.hpp"
+
+#include "bgp/prefix.hpp"
+#include "bgp/route.hpp"
+#include "core/commitment.hpp"
+#include "core/mtt.hpp"
+#include "core/promise.hpp"
+#include "core/vpref.hpp"
+#include "crypto/random.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha2.hpp"
+#include "spider/evidence.hpp"
+#include "spider/log.hpp"
+#include "spider/messages.hpp"
+#include "spider/proof_generator.hpp"
+#include "spider/state.hpp"
+#include "util/serde.hpp"
+
+namespace spider::fuzz {
+
+namespace {
+
+namespace sb = spider::bgp;
+namespace sc = spider::core;
+namespace sp = spider::proto;
+namespace scr = spider::crypto;
+namespace su = spider::util;
+
+/// Target for a type with `static T decode(ByteSpan)` and `Bytes encode()`.
+template <typename T>
+Target simple_target(std::string name, std::vector<Bytes> corpus) {
+  Target target;
+  target.name = std::move(name);
+  target.corpus = std::move(corpus);
+  target.decode = [](ByteSpan data) { (void)T::decode(data); };
+  target.reencode = [](ByteSpan data) { return T::decode(data).encode(); };
+  return target;
+}
+
+/// Target for a reader-based decoder (Prefix, Route) wrapped so a whole
+/// buffer must be consumed.
+template <typename T>
+Target reader_target(std::string name, std::vector<Bytes> corpus) {
+  Target target;
+  target.name = std::move(name);
+  target.corpus = std::move(corpus);
+  target.decode = [](ByteSpan data) {
+    su::ByteReader r(data);
+    (void)T::decode(r);
+    r.expect_end();
+  };
+  target.reencode = [](ByteSpan data) {
+    su::ByteReader r(data);
+    T value = T::decode(r);
+    r.expect_end();
+    su::ByteWriter w;
+    value.encode(w);
+    return w.take();
+  };
+  return target;
+}
+
+sb::Route make_route(const char* prefix, std::vector<sb::AsNumber> path) {
+  sb::Route route;
+  route.prefix = sb::Prefix::parse(prefix);
+  route.as_path = std::move(path);
+  route.learned_from = route.as_path.empty() ? 0 : route.as_path.front();
+  route.origin = sb::Origin::kIgp;
+  route.med = 42;
+  route.local_pref = 120;
+  route.communities = {sb::make_community(2, 100), sb::make_community(7, 30)};
+  return route;
+}
+
+Bytes encode_route(const sb::Route& route) {
+  su::ByteWriter w;
+  route.encode(w);
+  return w.take();
+}
+
+Bytes encode_prefix(const sb::Prefix& prefix) {
+  su::ByteWriter w;
+  prefix.encode(w);
+  return w.take();
+}
+
+sc::SignedEnvelope make_envelope(std::uint32_t signer, Bytes payload) {
+  sc::SignedEnvelope env;
+  env.signer = signer;
+  env.payload = std::move(payload);
+  env.signature = su::str_bytes("20-byte-ish signature");
+  return env;
+}
+
+sp::SpiderAnnounce make_spider_announce() {
+  sp::SpiderAnnounce announce;
+  announce.timestamp = 1'000'000;
+  announce.from_as = 3;
+  announce.to_as = 5;
+  announce.route = make_route("10.20.0.0/16", {3, 9, 14});
+  announce.underlying_from = 9;
+  announce.underlying_digest = scr::digest20(su::str_bytes("underlying"));
+  return announce;
+}
+
+sp::SpiderWithdraw make_spider_withdraw() {
+  sp::SpiderWithdraw withdraw;
+  withdraw.timestamp = 1'200'000;
+  withdraw.from_as = 3;
+  withdraw.to_as = 5;
+  withdraw.prefix = sb::Prefix::parse("10.20.0.0/16");
+  return withdraw;
+}
+
+sp::SpiderBatch make_batch() {
+  sp::SpiderBatch batch;
+  batch.parts.push_back({sp::SpiderMsgType::kAnnounce, make_spider_announce().encode()});
+  batch.parts.push_back({sp::SpiderMsgType::kWithdraw, make_spider_withdraw().encode()});
+  return batch;
+}
+
+/// A small MTT plus a proof over it, shared by a few corpora.
+struct MttFixture {
+  sc::Mtt tree;
+  scr::CommitmentPrf prf;
+  sc::MttPrefixProof proof;
+
+  MttFixture()
+      : tree(sc::Mtt::build({{sb::Prefix::parse("10.0.0.0/8"), {true, false, true, false}},
+                             {sb::Prefix::parse("10.1.0.0/16"), {false, true, false, true}}},
+                            4)),
+        prf(scr::seed_from_string("fuzz-mtt")) {
+    tree.compute_labels(prf);
+    proof = tree.prove(prf, sb::Prefix::parse("10.0.0.0/8"), {0, 2});
+  }
+};
+
+const MttFixture& mtt_fixture() {
+  static MttFixture fixture;
+  return fixture;
+}
+
+sc::FlatBitProof make_flat_bit_proof() {
+  scr::CommitmentPrf prf(scr::seed_from_string("fuzz-flat"));
+  sc::FlatCommitment commitment({true, false, true, true}, prf);
+  return commitment.prove(1);
+}
+
+sp::MessageQuote make_quote() {
+  sp::SpiderBatch batch = make_batch();
+  sp::MessageQuote quote;
+  quote.batch = make_envelope(3, batch.encode());
+  quote.part = 0;
+  return quote;
+}
+
+void register_bgp_targets() {
+  registry().push_back(reader_target<sb::Prefix>(
+      "prefix", {encode_prefix(sb::Prefix::parse("10.0.0.0/8")),
+                 encode_prefix(sb::Prefix::parse("192.168.4.0/22")),
+                 encode_prefix(sb::Prefix::parse("0.0.0.0/0")),
+                 encode_prefix(sb::Prefix::parse("255.255.255.255/32"))}));
+
+  registry().push_back(reader_target<sb::Route>(
+      "route", {encode_route(make_route("10.20.0.0/16", {2, 3, 7})),
+                encode_route(make_route("11.0.0.0/8", {})),
+                encode_route(make_route("172.16.0.0/12", {1, 2, 3, 4, 5, 6, 7, 8}))}));
+
+  sb::Update update;
+  update.announced.push_back(make_route("10.20.0.0/16", {2, 3, 7}));
+  update.announced.push_back(make_route("11.0.0.0/8", {4}));
+  update.withdrawn.push_back(sb::Prefix::parse("12.0.0.0/8"));
+  sb::Update empty_update;
+  registry().push_back(
+      simple_target<sb::Update>("update", {update.encode(), empty_update.encode()}));
+}
+
+void register_core_targets() {
+  sc::Promise order = sc::Promise::total_order(5);
+  sc::Promise sparse(6);
+  sparse.add_preference(0, 3);
+  sparse.add_preference(3, 5);
+  registry().push_back(simple_target<sc::Promise>(
+      "promise", {order.encode(), sparse.encode(), sc::Promise::prefer_customer().encode(),
+                  sc::Promise(1).encode()}));
+
+  registry().push_back(
+      simple_target<sc::FlatBitProof>("flat_bit_proof", {make_flat_bit_proof().encode()}));
+
+  const MttFixture& mtt = mtt_fixture();
+  auto wide = mtt.tree.prove(mtt.prf, sb::Prefix::parse("10.1.0.0/16"), {0, 1, 2, 3});
+  registry().push_back(simple_target<sc::MttPrefixProof>(
+      "mtt_prefix_proof", {mtt.proof.encode(), wide.encode()}));
+
+  registry().push_back(simple_target<sc::SignedEnvelope>(
+      "signed_envelope", {make_envelope(7, su::str_bytes("payload")).encode(),
+                          make_envelope(0, {}).encode()}));
+
+  sc::AnnouncePayload announce;
+  announce.producer = 1;
+  announce.elector = 2;
+  announce.round = 3;
+  announce.route = make_route("10.20.0.0/16", {2, 3, 7});
+  sc::AnnouncePayload null_announce;
+  null_announce.producer = 1;
+  null_announce.elector = 2;
+  null_announce.round = 4;
+  registry().push_back(simple_target<sc::AnnouncePayload>(
+      "announce_payload", {announce.encode(), null_announce.encode()}));
+
+  sc::AckPayload ack;
+  ack.elector = 2;
+  ack.round = 3;
+  ack.announce_digest = scr::digest20(su::str_bytes("announce"));
+  registry().push_back(simple_target<sc::AckPayload>("ack_payload", {ack.encode()}));
+
+  sc::CommitPayload commit;
+  commit.elector = 2;
+  commit.round = 3;
+  commit.num_bits = 4;
+  commit.root = scr::digest20(su::str_bytes("root"));
+  registry().push_back(simple_target<sc::CommitPayload>("commit_payload", {commit.encode()}));
+
+  sc::OfferPayload offer;
+  offer.elector = 2;
+  offer.consumer = 9;
+  offer.round = 3;
+  offer.route = make_route("10.20.0.0/16", {2, 3, 7});
+  offer.producer_announce = make_envelope(1, announce.encode());
+  sc::OfferPayload null_offer;
+  null_offer.elector = 2;
+  null_offer.consumer = 9;
+  null_offer.round = 4;
+  registry().push_back(simple_target<sc::OfferPayload>(
+      "offer_payload", {offer.encode(), null_offer.encode()}));
+
+  sc::BitProofPayload bit_proof;
+  bit_proof.elector = 2;
+  bit_proof.round = 3;
+  bit_proof.proof = make_flat_bit_proof();
+  registry().push_back(
+      simple_target<sc::BitProofPayload>("bit_proof_payload", {bit_proof.encode()}));
+
+  sc::PromisePayload promise_payload;
+  promise_payload.elector = 2;
+  promise_payload.consumer = 9;
+  promise_payload.promise = sc::Promise::total_order(4);
+  registry().push_back(
+      simple_target<sc::PromisePayload>("promise_payload", {promise_payload.encode()}));
+
+  sc::ProducerChallenge producer_challenge;
+  producer_challenge.announce = make_envelope(1, announce.encode());
+  producer_challenge.ack = make_envelope(2, ack.encode());
+  producer_challenge.received_proof = make_envelope(2, bit_proof.encode());
+  sc::ProducerChallenge bare_challenge;
+  bare_challenge.announce = make_envelope(1, su::str_bytes("a"));
+  bare_challenge.ack = make_envelope(2, su::str_bytes("b"));
+  registry().push_back(simple_target<sc::ProducerChallenge>(
+      "producer_challenge", {producer_challenge.encode(), bare_challenge.encode()}));
+
+  sc::ConsumerChallenge consumer_challenge;
+  consumer_challenge.offer = make_envelope(2, offer.encode());
+  consumer_challenge.signed_promise = make_envelope(2, promise_payload.encode());
+  consumer_challenge.received_proofs.push_back(make_envelope(2, bit_proof.encode()));
+  registry().push_back(simple_target<sc::ConsumerChallenge>(
+      "consumer_challenge", {consumer_challenge.encode()}));
+}
+
+void register_spider_targets() {
+  registry().push_back(
+      simple_target<sp::SpiderAnnounce>("spider_announce", {make_spider_announce().encode()}));
+  registry().push_back(
+      simple_target<sp::SpiderWithdraw>("spider_withdraw", {make_spider_withdraw().encode()}));
+
+  sp::SpiderAck ack;
+  ack.timestamp = 1'300'000;
+  ack.from_as = 5;
+  ack.to_as = 3;
+  ack.message_digest = scr::digest20(su::str_bytes("batch"));
+  registry().push_back(simple_target<sp::SpiderAck>("spider_ack", {ack.encode()}));
+
+  sp::SpiderCommit commit;
+  commit.timestamp = 1'400'000;
+  commit.from_as = 5;
+  commit.num_classes = 4;
+  commit.root = scr::digest20(su::str_bytes("commit-root"));
+  registry().push_back(simple_target<sp::SpiderCommit>("spider_commit", {commit.encode()}));
+
+  sp::SpiderBatch empty_batch;
+  registry().push_back(simple_target<sp::SpiderBatch>(
+      "spider_batch", {make_batch().encode(), empty_batch.encode()}));
+
+  registry().push_back(simple_target<sp::MessageQuote>("message_quote", {make_quote().encode()}));
+
+  const MttFixture& mtt = mtt_fixture();
+  sp::ProducerProofs producer_proofs;
+  producer_proofs.commit_time = 2'000'000;
+  {
+    sp::ProducerProofs::Item item;
+    item.prefix = sb::Prefix::parse("10.0.0.0/8");
+    item.used_route = make_route("10.0.0.0/8", {3, 9});
+    item.cls = 2;
+    item.proof = mtt.proof;
+    producer_proofs.items.push_back(std::move(item));
+  }
+  registry().push_back(
+      simple_target<sp::ProducerProofs>("producer_proofs", {producer_proofs.encode()}));
+
+  sp::ConsumerProofs consumer_proofs;
+  consumer_proofs.commit_time = 2'000'000;
+  {
+    sp::ConsumerProofs::Item item;
+    item.prefix = sb::Prefix::parse("10.0.0.0/8");
+    item.offered_route = make_route("10.0.0.0/8", {5, 3, 9});
+    item.proof = mtt.proof;
+    consumer_proofs.items.push_back(std::move(item));
+  }
+  registry().push_back(
+      simple_target<sp::ConsumerProofs>("consumer_proofs", {consumer_proofs.encode()}));
+
+  // Checkpoint state: serialized via std::map, so accepted inputs may
+  // legitimately re-serialize in normalized (sorted, deduplicated) order.
+  sp::MirrorState state;
+  state.apply_announce_in(make_spider_announce(), scr::digest20(su::str_bytes("part")));
+  sp::SpiderAnnounce out = make_spider_announce();
+  out.to_as = 8;
+  state.apply_announce_out(out);
+  Target mirror;
+  mirror.name = "mirror_state";
+  mirror.corpus = {state.serialize(), sp::MirrorState{}.serialize()};
+  mirror.decode = [](ByteSpan data) { (void)sp::MirrorState::deserialize(data); };
+  mirror.reencode = [](ByteSpan data) { return sp::MirrorState::deserialize(data).serialize(); };
+  mirror.canonical = false;
+  registry().push_back(std::move(mirror));
+
+  sp::LogEntry entry;
+  entry.seq = 12;
+  entry.timestamp = 1'500'000;
+  entry.direction = sp::LogDirection::kReceived;
+  entry.peer_as = 3;
+  entry.message = make_envelope(3, make_batch().encode()).encode();
+  entry.signature_bytes = 20;
+  entry.authenticator = scr::digest20(su::str_bytes("auth"));
+  registry().push_back(simple_target<sp::LogEntry>("log_entry", {entry.encode()}));
+
+  sp::LogCheckpoint checkpoint;
+  checkpoint.timestamp = 1'600'000;
+  checkpoint.state = state.serialize();
+  registry().push_back(
+      simple_target<sp::LogCheckpoint>("log_checkpoint", {checkpoint.encode()}));
+
+  sp::CommitmentRecord record;
+  record.timestamp = 1'700'000;
+  record.seed = scr::seed_from_string("commit-seed");
+  record.root = scr::digest20(su::str_bytes("record-root"));
+  record.num_classes = 4;
+  registry().push_back(
+      simple_target<sp::CommitmentRecord>("commitment_record", {record.encode()}));
+
+  sp::ImportEvidence import_evidence;
+  import_evidence.announce = sp::QuotedMessage{make_quote()};
+  import_evidence.ack = make_envelope(5, make_batch().encode());
+  registry().push_back(
+      simple_target<sp::ImportEvidence>("import_evidence", {import_evidence.encode()}));
+
+  sp::ExportEvidence export_evidence;
+  export_evidence.announce = sp::QuotedMessage{make_quote()};
+  registry().push_back(
+      simple_target<sp::ExportEvidence>("export_evidence", {export_evidence.encode()}));
+
+  sp::EvidenceRefutation refutation;
+  refutation.withdraw = sp::QuotedMessage{make_quote()};
+  refutation.ack = make_envelope(5, make_batch().encode());
+  sp::EvidenceRefutation bare_refutation;
+  bare_refutation.withdraw = sp::QuotedMessage{make_quote()};
+  registry().push_back(simple_target<sp::EvidenceRefutation>(
+      "evidence_refutation", {refutation.encode(), bare_refutation.encode()}));
+}
+
+void register_crypto_targets() {
+  scr::RsaPublicKey key;
+  key.n = scr::BigInt::from_bytes_be(su::str_bytes("\x9a\x3f\x52\xee\x01\x77\xc2\x19"));
+  key.e = scr::BigInt{65537};
+  scr::RsaPublicKey small;
+  small.n = scr::BigInt{3233};
+  small.e = scr::BigInt{17};
+  registry().push_back(
+      simple_target<scr::RsaPublicKey>("rsa_public_key", {key.encode(), small.encode()}));
+}
+
+}  // namespace
+
+void register_all_targets() {
+  if (!registry().empty()) return;
+  register_bgp_targets();
+  register_core_targets();
+  register_spider_targets();
+  register_crypto_targets();
+}
+
+}  // namespace spider::fuzz

@@ -192,6 +192,66 @@ TEST(Sim, PayloadIsCopiedNotAliased) {
   EXPECT_EQ(b.deliveries[0].payload, payload("scoped"));
 }
 
+TEST(Sim, DownLinkDropsAndCounts) {
+  sn::Simulator sim;
+  Recorder a(sim), b(sim);
+  auto ida = sim.add_node(a, "a");
+  auto idb = sim.add_node(b, "b");
+  sim.connect(ida, idb, 100);
+
+  sim.set_link_up(ida, idb, false);
+  EXPECT_FALSE(sim.link_up(ida, idb));
+  sim.send(ida, idb, payload("lost"));
+  sim.send(idb, ida, payload("also lost"));
+  sim.run();
+
+  EXPECT_TRUE(b.deliveries.empty());
+  EXPECT_TRUE(a.deliveries.empty());
+  EXPECT_EQ(sim.dropped_messages(ida, idb), 2u);
+  // Dropped traffic must not pollute the delivered-byte accounting.
+  EXPECT_EQ(sim.link_stats(ida, idb).total_bytes(), 0u);
+
+  sim.set_link_up(ida, idb, true);
+  sim.send(ida, idb, payload("through"));
+  sim.run();
+  ASSERT_EQ(b.deliveries.size(), 1u);
+  EXPECT_EQ(b.deliveries[0].payload, payload("through"));
+  EXPECT_EQ(sim.dropped_messages(ida, idb), 2u);
+}
+
+TEST(Sim, InFlightMessageSurvivesLinkGoingDown) {
+  // The down state gates *send time*, not delivery time: a message already
+  // in flight when the link fails still arrives (it models a control-plane
+  // session drop, not packet loss on the wire).
+  sn::Simulator sim;
+  Recorder a(sim), b(sim);
+  auto ida = sim.add_node(a, "a");
+  auto idb = sim.add_node(b, "b");
+  sim.connect(ida, idb, 100);
+
+  sim.send(ida, idb, payload("in-flight"));
+  sim.schedule_at(50, [&] { sim.set_link_up(ida, idb, false); });
+  sim.run();
+
+  ASSERT_EQ(b.deliveries.size(), 1u);
+  EXPECT_EQ(b.deliveries[0].time, 100);
+  EXPECT_EQ(sim.dropped_messages(ida, idb), 0u);
+}
+
+TEST(Sim, RunUntilAdvancesClockMonotonically) {
+  sn::Simulator sim;
+  sim.schedule_at(500, [] {});
+  sim.run_until(100);
+  EXPECT_EQ(sim.now(), 100);
+  sim.run_until(250);
+  EXPECT_EQ(sim.now(), 250);
+  // run_until with an earlier boundary must not move the clock backwards.
+  sim.run_until(200);
+  EXPECT_EQ(sim.now(), 250);
+  sim.run();
+  EXPECT_EQ(sim.now(), 500);
+}
+
 TEST(Sim, NamesAndIds) {
   sn::Simulator sim;
   Recorder a(sim);

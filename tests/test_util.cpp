@@ -111,6 +111,55 @@ TEST(Serde, DigestRoundtrip) {
   EXPECT_EQ(r.digest(), d);
 }
 
+TEST(Serde, EmptySpanReader) {
+  su::ByteReader r(su::ByteSpan{});
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.remaining(), 0u);
+  r.expect_end();  // nothing to consume is a valid end state
+  EXPECT_THROW(r.u8(), su::DecodeError);
+}
+
+TEST(Serde, NeedAtExactBoundary) {
+  su::Bytes data = {0xde, 0xad, 0xbe, 0xef};
+  su::ByteReader r(data);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);  // consumes exactly the whole buffer
+  EXPECT_TRUE(r.empty());
+  EXPECT_THROW(r.u8(), su::DecodeError);
+
+  su::ByteReader r2(data);
+  EXPECT_EQ(r2.raw(4).size(), 4u);
+  EXPECT_THROW(su::ByteReader(data).raw(5), su::DecodeError);
+}
+
+TEST(Serde, ZeroLengthPrefix) {
+  su::ByteWriter w;
+  w.bytes(su::Bytes{});
+  EXPECT_EQ(w.size(), 4u);
+  su::ByteReader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  r.expect_end();
+}
+
+TEST(Serde, MaxLengthPrefixRejected) {
+  // A u32 length of UINT32_MAX with no body must throw, not allocate 4 GiB.
+  su::Bytes data = {0xff, 0xff, 0xff, 0xff};
+  su::ByteReader r(data);
+  EXPECT_THROW(r.bytes(), su::DecodeError);
+}
+
+TEST(Serde, CheckCountBoundsByRemaining) {
+  su::Bytes data(100, 0);
+  su::ByteReader r(data);
+  EXPECT_EQ(r.check_count(20, 5, "items"), 20u);  // 20 * 5 == 100, exactly fits
+  EXPECT_THROW(r.check_count(21, 5, "items"), su::DecodeError);
+  EXPECT_EQ(r.check_count(0, 5, "items"), 0u);
+  // A zero per-element floor is treated as one byte, never a divide-by-zero.
+  EXPECT_EQ(r.check_count(100, 0, "items"), 100u);
+  EXPECT_THROW(r.check_count(101, 0, "items"), su::DecodeError);
+  // The classic amplification shape: a huge count against a tiny buffer.
+  EXPECT_THROW(r.check_count(0xffffffffu, 4, "items"), su::DecodeError);
+}
+
 TEST(Rng, Deterministic) {
   su::SplitMix64 a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
