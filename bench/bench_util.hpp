@@ -8,6 +8,8 @@
 //   SPIDER_BENCH_FULL=1    shorthand for paper-scale prefixes/updates
 #pragma once
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,7 +22,24 @@ namespace spider::benchutil {
 inline std::size_t env_size(const char* name, std::size_t fallback) {
   const char* value = std::getenv(name);
   if (!value) return fallback;
-  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+  // strtoull silently yields 0 for garbage and wraps negatives; a typo'd
+  // SPIDER_BENCH_PREFIXES must not quietly run a zero-size bench.
+  const char* p = value;
+  while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long parsed = std::strtoull(p, &end, 10);
+  bool bad = *p == '-' || end == p || errno == ERANGE;
+  if (end != nullptr) {
+    while (*end != '\0' && std::isspace(static_cast<unsigned char>(*end))) ++end;
+    if (*end != '\0') bad = true;
+  }
+  if (bad) {
+    std::fprintf(stderr, "warning: %s=\"%s\" is not a valid size; using default %zu\n", name,
+                 value, fallback);
+    return fallback;
+  }
+  return static_cast<std::size_t>(parsed);
 }
 
 inline bool full_scale() {

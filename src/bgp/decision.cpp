@@ -1,6 +1,30 @@
 #include "bgp/decision.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace spider::bgp {
+
+namespace {
+
+#if !defined(SPIDER_OBS_DISABLED)
+/// Decision-step tally: which rule of the decision process settled each
+/// pairwise comparison (the paper's §2 "BGP decision process" — local
+/// pref, path length, origin, MED, neighbor AS).
+void count_step(DecisionStep step) {
+  switch (step) {
+    case DecisionStep::kLocalPref: SPIDER_OBS_COUNT("bgp/decision_local_pref", 1); break;
+    case DecisionStep::kPathLength: SPIDER_OBS_COUNT("bgp/decision_path_length", 1); break;
+    case DecisionStep::kOrigin: SPIDER_OBS_COUNT("bgp/decision_origin", 1); break;
+    case DecisionStep::kMed: SPIDER_OBS_COUNT("bgp/decision_med", 1); break;
+    case DecisionStep::kNeighborAs: SPIDER_OBS_COUNT("bgp/decision_neighbor_as", 1); break;
+    case DecisionStep::kTie: SPIDER_OBS_COUNT("bgp/decision_tie", 1); break;
+  }
+}
+#else
+inline void count_step(DecisionStep) {}
+#endif
+
+}  // namespace
 
 bool better_explained(const Route& a, const Route& b, DecisionStep& step) {
   if (a.local_pref != b.local_pref) {
@@ -33,10 +57,13 @@ bool better(const Route& a, const Route& b) {
 }
 
 std::optional<Route> decide(const std::vector<Route>& candidates) {
+  SPIDER_OBS_COUNT("bgp/decisions", 1);
   if (candidates.empty()) return std::nullopt;
   const Route* best = &candidates.front();
   for (std::size_t i = 1; i < candidates.size(); ++i) {
-    if (better(candidates[i], *best)) best = &candidates[i];
+    DecisionStep step;
+    if (better_explained(candidates[i], *best, step)) best = &candidates[i];
+    count_step(step);
   }
   return *best;
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace spider::bgp {
 
 Speaker::Speaker(netsim::Simulator& sim, AsNumber asn, Policy policy)
@@ -42,6 +45,9 @@ void Speaker::enable_flap_damping(FlapDampingConfig config) { damper_.emplace(co
 
 void Speaker::process_update(AsNumber neighbor_as, const Update& update) {
   updates_received_ += 1;
+  SPIDER_OBS_COUNT("bgp/updates_processed", 1);
+  SPIDER_OBS_COUNT("bgp/routes_announced_in", update.announced.size());
+  SPIDER_OBS_COUNT("bgp/routes_withdrawn_in", update.withdrawn.size());
   for (const Prefix& prefix : update.withdrawn) {
     if (observer_.on_withdraw_in) observer_.on_withdraw_in(neighbor_as, prefix);
     if (damper_) {
@@ -97,6 +103,8 @@ void Speaker::process_update(AsNumber neighbor_as, const Update& update) {
 }
 
 void Speaker::reselect(const Prefix& prefix) {
+  SPIDER_OBS_COUNT("bgp/reselects", 1);
+  SPIDER_OBS_SPAN(decision_span, "speaker/decision");
   std::vector<Route> candidates = adj_in_.candidates(prefix);
   auto local_it = local_routes_.find(prefix);
   if (local_it != local_routes_.end()) candidates.push_back(local_it->second);
@@ -173,6 +181,7 @@ void Speaker::flush_pending(AsNumber neighbor_as) {
 
 void Speaker::send_update(AsNumber neighbor_as, const Update& update) {
   updates_sent_ += 1;
+  SPIDER_OBS_COUNT("bgp/updates_sent", 1);
   if (observer_.on_update_out) observer_.on_update_out(neighbor_as, update);
   sim_.send(node_id(), neighbors_.at(neighbor_as), update.encode());
 }

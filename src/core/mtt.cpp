@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "crypto/sha2.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace spider::core {
 
@@ -77,6 +79,8 @@ Mtt Mtt::build(std::vector<std::pair<bgp::Prefix, std::vector<bool>>> entries,
       }
     }
   }
+  SPIDER_OBS_COUNT("core/mtt_builds", 1);
+  SPIDER_OBS_COUNT("core/mtt_prefix_nodes", tree.prefix_nodes_.size());
   return tree;
 }
 
@@ -149,6 +153,8 @@ Digest20 Mtt::child_label(const Inner& node, int slot, const crypto::CommitmentP
 }
 
 void Mtt::compute_labels(const crypto::CommitmentPrf& prf, unsigned threads) {
+  SPIDER_OBS_SPAN(label_span, "core/mtt_label");
+  util::WallTimer label_timer;
   inner_labels_.assign(inner_.size(), Digest20{});
   prefix_labels_.assign(prefix_nodes_.size(), Digest20{});
   std::atomic<std::uint64_t> hash_count{0};
@@ -165,6 +171,7 @@ void Mtt::compute_labels(const crypto::CommitmentPrf& prf, unsigned threads) {
     util::ThreadPool pool(threads);
     const std::size_t chunks = static_cast<std::size_t>(threads) * 8;
     const std::size_t chunk_size = (n + chunks - 1) / chunks;
+    std::size_t submitted = 0;
     for (std::size_t start = 0; start < n; start += chunk_size) {
       const std::size_t end = std::min(n, start + chunk_size);
       pool.submit([this, &prf, &hash_count, start, end] {
@@ -174,7 +181,10 @@ void Mtt::compute_labels(const crypto::CommitmentPrf& prf, unsigned threads) {
         }
         hash_count += hashes;
       });
+      ++submitted;
+      SPIDER_OBS_GAUGE_MAX("core/threadpool_queue_depth", pool.queue_depth());
     }
+    SPIDER_OBS_COUNT("core/mtt_parallel_chunks", submitted);
     pool.wait_idle();
   }
 
@@ -196,6 +206,12 @@ void Mtt::compute_labels(const crypto::CommitmentPrf& prf, unsigned threads) {
 
   label_hashes_ = hash_count.load();
   labels_done_ = true;
+  SPIDER_OBS_COUNT("core/mtt_label_runs", 1);
+  SPIDER_OBS_COUNT("core/mtt_nodes_labeled", inner_.size() + prefix_nodes_.size());
+  SPIDER_OBS_COUNT("core/mtt_label_hashes", label_hashes_);
+  SPIDER_OBS_HIST("core/mtt_label_micros",
+                  static_cast<std::uint64_t>(label_timer.seconds() * 1e6),
+                  obs::latency_buckets_micros());
 }
 
 const Digest20& Mtt::root_label() const {
@@ -241,10 +257,12 @@ MttPrefixProof Mtt::prove(const crypto::CommitmentPrf& prf, const bgp::Prefix& p
     proof.siblings.push_back(sibs);
     if (path_slot != kSlotE) node = inner.child[static_cast<std::size_t>(path_slot)];
   }
+  SPIDER_OBS_COUNT("core/mtt_proofs_generated", 1);
   return proof;
 }
 
 bool Mtt::verify(const Digest20& root, std::uint32_t num_classes, const MttPrefixProof& proof) {
+  SPIDER_OBS_COUNT("core/mtt_proofs_verified", 1);
   if (proof.bit_labels.size() != num_classes) return false;
   if (proof.siblings.size() != static_cast<std::size_t>(proof.prefix.length()) + 1) return false;
 

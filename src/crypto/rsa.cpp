@@ -4,6 +4,7 @@
 
 #include "crypto/hmac.hpp"
 #include "crypto/sha2.hpp"
+#include "obs/metrics.hpp"
 #include "util/serde.hpp"
 
 namespace spider::crypto {
@@ -89,6 +90,8 @@ RsaPrivateKey rsa_generate(std::size_t bits, util::SplitMix64& rng) {
 }
 
 Bytes rsa_sign(const RsaPrivateKey& key, ByteSpan message) {
+  SPIDER_OBS_COUNT("crypto/rsa_sign_ops", 1);
+  SPIDER_OBS_COUNT("crypto/rsa_sign_bytes", message.size());
   const std::size_t k = key.public_key().modulus_bytes();
   BigInt m = BigInt::from_bytes_be(pkcs1_encode(message, k));
 
@@ -102,6 +105,8 @@ Bytes rsa_sign(const RsaPrivateKey& key, ByteSpan message) {
 }
 
 bool rsa_verify(const RsaPublicKey& key, ByteSpan message, ByteSpan signature) {
+  SPIDER_OBS_COUNT("crypto/rsa_verify_ops", 1);
+  SPIDER_OBS_COUNT("crypto/rsa_verify_bytes", message.size());
   const std::size_t k = key.modulus_bytes();
   if (signature.size() != k) return false;
   BigInt s = BigInt::from_bytes_be(signature);
@@ -112,11 +117,15 @@ bool rsa_verify(const RsaPublicKey& key, ByteSpan message, ByteSpan signature) {
 }
 
 Bytes HashSigner::sign(ByteSpan message) const {
+  SPIDER_OBS_COUNT("crypto/hash_sign_ops", 1);
+  SPIDER_OBS_COUNT("crypto/hash_sign_bytes", message.size());
   auto d = HmacSha512::mac20(key_, message);
   return Bytes(d.begin(), d.end());
 }
 
 bool HashVerifier::verify(ByteSpan message, ByteSpan signature) const {
+  SPIDER_OBS_COUNT("crypto/hash_verify_ops", 1);
+  SPIDER_OBS_COUNT("crypto/hash_verify_bytes", message.size());
   auto d = HmacSha512::mac20(key_, message);
   return util::ct_equal(ByteSpan{d.data(), d.size()}, signature);
 }

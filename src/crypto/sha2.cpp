@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace spider::crypto {
 
 namespace {
@@ -202,6 +204,11 @@ void Sha512::update(ByteSpan data) {
 }
 
 Sha512::Digest Sha512::finish() {
+  // Counted here rather than in update(): finish() pads via byte-sized
+  // update() calls, which would both inflate the byte count and multiply
+  // the counter traffic in the labeling hot loop.
+  SPIDER_OBS_COUNT("crypto/sha512_digests", 1);
+  SPIDER_OBS_COUNT("crypto/sha512_bytes", total_len_);
   std::uint64_t bit_len = total_len_ * 8;
   std::uint8_t pad = 0x80;
   update(ByteSpan{&pad, 1});

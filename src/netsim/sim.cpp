@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace spider::netsim {
 
 NodeId Simulator::add_node(Node& node, std::string name) {
@@ -26,12 +28,16 @@ void Simulator::send(NodeId from, NodeId to, util::ByteSpan payload) {
   Link& link = it->second;
   if (!link.up) {
     link.dropped += 1;
+    SPIDER_OBS_COUNT("netsim/messages_dropped", 1);
     return;
   }
   DirectionStats& dir = from < to ? link.stats.a_to_b : link.stats.b_to_a;
   dir.messages += 1;
   dir.bytes += payload.size();
   bytes_sent_[from] += payload.size();
+  SPIDER_OBS_COUNT("netsim/messages_sent", 1);
+  SPIDER_OBS_COUNT("netsim/bytes_sent", payload.size());
+  SPIDER_OBS_HIST("netsim/message_bytes", payload.size(), obs::size_buckets_bytes());
 
   util::Bytes copy(payload.begin(), payload.end());
   Node* dest = nodes_.at(to);
@@ -56,6 +62,7 @@ void Simulator::run() {
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.time;
+    SPIDER_OBS_COUNT("netsim/events_dispatched", 1);
     ev.fn();
   }
 }
@@ -65,6 +72,7 @@ void Simulator::run_until(Time t) {
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.time;
+    SPIDER_OBS_COUNT("netsim/events_dispatched", 1);
     ev.fn();
   }
   if (now_ < t) now_ = t;

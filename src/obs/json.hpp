@@ -1,0 +1,80 @@
+// Minimal JSON document model with a stable (sorted-key) writer and a
+// strict parser.
+//
+// Scope: exactly what the observability layer needs — serializing metric
+// snapshots and BENCH_*.json trajectory files, parsing them back for
+// round-trip tests and schema validation.  Not a general-purpose library:
+// numbers are IEEE doubles, strings are byte strings (UTF-8 passed
+// through; only the escapes required by RFC 8259 are emitted).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace spider::obs::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps object keys sorted, which makes the emitted JSON stable
+/// across runs — a requirement for diffing two BENCH_*.json trajectories.
+using Object = std::map<std::string, Value>;
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(std::int64_t i) : data_(static_cast<double>(i)) {}
+  Value(std::uint64_t u) : data_(static_cast<double>(u)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  bool as_bool() const { return std::get<bool>(data_); }
+  double as_number() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Array& as_array() const { return std::get<Array>(data_); }
+  Array& as_array() { return std::get<Array>(data_); }
+  const Object& as_object() const { return std::get<Object>(data_); }
+  Object& as_object() { return std::get<Object>(data_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+  /// Serializes with sorted object keys.  `indent` > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Strict parse of a complete JSON document; throws ParseError on trailing
+/// garbage, bad escapes, unterminated containers, etc.
+Value parse(const std::string& text);
+
+}  // namespace spider::obs::json

@@ -1,0 +1,266 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+namespace spider::obs {
+
+namespace {
+
+/// Shard slot budget.  Counters take one slot; a histogram takes
+/// bounds+1 bucket slots plus sum and count.  ~40 instrumentation sites
+/// exist today; 4096 leaves an order of magnitude of headroom (exceeding
+/// it throws at registration, never silently drops).
+constexpr std::size_t kMaxSlots = 4096;
+
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxSlots> slots{};
+};
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+struct MetricInfo {
+  std::string name;
+  Kind kind;
+  std::uint32_t slot = 0;                // counters/histograms: base slot
+  std::vector<std::uint64_t> bounds;     // histograms only
+  std::uint32_t slot_count = 0;
+};
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  std::mutex mu;
+  std::deque<MetricInfo> metrics;  // deque: stable addresses for handle pointers
+  std::map<std::string, MetricInfo*> by_name;
+  std::uint32_t next_slot = 0;
+
+  // Gauges live outside the shard system (shared last-writer-wins cells).
+  std::deque<std::atomic<std::int64_t>> gauge_cells;
+  std::map<std::string, std::atomic<std::int64_t>*> gauges_by_name;
+
+  std::vector<Shard*> live_shards;
+  std::array<std::uint64_t, kMaxSlots> retired{};  // totals of exited threads
+
+  std::mutex span_mu;
+  std::map<std::string, SpanData> spans;
+
+  void register_shard(Shard* shard) {
+    std::lock_guard lock(mu);
+    live_shards.push_back(shard);
+  }
+
+  void retire_shard(Shard* shard) {
+    std::lock_guard lock(mu);
+    live_shards.erase(std::remove(live_shards.begin(), live_shards.end(), shard),
+                      live_shards.end());
+    for (std::size_t i = 0; i < kMaxSlots; ++i) {
+      retired[i] += shard->slots[i].load(std::memory_order_relaxed);
+    }
+  }
+};
+
+namespace {
+
+MetricsRegistry::Impl* g_impl = nullptr;
+
+/// Per-thread shard, registered with the registry on first use and merged
+/// into the retired totals when the thread exits.  Heap-allocated so the
+/// 32 KiB array stays off the thread stack.
+struct ShardOwner {
+  Shard* shard;
+  ShardOwner() : shard(new Shard) { g_impl->register_shard(shard); }
+  ~ShardOwner() {
+    g_impl->retire_shard(shard);
+    delete shard;
+  }
+};
+
+inline Shard& tls_shard() {
+  thread_local ShardOwner owner;
+  return *owner.shard;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) { g_impl = impl_; }
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // leaked by design
+  return *registry;
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(impl_->mu);
+  auto it = impl_->by_name.find(name);
+  if (it != impl_->by_name.end()) {
+    if (it->second->kind != Kind::kCounter) {
+      throw std::logic_error("metric '" + name + "' already registered as a different kind");
+    }
+    return Counter(it->second->slot);
+  }
+  if (impl_->next_slot + 1 > kMaxSlots) throw std::logic_error("metrics: out of shard slots");
+  impl_->metrics.push_back({name, Kind::kCounter, impl_->next_slot, {}, 1});
+  MetricInfo* info = &impl_->metrics.back();
+  impl_->by_name.emplace(name, info);
+  impl_->next_slot += 1;
+  return Counter(info->slot);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(impl_->mu);
+  auto it = impl_->gauges_by_name.find(name);
+  if (it != impl_->gauges_by_name.end()) return Gauge(it->second);
+  if (impl_->by_name.count(name) != 0) {
+    throw std::logic_error("metric '" + name + "' already registered as a different kind");
+  }
+  impl_->metrics.push_back({name, Kind::kGauge, 0, {}, 0});
+  impl_->gauge_cells.emplace_back(0);
+  std::atomic<std::int64_t>* cell = &impl_->gauge_cells.back();
+  impl_->gauges_by_name.emplace(name, cell);
+  impl_->by_name.emplace(name, &impl_->metrics.back());
+  return Gauge(cell);
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     const std::vector<std::uint64_t>& bounds) {
+  if (bounds.empty()) throw std::logic_error("histogram '" + name + "': empty bounds");
+  if (!std::is_sorted(bounds.begin(), bounds.end())) {
+    throw std::logic_error("histogram '" + name + "': bounds not sorted");
+  }
+  std::lock_guard lock(impl_->mu);
+  auto it = impl_->by_name.find(name);
+  if (it != impl_->by_name.end()) {
+    if (it->second->kind != Kind::kHistogram) {
+      throw std::logic_error("metric '" + name + "' already registered as a different kind");
+    }
+    if (it->second->bounds != bounds) {
+      throw std::logic_error("histogram '" + name + "' re-registered with different bounds");
+    }
+    return Histogram(it->second->slot, &it->second->bounds);
+  }
+  std::uint32_t slot_count = static_cast<std::uint32_t>(bounds.size()) + 3;  // buckets+overflow+sum+count
+  if (impl_->next_slot + slot_count > kMaxSlots) {
+    throw std::logic_error("metrics: out of shard slots");
+  }
+  impl_->metrics.push_back({name, Kind::kHistogram, impl_->next_slot, bounds, slot_count});
+  MetricInfo* info = &impl_->metrics.back();
+  impl_->by_name.emplace(name, info);
+  impl_->next_slot += slot_count;
+  return Histogram(info->slot, &info->bounds);
+}
+
+Snapshot MetricsRegistry::snapshot() {
+  Snapshot snap;
+  std::lock_guard lock(impl_->mu);
+
+  // Merge retired totals with every live shard.
+  std::array<std::uint64_t, kMaxSlots> merged = impl_->retired;
+  for (const Shard* shard : impl_->live_shards) {
+    for (std::size_t i = 0; i < impl_->next_slot; ++i) {
+      merged[i] += shard->slots[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  for (const MetricInfo& info : impl_->metrics) {
+    switch (info.kind) {
+      case Kind::kCounter: snap.counters[info.name] = merged[info.slot]; break;
+      case Kind::kGauge:
+        snap.gauges[info.name] =
+            impl_->gauges_by_name.at(info.name)->load(std::memory_order_relaxed);
+        break;
+      case Kind::kHistogram: {
+        HistogramData data;
+        data.bounds = info.bounds;
+        std::size_t buckets = info.bounds.size() + 1;
+        data.counts.resize(buckets);
+        for (std::size_t b = 0; b < buckets; ++b) data.counts[b] = merged[info.slot + b];
+        data.sum = merged[info.slot + buckets];
+        data.count = merged[info.slot + buckets + 1];
+        snap.histograms[info.name] = std::move(data);
+        break;
+      }
+    }
+  }
+
+  {
+    std::lock_guard span_lock(impl_->span_mu);
+    snap.spans = impl_->spans;
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(impl_->mu);
+  impl_->retired.fill(0);
+  for (Shard* shard : impl_->live_shards) {
+    for (std::size_t i = 0; i < impl_->next_slot; ++i) {
+      shard->slots[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& cell : impl_->gauge_cells) cell.store(0, std::memory_order_relaxed);
+  std::lock_guard span_lock(impl_->span_mu);
+  impl_->spans.clear();
+}
+
+void MetricsRegistry::record_span(const std::string& path, const std::string& parent,
+                                  double wall_seconds, double cpu_seconds,
+                                  double child_wall_seconds) {
+  std::lock_guard lock(impl_->span_mu);
+  SpanData& data = impl_->spans[path];
+  data.count += 1;
+  data.wall_seconds += wall_seconds;
+  data.cpu_seconds += cpu_seconds;
+  data.child_wall_seconds += child_wall_seconds;
+  data.parent = parent;
+}
+
+// ---------------------------------------------------------------- handles
+
+void Counter::add(std::uint64_t delta) const {
+  tls_shard().slots[slot_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Gauge::set(std::int64_t value) const { cell_->store(value, std::memory_order_relaxed); }
+
+void Gauge::add(std::int64_t delta) const { cell_->fetch_add(delta, std::memory_order_relaxed); }
+
+void Gauge::max(std::int64_t value) const {
+  std::int64_t cur = cell_->load(std::memory_order_relaxed);
+  while (value > cur && !cell_->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::observe(std::uint64_t value) const {
+  // First bucket whose (inclusive) upper bound holds the value; the last
+  // slot is the overflow bucket.
+  std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_->begin(), bounds_->end(), value) - bounds_->begin());
+  Shard& shard = tls_shard();
+  std::size_t buckets = bounds_->size() + 1;
+  shard.slots[base_slot_ + bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.slots[base_slot_ + buckets].fetch_add(value, std::memory_order_relaxed);
+  shard.slots[base_slot_ + buckets + 1].fetch_add(1, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------- default buckets
+
+const std::vector<std::uint64_t>& latency_buckets_micros() {
+  static const std::vector<std::uint64_t> buckets = {
+      10,     30,      100,     300,       1'000,      3'000,      10'000,
+      30'000, 100'000, 300'000, 1'000'000, 3'000'000,  10'000'000, 30'000'000,
+      100'000'000};
+  return buckets;
+}
+
+const std::vector<std::uint64_t>& size_buckets_bytes() {
+  static const std::vector<std::uint64_t> buckets = {
+      64,        512,        4'096,      32'768,        262'144,
+      2'097'152, 16'777'216, 134'217'728, 1'073'741'824};
+  return buckets;
+}
+
+}  // namespace spider::obs

@@ -1,0 +1,159 @@
+#include "obs/snapshot.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace spider::obs {
+
+json::Value Snapshot::to_json() const {
+  json::Object root;
+
+  json::Object counters_obj;
+  for (const auto& [name, value] : counters) counters_obj.emplace(name, json::Value(value));
+  root.emplace("counters", std::move(counters_obj));
+
+  json::Object gauges_obj;
+  for (const auto& [name, value] : gauges) gauges_obj.emplace(name, json::Value(value));
+  root.emplace("gauges", std::move(gauges_obj));
+
+  json::Object hist_obj;
+  for (const auto& [name, data] : histograms) {
+    json::Object h;
+    json::Array bounds;
+    for (std::uint64_t b : data.bounds) bounds.emplace_back(b);
+    json::Array counts;
+    for (std::uint64_t c : data.counts) counts.emplace_back(c);
+    h.emplace("bounds", std::move(bounds));
+    h.emplace("counts", std::move(counts));
+    h.emplace("sum", json::Value(data.sum));
+    h.emplace("count", json::Value(data.count));
+    hist_obj.emplace(name, std::move(h));
+  }
+  root.emplace("histograms", std::move(hist_obj));
+
+  json::Object spans_obj;
+  for (const auto& [name, data] : spans) {
+    json::Object s;
+    s.emplace("count", json::Value(data.count));
+    s.emplace("wall_seconds", json::Value(data.wall_seconds));
+    s.emplace("cpu_seconds", json::Value(data.cpu_seconds));
+    s.emplace("child_wall_seconds", json::Value(data.child_wall_seconds));
+    s.emplace("parent", json::Value(data.parent));
+    spans_obj.emplace(name, std::move(s));
+  }
+  root.emplace("spans", std::move(spans_obj));
+
+  return json::Value(std::move(root));
+}
+
+std::string Snapshot::json_text(int indent) const { return to_json().dump(indent); }
+
+namespace {
+
+const json::Value& require(const json::Value& value, const std::string& key) {
+  const json::Value* found = value.find(key);
+  if (!found) throw std::logic_error("snapshot JSON: missing key '" + key + "'");
+  return *found;
+}
+
+std::uint64_t as_u64(const json::Value& v, const char* what) {
+  if (!v.is_number()) throw std::logic_error(std::string("snapshot JSON: ") + what + " not a number");
+  return static_cast<std::uint64_t>(v.as_number());
+}
+
+}  // namespace
+
+Snapshot Snapshot::from_json(const json::Value& value) {
+  Snapshot snap;
+  for (const auto& [name, v] : require(value, "counters").as_object()) {
+    snap.counters[name] = as_u64(v, "counter");
+  }
+  for (const auto& [name, v] : require(value, "gauges").as_object()) {
+    if (!v.is_number()) throw std::logic_error("snapshot JSON: gauge not a number");
+    snap.gauges[name] = static_cast<std::int64_t>(v.as_number());
+  }
+  for (const auto& [name, v] : require(value, "histograms").as_object()) {
+    HistogramData data;
+    for (const auto& b : require(v, "bounds").as_array()) data.bounds.push_back(as_u64(b, "bound"));
+    for (const auto& c : require(v, "counts").as_array()) data.counts.push_back(as_u64(c, "bucket"));
+    data.sum = as_u64(require(v, "sum"), "sum");
+    data.count = as_u64(require(v, "count"), "count");
+    if (data.counts.size() != data.bounds.size() + 1) {
+      throw std::logic_error("snapshot JSON: histogram bucket/bound mismatch");
+    }
+    snap.histograms[name] = std::move(data);
+  }
+  for (const auto& [name, v] : require(value, "spans").as_object()) {
+    SpanData data;
+    data.count = as_u64(require(v, "count"), "span count");
+    data.wall_seconds = require(v, "wall_seconds").as_number();
+    data.cpu_seconds = require(v, "cpu_seconds").as_number();
+    data.child_wall_seconds = require(v, "child_wall_seconds").as_number();
+    data.parent = require(v, "parent").as_string();
+    snap.spans[name] = std::move(data);
+  }
+  return snap;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our '/' separator maps to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "spider_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void append_line(std::string& out, const std::string& name, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += name;
+  out.push_back(' ');
+  out += buf;
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string Snapshot::prometheus_text() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    std::string prom = prom_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    append_line(out, prom, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : gauges) {
+    std::string prom = prom_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    append_line(out, prom, static_cast<double>(value));
+  }
+  for (const auto& [name, data] : histograms) {
+    std::string prom = prom_name(name);
+    out += "# TYPE " + prom + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < data.bounds.size(); ++i) {
+      cumulative += data.counts[i];
+      char le[32];
+      std::snprintf(le, sizeof(le), "%llu", static_cast<unsigned long long>(data.bounds[i]));
+      append_line(out, prom + "_bucket{le=\"" + le + "\"}", static_cast<double>(cumulative));
+    }
+    cumulative += data.counts.back();
+    append_line(out, prom + "_bucket{le=\"+Inf\"}", static_cast<double>(cumulative));
+    append_line(out, prom + "_sum", static_cast<double>(data.sum));
+    append_line(out, prom + "_count", static_cast<double>(data.count));
+  }
+  for (const auto& [name, data] : spans) {
+    std::string prom = prom_name(name);
+    append_line(out, prom + "_span_count", static_cast<double>(data.count));
+    append_line(out, prom + "_span_wall_seconds", data.wall_seconds);
+    append_line(out, prom + "_span_cpu_seconds", data.cpu_seconds);
+  }
+  return out;
+}
+
+}  // namespace spider::obs

@@ -1,0 +1,57 @@
+// Point-in-time view of every registered metric plus span aggregates,
+// with stable JSON serialization and a Prometheus-style text dump.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spider::obs {
+
+namespace json {
+class Value;
+}
+
+struct HistogramData {
+  /// Upper bounds (inclusive) of the first bounds.size() buckets; one
+  /// overflow bucket follows.  counts.size() == bounds.size() + 1.
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t sum = 0;
+  std::uint64_t count = 0;
+};
+
+/// Aggregated wall/CPU time for one named phase (see span.hpp).
+struct SpanData {
+  std::uint64_t count = 0;
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+  /// Wall time spent in directly nested spans; wall - child_wall is the
+  /// phase's self time.
+  double child_wall_seconds = 0;
+  /// Path of the enclosing span at last observation ("" at top level).
+  std::string parent;
+};
+
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+  std::map<std::string, SpanData> spans;
+
+  /// Stable JSON document: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}, "spans": {...}} with sorted keys.
+  json::Value to_json() const;
+  /// to_json().dump(indent) convenience.
+  std::string json_text(int indent = 2) const;
+  /// Parses a document produced by to_json(); throws json::ParseError /
+  /// std::logic_error on malformed input.
+  static Snapshot from_json(const json::Value& value);
+
+  /// Prometheus text exposition format ('/' in metric names becomes '_',
+  /// histograms expand to _bucket/_sum/_count series).
+  std::string prometheus_text() const;
+};
+
+}  // namespace spider::obs

@@ -1,0 +1,33 @@
+#include "obs/span.hpp"
+
+#include "obs/metrics.hpp"
+
+#if !defined(SPIDER_OBS_DISABLED)
+
+namespace spider::obs {
+
+namespace {
+/// Innermost live span on this thread; nesting is per-thread (a span
+/// opened on an MTT worker does not parent under the main thread's span).
+thread_local Span* t_current_span = nullptr;
+}  // namespace
+
+Span::Span(std::string path)
+    : path_(std::move(path)),
+      parent_(t_current_span),
+      cpu_start_(util::thread_cpu_seconds()) {
+  t_current_span = this;
+}
+
+Span::~Span() {
+  const double wall = wall_.seconds();
+  const double cpu = util::thread_cpu_seconds() - cpu_start_;
+  t_current_span = parent_;
+  if (parent_) parent_->child_wall_ += wall;
+  MetricsRegistry::instance().record_span(path_, parent_ ? parent_->path_ : std::string(), wall,
+                                          cpu, child_wall_);
+}
+
+}  // namespace spider::obs
+
+#endif  // SPIDER_OBS_DISABLED

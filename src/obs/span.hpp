@@ -1,0 +1,65 @@
+// RAII phase timers layered on util/timers: a Span attributes the wall and
+// thread-CPU time of its scope to a named phase, with optional parent
+// nesting.  Nested spans report their enclosing span's path as `parent`,
+// and the parent accumulates its children's wall time so that
+// `wall - child_wall` is the phase's self time (the paper's §7.5 split of
+// recorder CPU into signatures / MTT / other, generalized).
+//
+// Phase names follow the `<module>/<event>` metric scheme, e.g.
+// `proof_gen/reconstruct` with a nested `proof_gen/mtt_path`.
+//
+// Span aggregation takes a mutex at scope exit, so spans belong around
+// *phases* (a commitment, a reconstruction, a decision batch), not around
+// per-item hot-loop bodies — use counters/histograms there.
+#pragma once
+
+#include <string>
+
+#include "util/timers.hpp"
+
+namespace spider::obs {
+
+#if defined(SPIDER_OBS_DISABLED)
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+  explicit Span(std::string) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+#else
+
+class Span {
+ public:
+  explicit Span(std::string path);
+  explicit Span(const char* path) : Span(std::string(path)) {}
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  Span* parent_;
+  util::WallTimer wall_;
+  double cpu_start_;
+  double child_wall_ = 0;  // accumulated by children at their scope exit
+};
+
+#endif  // SPIDER_OBS_DISABLED
+
+/// Compatibility alias: some call sites read better as "timer" than
+/// "span"; they are the same mechanism.
+using ScopedTimer = Span;
+
+}  // namespace spider::obs
+
+#if defined(SPIDER_OBS_DISABLED)
+#define SPIDER_OBS_SPAN(var, name) ((void)0)
+#else
+/// Declares a scoped span variable: SPIDER_OBS_SPAN(commit, "spider/commitment");
+#define SPIDER_OBS_SPAN(var, name) ::spider::obs::Span var{name}
+#endif

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace spider::proto {
 
 using core::Detection;
@@ -11,6 +13,7 @@ std::optional<Detection> Checker::check_producer_proofs(
     const SpiderCommit& commit, bgp::AsNumber elector,
     const std::map<bgp::Prefix, std::vector<bgp::Route>>& my_window_routes,
     const ProducerProofs& proofs, const core::Classifier& classifier) {
+  SPIDER_OBS_COUNT("spider/producer_checks", 1);
   for (const auto& [prefix, window] : my_window_routes) {
     auto item_it = std::find_if(proofs.items.begin(), proofs.items.end(),
                                 [&](const ProducerProofs::Item& item) {
@@ -59,6 +62,7 @@ std::optional<Detection> Checker::check_consumer_proofs(
     const SpiderCommit& commit, bgp::AsNumber elector, const core::Promise& promise,
     const std::map<bgp::Prefix, bgp::Route>& my_imports, const ConsumerProofs& proofs,
     bgp::AsNumber /*self*/, const core::Classifier& classifier) {
+  SPIDER_OBS_COUNT("spider/consumer_checks", 1);
   for (const auto& [prefix, route] : my_imports) {
     auto item_it = std::find_if(proofs.items.begin(), proofs.items.end(),
                                 [&](const ConsumerProofs::Item& item) {
@@ -104,6 +108,7 @@ std::optional<Detection> Checker::check_consumer_proofs(
 std::optional<Detection> Checker::check_re_announcements(
     bgp::AsNumber elector, const std::map<bgp::Prefix, bgp::Route>& my_imports,
     const std::vector<SpiderAnnounce>& re_announcements) {
+  SPIDER_OBS_COUNT("spider/re_announce_checks", 1);
   for (const auto& [prefix, route] : my_imports) {
     const bgp::Route underlying = underlying_route(route, elector);
     if (underlying.as_path.empty()) continue;  // elector originates it
@@ -124,6 +129,7 @@ std::optional<Detection> Checker::check_re_announcements(
 
 std::optional<Detection> Checker::cross_check_commits(bgp::AsNumber elector,
                                                       const std::vector<SpiderCommit>& commits) {
+  SPIDER_OBS_COUNT("spider/commit_cross_checks", 1);
   for (std::size_t i = 0; i < commits.size(); ++i) {
     for (std::size_t j = i + 1; j < commits.size(); ++j) {
       if (commits[i].from_as == elector && commits[j].from_as == elector &&

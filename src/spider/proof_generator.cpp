@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/timers.hpp"
 
 namespace spider::proto {
@@ -82,6 +84,8 @@ ConsumerProofs ConsumerProofs::decode(ByteSpan data) {
 
 ProofGenerator::Reconstruction ProofGenerator::reconstruct(Time commit_time,
                                                            unsigned threads) const {
+  SPIDER_OBS_SPAN(reconstruct_span, "proof_gen/reconstruct");
+  SPIDER_OBS_COUNT("spider/reconstructions", 1);
   util::WallTimer timer;
   const MessageLog& log = recorder_.log();
   const CommitmentRecord* record = log.commitment_at(commit_time);
@@ -145,10 +149,13 @@ ProofGenerator::Reconstruction ProofGenerator::reconstruct(Time commit_time,
   }
 
   // Regenerate the MTT exactly as the recorder did at commit time.
-  auto entries = build_mtt_entries(recon.state, recorder_.classifier(), recorder_.promises(),
-                                   recorder_.faults().ignore_inputs);
-  recon.tree = core::Mtt::build(std::move(entries), recorder_.config().num_classes);
-  recon.tree.compute_labels(crypto::CommitmentPrf(recon.seed), threads);
+  {
+    SPIDER_OBS_SPAN(mtt_span, "proof_gen/mtt_path");
+    auto entries = build_mtt_entries(recon.state, recorder_.classifier(), recorder_.promises(),
+                                     recorder_.faults().ignore_inputs);
+    recon.tree = core::Mtt::build(std::move(entries), recorder_.config().num_classes);
+    recon.tree.compute_labels(crypto::CommitmentPrf(recon.seed), threads);
+  }
   recon.root_matches = recon.tree.root_label() == record->root;
   recon.reconstruct_seconds = timer.seconds();
   return recon;
@@ -198,6 +205,8 @@ ProducerProofs ProofGenerator::proofs_for_producer(const Reconstruction& recon,
     }
     proofs.items.push_back(std::move(item));
   }
+  SPIDER_OBS_COUNT("spider/producer_proof_items", proofs.items.size());
+  SPIDER_OBS_HIST("spider/producer_proof_bytes", proofs.total_bytes(), obs::size_buckets_bytes());
   return proofs;
 }
 
@@ -230,6 +239,8 @@ ConsumerProofs ProofGenerator::proofs_for_consumer(const Reconstruction& recon,
     }
     proofs.items.push_back(std::move(item));
   }
+  SPIDER_OBS_COUNT("spider/consumer_proof_items", proofs.items.size());
+  SPIDER_OBS_HIST("spider/consumer_proof_bytes", proofs.total_bytes(), obs::size_buckets_bytes());
   return proofs;
 }
 

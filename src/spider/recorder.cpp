@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace spider::proto {
 
 Recorder::Recorder(netsim::Simulator& sim, RecorderConfig config, const crypto::Signer& signer,
@@ -80,12 +83,14 @@ void Recorder::schedule_flush() {
 core::SignedEnvelope Recorder::sign_now(const SpiderBatch& batch) {
   util::ScopedCpu scope(sign_meter_);
   ++signatures_;
+  SPIDER_OBS_COUNT("spider/batches_signed", 1);
   return sign_batch(config_.asn, signer_, batch);
 }
 
 bool Recorder::verify_now(const core::SignedEnvelope& envelope) {
   util::ScopedCpu scope(sign_meter_);
   ++verifications_;
+  SPIDER_OBS_COUNT("spider/batches_verified", 1);
   return core::check_envelope(envelope, keys_);
 }
 
@@ -143,6 +148,7 @@ void Recorder::observe_route_in(bgp::AsNumber from, const bgp::Route& raw,
   Digest20 digest = crypto::digest20(body);
   state_.apply_announce_in(announce, digest);
   ++updates_mirrored_;
+  SPIDER_OBS_COUNT("spider/updates_mirrored", 1);
 
   SpiderBatch batch;
   batch.parts.push_back({SpiderMsgType::kAnnounce, std::move(body)});
@@ -166,6 +172,7 @@ void Recorder::observe_withdraw_in(bgp::AsNumber from, const bgp::Prefix& prefix
   Bytes body = withdraw.encode();
   state_.apply_withdraw_in(withdraw);
   ++updates_mirrored_;
+  SPIDER_OBS_COUNT("spider/updates_mirrored", 1);
 
   SpiderBatch batch;
   batch.parts.push_back({SpiderMsgType::kWithdraw, std::move(body)});
@@ -192,6 +199,8 @@ void Recorder::flush_batches() {
 
     core::SignedEnvelope envelope = sign_now(batch);
     Bytes wire = envelope.encode();
+    SPIDER_OBS_COUNT("spider/batches_flushed", 1);
+    SPIDER_OBS_COUNT("spider/wire_bytes_out", wire.size());
     log_.append(local_now(), LogDirection::kSent, neighbor, wire,
                 static_cast<std::uint32_t>(envelope.signature.size()));
     Digest20 digest = envelope.digest();
@@ -220,6 +229,7 @@ void Recorder::schedule_ack_check(const Digest20& digest) {
     }
     it->attempts += 1;
     ++retransmissions_;
+    SPIDER_OBS_COUNT("spider/retransmissions", 1);
     auto node_it = neighbors_.find(it->to);
     if (node_it != neighbors_.end()) {
       bytes_sent_ += it->wire.size();
@@ -289,6 +299,7 @@ void Recorder::process_batch(bgp::AsNumber from, const core::SignedEnvelope& env
           log_once();
           state_.apply_announce_in(announce, crypto::digest20(part.body));
           ++updates_mirrored_;
+          SPIDER_OBS_COUNT("spider/updates_mirrored", 1);
           needs_ack = true;
           break;
         }
@@ -301,6 +312,7 @@ void Recorder::process_batch(bgp::AsNumber from, const core::SignedEnvelope& env
           log_once();
           state_.apply_withdraw_in(withdraw);
           ++updates_mirrored_;
+          SPIDER_OBS_COUNT("spider/updates_mirrored", 1);
           needs_ack = true;
           break;
         }
@@ -367,6 +379,7 @@ void Recorder::send_ack(bgp::AsNumber to, const core::SignedEnvelope& batch_enve
 
 const CommitmentRecord& Recorder::make_commitment() {
   util::ScopedCpu scope(total_meter_);
+  SPIDER_OBS_SPAN(commit_span, "spider/commitment");
   cross_check_mirror();
 
   const Time now = local_now();
@@ -386,6 +399,7 @@ const CommitmentRecord& Recorder::make_commitment() {
 
   log_.record_commitment(record);
   ++commitments_made_;
+  SPIDER_OBS_COUNT("spider/commitments_made", 1);
 
   SpiderCommit commit;
   commit.timestamp = now;
@@ -424,7 +438,10 @@ void Recorder::cross_check_mirror() {
   }
 }
 
-void Recorder::alarm(std::string what) { alarms_.push_back(std::move(what)); }
+void Recorder::alarm(std::string what) {
+  SPIDER_OBS_COUNT("spider/alarms", 1);
+  alarms_.push_back(std::move(what));
+}
 
 std::map<bgp::Prefix, bgp::Route> Recorder::my_exports_to(bgp::AsNumber neighbor) const {
   std::map<bgp::Prefix, bgp::Route> out;

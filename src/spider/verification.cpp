@@ -1,5 +1,7 @@
 #include "spider/verification.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/timers.hpp"
 
 namespace spider::proto {
@@ -36,6 +38,8 @@ std::vector<std::string> VerificationReport::findings() const {
 VerificationReport run_verification(Fig5Deployment& deploy, bgp::AsNumber elector,
                                     Time commit_time, bool extended,
                                     std::optional<bgp::Prefix> within) {
+  SPIDER_OBS_SPAN(verification_span, "spider/verification");
+  SPIDER_OBS_COUNT("spider/verifications", 1);
   util::WallTimer timer;
   VerificationReport report;
   report.elector = elector;
@@ -68,6 +72,8 @@ VerificationReport run_verification(Fig5Deployment& deploy, bgp::AsNumber electo
   std::vector<ReAnnounceSet> re_sets;
   if (extended) {
     for (bgp::AsNumber neighbor : neighbors) {
+      // Each set costs the elector one challenge round-trip to a producer.
+      SPIDER_OBS_COUNT("spider/challenge_round_trips", 1);
       re_sets.push_back(build_re_announce_set(deploy.recorder(neighbor), elector, commit_time));
     }
   }
@@ -121,6 +127,15 @@ VerificationReport run_verification(Fig5Deployment& deploy, bgp::AsNumber electo
   }
 
   report.elapsed_seconds = timer.seconds();
+#if !defined(SPIDER_OBS_DISABLED)
+  SPIDER_OBS_COUNT("spider/proof_bytes", report.proof_bytes);
+  for (const auto& verdict : report.verdicts) {
+    std::size_t hits = (verdict.as_producer ? 1 : 0) + (verdict.as_consumer ? 1 : 0) +
+                       (verdict.extended ? 1 : 0);
+    SPIDER_OBS_COUNT("spider/detections", hits);
+  }
+  if (report.equivocation) SPIDER_OBS_COUNT("spider/detections", 1);
+#endif
   return report;
 }
 

@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include <stdexcept>
+
 namespace spider::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -10,9 +12,12 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mu_);
+    if (stopping_) return;  // idempotent: a second call must not re-join
     stopping_ = true;
   }
   cv_task_.notify_all();
@@ -22,6 +27,9 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mu_);
+    // Contract violation (see header): throwing beats best-effort
+    // enqueueing, where the task could be silently stranded.
+    if (stopping_) throw std::logic_error("ThreadPool::submit after shutdown began");
     tasks_.push_back(std::move(task));
   }
   cv_task_.notify_one();
@@ -30,6 +38,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
   cv_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return tasks_.size();
 }
 
 void ThreadPool::worker_loop() {

@@ -14,6 +14,18 @@
 
 namespace spider::util {
 
+// Lifecycle contract:
+//   - submit() is valid from any thread — including pool workers, which may
+//     enqueue follow-up work from inside a running task — until shutdown
+//     begins.
+//   - shutdown begins when shutdown() is called or the destructor runs.
+//     Tasks already queued at that point still execute; submit() after that
+//     point throws std::logic_error.  In particular a worker task must not
+//     submit once shutdown has begun: the notifying wake-up may already
+//     have passed and the task could be silently stranded, which is why the
+//     guard throws instead of best-effort enqueueing.
+//   - wait_idle() may be called concurrently from several threads; each
+//     returns once the queue is empty and no task is running.
 class ThreadPool {
  public:
   /// Spawns `threads` workers. `threads == 0` is treated as 1.
@@ -24,17 +36,28 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task.  Tasks must not throw; a throwing task terminates.
+  /// Throws std::logic_error once shutdown has begun (see contract above).
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished executing.
   void wait_idle();
 
+  /// Begins shutdown: drains the queue, joins all workers.  Idempotent;
+  /// called automatically by the destructor.  After it returns, submit()
+  /// throws.
+  void shutdown();
+
   std::size_t size() const { return workers_.size(); }
+
+  /// Tasks currently queued (excluding the ones being executed).  Feeds
+  /// the `core/threadpool_queue_depth` gauge; a sampled value, so only a
+  /// lower bound on the depth that existed at any instant.
+  std::size_t queue_depth() const;
 
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::deque<std::function<void()>> tasks_;

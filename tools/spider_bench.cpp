@@ -1,0 +1,767 @@
+// spider_bench — unified JSON benchmark runner for the E1–E10 experiments.
+//
+// Each paper experiment is registered as a named scenario.  Running a
+// scenario resets the metrics registry, executes the experiment at the
+// configured scale, and emits one BENCH_<scenario>.json containing the
+// scenario config, the paper's reference numbers, the measured results,
+// and a full metrics snapshot (counters/gauges/histograms/spans) scoped
+// to that scenario.  The per-binary benches under bench/ remain the
+// human-readable deep dives; this runner produces the machine-readable
+// trajectory that CI archives and DESIGN.md explains how to diff.
+//
+//   spider_bench --list
+//   spider_bench --all [--out-dir DIR] [--prefixes N] [--updates N]
+//   spider_bench --scenario labeling --scenario proof --check-schema
+//   spider_bench --all --baseline BENCH_baseline.json
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "bgp/policy.hpp"
+#include "core/commitment.hpp"
+#include "core/mtt.hpp"
+#include "crypto/rc4.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha2.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "spider/checker.hpp"
+#include "spider/proof_generator.hpp"
+#include "spider/verification.hpp"
+#include "util/rng.hpp"
+#include "util/timers.hpp"
+
+using namespace spider;
+namespace json = spider::obs::json;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON helpers
+
+json::Object result_row(std::string label, double measured, std::string unit, std::string paper) {
+  json::Object row;
+  row["label"] = std::move(label);
+  row["measured"] = measured;
+  row["unit"] = std::move(unit);
+  row["paper"] = std::move(paper);
+  return row;
+}
+
+json::Object scale_config(const benchutil::BenchScale& scale) {
+  json::Object config;
+  config["prefixes"] = static_cast<std::uint64_t>(scale.prefixes);
+  config["updates"] = static_cast<std::uint64_t>(scale.updates);
+  config["scale_factor"] = scale.scale_factor;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Shared experiment plumbing
+
+proto::DeploymentConfig deployment_config(bool commit_at_5, bool rsa) {
+  proto::DeploymentConfig config;
+  config.num_classes = 50;
+  config.commit_ases = commit_at_5 ? std::set<bgp::AsNumber>{5} : std::set<bgp::AsNumber>{};
+  if (rsa) config.scheme = proto::DeploymentConfig::SignScheme::kRsa;
+  return config;
+}
+
+std::vector<std::pair<bgp::Prefix, std::vector<bool>>> snapshot_entries(
+    const trace::RouteViewsTrace& tr, std::uint32_t k) {
+  std::vector<std::pair<bgp::Prefix, std::vector<bool>>> entries;
+  entries.reserve(tr.rib_snapshot.size());
+  for (const auto& route : tr.rib_snapshot) {
+    entries.emplace_back(route.prefix, std::vector<bool>(k, false));
+  }
+  return entries;
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios.  Each returns {"config": {...}, "results": [...]}; the runner
+// adds the envelope (schema/scenario/experiment/paper_ref/metrics).
+
+json::Object run_communities(const benchutil::BenchScale&) {
+  // E1 (Figure 2): synthetic 88-AS community-guide registry whose
+  // marginals match the paper's table; recomputed via the policy model.
+  std::size_t lp = 0, by_group = 0, by_as = 0, origin = 0;
+  std::map<std::uint16_t, std::size_t> tiers;
+  util::SplitMix64 rng(2012);
+  for (std::uint16_t i = 0; i < 88; ++i) {
+    std::uint16_t asn = static_cast<std::uint16_t>(64512 + i);
+    if (i < 57) {
+      std::uint16_t n = i < 2 ? 12 : (i < 30 ? 3 : static_cast<std::uint16_t>(2 + rng.below(4)));
+      ++lp;
+      tiers[n]++;
+      for (std::uint16_t tier = 0; tier < n; ++tier) (void)bgp::lp_tier_community(asn, tier);
+    }
+    if (i % 2 == 0 || i >= 80) {
+      ++by_group;
+      (void)bgp::make_community(asn, 3000);
+    }
+    if (i < 45) {
+      ++by_as;
+      (void)bgp::no_export_to_community(7018);
+    }
+    if (i >= 43) {
+      ++origin;
+      (void)bgp::make_community(asn, 100);
+    }
+  }
+  std::uint16_t mode = 0, max_tiers = 0;
+  std::size_t mode_count = 0;
+  for (const auto& [n, count] : tiers) {
+    if (count > mode_count) {
+      mode = n;
+      mode_count = count;
+    }
+    max_tiers = std::max(max_tiers, n);
+  }
+
+  json::Object out;
+  json::Object config;
+  config["registry_ases"] = 88;
+  out["config"] = std::move(config);
+  json::Array results;
+  results.push_back(result_row("set local preference", static_cast<double>(lp), "ASes", "57"));
+  results.push_back(
+      result_row("selective export by neighbor group", static_cast<double>(by_group), "ASes", "48"));
+  results.push_back(
+      result_row("selective export by specific AS", static_cast<double>(by_as), "ASes", "45"));
+  results.push_back(
+      result_row("information about route origin", static_cast<double>(origin), "ASes", "45"));
+  results.push_back(result_row("local-pref tier mode", mode, "tiers", "3"));
+  results.push_back(result_row("local-pref tier max", max_tiers, "tiers", "12"));
+  out["results"] = std::move(results);
+  return out;
+}
+
+json::Object run_mtt_size(const benchutil::BenchScale& scale) {
+  // E2 (§7.3 "MTT size"): node-count breakdown and memory of one table.
+  trace::TraceConfig config;
+  config.num_prefixes = scale.prefixes;
+  config.num_updates = 1;
+  config.seed = 20120118;
+  auto tr = trace::generate(config);
+  auto tree = core::Mtt::build(snapshot_entries(tr, 50), 50);
+  tree.compute_labels(crypto::CommitmentPrf(crypto::seed_from_string("mtt-size")));
+  auto counts = tree.counts();
+
+  json::Object out;
+  out["config"] = scale_config(scale);
+  json::Array results;
+  results.push_back(result_row("prefix nodes", static_cast<double>(counts.prefix), "nodes",
+                               "389653 @ 391028 prefixes"));
+  results.push_back(result_row("inner nodes", static_cast<double>(counts.inner), "nodes", "950372"));
+  results.push_back(result_row("dummy nodes", static_cast<double>(counts.dummy), "nodes", "1511092"));
+  results.push_back(result_row("bit nodes", static_cast<double>(counts.bit), "nodes", "19482650"));
+  results.push_back(
+      result_row("total nodes", static_cast<double>(counts.total()), "nodes", "22333767"));
+  results.push_back(
+      result_row("memory", static_cast<double>(tree.memory_bytes()), "bytes", "137.5 MB"));
+  results.push_back(result_row("inner/prefix ratio",
+                               static_cast<double>(counts.inner) / static_cast<double>(counts.prefix),
+                               "ratio", "2.44"));
+  out["results"] = std::move(results);
+  return out;
+}
+
+json::Object run_labeling(const benchutil::BenchScale& scale) {
+  // E3 (§7.3 "Labeling time"): wall time and speed-up for c = 1..4.
+  trace::TraceConfig config;
+  config.num_prefixes = scale.prefixes;
+  config.num_updates = 1;
+  config.seed = 20120118;
+  auto tr = trace::generate(config);
+  auto tree = core::Mtt::build(snapshot_entries(tr, 50), 50);
+  crypto::CommitmentPrf prf(crypto::seed_from_string("labeling-bench"));
+
+  json::Object out;
+  json::Object cfg = scale_config(scale);
+  cfg["hardware_threads"] = static_cast<std::uint64_t>(std::thread::hardware_concurrency());
+  out["config"] = std::move(cfg);
+  json::Array results;
+  double base = 0;
+  for (unsigned c = 1; c <= 4; ++c) {
+    util::WallTimer timer;
+    tree.compute_labels(prf, c);
+    double seconds = timer.seconds();
+    if (c == 1) base = seconds;
+    results.push_back(result_row("labeling wall time, c=" + std::to_string(c), seconds, "s",
+                                 c == 1 ? "38.8 @ 391028 prefixes" : (c == 3 ? "13.4" : "-")));
+    if (c > 1) {
+      results.push_back(result_row("speedup, c=" + std::to_string(c), base / seconds, "x",
+                                   c == 3 ? "2.9" : "-"));
+    }
+  }
+  results.push_back(result_row("label hashes (last pass)",
+                               static_cast<double>(tree.last_label_hashes()), "hashes", "-"));
+  out["results"] = std::move(results);
+  return out;
+}
+
+json::Object run_proof(const benchutil::BenchScale& scale) {
+  // E4/E5 (§7.3): reconstruction, proof generation/size, proof checking,
+  // plus one extended run_verification pass (challenge round-trips).
+  auto tr = benchutil::bench_trace(scale, 60 * netsim::kMicrosPerSecond);
+  proto::Fig5Deployment deploy(deployment_config(false, false));
+  netsim::Time start = deploy.run_setup(tr, 120 * netsim::kMicrosPerSecond);
+  deploy.run_replay(tr, start, 5 * netsim::kMicrosPerSecond);
+  const auto& record = deploy.recorder(5).make_commitment();
+  deploy.sim().run();
+
+  proto::ProofGenerator generator(deploy.recorder(5));
+  util::WallTimer recon_timer;
+  auto recon = generator.reconstruct(record.timestamp);
+  double recon_seconds = recon_timer.seconds();
+
+  util::WallTimer gen_timer;
+  std::size_t total_bytes = 0, neighbors = 0;
+  for (bgp::AsNumber neighbor : deploy.neighbors_of(5)) {
+    total_bytes += generator.proofs_for_producer(recon, neighbor).total_bytes();
+    total_bytes += generator.proofs_for_consumer(recon, neighbor).total_bytes();
+    ++neighbors;
+  }
+  double gen_seconds = gen_timer.seconds();
+
+  auto proofs = generator.proofs_for_consumer(recon, 6);
+  auto commit = deploy.recorder(6).received_commitments().at(5).at(record.timestamp);
+  util::WallTimer check_timer;
+  auto detection = proto::Checker::check_consumer_proofs(
+      commit, 5, core::Promise::total_order(50), deploy.recorder(6).my_imports_from(5), proofs, 6,
+      deploy.recorder(6).classifier());
+  double check_seconds = check_timer.seconds();
+
+  // The full verification pipeline (extended => RE-ANNOUNCE round-trips).
+  auto report = proto::run_verification(deploy, 5, record.timestamp, /*extended=*/true);
+
+  json::Object out;
+  out["config"] = scale_config(scale);
+  json::Array results;
+  results.push_back(result_row("MTT reconstruction", recon_seconds, "s", "13.4"));
+  results.push_back(result_row("proof generation, 5 neighbors", gen_seconds, "s", "70.2"));
+  results.push_back(result_row("average proof size per neighbor",
+                               static_cast<double>(total_bytes / neighbors), "bytes", "449 MB"));
+  results.push_back(result_row("proof checking, one neighbor", check_seconds, "s", "27 (8.6-40)"));
+  results.push_back(result_row("root matches commitment", recon.root_matches ? 1 : 0, "bool", "1"));
+  results.push_back(
+      result_row("consumer check clean", detection ? 0 : 1, "bool", "1 (no violation)"));
+  results.push_back(result_row("full verification clean", report.clean() ? 1 : 0, "bool", "1"));
+  results.push_back(
+      result_row("full verification proof bytes", static_cast<double>(report.proof_bytes), "bytes",
+                 "~2.2 GB @ paper scale"));
+  out["results"] = std::move(results);
+  return out;
+}
+
+json::Object run_functionality(const benchutil::BenchScale& scale) {
+  // E6 (§7.4): clean control run + three injected faults, each detected
+  // by the predicted neighbor.
+  trace::TraceConfig tconfig;
+  tconfig.num_prefixes = std::min<std::size_t>(scale.prefixes, 2000);
+  tconfig.num_updates = 500;
+  tconfig.duration = 60 * netsim::kMicrosPerSecond;
+  tconfig.seed = 20120118;
+  auto tr = trace::generate(tconfig);
+
+  auto run_case = [&](const char* label, bool expect_detection,
+                      const std::function<void(proto::Fig5Deployment&)>& inject,
+                      const std::function<void(proto::ProofGenerator&)>& tamper,
+                      json::Array& results) {
+    proto::Fig5Deployment deploy(deployment_config(false, false));
+    if (inject) inject(deploy);
+    auto start = deploy.run_setup(tr, 60 * netsim::kMicrosPerSecond);
+    deploy.run_replay(tr, start, 5 * netsim::kMicrosPerSecond);
+    const auto& record = deploy.recorder(5).make_commitment();
+    deploy.sim().run();
+    proto::ProofGenerator generator(deploy.recorder(5));
+    if (tamper) tamper(generator);
+    auto recon = generator.reconstruct(record.timestamp);
+
+    bool detected = false;
+    for (bgp::AsNumber neighbor : deploy.neighbors_of(5)) {
+      auto commit = deploy.recorder(neighbor).received_commitments().at(5).at(record.timestamp);
+      std::map<bgp::Prefix, std::vector<bgp::Route>> window;
+      for (const auto& [p, r] : deploy.recorder(neighbor).my_exports_to(5)) window[p] = {r};
+      auto d1 = proto::Checker::check_producer_proofs(
+          commit, 5, window, generator.proofs_for_producer(recon, neighbor),
+          deploy.recorder(neighbor).classifier());
+      auto d2 = proto::Checker::check_consumer_proofs(
+          commit, 5, core::Promise::total_order(50), deploy.recorder(neighbor).my_imports_from(5),
+          generator.proofs_for_consumer(recon, neighbor), neighbor,
+          deploy.recorder(neighbor).classifier());
+      if (d1 || d2) detected = true;
+    }
+    results.push_back(result_row(label, detected == expect_detection ? 1 : 0, "bool", "1"));
+    return detected == expect_detection;
+  };
+
+  json::Object out;
+  json::Object cfg = scale_config(scale);
+  cfg["prefixes"] = static_cast<std::uint64_t>(tconfig.num_prefixes);
+  out["config"] = std::move(cfg);
+  json::Array results;
+  bool ok = true;
+  ok &= run_case("control run stays clean", false, nullptr, nullptr, results);
+  ok &= run_case("overaggressive filter detected", true,
+                 [](proto::Fig5Deployment& deploy) {
+                   deploy.speaker(5).inject_import_filter_fault(2);
+                   deploy.recorder(5).faults().ignore_inputs = {2};
+                 },
+                 nullptr, results);
+  ok &= run_case("tampered bit proof detected", true, nullptr,
+                 [](proto::ProofGenerator& generator) { generator.faults().tamper_classes = {0}; },
+                 results);
+  results.push_back(result_row("all outcomes as paper predicts", ok ? 1 : 0, "bool", "1"));
+  out["results"] = std::move(results);
+  return out;
+}
+
+json::Object run_computation(const benchutil::BenchScale& scale) {
+  // E7 (§7.5): recorder CPU split at AS 5 during the replay period.
+  auto tr = benchutil::bench_trace(scale);
+  proto::Fig5Deployment deploy(deployment_config(true, true));
+  const netsim::Time setup = 30LL * 60 * netsim::kMicrosPerSecond;
+  const netsim::Time replay = 15LL * 60 * netsim::kMicrosPerSecond;
+  netsim::Time start = deploy.run_setup(tr, setup);
+
+  const auto& recorder = deploy.recorder(5);
+  double sign0 = recorder.sign_cpu_seconds();
+  double mtt0 = recorder.mtt_cpu_seconds();
+  double total0 = recorder.total_cpu_seconds();
+  std::uint64_t sigs0 = recorder.signatures_performed() + recorder.verifications_performed();
+  std::uint64_t commits0 = recorder.commitments_made();
+
+  deploy.run_replay(tr, start, 5 * netsim::kMicrosPerSecond);
+
+  double sign_cpu = recorder.sign_cpu_seconds() - sign0;
+  double mtt_cpu = recorder.mtt_cpu_seconds() - mtt0;
+  double total_cpu = recorder.total_cpu_seconds() - total0;
+  double other_cpu = std::max(0.0, total_cpu - sign_cpu - mtt_cpu);
+  std::uint64_t sig_ops =
+      recorder.signatures_performed() + recorder.verifications_performed() - sigs0;
+  std::uint64_t commits = recorder.commitments_made() - commits0;
+  double replay_minutes = static_cast<double>(replay) / (60.0 * netsim::kMicrosPerSecond);
+
+  json::Object out;
+  out["config"] = scale_config(scale);
+  json::Array results;
+  results.push_back(result_row("replay-period recorder CPU", total_cpu, "s", "634.5"));
+  results.push_back(result_row("signatures+verifications CPU", sign_cpu, "s", "9.75"));
+  results.push_back(
+      result_row("sign/verify operations", static_cast<double>(sig_ops), "ops", "3913"));
+  results.push_back(result_row("MTT generation CPU", mtt_cpu, "s", "519"));
+  results.push_back(result_row("MTT commitments", static_cast<double>(commits), "count", "13"));
+  results.push_back(result_row("other (RIB maintenance)", other_cpu, "s", "105.75"));
+  results.push_back(result_row("single-core utilization",
+                               100.0 * total_cpu / (replay_minutes * 60.0), "%", "81.3"));
+  results.push_back(result_row("NetReview-equivalent CPU", total_cpu - mtt_cpu, "s", "115.5"));
+  out["results"] = std::move(results);
+  return out;
+}
+
+json::Object run_bandwidth(const benchutil::BenchScale& scale) {
+  // E8 (§7.6): BGP vs SPIDeR bytes on AS 5's links, plus verification
+  // traffic from real proof sizes.
+  auto tr = benchutil::bench_trace(scale);
+  proto::Fig5Deployment deploy(deployment_config(true, true));
+  const netsim::Time setup = 30LL * 60 * netsim::kMicrosPerSecond;
+  const netsim::Time replay = 15LL * 60 * netsim::kMicrosPerSecond;
+  netsim::Time start = deploy.run_setup(tr, setup);
+
+  std::uint64_t bgp0 = deploy.bgp_bytes(5);
+  std::uint64_t spider0 = deploy.spider_bytes(5);
+  deploy.run_replay(tr, start, 5 * netsim::kMicrosPerSecond);
+  std::uint64_t bgp_bytes = deploy.bgp_bytes(5) - bgp0;
+  std::uint64_t spider_bytes = deploy.spider_bytes(5) - spider0;
+  double seconds = static_cast<double>(replay) / netsim::kMicrosPerSecond;
+  double bgp_kbps = 8.0 * static_cast<double>(bgp_bytes) / seconds / 1000.0;
+  double spider_kbps = 8.0 * static_cast<double>(spider_bytes) / seconds / 1000.0;
+
+  const auto& record = deploy.recorder(5).log().commitments().rbegin()->second;
+  proto::ProofGenerator generator(deploy.recorder(5));
+  auto recon = generator.reconstruct(record.timestamp);
+  std::uint64_t proof_bytes = 0;
+  for (bgp::AsNumber neighbor : deploy.neighbors_of(5)) {
+    proof_bytes += generator.proofs_for_producer(recon, neighbor).total_bytes();
+    proof_bytes += generator.proofs_for_consumer(recon, neighbor).total_bytes();
+  }
+
+  json::Object out;
+  out["config"] = scale_config(scale);
+  json::Array results;
+  results.push_back(result_row("BGP traffic", bgp_kbps, "kbps", "11.8"));
+  results.push_back(result_row("SPIDeR traffic", spider_kbps, "kbps", "32.6"));
+  results.push_back(result_row(
+      "relative increase", bgp_kbps > 0 ? 100.0 * (spider_kbps - bgp_kbps) / bgp_kbps : 0, "%",
+      "176"));
+  results.push_back(result_row("proof bytes per full verification",
+                               static_cast<double>(proof_bytes), "bytes", "~2.2 GB"));
+  results.push_back(result_row("verifying 1%/min of commitments",
+                               8.0 * static_cast<double>(proof_bytes) * 0.01 / 60.0 / 1e6, "Mbps",
+                               "3.0"));
+  out["results"] = std::move(results);
+  return out;
+}
+
+json::Object run_storage(const benchutil::BenchScale& scale) {
+  // E9 (§7.7): log growth, signature share, snapshot size, seed-only
+  // commitment cost, 1-year retention estimate.
+  auto tr = benchutil::bench_trace(scale);
+  proto::Fig5Deployment deploy(deployment_config(true, true));
+  const netsim::Time setup = 30LL * 60 * netsim::kMicrosPerSecond;
+  const netsim::Time replay = 15LL * 60 * netsim::kMicrosPerSecond;
+  netsim::Time start = deploy.run_setup(tr, setup);
+
+  const auto& log = deploy.recorder(5).log();
+  std::uint64_t msg0 = log.message_bytes();
+  std::uint64_t sig0 = log.signature_bytes();
+  deploy.run_replay(tr, start, 5 * netsim::kMicrosPerSecond);
+  std::uint64_t msg_bytes = log.message_bytes() - msg0;
+  std::uint64_t sig_bytes = log.signature_bytes() - sig0;
+  double minutes = static_cast<double>(replay) / (60.0 * netsim::kMicrosPerSecond);
+  auto snapshot = deploy.recorder(5).state().serialize();
+  std::uint64_t commits = log.commitments().size();
+
+  double year_log = static_cast<double>(msg_bytes) / minutes * 60.0 * 24.0 * 365.0;
+  double year_snapshots = static_cast<double>(snapshot.size()) * 365.0;
+  double year_commits = 32.0 * (365.0 * 24.0 * 60.0);
+
+  json::Object out;
+  out["config"] = scale_config(scale);
+  json::Array results;
+  results.push_back(
+      result_row("replay-period log growth", static_cast<double>(msg_bytes), "bytes", "2.95 MB"));
+  results.push_back(result_row("log growth rate",
+                               static_cast<double>(msg_bytes) / 1000.0 / minutes, "kB/min",
+                               "232.3"));
+  results.push_back(result_row(
+      "signature share",
+      msg_bytes ? 100.0 * static_cast<double>(sig_bytes) / static_cast<double>(msg_bytes) : 0, "%",
+      "24.4"));
+  results.push_back(result_row("routing-state snapshot", static_cast<double>(snapshot.size()),
+                               "bytes", "94.1 MB"));
+  results.push_back(result_row("commitments stored", static_cast<double>(commits), "count", "13"));
+  results.push_back(result_row(
+      "bytes per commitment",
+      commits ? static_cast<double>(log.commitment_bytes()) / static_cast<double>(commits) : 0,
+      "bytes", "32"));
+  results.push_back(
+      result_row("1-year retention estimate", year_log + year_snapshots + year_commits, "bytes",
+                 "145.7 GB"));
+  out["results"] = std::move(results);
+  return out;
+}
+
+json::Object run_crypto(const benchutil::BenchScale&) {
+  // E10: primitive costs (plain timed loops; the google-benchmark binary
+  // bench_crypto remains the precision instrument).
+  json::Array results;
+
+  {
+    util::Bytes data(65536);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    const int iters = 64;
+    util::WallTimer timer;
+    for (int i = 0; i < iters; ++i) (void)crypto::Sha512::hash(data);
+    double mbps = static_cast<double>(data.size()) * iters / timer.seconds() / 1e6;
+    results.push_back(result_row("SHA-512 throughput (64 KiB blocks)", mbps, "MB/s", "-"));
+  }
+  {
+    util::Bytes input(60, 0xab);  // inner-node hash shape: 3 x 20-byte labels
+    const int iters = 50'000;
+    util::WallTimer timer;
+    for (int i = 0; i < iters; ++i) {
+      input[0] = static_cast<std::uint8_t>(i);
+      (void)crypto::digest20(input);
+    }
+    results.push_back(
+        result_row("digest20 (MTT label input)", timer.seconds() * 1e6 / iters, "us/op", "-"));
+  }
+  {
+    util::SplitMix64 rng(42);
+    auto key = crypto::rsa_generate(1024, rng);
+    util::Bytes msg(256, 0x5a);
+    const int sign_iters = 10;
+    util::WallTimer sign_timer;
+    util::Bytes sig;
+    for (int i = 0; i < sign_iters; ++i) sig = crypto::rsa_sign(key, msg);
+    results.push_back(result_row("RSA-1024 sign", sign_timer.seconds() * 1e3 / sign_iters,
+                                 "ms/op", "~2.5 (paper-era hardware)"));
+    auto pub = key.public_key();
+    const int verify_iters = 100;
+    util::WallTimer verify_timer;
+    for (int i = 0; i < verify_iters; ++i) (void)crypto::rsa_verify(pub, msg, sig);
+    results.push_back(result_row("RSA-1024 verify", verify_timer.seconds() * 1e6 / verify_iters,
+                                 "us/op", "-"));
+  }
+  {
+    crypto::CommitmentPrf prf(crypto::seed_from_string("bench"));
+    const int iters = 100'000;
+    util::WallTimer timer;
+    for (int i = 0; i < iters; ++i) (void)prf.bit_randomness(static_cast<std::uint64_t>(i));
+    results.push_back(
+        result_row("commitment PRF derive", timer.seconds() * 1e6 / iters, "us/op", "-"));
+  }
+  {
+    trace::TraceConfig config;
+    config.num_prefixes = 2000;
+    config.num_updates = 1;
+    config.seed = 7;
+    auto tr = trace::generate(config);
+    auto tree = core::Mtt::build(snapshot_entries(tr, 50), 50);
+    crypto::CommitmentPrf prf(crypto::seed_from_string("mtt-bench"));
+    tree.compute_labels(prf);
+    std::vector<core::ClassId> all_better;
+    for (core::ClassId c = 0; c < 49; ++c) all_better.push_back(c);
+    const auto& prefix = tr.rib_snapshot.front().prefix;
+    const int iters = 200;
+    util::WallTimer prove_timer;
+    core::MttPrefixProof proof;
+    for (int i = 0; i < iters; ++i) proof = tree.prove(prf, prefix, all_better);
+    results.push_back(
+        result_row("MTT prove (49 classes)", prove_timer.seconds() * 1e6 / iters, "us/op", "-"));
+    auto root = tree.root_label();
+    util::WallTimer verify_timer;
+    for (int i = 0; i < iters; ++i) (void)core::Mtt::verify(root, 50, proof);
+    results.push_back(
+        result_row("MTT verify (49 classes)", verify_timer.seconds() * 1e6 / iters, "us/op", "-"));
+  }
+
+  json::Object out;
+  json::Object config;
+  config["note"] = "fixed micro-iteration counts; independent of --prefixes";
+  out["config"] = std::move(config);
+  out["results"] = std::move(results);
+  return out;
+}
+
+json::Object run_ablation(const benchutil::BenchScale& scale) {
+  // A1/A4 (DESIGN.md): indifference-class count sweep and the arithmetic
+  // consequence of digest truncation.  The standalone bench_ablation
+  // additionally sweeps batching windows and commit intervals.
+  trace::TraceConfig config;
+  config.num_prefixes = std::min<std::size_t>(scale.prefixes, 20'000);
+  config.num_updates = 1;
+  config.seed = 20120118;
+  auto tr = trace::generate(config);
+
+  json::Array results;
+  for (std::uint32_t k : {5u, 50u}) {
+    auto tree = core::Mtt::build(snapshot_entries(tr, k), k);
+    crypto::CommitmentPrf prf(crypto::seed_from_string("ablate-k"));
+    util::WallTimer timer;
+    tree.compute_labels(prf);
+    double label_s = timer.seconds();
+    auto proof = tree.prove(prf, tr.rib_snapshot.front().prefix, {0});
+    std::string suffix = " (k=" + std::to_string(k) + ")";
+    results.push_back(result_row("labeling time" + suffix, label_s, "s", "-"));
+    results.push_back(result_row("MTT memory" + suffix, static_cast<double>(tree.memory_bytes()),
+                                 "bytes", "-"));
+    results.push_back(result_row("single-prefix proof size" + suffix,
+                                 static_cast<double>(proof.byte_size()), "bytes",
+                                 k == 50 ? "~2.1 kB" : "-"));
+  }
+  const double paper_nodes = 22'333'767.0;
+  results.push_back(result_row("label storage @ paper scale, 20 B digests", paper_nodes * 20,
+                               "bytes", "~447 MB"));
+  results.push_back(result_row("label storage @ paper scale, 64 B digests", paper_nodes * 64,
+                               "bytes", "~1.43 GB (3.2x)"));
+
+  json::Object out;
+  json::Object cfg = scale_config(scale);
+  cfg["prefixes"] = static_cast<std::uint64_t>(config.num_prefixes);
+  out["config"] = std::move(cfg);
+  out["results"] = std::move(results);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario registry and runner
+
+struct Scenario {
+  const char* name;
+  const char* experiment;
+  const char* paper_ref;
+  json::Object (*run)(const benchutil::BenchScale&);
+};
+
+const Scenario kScenarios[] = {
+    {"communities", "E1", "Figure 2 (supporting data for §3)", run_communities},
+    {"mtt_size", "E2", "§7.3 'MTT size'", run_mtt_size},
+    {"labeling", "E3", "§7.3 'Labeling time'", run_labeling},
+    {"proof", "E4/E5", "§7.3 'Proof generation and proof size' / 'Proof checking'", run_proof},
+    {"functionality", "E6", "§7.4 'Functionality check'", run_functionality},
+    {"computation", "E7", "§7.5 'Overhead: Computation'", run_computation},
+    {"bandwidth", "E8", "§7.6 'Overhead: Bandwidth'", run_bandwidth},
+    {"storage", "E9", "§7.7 'Overhead: Storage'", run_storage},
+    {"crypto", "E10", "crypto/commitment microbenchmarks", run_crypto},
+    {"ablation", "A1-A4", "DESIGN.md design-choice index", run_ablation},
+};
+
+/// Structural check of one emitted document ("spider-bench-v1").
+void validate_bench_json(const json::Value& doc) {
+  auto require = [&](bool ok, const char* what) {
+    if (!ok) throw std::logic_error(std::string("BENCH json: ") + what);
+  };
+  require(doc.is_object(), "document is not an object");
+  const json::Value* schema = doc.find("schema");
+  require(schema && schema->is_string() && schema->as_string() == "spider-bench-v1",
+          "schema != spider-bench-v1");
+  for (const char* key : {"scenario", "experiment", "paper_ref"}) {
+    const json::Value* v = doc.find(key);
+    require(v && v->is_string(), "missing string field");
+  }
+  const json::Value* config = doc.find("config");
+  require(config && config->is_object(), "missing config object");
+  const json::Value* results = doc.find("results");
+  require(results && results->is_array() && !results->as_array().empty(),
+          "missing/empty results array");
+  for (const json::Value& row : results->as_array()) {
+    require(row.is_object(), "result row is not an object");
+    const json::Value* label = row.find("label");
+    const json::Value* measured = row.find("measured");
+    const json::Value* unit = row.find("unit");
+    const json::Value* paper = row.find("paper");
+    require(label && label->is_string(), "result row: missing label");
+    require(measured && measured->is_number(), "result row: missing measured number");
+    require(unit && unit->is_string(), "result row: missing unit");
+    require(paper && paper->is_string(), "result row: missing paper reference");
+  }
+  const json::Value* metrics = doc.find("metrics");
+  require(metrics && metrics->is_object(), "missing metrics snapshot");
+  // The snapshot parser enforces the internal invariants.
+  (void)obs::Snapshot::from_json(*metrics);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list] [--all] [--scenario NAME]... [--out-dir DIR]\n"
+               "          [--prefixes N] [--updates N] [--check-schema] [--baseline FILE]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> wanted;
+  std::string out_dir = ".";
+  std::string baseline_path;
+  bool all = false, list = false, check_schema = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--scenario") {
+      wanted.push_back(next());
+    } else if (arg == "--out-dir") {
+      out_dir = next();
+    } else if (arg == "--prefixes") {
+      setenv("SPIDER_BENCH_PREFIXES", next(), 1);
+    } else if (arg == "--updates") {
+      setenv("SPIDER_BENCH_UPDATES", next(), 1);
+    } else if (arg == "--check-schema") {
+      check_schema = true;
+    } else if (arg == "--baseline") {
+      baseline_path = next();
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (list) {
+    for (const Scenario& s : kScenarios) {
+      std::printf("%-14s %-6s %s\n", s.name, s.experiment, s.paper_ref);
+    }
+    return 0;
+  }
+  if (!all && wanted.empty()) return usage(argv[0]);
+  for (const std::string& name : wanted) {
+    bool known = false;
+    for (const Scenario& s : kScenarios) known |= name == s.name;
+    if (!known) {
+      std::fprintf(stderr, "unknown scenario: %s (try --list)\n", name.c_str());
+      return 2;
+    }
+  }
+
+  auto scale = benchutil::bench_scale();
+  json::Object combined;
+  combined["schema"] = "spider-bench-baseline-v1";
+  json::Object combined_scenarios;
+
+  for (const Scenario& s : kScenarios) {
+    bool selected = all;
+    for (const std::string& name : wanted) selected |= name == s.name;
+    if (!selected) continue;
+
+    std::printf("== %s (%s, %s)\n", s.name, s.experiment, s.paper_ref);
+    // Per-scenario metric deltas: everything the scenario's run adds to
+    // the registry from this point on is attributed to it.
+    obs::MetricsRegistry::instance().reset();
+    util::WallTimer timer;
+    json::Object body = s.run(scale);
+    double wall = timer.seconds();
+    obs::Snapshot snap = obs::MetricsRegistry::instance().snapshot();
+
+    json::Object doc;
+    doc["schema"] = "spider-bench-v1";
+    doc["scenario"] = s.name;
+    doc["experiment"] = s.experiment;
+    doc["paper_ref"] = s.paper_ref;
+    doc["wall_seconds"] = wall;
+    doc["config"] = std::move(body.at("config"));
+    doc["results"] = std::move(body.at("results"));
+    doc["metrics"] = snap.to_json();
+
+    std::string path = out_dir + "/BENCH_" + s.name + ".json";
+    std::string text = json::Value(doc).dump(2);
+    std::ofstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    file << text << "\n";
+    file.close();
+    std::printf("   wrote %s (%.2f s, %zu counters)\n", path.c_str(), wall, snap.counters.size());
+
+    if (check_schema) {
+      std::ifstream in(path);
+      std::string round_trip((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+      validate_bench_json(json::parse(round_trip));
+      std::printf("   schema ok\n");
+    }
+    combined_scenarios[s.name] = std::move(doc);
+  }
+
+  if (!baseline_path.empty()) {
+    combined["scenarios"] = std::move(combined_scenarios);
+    std::ofstream file(baseline_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", baseline_path.c_str());
+      return 1;
+    }
+    file << json::Value(combined).dump(2) << "\n";
+    std::printf("== wrote combined baseline %s\n", baseline_path.c_str());
+  }
+  return 0;
+}
