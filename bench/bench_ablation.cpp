@@ -118,7 +118,7 @@ void ablate_digest_width() {
   for (int i = 0; i < iters; ++i) {
     input[0] = static_cast<std::uint8_t>(i);
     auto digest = crypto::digest20(input);
-    benchmark_sink += digest[0];
+    benchmark_sink = static_cast<std::uint8_t>(benchmark_sink + digest[0]);
   }
   double per_hash_us = timer.seconds() * 1e6 / iters;
   std::printf("  measured label hash cost: %.2f us (same for either width)\n", per_hash_us);

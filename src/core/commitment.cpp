@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "crypto/ct.hpp"
+
 namespace spider::core {
 
 Digest20 bit_leaf_hash(bool bit, const Digest20& x) {
@@ -48,7 +50,7 @@ bool FlatCommitment::verify(const Digest20& root, std::uint32_t num_bits,
   if (proof.leaves.size() != num_bits) return false;
   std::vector<Digest20> leaves = proof.leaves;
   leaves[proof.index] = bit_leaf_hash(proof.bit, proof.x);
-  return root_of(leaves) == root;
+  return crypto::constant_time_equal(root_of(leaves), root);
 }
 
 Bytes FlatBitProof::encode() const {

@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "crypto/ct.hpp"
 #include "crypto/sha2.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -296,7 +297,7 @@ bool Mtt::verify(const Digest20& root, std::uint32_t num_classes, const MttPrefi
     }
     current = combine3(labels[0], labels[1], labels[2]);
   }
-  return current == root;
+  return crypto::constant_time_equal(current, root);
 }
 
 std::size_t MttPrefixProof::byte_size() const { return encode().size(); }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "crypto/ct.hpp"
+
 namespace spider::core {
 
 namespace {
@@ -408,7 +410,7 @@ std::optional<Detection> Producer::receive_ack(const std::optional<SignedEnvelop
   try {
     AckPayload payload = AckPayload::decode(ack->payload);
     if (payload.elector != elector_ || payload.round != round_ ||
-        payload.announce_digest != my_announce_->digest()) {
+        !crypto::constant_time_equal(payload.announce_digest, my_announce_->digest())) {
       return Detection{FaultKind::kMalformedMessage, elector_, "ACK fields do not match"};
     }
   } catch (const util::DecodeError&) {
@@ -658,7 +660,8 @@ bool validate_inconsistent_commit(const SignedEnvelope& a, const SignedEnvelope&
   try {
     CommitPayload pa = CommitPayload::decode(a.payload);
     CommitPayload pb = CommitPayload::decode(b.payload);
-    return pa.elector == pb.elector && pa.round == pb.round && pa.root != pb.root;
+    return pa.elector == pb.elector && pa.round == pb.round &&
+           !crypto::constant_time_equal(pa.root, pb.root);
   } catch (const util::DecodeError&) {
     return false;
   }
@@ -687,7 +690,8 @@ Verdict judge_producer_challenge(const ProducerChallenge& challenge,
     return Verdict::kChallengeRejected;
   }
   if (challenge.ack.signer != announce.elector || ack.elector != announce.elector ||
-      ack.round != announce.round || ack.announce_digest != challenge.announce.digest()) {
+      ack.round != announce.round ||
+      !crypto::constant_time_equal(ack.announce_digest, challenge.announce.digest())) {
     return Verdict::kChallengeRejected;
   }
   if (!check_envelope(commitment, keys) || commitment.signer != announce.elector ||

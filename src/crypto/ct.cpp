@@ -1,0 +1,12 @@
+#include "crypto/ct.hpp"
+
+namespace spider::crypto {
+
+bool constant_time_equal(util::ByteSpan a, util::ByteSpan b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return diff == 0;
+}
+
+}  // namespace spider::crypto

@@ -1,0 +1,25 @@
+// Constant-time comparison for digest and signature material.
+//
+// Every equality check on a digest, MAC, or signature must go through
+// constant_time_equal: an early-exit comparison (memcmp, std::array
+// operator==) leaks the length of the matching prefix through timing,
+// which is exactly the side channel that lets an attacker forge
+// authenticators byte by byte.  spider_lint rule R7 bans memcmp and
+// digest operator== outside this file.
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace spider::crypto {
+
+/// Constant-time equality: the running time depends only on the lengths,
+/// never on the contents.  Unequal lengths return false immediately
+/// (lengths are public).
+bool constant_time_equal(util::ByteSpan a, util::ByteSpan b);
+
+inline bool constant_time_equal(const util::Digest20& a, const util::Digest20& b) {
+  return constant_time_equal(util::ByteSpan{a.data(), a.size()},
+                             util::ByteSpan{b.data(), b.size()});
+}
+
+}  // namespace spider::crypto

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "crypto/ct.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha2.hpp"
 #include "obs/metrics.hpp"
@@ -113,7 +114,7 @@ bool rsa_verify(const RsaPublicKey& key, ByteSpan message, ByteSpan signature) {
   if (s >= key.n) return false;
   BigInt m = s.mod_exp(key.e, key.n);
   Bytes expected = pkcs1_encode(message, k);
-  return util::ct_equal(m.to_bytes_be(k), expected);
+  return constant_time_equal(m.to_bytes_be(k), expected);
 }
 
 Bytes HashSigner::sign(ByteSpan message) const {
@@ -127,7 +128,7 @@ bool HashVerifier::verify(ByteSpan message, ByteSpan signature) const {
   SPIDER_OBS_COUNT("crypto/hash_verify_ops", 1);
   SPIDER_OBS_COUNT("crypto/hash_verify_bytes", message.size());
   auto d = HmacSha512::mac20(key_, message);
-  return util::ct_equal(ByteSpan{d.data(), d.size()}, signature);
+  return constant_time_equal(ByteSpan{d.data(), d.size()}, signature);
 }
 
 }  // namespace spider::crypto

@@ -57,6 +57,7 @@ void Simulator::schedule_in(Time delay, std::function<void()> fn) {
 
 void Simulator::run() {
   while (!queue_.empty()) {
+    if (consume_stop()) return;
     // priority_queue::top returns const&; the event must be moved out before
     // pop, so copy the callable via const_cast-free extraction.
     Event ev = queue_.top();
@@ -65,16 +66,27 @@ void Simulator::run() {
     SPIDER_OBS_COUNT("netsim/events_dispatched", 1);
     ev.fn();
   }
+  consume_stop();  // a stop that arrived after the last event is spent, too
+}
+
+bool Simulator::consume_stop() {
+  // exchange() rather than load(): the request is an edge, not a level, so
+  // a stop aimed at this run must not also kill the next one.
+  return stop_requested_.exchange(false, std::memory_order_acq_rel);
 }
 
 void Simulator::run_until(Time t) {
   while (!queue_.empty() && queue_.top().time <= t) {
+    // Stopping must not advance now_ to t: unprocessed events with
+    // timestamps <= t are still queued, and a later run() resumes at them.
+    if (consume_stop()) return;
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.time;
     SPIDER_OBS_COUNT("netsim/events_dispatched", 1);
     ev.fn();
   }
+  consume_stop();
   if (now_ < t) now_ = t;
 }
 

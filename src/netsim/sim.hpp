@@ -7,6 +7,7 @@
 // "loosely synchronized clocks" assumption of §6.3/§6.4.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -84,10 +85,21 @@ class Simulator {
   /// Runs `fn` after `delay` microseconds.
   void schedule_in(Time delay, std::function<void()> fn);
 
-  /// Processes events until the queue is empty.
+  /// Processes events until the queue is empty or request_stop() is
+  /// observed.
   void run();
-  /// Processes events with timestamps <= t, then sets now to t.
+  /// Processes events with timestamps <= t, then sets now to t.  Honors
+  /// request_stop() like run().
   void run_until(Time t);
+
+  /// Asks a run()/run_until() loop to return after the event currently
+  /// being dispatched.  Safe to call from any thread (this is the only
+  /// cross-thread entry point on the otherwise single-threaded simulator);
+  /// a watchdog thread uses it to bound a runaway scenario.  The flag is
+  /// spent when the run loop returns (whether or not it interrupted
+  /// anything), so a subsequent run() resumes normally.
+  void request_stop() { stop_requested_.store(true, std::memory_order_release); }
+  bool stop_requested() const { return stop_requested_.load(std::memory_order_acquire); }
 
   Time now() const { return now_; }
 
@@ -120,6 +132,8 @@ class Simulator {
     std::uint64_t dropped = 0;
   };
 
+  bool consume_stop();
+
   static std::pair<NodeId, NodeId> link_key(NodeId a, NodeId b) {
     return a < b ? std::pair{a, b} : std::pair{b, a};
   }
@@ -131,6 +145,7 @@ class Simulator {
   std::map<NodeId, std::uint64_t> bytes_sent_;
   Time now_ = 0;
   std::uint64_t seq_ = 0;
+  std::atomic<bool> stop_requested_{false};
 };
 
 }  // namespace spider::netsim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "crypto/ct.hpp"
 #include "obs/metrics.hpp"
 
 namespace spider::proto {
@@ -133,7 +134,8 @@ std::optional<Detection> Checker::cross_check_commits(bgp::AsNumber elector,
   for (std::size_t i = 0; i < commits.size(); ++i) {
     for (std::size_t j = i + 1; j < commits.size(); ++j) {
       if (commits[i].from_as == elector && commits[j].from_as == elector &&
-          commits[i].timestamp == commits[j].timestamp && commits[i].root != commits[j].root) {
+          commits[i].timestamp == commits[j].timestamp &&
+          !crypto::constant_time_equal(commits[i].root, commits[j].root)) {
         return Detection{FaultKind::kInconsistentCommit, elector,
                          "two different roots for the same commitment time"};
       }

@@ -1,5 +1,7 @@
 #include "spider/evidence.hpp"
 
+#include "crypto/ct.hpp"
+
 namespace spider::proto {
 
 std::optional<SpiderAnnounce> QuotedMessage::as_announce(const core::KeyRegistry& keys) const {
@@ -84,7 +86,7 @@ bool ack_matches(const core::SignedEnvelope& ack, std::uint32_t expected_signer,
     for (const SpiderBatch::Part& part : batch.parts) {
       if (part.type != SpiderMsgType::kAck) continue;
       SpiderAck decoded = SpiderAck::decode(part.body);
-      if (decoded.message_digest == batch_envelope.digest()) return true;
+      if (crypto::constant_time_equal(decoded.message_digest, batch_envelope.digest())) return true;
     }
   } catch (const util::DecodeError&) {
     return false;

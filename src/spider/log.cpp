@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "crypto/ct.hpp"
 #include "util/serde.hpp"
 
 namespace spider::proto {
@@ -117,13 +118,15 @@ bool MessageLog::verify_chain() const {
     // forward from its stored authenticator.
     prev = entries_.front().authenticator;
     for (std::size_t i = 1; i < entries_.size(); ++i) {
-      if (chain_hash(prev, entries_[i]) != entries_[i].authenticator) return false;
+      if (!crypto::constant_time_equal(chain_hash(prev, entries_[i]), entries_[i].authenticator)) {
+        return false;
+      }
       prev = entries_[i].authenticator;
     }
     return true;
   }
   for (const LogEntry& entry : entries_) {
-    if (chain_hash(prev, entry) != entry.authenticator) return false;
+    if (!crypto::constant_time_equal(chain_hash(prev, entry), entry.authenticator)) return false;
     prev = entry.authenticator;
   }
   return true;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "crypto/ct.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/timers.hpp"
@@ -156,7 +157,7 @@ ProofGenerator::Reconstruction ProofGenerator::reconstruct(Time commit_time,
     recon.tree = core::Mtt::build(std::move(entries), recorder_.config().num_classes);
     recon.tree.compute_labels(crypto::CommitmentPrf(recon.seed), threads);
   }
-  recon.root_matches = recon.tree.root_label() == record->root;
+  recon.root_matches = crypto::constant_time_equal(recon.tree.root_label(), record->root);
   recon.reconstruct_seconds = timer.seconds();
   return recon;
 }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "crypto/ct.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -220,7 +221,9 @@ void Recorder::schedule_ack_check(const Digest20& digest) {
   // alarm to be handled out of band.
   sim_.schedule_in(config_.ack_deadline, [this, digest] {
     auto it = std::find_if(awaiting_ack_.begin(), awaiting_ack_.end(),
-                           [&](const PendingAck& p) { return p.digest == digest; });
+                           [&](const PendingAck& p) {
+                             return crypto::constant_time_equal(p.digest, digest);
+                           });
     if (it == awaiting_ack_.end()) return;  // acked in time
     if (it->attempts > config_.max_retransmits) {
       alarm("no ACK from AS" + std::to_string(it->to) + " after " +
@@ -331,7 +334,7 @@ void Recorder::process_batch(bgp::AsNumber from, const core::SignedEnvelope& env
           SpiderAck ack = SpiderAck::decode(part.body);
           auto it = std::find_if(awaiting_ack_.begin(), awaiting_ack_.end(),
                                  [&](const PendingAck& pending) {
-                                   return pending.digest == ack.message_digest &&
+                                   return crypto::constant_time_equal(pending.digest, ack.message_digest) &&
                                           pending.to == from;
                                  });
           if (it == awaiting_ack_.end()) {
@@ -529,7 +532,10 @@ std::optional<core::SignedEnvelope> Recorder::find_ack_for(const Digest20& batch
     for (const SpiderBatch::Part& part : batch.parts) {
       if (part.type != SpiderMsgType::kAck) continue;
       try {
-        if (SpiderAck::decode(part.body).message_digest == batch_digest) return envelope;
+        if (crypto::constant_time_equal(SpiderAck::decode(part.body).message_digest,
+                                        batch_digest)) {
+          return envelope;
+        }
       } catch (const util::DecodeError&) {
       }
     }

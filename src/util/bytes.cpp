@@ -48,13 +48,6 @@ Bytes concat(std::initializer_list<ByteSpan> parts) {
 
 void append(Bytes& dst, ByteSpan src) { dst.insert(dst.end(), src.begin(), src.end()); }
 
-bool ct_equal(ByteSpan a, ByteSpan b) {
-  if (a.size() != b.size()) return false;
-  std::uint8_t diff = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
-  return diff == 0;
-}
-
 Bytes str_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
 
 }  // namespace spider::util

@@ -1,8 +1,9 @@
 // Byte-buffer utilities shared by every SPIDeR module.
 //
 // All protocol messages, digests and signatures are carried as `Bytes`
-// (a plain std::vector<std::uint8_t>).  Helpers here cover hex encoding,
-// concatenation, and constant-time comparison for digest material.
+// (a plain std::vector<std::uint8_t>).  Helpers here cover hex encoding
+// and concatenation; constant-time comparison for digest material lives
+// in crypto/ct.hpp (constant_time_equal).
 #pragma once
 
 #include <array>
@@ -28,10 +29,6 @@ Bytes concat(std::initializer_list<ByteSpan> parts);
 
 /// Appends `src` to `dst`.
 void append(Bytes& dst, ByteSpan src);
-
-/// Constant-time equality for secret/digest material: the running time
-/// depends only on the lengths, never on the contents.
-bool ct_equal(ByteSpan a, ByteSpan b);
 
 /// Converts an ASCII string to bytes (no terminator).
 Bytes str_bytes(std::string_view s);

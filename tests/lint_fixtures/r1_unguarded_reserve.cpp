@@ -1,0 +1,12 @@
+// R1 fixture: reserve()/resize() fed straight from a wire read.
+#include <vector>
+
+Frame decode(ByteReader& r) {
+  Frame f;
+  auto count = r.u16();
+  f.slots.reserve(count);
+  auto checked = r.check_count(r.u32(), 4, "entries");
+  f.entries.reserve(checked);
+  f.raw.resize(r.u32());
+  return f;
+}

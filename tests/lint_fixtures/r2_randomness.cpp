@@ -1,0 +1,7 @@
+// R2 fixture: non-CSPRNG randomness outside src/crypto/random.*.
+#include <random>
+
+int jitter() {
+  std::mt19937 gen(12345);
+  return rand();
+}

@@ -1,0 +1,9 @@
+// R3 fixture: wall-clock reads in deterministic code.
+#include <chrono>
+#include <ctime>
+
+long stamp() {
+  auto t = time(nullptr);
+  auto n = std::chrono::steady_clock::now();
+  return t + n.time_since_epoch().count();
+}

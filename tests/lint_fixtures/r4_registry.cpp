@@ -1,0 +1,3 @@
+// Mimics tests/fuzz/targets.cpp: KnownFrame is registered, GhostFrame and
+// WaivedFrame are not.
+void register_all() { register_target<KnownFrame>("known_frame"); }

@@ -1,0 +1,12 @@
+// R4 fixture: GhostFrame's decoder never appears in the registry snippet
+// (r4_registry.cpp); KnownFrame's does.
+struct GhostFrame {
+  static GhostFrame decode(ByteReader& r);
+};
+struct KnownFrame {
+  static KnownFrame decode(ByteReader& r);
+};
+struct WaivedFrame {
+  // spider-lint: allow(R4)
+  static WaivedFrame decode(ByteReader& r);
+};

@@ -1,0 +1,8 @@
+// R5 fixture: decode path throws a non-DecodeError type.
+#include <stdexcept>
+
+Frame decode(ByteReader& r) {
+  if (r.u8() != 1) throw std::runtime_error("bad version");
+  if (r.u8() != 2) throw DecodeError("bad tag");
+  return Frame{};
+}

@@ -1,0 +1,5 @@
+// R6 fixture: direct metrics construction/lookup outside src/obs.
+void record(MetricsRegistry& registry) {
+  obs::Counter direct;
+  auto h = registry.histogram("decode/bytes");
+}

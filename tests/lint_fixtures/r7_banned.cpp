@@ -1,0 +1,8 @@
+// R7 fixture: banned byte-handling functions and digest comparisons.
+#include <cstring>
+
+bool same(const Digest20& digest, const Digest20& other, char* dst, const char* src) {
+  strcpy(dst, src);
+  if (memcmp(digest.data(), other.data(), 20) == 0) return true;
+  return digest == other;
+}

@@ -1,0 +1,9 @@
+// Suppression fixture: every violation below carries an allow() and the
+// file must lint clean.
+#include <random>
+
+int noisy() {
+  std::mt19937 gen(7);  // spider-lint: allow(R2)
+  // spider-lint: allow(R2,R3)
+  return rand() + static_cast<int>(time(nullptr));
+}

@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "crypto/ct.hpp"
 #include "crypto/sha2.hpp"
 #include "util/bytes.hpp"
 
@@ -146,4 +147,20 @@ TEST(Sha256, PaddingBoundaryLengths) {
     for (char c : msg) h.update(su::ByteSpan{reinterpret_cast<const std::uint8_t*>(&c), 1});
     EXPECT_EQ(h.finish(), sc::Sha256::hash(span_of(msg))) << "len " << len;
   }
+}
+
+TEST(ConstantTimeEqual, SpansAndDigests) {
+  su::Bytes a = {1, 2, 3};
+  su::Bytes b = {1, 2, 3};
+  su::Bytes c = {1, 2, 4};
+  su::Bytes d = {1, 2};
+  EXPECT_TRUE(sc::constant_time_equal(a, b));
+  EXPECT_FALSE(sc::constant_time_equal(a, c));
+  EXPECT_FALSE(sc::constant_time_equal(a, d));
+
+  su::Digest20 x = sc::digest20(a);
+  su::Digest20 y = sc::digest20(b);
+  su::Digest20 z = sc::digest20(c);
+  EXPECT_TRUE(sc::constant_time_equal(x, y));
+  EXPECT_FALSE(sc::constant_time_equal(x, z));
 }

@@ -1,0 +1,155 @@
+// spider_lint fixture tests: each rule must fire on its violating snippet
+// at the exact line, stay silent elsewhere, and honor suppression
+// comments.  Fixtures live in tests/lint_fixtures/ (LINT_FIXTURE_DIR) and
+// are never compiled — they exist only as lint input.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace lint = spider::lint;
+
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(std::string(LINT_FIXTURE_DIR) + "/" + name, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// (rule, line) pairs, the shape every assertion below compares against.
+std::vector<std::pair<std::string, int>> rule_lines(const std::vector<lint::Finding>& fs) {
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(fs.size());
+  for (const lint::Finding& f : fs) out.emplace_back(f.rule, f.line);
+  return out;
+}
+
+using RL = std::vector<std::pair<std::string, int>>;
+
+}  // namespace
+
+// ------------------------------------------------------------------ lexer
+
+TEST(LintLexer, TokensCarryLinesAndCommentsAreDropped) {
+  auto toks = lint::lex("int a = 1; // gone\n/* also\ngone */ b == \"str // x\";\n");
+  ASSERT_EQ(toks.size(), 9u);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[5].text, "b");
+  EXPECT_EQ(toks[5].line, 3);
+  EXPECT_EQ(toks[6].text, "==");
+  EXPECT_EQ(toks[6].kind, lint::Token::Kind::kPunct);
+  EXPECT_EQ(toks[7].kind, lint::Token::Kind::kString);
+}
+
+TEST(LintLexer, DirectivesAreSingleTokens) {
+  auto toks = lint::lex("#include <ctime>\nint time_like;\n");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, lint::Token::Kind::kDirective);
+  EXPECT_EQ(toks[1].text, "int");
+  EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(LintSuppressions, SameLineAndStandaloneCoverage) {
+  auto map = lint::collect_suppressions(
+      "int a;  // spider-lint: allow(R2)\n"
+      "// spider-lint: allow(R3,R7)\n"
+      "int b;\n");
+  EXPECT_EQ(map.at(1).count("R2"), 1u);
+  EXPECT_EQ(map.at(2).count("R3"), 1u);
+  EXPECT_EQ(map.at(3).count("R3"), 1u) << "standalone comment covers the next line";
+  EXPECT_EQ(map.at(3).count("R7"), 1u);
+  EXPECT_EQ(map.count(4), 0u);
+}
+
+// --------------------------------------------------------------- classify
+
+TEST(LintClassify, PathScopes) {
+  EXPECT_TRUE(lint::classify("src/crypto/random.cpp").crypto_random_impl);
+  EXPECT_FALSE(lint::classify("src/crypto/rsa.cpp").crypto_random_impl);
+  EXPECT_TRUE(lint::classify("src/netsim/sim.cpp").deterministic);
+  EXPECT_TRUE(lint::classify("src/core/vpref.cpp").deterministic);
+  EXPECT_FALSE(lint::classify("src/spider/recorder.cpp").deterministic);
+  EXPECT_TRUE(lint::classify("src/obs/metrics.cpp").obs_impl);
+  EXPECT_FALSE(lint::classify("tools/spider_bench.cpp").obs_impl);
+}
+
+// -------------------------------------------------------------- the rules
+
+TEST(LintRules, R1UnguardedReserveFromWireRead) {
+  auto fs = lint::lint_source("src/spider/fixture.cpp", read_fixture("r1_unguarded_reserve.cpp"));
+  EXPECT_EQ(rule_lines(fs), (RL{{"R1", 7}, {"R1", 10}}))
+      << "line 9's reserve is guarded by check_count and must not fire";
+}
+
+TEST(LintRules, R2RandomnessOutsideCrypto) {
+  auto fs = lint::lint_source("src/bgp/fixture.cpp", read_fixture("r2_randomness.cpp"));
+  EXPECT_EQ(rule_lines(fs), (RL{{"R2", 5}, {"R2", 6}}));
+}
+
+TEST(LintRules, R2ExemptInsideCryptoRandom) {
+  auto fs = lint::lint_source("src/crypto/random.cpp", read_fixture("r2_randomness.cpp"));
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintRules, R3WallClockInDeterministicCode) {
+  auto fs = lint::lint_source("src/core/fixture.cpp", read_fixture("r3_wallclock.cpp"));
+  EXPECT_EQ(rule_lines(fs), (RL{{"R3", 6}, {"R3", 7}}));
+}
+
+TEST(LintRules, R3DoesNotApplyOutsideDeterministicCode) {
+  auto fs = lint::lint_source("src/spider/fixture.cpp", read_fixture("r3_wallclock.cpp"));
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintRules, R4UnregisteredDecoder) {
+  const std::string header = read_fixture("r4_unregistered_decoder.hpp");
+  const std::string path = "src/spider/fixture.hpp";
+  auto decls = lint::find_decoder_decls(path, header);
+  ASSERT_EQ(decls.size(), 3u);
+  EXPECT_EQ(decls[0].type, "GhostFrame");
+  EXPECT_EQ(decls[1].type, "KnownFrame");
+  EXPECT_EQ(decls[2].type, "WaivedFrame");
+
+  std::map<std::string, std::map<int, std::set<std::string>>> sups;
+  sups[path] = lint::collect_suppressions(header);
+  auto fs = lint::lint_decoder_registry(decls, read_fixture("r4_registry.cpp"), sups);
+  EXPECT_EQ(rule_lines(fs), (RL{{"R4", 4}}))
+      << "KnownFrame is registered and WaivedFrame carries allow(R4)";
+}
+
+TEST(LintRules, R5NonDecodeErrorThrow) {
+  auto fs = lint::lint_source("src/spider/fixture.cpp", read_fixture("r5_bad_throw.cpp"));
+  EXPECT_EQ(rule_lines(fs), (RL{{"R5", 5}}))
+      << "line 6 throws DecodeError and must not fire";
+}
+
+TEST(LintRules, R6DirectMetricsOutsideObs) {
+  auto fs = lint::lint_source("src/spider/fixture.cpp", read_fixture("r6_direct_metrics.cpp"));
+  EXPECT_EQ(rule_lines(fs), (RL{{"R6", 3}, {"R6", 4}}));
+}
+
+TEST(LintRules, R6ExemptInsideObs) {
+  auto fs = lint::lint_source("src/obs/fixture.cpp", read_fixture("r6_direct_metrics.cpp"));
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintRules, R7BannedFunctionsAndDigestCompares) {
+  auto fs = lint::lint_source("src/spider/fixture.cpp", read_fixture("r7_banned.cpp"));
+  EXPECT_EQ(rule_lines(fs), (RL{{"R7", 5}, {"R7", 6}, {"R7", 7}}));
+}
+
+TEST(LintRules, SuppressionsSilenceEveryFinding) {
+  auto fs = lint::lint_source("src/core/fixture.cpp", read_fixture("suppressed.cpp"));
+  EXPECT_TRUE(fs.empty()) << (fs.empty() ? "" : fs.front().rule + " still fired");
+}

@@ -150,9 +150,10 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(Fault::kNone, Fault::kIgnoreInput, Fault::kForceExport,
                                          Fault::kTamperProof, Fault::kRefuseProof,
                                          Fault::kEquivocate)),
-    [](const ::testing::TestParamInfo<VprefFaultSweep::ParamType>& info) {
-      return "k" + std::to_string(std::get<0>(info.param)) + "_p" +
-             std::to_string(std::get<1>(info.param)) + "_" + fault_name(std::get<2>(info.param));
+    [](const ::testing::TestParamInfo<VprefFaultSweep::ParamType>& sweep_info) {
+      return "k" + std::to_string(std::get<0>(sweep_info.param)) + "_p" +
+             std::to_string(std::get<1>(sweep_info.param)) + "_" +
+             fault_name(std::get<2>(sweep_info.param));
     });
 
 // -------------------------------------------------------- MTT size sweep
@@ -202,9 +203,9 @@ INSTANTIATE_TEST_SUITE_P(Grid, MttRoundtripSweep,
                          ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{10},
                                                               std::size_t{500}, std::size_t{5000}),
                                             ::testing::Values(2u, 5u, 50u)),
-                         [](const ::testing::TestParamInfo<MttRoundtripSweep::ParamType>& info) {
-                           return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
-                                  std::to_string(std::get<1>(info.param));
+                         [](const ::testing::TestParamInfo<MttRoundtripSweep::ParamType>& sweep_info) {
+                           return "n" + std::to_string(std::get<0>(sweep_info.param)) + "_k" +
+                                  std::to_string(std::get<1>(sweep_info.param));
                          });
 
 // --------------------------------------------------- promise order sweep
@@ -249,8 +250,8 @@ TEST_P(PromiseOrderSweep, RandomOrdersStayStrictAndRoundtrip) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PromiseOrderSweep, ::testing::Values(1u, 2u, 4u, 8u, 16u),
-                         [](const ::testing::TestParamInfo<std::uint32_t>& info) {
-                           return "k" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<std::uint32_t>& sweep_info) {
+                           return "k" + std::to_string(sweep_info.param);
                          });
 
 // ------------------------------------------------ flat commitment sweep
@@ -275,6 +276,6 @@ TEST_P(FlatCommitmentSweep, EveryBitOpensAndBinds) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, FlatCommitmentSweep,
                          ::testing::Values(1u, 2u, 3u, 12u, 50u, 128u),
-                         [](const ::testing::TestParamInfo<std::uint32_t>& info) {
-                           return "k" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<std::uint32_t>& sweep_info) {
+                           return "k" + std::to_string(sweep_info.param);
                          });

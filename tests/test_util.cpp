@@ -41,16 +41,6 @@ TEST(Bytes, Concat) {
   EXPECT_EQ(c, (su::Bytes{1, 2, 3}));
 }
 
-TEST(Bytes, CtEqual) {
-  su::Bytes a = {1, 2, 3};
-  su::Bytes b = {1, 2, 3};
-  su::Bytes c = {1, 2, 4};
-  su::Bytes d = {1, 2};
-  EXPECT_TRUE(su::ct_equal(a, b));
-  EXPECT_FALSE(su::ct_equal(a, c));
-  EXPECT_FALSE(su::ct_equal(a, d));
-}
-
 TEST(Serde, IntegersRoundtrip) {
   su::ByteWriter w;
   w.u8(0xab);

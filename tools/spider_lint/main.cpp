@@ -1,0 +1,126 @@
+// spider_lint CLI: walks src/, tools/ and bench/ under --root, runs the
+// R1–R7 matchers, and prints `path:line: RN: message` per finding.  Exit
+// status is the number of findings (capped at 125) so both `ctest` and CI
+// treat a dirty tree as a failure.
+//
+// Usage: spider_lint --root <repo-root> [--quiet]
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+namespace lint = spider::lint;
+
+namespace {
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Repo-relative path with forward slashes, the form classify() expects
+/// and diagnostics print.
+std::string rel_path(const fs::path& root, const fs::path& p) {
+  std::string s = fs::relative(p, root).generic_string();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: spider_lint --root <repo-root> [--quiet]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "spider_lint: unknown argument '%s'\n", arg.c_str());
+      return 125;
+    }
+  }
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "spider_lint: --root '%s' is not a directory\n",
+                 root.string().c_str());
+    return 125;
+  }
+
+  // ---- collect the file set --------------------------------------------
+  std::vector<fs::path> files;
+  for (const char* dir : {"src", "tools", "bench"}) {
+    fs::path base = root / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && is_cpp_source(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  // ---- single-file rules ------------------------------------------------
+  std::vector<lint::Finding> findings;
+  std::vector<lint::DecoderDecl> decoders;
+  std::map<std::string, std::map<int, std::set<std::string>>> suppressions_by_path;
+  for (const fs::path& p : files) {
+    const std::string rel = rel_path(root, p);
+    const std::string source = read_file(p);
+    // The lint tool's own sources mention every banned identifier by
+    // design; rules don't apply to the rule tables.
+    if (rel.rfind("tools/spider_lint/", 0) == 0) continue;
+    std::vector<lint::Finding> file_findings = lint::lint_source(rel, source);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+    // R4 candidates come from headers only — that is where the static
+    // decode entry points are declared.
+    if (p.extension() == ".hpp" || p.extension() == ".h") {
+      std::vector<lint::DecoderDecl> decls = lint::find_decoder_decls(rel, source);
+      if (!decls.empty()) {
+        decoders.insert(decoders.end(), decls.begin(), decls.end());
+        suppressions_by_path[rel] = lint::collect_suppressions(source);
+      }
+    }
+  }
+
+  // ---- R4: cross-reference the fuzz registry ---------------------------
+  fs::path registry = root / "tests" / "fuzz" / "targets.cpp";
+  if (fs::is_regular_file(registry)) {
+    std::vector<lint::Finding> r4 = lint::lint_decoder_registry(
+        decoders, read_file(registry), suppressions_by_path);
+    findings.insert(findings.end(), r4.begin(), r4.end());
+  } else if (!decoders.empty()) {
+    std::fprintf(stderr,
+                 "spider_lint: tests/fuzz/targets.cpp missing but %zu decoders "
+                 "declared — R4 cannot be checked\n",
+                 decoders.size());
+    return 125;
+  }
+
+  std::sort(findings.begin(), findings.end());
+  if (!quiet) {
+    for (const lint::Finding& f : findings) {
+      std::printf("%s:%d: %s: %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    std::printf("spider_lint: %zu file(s), %zu finding(s)\n", files.size(),
+                findings.size());
+  }
+  return findings.size() > 125 ? 125 : static_cast<int>(findings.size());
+}
