@@ -1,0 +1,55 @@
+#include "chaos/catalog.hpp"
+
+namespace spider::chaos {
+
+// Every entry must pair its Misbehavior with the core::FaultKind the
+// checker is required to emit — spider_lint rule R8 enforces the pairing
+// on this initializer, so a new misbehavior cannot land without declaring
+// what its detection looks like.
+const std::vector<CatalogEntry>& catalog() {
+  static const std::vector<CatalogEntry> kCatalog = {
+      {Misbehavior::kTamperedBitProof, "tampered-bit-proof", core::FaultKind::kInvalidBitProof,
+       "§7.4 fault 3",
+       "the elector flips a revealed MTT leaf bit; the proof no longer opens the commitment"},
+      {Misbehavior::kWrongClassBit, "wrong-class-bit", core::FaultKind::kMalformedMessage,
+       "§4.5 step 2",
+       "producer proofs cite a class that disagrees with the cited route"},
+      {Misbehavior::kEquivocation, "equivocation", core::FaultKind::kInconsistentCommit,
+       "§4.5 step 1",
+       "two neighbors receive different commitment roots for the same round"},
+      {Misbehavior::kOmittedInput, "omitted-input", core::FaultKind::kOmittedInput,
+       "§7.4 fault 1",
+       "the elector filters a producer and commits bit 0 for its route's class"},
+      {Misbehavior::kBrokenPromise, "promise-violation", core::FaultKind::kBrokenPromise,
+       "§7.4 fault 2",
+       "the elector exports routes its promise to the consumer forbids"},
+      {Misbehavior::kStaleProof, "stale-proof", core::FaultKind::kInvalidBitProof,
+       "§6.5",
+       "proofs replayed from an earlier round fail against the current root"},
+      {Misbehavior::kWithheldProof, "withheld-proof", core::FaultKind::kMissingBitProof,
+       "§4.5 step 2",
+       "the elector never answers a producer's proof request"},
+      {Misbehavior::kWithheldCommitment, "withheld-commitment", core::FaultKind::kMissingMessage,
+       "§6.2",
+       "one neighbor never receives the commitment broadcast"},
+      {Misbehavior::kInvalidSignature, "invalid-signature", core::FaultKind::kBadSignature,
+       "§6.3",
+       "evidence quotes a batch whose RSA/keyed-hash signature fails"},
+      {Misbehavior::kFabricatedEvidence, "fabricated-evidence", core::FaultKind::kMalformedMessage,
+       "§6.3",
+       "evidence-of-export claims a time before the quoted announce existed"},
+      {Misbehavior::kUnpropagatedWithdrawal, "unpropagated-withdrawal",
+       core::FaultKind::kBrokenPromise, "§6.6",
+       "an upstream withdrawal is hidden; RE-ANNOUNCE coverage exposes it"},
+  };
+  return kCatalog;
+}
+
+const CatalogEntry* find_entry(std::string_view name) {
+  for (const CatalogEntry& entry : catalog()) {
+    if (name == entry.name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace spider::chaos

@@ -1,0 +1,79 @@
+#include "chaos/fault_plane.hpp"
+
+#include <string>
+
+#include "crypto/random.hpp"
+
+namespace spider::chaos {
+
+namespace {
+
+constexpr std::uint64_t kPpmScale = 1'000'000;
+
+std::uint64_t draw_ppm(crypto::Rc4Csprng& rng) { return rng.next_u64() % kPpmScale; }
+
+}  // namespace
+
+NetworkFaultPlane::NetworkFaultPlane(FaultProfile profile, std::uint64_t seed)
+    : profile_(profile), seed_(seed) {}
+
+crypto::Rc4Csprng& NetworkFaultPlane::link_stream(netsim::NodeId from, netsim::NodeId to) {
+  auto key = from < to ? std::pair{from, to} : std::pair{to, from};
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    // One independent CSPRNG per link, derived from the master seed and the
+    // (direction-agnostic) endpoints: fault decisions on one link never
+    // depend on how traffic interleaves with other links.
+    crypto::Seed link_seed =
+        crypto::seed_from_string("spider-chaos-" + std::to_string(seed_) + "-" +
+                                 std::to_string(key.first) + "-" + std::to_string(key.second));
+    it = streams_.emplace(key, crypto::Rc4Csprng(link_seed.span())).first;
+  }
+  return it->second;
+}
+
+netsim::FaultInjector::Plan NetworkFaultPlane::plan_message(netsim::NodeId from, netsim::NodeId to,
+                                                            util::ByteSpan payload) {
+  Plan plan;
+  if (!scope_.empty() && (scope_.count(from) == 0 || scope_.count(to) == 0)) return plan;
+
+  crypto::Rc4Csprng& rng = link_stream(from, to);
+  // Always burn the same number of draws per message, whatever the
+  // outcome, so one decision never shifts the stream for later ones.
+  const std::uint64_t drop_draw = draw_ppm(rng);
+  const std::uint64_t dup_draw = draw_ppm(rng);
+  const std::uint64_t corrupt_draw = draw_ppm(rng);
+  const std::uint64_t corrupt_site = rng.next_u64();
+  const std::uint64_t jitter_draw = rng.next_u64();
+
+  if (drop_draw < profile_.drop_ppm) {
+    plan.drop = true;
+    return plan;
+  }
+  plan.duplicate = dup_draw < profile_.duplicate_ppm;
+  if (corrupt_draw < profile_.corrupt_ppm && !payload.empty()) {
+    const std::size_t offset = static_cast<std::size_t>(corrupt_site % payload.size());
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << ((corrupt_site >> 32) % 8));
+    plan.corrupt.push_back({offset, mask});
+  }
+  if (profile_.max_jitter > 0) {
+    plan.jitter = static_cast<netsim::Time>(
+        jitter_draw % static_cast<std::uint64_t>(profile_.max_jitter + 1));
+  }
+  return plan;
+}
+
+void NetworkFaultPlane::schedule_partition(netsim::Simulator& sim,
+                                           const LinkPartition& partition) {
+  sim.schedule_at(partition.down_at,
+                  [&sim, a = partition.a, b = partition.b] { sim.set_link_up(a, b, false); });
+  sim.schedule_at(partition.up_at,
+                  [&sim, a = partition.a, b = partition.b] { sim.set_link_up(a, b, true); });
+}
+
+void NetworkFaultPlane::schedule_skew(netsim::Simulator& sim, const SkewStep& step) {
+  sim.schedule_at(step.at,
+                  [&sim, node = step.node, skew = step.skew] { sim.set_clock_skew(node, skew); });
+}
+
+}  // namespace spider::chaos

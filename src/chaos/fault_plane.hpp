@@ -1,0 +1,84 @@
+// spider_chaos, plane 1: deterministic benign network faults.
+//
+// A NetworkFaultPlane is the repo's netsim::FaultInjector implementation:
+// per-link RC4-CSPRNG streams decide, message by message, whether to drop,
+// duplicate, delay (bounded reordering jitter) or corrupt the payload.
+// Scheduled link partitions and per-node clock-skew steps complete the
+// §7.4 benign-fault repertoire ("Assumption 7" transient disruptions plus
+// the loosely synchronized clocks of §6.4).
+//
+// Determinism is the whole point: every decision is a function of (master
+// seed, link endpoints, per-link message index).  Because the simulator's
+// event loop is itself deterministic (stable same-timestamp tie-break), a
+// seeded chaos run is byte-reproducible — the detection matrix asserts
+// this by rendering the same report twice.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "crypto/rc4.hpp"
+#include "netsim/sim.hpp"
+
+namespace spider::chaos {
+
+/// Message-level fault rates.  Probabilities are in parts per million so
+/// profiles stay integer-only (no float drift across platforms).
+struct FaultProfile {
+  std::uint32_t drop_ppm = 0;
+  std::uint32_t duplicate_ppm = 0;
+  std::uint32_t corrupt_ppm = 0;
+  /// Reordering jitter: extra delivery delay drawn uniformly from
+  /// [0, max_jitter].  Keep below the recorder batch window to bound how
+  /// far messages can reorder relative to their neighbors.
+  netsim::Time max_jitter = 0;
+};
+
+/// A scheduled transient partition of one link (heals at `up_at`).
+struct LinkPartition {
+  netsim::NodeId a = 0;
+  netsim::NodeId b = 0;
+  netsim::Time down_at = 0;
+  netsim::Time up_at = 0;
+};
+
+/// A scheduled clock-skew change for one node.
+struct SkewStep {
+  netsim::NodeId node = 0;
+  netsim::Time at = 0;
+  netsim::Time skew = 0;
+};
+
+class NetworkFaultPlane final : public netsim::FaultInjector {
+ public:
+  NetworkFaultPlane(FaultProfile profile, std::uint64_t seed);
+
+  /// Restricts message-level faults to links whose *both* endpoints are in
+  /// `nodes` (e.g. the SPIDeR recorder overlay, whose protocol retransmits;
+  /// BGP sessions model TCP and stay reliable).  Empty set = every link.
+  void restrict_to(std::set<netsim::NodeId> nodes) { scope_ = std::move(nodes); }
+
+  /// Installs this plane as the simulator's fault injector.
+  void arm(netsim::Simulator& sim) { sim.set_fault_injector(this); }
+  /// Removes the injector (queued partition/skew events are unaffected).
+  static void disarm(netsim::Simulator& sim) { sim.set_fault_injector(nullptr); }
+
+  /// Queues the link-down/link-up pair for a partition.
+  static void schedule_partition(netsim::Simulator& sim, const LinkPartition& partition);
+  /// Queues one clock-skew change.
+  static void schedule_skew(netsim::Simulator& sim, const SkewStep& step);
+
+  Plan plan_message(netsim::NodeId from, netsim::NodeId to, util::ByteSpan payload) override;
+
+ private:
+  crypto::Rc4Csprng& link_stream(netsim::NodeId from, netsim::NodeId to);
+
+  FaultProfile profile_;
+  std::uint64_t seed_;
+  std::set<netsim::NodeId> scope_;
+  std::map<std::pair<netsim::NodeId, netsim::NodeId>, crypto::Rc4Csprng> streams_;
+};
+
+}  // namespace spider::chaos

@@ -1,0 +1,99 @@
+// The spider_chaos detection matrix.
+//
+// Every cell of the matrix runs one (misbehavior × benign-fault-profile ×
+// seed) combination on the Figure-5 deployment and records which
+// core::Detection values the SPIDeR checkers emit.  The harness asserts
+// two properties at once:
+//
+//   * completeness — every Byzantine catalog entry is detected, and with
+//     the fault class the catalog declares for it;
+//   * soundness   — a benign-only cell (packet loss, duplication, jitter
+//     reordering, transient partitions, bounded clock skew, but an honest
+//     elector) produces ZERO detections.  Benign network faults must never
+//     be mistaken for protocol misbehavior.
+//
+// Cells are deterministic: identical options render a byte-identical
+// report (the `--check-deterministic` mode of tools/spider_chaos runs the
+// matrix twice and compares).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/catalog.hpp"
+#include "chaos/fault_plane.hpp"
+#include "core/vpref.hpp"
+
+namespace spider::chaos {
+
+/// A named benign-fault recipe: message-level rates plus optional
+/// scheduled partition / clock-skew events.  All bounds are chosen to
+/// stay inside the protocol's tolerance envelope (see DESIGN.md): jitter
+/// below the batch window, pairwise skew below max_clock_skew, partitions
+/// short enough for the retransmit budget to heal before commitment.
+struct BenignProfile {
+  const char* name;
+  FaultProfile network;
+  bool partition = false;  ///< one 4 s recorder-link partition mid-replay
+  bool skew = false;       ///< alternating ±2 s recorder clock skews
+};
+
+/// The benign-profile sweep, in report order ("clean" first).
+const std::vector<BenignProfile>& benign_profiles();
+
+/// Lookup by name; nullptr when unknown.
+const BenignProfile* find_profile(std::string_view name);
+
+struct MatrixOptions {
+  /// Seeds for the Byzantine rows (each entry × each byzantine profile).
+  std::vector<std::uint64_t> byzantine_seeds = {11};
+  /// Seeds for the benign-only sweep (acceptance: >= 5).
+  std::vector<std::uint64_t> benign_seeds = {1, 2, 3, 4, 5};
+  /// Which profiles the Byzantine rows run under.
+  std::vector<std::string> byzantine_profiles = {"clean", "light"};
+  /// Trace size per cell (smaller than the integration tests: a matrix is
+  /// many deployments).
+  std::size_t num_prefixes = 100;
+  std::size_t num_updates = 60;
+};
+
+/// One matrix cell's outcome.
+struct CellResult {
+  std::string misbehavior;  ///< catalog name, or "none" for benign cells
+  std::string profile;
+  std::uint64_t seed = 0;
+  /// Expected fault class (kNone for benign cells).
+  core::FaultKind expected = core::FaultKind::kNone;
+  /// Everything the checkers emitted for this cell.
+  std::vector<core::Detection> detections;
+  /// Network-fault bookkeeping from the simulator.
+  netsim::FaultCounts faults;
+  /// Messages dropped by scheduled link partitions.
+  std::uint64_t partition_drops = 0;
+  bool pass = false;
+  /// Diagnostic note (e.g. why a cell failed to even stage its fault).
+  std::string note;
+};
+
+struct MatrixReport {
+  std::vector<CellResult> cells;
+
+  bool all_pass() const;
+  /// Benign cells that emitted any detection (must be 0).
+  std::size_t false_positives() const;
+  /// Byzantine cells that missed their expected fault class.
+  std::size_t missed_detections() const;
+  /// Deterministic plain-text rendering (no wall-clock values).
+  std::string render() const;
+};
+
+/// Runs one cell.  `entry == nullptr` means a benign-only cell.
+CellResult run_cell(const CatalogEntry* entry, const BenignProfile& profile, std::uint64_t seed,
+                    const MatrixOptions& options);
+
+/// Runs the full matrix: every catalog entry × byzantine profile × seed,
+/// plus "none" × every benign profile × benign seed.
+MatrixReport run_matrix(const MatrixOptions& options);
+
+}  // namespace spider::chaos

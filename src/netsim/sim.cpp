@@ -39,9 +39,41 @@ void Simulator::send(NodeId from, NodeId to, util::ByteSpan payload) {
   SPIDER_OBS_COUNT("netsim/bytes_sent", payload.size());
   SPIDER_OBS_HIST("netsim/message_bytes", payload.size(), obs::size_buckets_bytes());
 
+  FaultInjector::Plan plan;
+  if (fault_injector_ != nullptr) plan = fault_injector_->plan_message(from, to, payload);
+  if (plan.drop) {
+    fault_counts_.dropped += 1;
+    SPIDER_OBS_COUNT("netsim/fault_drops", 1);
+    return;
+  }
+
   util::Bytes copy(payload.begin(), payload.end());
+  if (!plan.corrupt.empty()) {
+    bool touched = false;
+    for (const auto& [offset, mask] : plan.corrupt) {
+      if (offset >= copy.size() || mask == 0) continue;
+      copy[offset] ^= mask;
+      touched = true;
+    }
+    if (touched) {
+      fault_counts_.corrupted += 1;
+      SPIDER_OBS_COUNT("netsim/fault_corruptions", 1);
+    }
+  }
+  Time jitter = plan.jitter > 0 ? plan.jitter : 0;
+  if (jitter > 0) {
+    fault_counts_.delayed += 1;
+    SPIDER_OBS_COUNT("netsim/fault_delays", 1);
+  }
+
   Node* dest = nodes_.at(to);
-  schedule_at(now_ + link.latency, [dest, from, data = std::move(copy)] {
+  const Time deliver_at = now_ + link.latency + jitter;
+  if (plan.duplicate) {
+    fault_counts_.duplicated += 1;
+    SPIDER_OBS_COUNT("netsim/fault_duplicates", 1);
+    schedule_at(deliver_at + 1, [dest, from, data = copy] { dest->handle_message(from, data); });
+  }
+  schedule_at(deliver_at, [dest, from, data = std::move(copy)] {
     dest->handle_message(from, data);
   });
 }

@@ -44,6 +44,42 @@ class Node {
   std::string name_;
 };
 
+/// Per-message fault decision hook (the chaos-engineering seam).  When an
+/// injector is installed, Simulator::send() consults it for every message
+/// that passes the link-up check; the returned plan is applied to the
+/// delivered copy.  Implementations must be deterministic functions of
+/// their own seeded state — the simulator calls them in a deterministic
+/// order, so a seeded injector yields bit-reproducible runs (the
+/// spider_chaos library provides the RC4-CSPRNG-driven implementation).
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  struct Plan {
+    /// Silently drop the message (models loss beyond link-down periods).
+    bool drop = false;
+    /// Deliver a second copy one microsecond after the first.
+    bool duplicate = false;
+    /// Extra delay added to the link latency (reordering jitter); negative
+    /// values are treated as zero.
+    Time jitter = 0;
+    /// XOR masks applied to payload bytes of the delivered copy, as
+    /// (offset, mask) pairs; offsets beyond the payload are ignored.
+    std::vector<std::pair<std::size_t, std::uint8_t>> corrupt;
+  };
+
+  virtual Plan plan_message(NodeId from, NodeId to, util::ByteSpan payload) = 0;
+};
+
+/// Tallies of faults the injector actually inflicted (a drop decided by the
+/// injector is counted here, not in dropped_messages()).
+struct FaultCounts {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t corrupted = 0;
+};
+
 /// Byte/message counters for one direction of a link.
 struct DirectionStats {
   std::uint64_t messages = 0;
@@ -108,6 +144,11 @@ class Simulator {
   void set_clock_skew(NodeId node, Time skew);
   Time local_time(NodeId node) const;
 
+  /// Installs (or, with nullptr, removes) the fault injector consulted on
+  /// every send.  Not owned; must outlive the simulator while installed.
+  void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
+  const FaultCounts& fault_counts() const { return fault_counts_; }
+
   const LinkStats& link_stats(NodeId a, NodeId b) const;
   /// Sum of traffic over every link adjacent to `node`.
   std::uint64_t node_bytes_sent(NodeId node) const;
@@ -116,9 +157,17 @@ class Simulator {
   Node& node(NodeId id) { return *nodes_.at(id); }
 
  private:
+  /// Queue entry.  Same-timestamp ordering is a documented invariant, not
+  /// an accident: every event carries a monotonically increasing sequence
+  /// number assigned at schedule time, and ties on `time` are broken by
+  /// that sequence number.  Events scheduled for the same instant therefore
+  /// dispatch in exactly the order they were scheduled (FIFO), on every
+  /// platform, independent of std::priority_queue's internal layout —
+  /// which is what makes seeded chaos runs byte-reproducible
+  /// (tests: Sim.FifoOrderForEqualTimestamps, Sim.SeededReplay*).
   struct Event {
     Time time;
-    std::uint64_t seq;  // tie-break preserves FIFO order per timestamp
+    std::uint64_t seq;  // schedule order; the deterministic tie-break
     std::function<void()> fn;
     bool operator>(const Event& other) const {
       return time != other.time ? time > other.time : seq > other.seq;
@@ -143,6 +192,8 @@ class Simulator {
   std::map<NodeId, Time> skews_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::map<NodeId, std::uint64_t> bytes_sent_;
+  FaultInjector* fault_injector_ = nullptr;
+  FaultCounts fault_counts_;
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::atomic<bool> stop_requested_{false};

@@ -117,6 +117,9 @@ ProofGenerator::Reconstruction ProofGenerator::reconstruct(Time commit_time,
           SpiderAnnounce announce = SpiderAnnounce::decode(part.body);
           if (announce.re_announce) break;  // never replayed in place of originals
           if (entry->direction == LogDirection::kReceived) {
+            // Mirror the live recorder's acceptance rule exactly — a part
+            // the recorder rejected for timing must not resurface here.
+            if (!announce_timely(announce.timestamp, entry->timestamp, recorder_.config())) break;
             note_window(announce.from_as, announce.route.prefix, entry->timestamp);
             recon.state.apply_announce_in(announce, crypto::digest20(part.body));
           } else {
@@ -167,6 +170,7 @@ ProducerProofs ProofGenerator::proofs_for_producer(const Reconstruction& recon,
                                                    std::optional<bgp::Prefix> within) const {
   ProducerProofs proofs;
   proofs.commit_time = recon.commit_time;
+  if (faults_.withhold_producer_proofs) return proofs;
   const crypto::CommitmentPrf prf(recon.seed);
   const auto& classifier = recorder_.classifier();
 
@@ -200,6 +204,9 @@ ProducerProofs ProofGenerator::proofs_for_producer(const Reconstruction& recon,
     item.prefix = prefix;
     item.used_route = used;
     item.cls = classifier.classify(used);
+    if (faults_.misclassify_producer) {
+      item.cls = (item.cls + 1) % recorder_.config().num_classes;
+    }
     item.proof = recon.tree.prove(prf, prefix, {item.cls});
     if (faults_.tamper_classes.count(item.cls) != 0) {
       item.proof.revealed[0].bit = !item.proof.revealed[0].bit;

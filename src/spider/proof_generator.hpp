@@ -76,6 +76,13 @@ class ProofGenerator {
     /// Flip the revealed bit in proofs for these classes ("tampered bit
     /// proof", §7.4): the proof then fails to open the commitment.
     std::set<core::ClassId> tamper_classes;
+    /// "Wrong-class bit": producer proofs cite the class after the true
+    /// one, so the cited class disagrees with the cited route.
+    bool misclassify_producer = false;
+    /// "Withheld proof": the generator refuses to produce producer items
+    /// at all (the checker treats a proof absent past the verification
+    /// deadline as withheld).
+    bool withhold_producer_proofs = false;
   };
 
   explicit ProofGenerator(const Recorder& recorder) : recorder_(recorder) {}

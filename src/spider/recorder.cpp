@@ -17,6 +17,13 @@ Recorder::Recorder(netsim::Simulator& sim, RecorderConfig config, const crypto::
       speaker_(speaker),
       classifier_(config_.num_classes) {}
 
+bool announce_timely(Time announce_timestamp, Time local_arrival, const RecorderConfig& config) {
+  const Time age = local_arrival - announce_timestamp;
+  const Time late_budget =
+      config.max_clock_skew + config.ack_deadline * (config.max_retransmits + 1);
+  return age >= -config.max_clock_skew && age <= late_budget;
+}
+
 void Recorder::add_neighbor(bgp::AsNumber neighbor_as, netsim::NodeId node) {
   neighbors_[neighbor_as] = node;
   node_to_as_[node] = neighbor_as;
@@ -268,6 +275,17 @@ void Recorder::handle_message(netsim::NodeId from, util::ByteSpan payload) {
 }
 
 void Recorder::process_batch(bgp::AsNumber from, const core::SignedEnvelope& envelope) {
+  const Digest20 batch_digest = envelope.digest();
+  auto seen_it = seen_batches_.find(batch_digest);
+  if (seen_it != seen_batches_.end()) {
+    // Retransmission (our ACK was lost) or network duplicate: never
+    // re-apply — that would regress the mirror — but repeat the ACK when
+    // the original processing sent one.
+    SPIDER_OBS_COUNT("spider/duplicate_batches", 1);
+    if (seen_it->second) send_ack(from, envelope);
+    return;
+  }
+
   SpiderBatch batch;
   try {
     batch = SpiderBatch::decode(envelope.payload);
@@ -295,7 +313,7 @@ void Recorder::process_batch(bgp::AsNumber from, const core::SignedEnvelope& env
             alarm("announce with wrong endpoints from AS" + std::to_string(from));
             break;
           }
-          if (std::llabs(announce.timestamp - local_now()) > config_.max_clock_skew) {
+          if (!announce_timely(announce.timestamp, local_now(), config_)) {
             alarm("announce timestamp outside skew bound from AS" + std::to_string(from));
             break;
           }
@@ -338,10 +356,18 @@ void Recorder::process_batch(bgp::AsNumber from, const core::SignedEnvelope& env
                                           pending.to == from;
                                  });
           if (it == awaiting_ack_.end()) {
+            if (satisfied_acks_.count(ack.message_digest)) {
+              // Duplicate of an ACK we already matched (retransmission
+              // crossed with the original ACK, or the network duplicated
+              // the batch and the receiver's dedup re-ACKed).
+              SPIDER_OBS_COUNT("spider/duplicate_acks", 1);
+              break;
+            }
             alarm("unexpected ACK from AS" + std::to_string(from));
             break;
           }
           log_once();
+          satisfied_acks_.insert(it->digest);
           awaiting_ack_.erase(it);
           break;
         }
@@ -355,6 +381,7 @@ void Recorder::process_batch(bgp::AsNumber from, const core::SignedEnvelope& env
     }
   }
 
+  seen_batches_.emplace(batch_digest, needs_ack);
   if (needs_ack) send_ack(from, envelope);
 }
 
@@ -410,7 +437,12 @@ const CommitmentRecord& Recorder::make_commitment() {
   commit.num_classes = config_.num_classes;
   commit.root = record.root;
   for (const auto& [neighbor, node] : neighbors_) {
-    queue_part(neighbor, SpiderMsgType::kCommit, commit.encode());
+    if (faults_.withhold_commit_from.count(neighbor) != 0) continue;
+    SpiderCommit to_send = commit;
+    // Equivocation fault: this neighbor gets a different root for the same
+    // round (flipping one bit is enough for the cross-check to catch).
+    if (faults_.equivocate_to.count(neighbor) != 0) to_send.root[0] ^= 1;
+    queue_part(neighbor, SpiderMsgType::kCommit, to_send.encode());
   }
   flush_batches();
   return *log_.commitment_at(record.timestamp);

@@ -63,6 +63,18 @@ struct RecorderConfig {
   std::string seed_salt = "spider-seed";
 };
 
+/// §6.4 acceptance window for a received announce's sender timestamp.
+/// Asymmetric on purpose: a future-dated timestamp is bounded by the
+/// clock-skew assumption alone (a lying clock could otherwise pre-date its
+/// way past the mirror's last-writer-wins input ordering), while a
+/// past-dated one is tolerated up to skew plus the full retransmit budget
+/// — a batch that needed every retransmission arrives late by design, and
+/// stale timestamps are harmless anyway (the high-water guard ignores
+/// them).  The live recorder and checkpoint+replay reconstruction apply
+/// this same predicate (with the logged arrival time standing in for
+/// local_now), so the two paths cannot diverge on acceptance.
+bool announce_timely(Time announce_timestamp, Time local_arrival, const RecorderConfig& config);
+
 class Recorder : public netsim::Node {
  public:
   /// Elector-side misbehaviors, mirroring §7.4's fault injection.  A
@@ -72,6 +84,13 @@ class Recorder : public netsim::Node {
     /// "Overaggressive filter": build commitments as if these neighbors
     /// had sent nothing.
     std::set<bgp::AsNumber> ignore_inputs;
+    /// Equivocation (§4.5): the commitment broadcast to these neighbors
+    /// carries a root with one bit flipped, so the same round has two
+    /// different roots in circulation (caught by the cross-check).
+    std::set<bgp::AsNumber> equivocate_to;
+    /// Withhold the commitment broadcast from these neighbors entirely
+    /// (caught as a missing message during verification).
+    std::set<bgp::AsNumber> withhold_commit_from;
   };
 
   Recorder(netsim::Simulator& sim, RecorderConfig config, const crypto::Signer& signer,
@@ -194,6 +213,12 @@ class Recorder : public netsim::Node {
     int attempts = 0;  // transmissions so far
   };
   std::vector<PendingAck> awaiting_ack_;
+  /// Digests of sent batches whose ACK already arrived.  A second ACK for
+  /// one of these is benign: when the network delays our batch past the
+  /// ACK deadline we retransmit, the neighbor's dedup re-ACKs, and both
+  /// ACKs eventually land (likewise when the network duplicates a batch).
+  /// Only an ACK matching neither set is an actual protocol violation.
+  std::set<Digest20> satisfied_acks_;
   void schedule_ack_check(const Digest20& digest);
   std::uint64_t retransmissions_ = 0;
 
@@ -201,6 +226,13 @@ class Recorder : public netsim::Node {
   std::uint64_t retransmissions() const { return retransmissions_; }
 
  private:
+
+  /// Digest of every batch already processed, mapped to whether it was
+  /// ACKed.  A retransmission (our ACK was lost) or a network duplicate
+  /// must not be re-applied — replaying old announces would regress the
+  /// mirror — but a previously ACKed batch is re-ACKed so the sender's
+  /// retransmit loop terminates.
+  std::map<Digest20, bool> seen_batches_;
 
   std::map<bgp::AsNumber, std::map<Time, SpiderCommit>> received_commitments_;
   std::vector<std::string> alarms_;

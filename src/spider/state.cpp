@@ -5,6 +5,9 @@
 namespace spider::proto {
 
 void MirrorState::apply_announce_in(const SpiderAnnounce& announce, const Digest20& part_digest) {
+  Time& high_water = in_high_water_[announce.from_as][announce.route.prefix];
+  if (announce.timestamp < high_water) return;  // stale retransmission
+  high_water = announce.timestamp;
   bgp::Route route = announce.route;
   // Mirror the import-side provenance so decision-process tie-breaks (MED
   // comparability, neighbor-AS) match the local speaker's view.
@@ -14,6 +17,9 @@ void MirrorState::apply_announce_in(const SpiderAnnounce& announce, const Digest
 }
 
 void MirrorState::apply_withdraw_in(const SpiderWithdraw& withdraw) {
+  Time& high_water = in_high_water_[withdraw.from_as][withdraw.prefix];
+  if (withdraw.timestamp < high_water) return;  // stale retransmission
+  high_water = withdraw.timestamp;
   auto it = inputs_.find(withdraw.from_as);
   if (it == inputs_.end()) return;
   it->second.erase(withdraw.prefix);
@@ -67,6 +73,15 @@ Bytes MirrorState::serialize() const {
       w.i64(record.received_at);
     }
   }
+  w.u32(static_cast<std::uint32_t>(in_high_water_.size()));
+  for (const auto& [neighbor, marks] : in_high_water_) {
+    w.u32(neighbor);
+    w.u32(static_cast<std::uint32_t>(marks.size()));
+    for (const auto& [prefix, timestamp] : marks) {
+      prefix.encode(w);
+      w.i64(timestamp);
+    }
+  }
   w.u32(static_cast<std::uint32_t>(exports_.size()));
   for (const auto& [neighbor, routes] : exports_) {
     w.u32(neighbor);
@@ -94,6 +109,17 @@ MirrorState MirrorState::deserialize(ByteSpan data) {
       record.part_digest = r.digest();
       record.received_at = r.i64();
       state.inputs_[neighbor][record.route.prefix] = std::move(record);
+    }
+  }
+  std::uint32_t n_hw_groups = r.check_count(r.u32(), 8, "MirrorState high-water groups");
+  for (std::uint32_t i = 0; i < n_hw_groups; ++i) {
+    bgp::AsNumber neighbor = r.u32();
+    // prefix (5) + timestamp (8) per entry.
+    std::uint32_t n_entries = r.check_count(r.u32(), 13, "MirrorState high-water entries");
+    state.in_high_water_[neighbor];
+    for (std::uint32_t j = 0; j < n_entries; ++j) {
+      bgp::Prefix prefix = bgp::Prefix::decode(r);
+      state.in_high_water_[neighbor][prefix] = r.i64();
     }
   }
   std::uint32_t n_out = r.check_count(r.u32(), 8, "MirrorState exports");

@@ -42,6 +42,14 @@ struct ExportRecord {
 /// neighbor and exports per consumer neighbor.
 class MirrorState {
  public:
+  /// In-direction messages carry the sender's timestamp ("effective when
+  /// sent", §6.3) and may arrive out of order when a lost batch is
+  /// retransmitted after newer state already got through.  Applying a stale
+  /// message would regress the mirror and later read as an accusable
+  /// divergence, so both apply_*_in paths ignore any message older than the
+  /// newest one already applied for that (producer, prefix).  The guard is
+  /// part of the mirror itself so live processing and checkpoint+replay
+  /// reconstruction (§6.5) make identical decisions.
   void apply_announce_in(const SpiderAnnounce& announce, const Digest20& part_digest);
   void apply_withdraw_in(const SpiderWithdraw& withdraw);
   void apply_announce_out(const SpiderAnnounce& announce);
@@ -69,6 +77,10 @@ class MirrorState {
  private:
   std::map<bgp::AsNumber, std::map<bgp::Prefix, InputRecord>> inputs_;
   std::map<bgp::AsNumber, std::map<bgp::Prefix, ExportRecord>> exports_;
+  /// Newest in-message timestamp applied per (producer, prefix) — survives
+  /// withdrawals, so a retransmitted stale announce cannot resurrect a
+  /// withdrawn route.  Serialized with checkpoints to keep replay exact.
+  std::map<bgp::AsNumber, std::map<bgp::Prefix, Time>> in_high_water_;
 };
 
 /// The elector's (claimed) choice for a prefix: the best input under the

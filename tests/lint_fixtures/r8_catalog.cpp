@@ -1,0 +1,10 @@
+// R8 fixture: entry 1 declares its FaultKind (clean), entry 2 omits the
+// FaultKind entirely, entry 3 declares kNone, entry 4 is waived.
+static const std::vector<CatalogEntry> kCatalog = {
+    {Misbehavior::kGood, "good-entry", core::FaultKind::kBadSignature, "§1", "declares its class"},
+    {Misbehavior::kBad, "no-class",
+     "§2", "never says what the checker should emit"},
+    {Misbehavior::kWorse, "none-class", core::FaultKind::kNone, "§3", "undetectable by fiat"},
+    // spider-lint: allow(R8)
+    {Misbehavior::kWaived, "waived", "§4", "suppressed during a migration"},
+};

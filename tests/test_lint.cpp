@@ -149,6 +149,17 @@ TEST(LintRules, R7BannedFunctionsAndDigestCompares) {
   EXPECT_EQ(rule_lines(fs), (RL{{"R7", 5}, {"R7", 6}, {"R7", 7}}));
 }
 
+TEST(LintRules, R8CatalogEntryWithoutFaultKind) {
+  auto fs = lint::lint_source("src/chaos/catalog_fixture.cpp", read_fixture("r8_catalog.cpp"));
+  EXPECT_EQ(rule_lines(fs), (RL{{"R8", 5}, {"R8", 7}}))
+      << "entry 1 declares a class and the waived entry carries allow(R8)";
+}
+
+TEST(LintRules, R8DoesNotApplyOutsideTheCatalog) {
+  auto fs = lint::lint_source("src/chaos/matrix.cpp", read_fixture("r8_catalog.cpp"));
+  EXPECT_TRUE(fs.empty());
+}
+
 TEST(LintRules, SuppressionsSilenceEveryFinding) {
   auto fs = lint::lint_source("src/core/fixture.cpp", read_fixture("suppressed.cpp"));
   EXPECT_TRUE(fs.empty()) << (fs.empty() ? "" : fs.front().rule + " still fired");

@@ -5,6 +5,8 @@
 #include "spider/evidence.hpp"
 #include "spider/log.hpp"
 #include "spider/messages.hpp"
+#include "spider/recorder.hpp"
+#include "spider/state.hpp"
 
 namespace sp = spider::proto;
 namespace sc = spider::core;
@@ -334,4 +336,178 @@ TEST(Evidence, TamperedQuoteInvalid) {
   evidence.announce.quote.batch.signature.back() ^= 1;
   EXPECT_EQ(sp::check_evidence_of_import(evidence, 1500, std::nullopt, world.net.keys),
             sp::EvidenceVerdict::kInvalid);
+}
+
+// Verdict paths under message loss, refutation timeouts, and skewed
+// clocks: what each party can (and cannot) prove when the network
+// misbehaved around the evidence exchange.
+
+namespace {
+
+/// Builders for off-nominal refutation material.
+struct LossyEvidenceWorld : EvidenceWorld {
+  sc::SignedEnvelope make_withdraw_batch(sp::Time t, bool signed_by_alice = true) {
+    sp::SpiderWithdraw withdraw{t, 1, 2, sb::Prefix::parse("10.0.0.0/8")};
+    sp::SpiderBatch wrapper;
+    wrapper.parts.push_back({sp::SpiderMsgType::kWithdraw, withdraw.encode()});
+    return signed_by_alice ? sp::sign_batch(1, net.alice, wrapper)
+                           : sp::sign_batch(2, net.bob, wrapper);
+  }
+  sc::SignedEnvelope make_ack_for(const sc::SignedEnvelope& target, bool signed_by_bob = true) {
+    sp::SpiderAck ack{3000, signed_by_bob ? 2u : 1u, signed_by_bob ? 1u : 2u, target.digest()};
+    sp::SpiderBatch wrapper;
+    wrapper.parts.push_back({sp::SpiderMsgType::kAck, ack.encode()});
+    return signed_by_bob ? sp::sign_batch(2, net.bob, wrapper) : sp::sign_batch(1, net.alice, wrapper);
+  }
+  sp::EvidenceRefutation refutation_at(sp::Time t, bool with_ack, bool withdraw_by_alice = true,
+                                       bool ack_by_bob = true) {
+    auto batch = make_withdraw_batch(t, withdraw_by_alice);
+    sp::EvidenceRefutation r{{sp::MessageQuote{batch, 0}}, std::nullopt};
+    if (with_ack) r.ack = make_ack_for(batch, ack_by_bob);
+    return r;
+  }
+};
+
+}  // namespace
+
+TEST(Evidence, ImportUnprovableWhenAckWasDropped) {
+  // Bob's ACK never arrived: Alice cannot substitute anything else.  An
+  // unrelated envelope, her own announce, or an empty envelope all fail.
+  LossyEvidenceWorld world;
+  sp::ImportEvidence evidence = world.import_evidence();
+  evidence.ack = world.announce_batch;  // not an ACK at all
+  EXPECT_EQ(sp::check_evidence_of_import(evidence, 1500, std::nullopt, world.net.keys),
+            sp::EvidenceVerdict::kInvalid);
+  evidence.ack = sc::SignedEnvelope{};  // lost entirely
+  EXPECT_EQ(sp::check_evidence_of_import(evidence, 1500, std::nullopt, world.net.keys),
+            sp::EvidenceVerdict::kInvalid);
+}
+
+TEST(Evidence, ImportAckFromWrongPartyInvalid) {
+  // An "ACK" Alice signed herself (Bob's real one was dropped) proves
+  // nothing: the checker requires the elector's signature.
+  LossyEvidenceWorld world;
+  sp::ImportEvidence evidence = world.import_evidence();
+  evidence.ack = world.make_ack_for(world.announce_batch, /*signed_by_bob=*/false);
+  EXPECT_EQ(sp::check_evidence_of_import(evidence, 1500, std::nullopt, world.net.keys),
+            sp::EvidenceVerdict::kInvalid);
+}
+
+TEST(Evidence, RefutationTimeoutBoundaries) {
+  // The refutation window is strictly (t', T): a withdraw stamped exactly
+  // at the announce time or exactly at verification time is too late or
+  // too early — the evidence stands either way.
+  LossyEvidenceWorld world;
+  const sp::Time at = 3000;
+  EXPECT_EQ(sp::check_evidence_of_import(world.import_evidence(), at,
+                                         world.refutation_at(1000, false), world.net.keys),
+            sp::EvidenceVerdict::kUpheld);  // t'' == t'
+  EXPECT_EQ(sp::check_evidence_of_import(world.import_evidence(), at,
+                                         world.refutation_at(at, false), world.net.keys),
+            sp::EvidenceVerdict::kUpheld);  // t'' == T
+  EXPECT_EQ(sp::check_evidence_of_import(world.import_evidence(), at,
+                                         world.refutation_at(at - 1, false), world.net.keys),
+            sp::EvidenceVerdict::kRefuted);  // just inside the window
+}
+
+TEST(Evidence, SkewedWithdrawTimestampCannotRefuteEarly) {
+  // A fast clock cannot manufacture a refutation: a withdraw whose skewed
+  // timestamp lands before the announce is outside (t', T).
+  LossyEvidenceWorld world;
+  EXPECT_EQ(sp::check_evidence_of_import(world.import_evidence(), 3000,
+                                         world.refutation_at(500, false), world.net.keys),
+            sp::EvidenceVerdict::kUpheld);
+}
+
+TEST(Evidence, RefutationSignedByWrongPartyIgnored) {
+  // Bob forging Alice's withdraw (he cannot sign as her) does not refute.
+  LossyEvidenceWorld world;
+  EXPECT_EQ(sp::check_evidence_of_import(world.import_evidence(), 3000,
+                                         world.refutation_at(2000, false, /*withdraw_by_alice=*/false),
+                                         world.net.keys),
+            sp::EvidenceVerdict::kUpheld);
+}
+
+TEST(Evidence, ExportRefutationNeedsCounterpartyAck) {
+  // Export refutation with the withdraw's ACK dropped, or with an ACK
+  // Alice signed herself, fails — Bob's claim stands (§6.3: the refuter
+  // must show the counterparty acknowledged the withdraw).
+  LossyEvidenceWorld world;
+  EXPECT_EQ(sp::check_evidence_of_export(world.export_evidence(), 3000,
+                                         world.refutation_at(2000, false), world.net.keys),
+            sp::EvidenceVerdict::kUpheld);
+  EXPECT_EQ(sp::check_evidence_of_export(world.export_evidence(), 3000,
+                                         world.refutation_at(2000, true, true, /*ack_by_bob=*/false),
+                                         world.net.keys),
+            sp::EvidenceVerdict::kUpheld);
+}
+
+TEST(Evidence, ExportClaimBeforeAnnounceExistedInvalid) {
+  // The fabricated-evidence catalog entry's core: claiming a time at or
+  // before the quoted announce's own timestamp is self-refuting.
+  LossyEvidenceWorld world;
+  EXPECT_EQ(sp::check_evidence_of_export(world.export_evidence(), 1000, std::nullopt, world.net.keys),
+            sp::EvidenceVerdict::kInvalid);
+  EXPECT_EQ(sp::check_evidence_of_export(world.export_evidence(), 999, std::nullopt, world.net.keys),
+            sp::EvidenceVerdict::kInvalid);
+}
+
+// ------------------------------------------- mirror-state robustness
+
+TEST(MirrorState, StaleAnnounceCannotRegressNewerInput) {
+  // Reordered delivery (retransmission after newer traffic): the mirror
+  // orders inputs by sender timestamp, so the late-arriving older
+  // announce must be ignored.
+  sp::MirrorState state;
+  auto newer = sample_announce(2000);
+  auto older = sample_announce(1000);
+  older.route.as_path = {2, 99};
+  state.apply_announce_in(newer, scr::digest20(su::str_bytes("n")));
+  state.apply_announce_in(older, scr::digest20(su::str_bytes("o")));
+  const sp::InputRecord* input = state.input(1, newer.route.prefix);
+  ASSERT_NE(input, nullptr);
+  EXPECT_EQ(input->route.as_path, newer.route.as_path);
+}
+
+TEST(MirrorState, StaleAnnounceCannotResurrectWithdrawnRoute) {
+  // announce(t=1000) … withdraw(t=2000) … duplicate announce(t=1000): the
+  // high-water mark survives the withdrawal, so the route stays gone.
+  sp::MirrorState state;
+  auto announce = sample_announce(1000);
+  state.apply_announce_in(announce, scr::digest20(su::str_bytes("a")));
+  sp::SpiderWithdraw withdraw{2000, 1, 2, announce.route.prefix};
+  state.apply_withdraw_in(withdraw);
+  state.apply_announce_in(announce, scr::digest20(su::str_bytes("a")));
+  EXPECT_EQ(state.input(1, announce.route.prefix), nullptr);
+}
+
+TEST(MirrorState, HighWaterMarksSurviveSerialization) {
+  // The guard is part of checkpoints: replay from a checkpoint must make
+  // the same accept/ignore decisions live processing made.
+  sp::MirrorState state;
+  auto announce = sample_announce(2000);
+  state.apply_announce_in(announce, scr::digest20(su::str_bytes("a")));
+  sp::MirrorState restored = sp::MirrorState::deserialize(state.serialize());
+  EXPECT_EQ(restored, state);
+  auto stale = sample_announce(1500);
+  stale.route.as_path = {2, 99};
+  restored.apply_announce_in(stale, scr::digest20(su::str_bytes("s")));
+  const sp::InputRecord* input = restored.input(1, announce.route.prefix);
+  ASSERT_NE(input, nullptr);
+  EXPECT_EQ(input->route.as_path, announce.route.as_path);
+}
+
+// ------------------------------------------- §6.4 acceptance window
+
+TEST(RecorderTimeliness, AnnounceAcceptanceWindowIsAsymmetric) {
+  sp::RecorderConfig config;  // skew 5 s, ack deadline 2 s, 3 retransmits
+  const sp::Time second = 1'000'000;
+  const sp::Time now = 100 * second;
+  // Future side: bounded by clock skew alone.
+  EXPECT_TRUE(sp::announce_timely(now + 5 * second, now, config));
+  EXPECT_FALSE(sp::announce_timely(now + 5 * second + 1, now, config));
+  // Past side: skew plus the full retransmit budget (5 + 2 * 4 = 13 s) —
+  // a batch that needed every retransmission is late by design.
+  EXPECT_TRUE(sp::announce_timely(now - 13 * second, now, config));
+  EXPECT_FALSE(sp::announce_timely(now - 13 * second - 1, now, config));
 }

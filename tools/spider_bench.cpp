@@ -1,4 +1,4 @@
-// spider_bench — unified JSON benchmark runner for the E1–E10 experiments.
+// spider_bench — unified JSON benchmark runner for the E1–E11 experiments.
 //
 // Each paper experiment is registered as a named scenario.  Running a
 // scenario resets the metrics registry, executes the experiment at the
@@ -24,6 +24,7 @@
 
 #include "bench_util.hpp"
 #include "bgp/policy.hpp"
+#include "chaos/matrix.hpp"
 #include "core/commitment.hpp"
 #include "core/mtt.hpp"
 #include "crypto/rc4.hpp"
@@ -583,6 +584,69 @@ json::Object run_ablation(const benchutil::BenchScale& scale) {
   return out;
 }
 
+json::Object run_chaos(const benchutil::BenchScale& scale) {
+  // E11: the spider_chaos detection matrix at bench scale — every cataloged
+  // misbehavior on the clean profile plus two seeds of each benign fault
+  // profile.  The paper's claim (§5, §7.4) is qualitative: misbehavior is
+  // always detected with the right fault class, benign faults never accuse
+  // anyone; the matrix measures exactly those two numbers.
+  chaos::MatrixOptions options;
+  options.benign_seeds = {1, 2};
+  options.byzantine_profiles = {"clean"};
+  options.num_prefixes = std::min<std::size_t>(scale.prefixes, 60);
+  options.num_updates = std::min<std::size_t>(scale.updates, 40);
+  const chaos::MatrixReport report = chaos::run_matrix(options);
+
+  std::size_t byzantine_cells = 0, byzantine_detected = 0, benign_cells = 0;
+  netsim::FaultCounts faults;
+  std::uint64_t partition_drops = 0, detections = 0;
+  for (const chaos::CellResult& cell : report.cells) {
+    if (cell.expected == core::FaultKind::kNone) {
+      ++benign_cells;
+    } else {
+      ++byzantine_cells;
+      if (cell.pass) ++byzantine_detected;
+    }
+    detections += cell.detections.size();
+    faults.dropped += cell.faults.dropped;
+    faults.duplicated += cell.faults.duplicated;
+    faults.delayed += cell.faults.delayed;
+    faults.corrupted += cell.faults.corrupted;
+    partition_drops += cell.partition_drops;
+  }
+
+  json::Object out;
+  json::Object config;
+  config["catalog_entries"] = static_cast<std::uint64_t>(chaos::catalog().size());
+  config["benign_profiles"] = static_cast<std::uint64_t>(chaos::benign_profiles().size());
+  config["cells"] = static_cast<std::uint64_t>(report.cells.size());
+  config["prefixes"] = static_cast<std::uint64_t>(options.num_prefixes);
+  config["updates"] = static_cast<std::uint64_t>(options.num_updates);
+  out["config"] = std::move(config);
+
+  json::Array results;
+  results.push_back(result_row("byzantine cells detected with declared class",
+                               static_cast<double>(byzantine_detected), "cells",
+                               std::to_string(byzantine_cells) + " (all)"));
+  results.push_back(result_row("byzantine cells missing their fault class",
+                               static_cast<double>(report.missed_detections()), "cells", "0"));
+  results.push_back(result_row("benign cells with false positives",
+                               static_cast<double>(report.false_positives()), "cells", "0"));
+  results.push_back(result_row("benign cells swept", static_cast<double>(benign_cells), "cells", "-"));
+  results.push_back(result_row("detections raised", static_cast<double>(detections), "detections", "-"));
+  results.push_back(result_row("injected drops", static_cast<double>(faults.dropped), "messages", "-"));
+  results.push_back(
+      result_row("injected duplicates", static_cast<double>(faults.duplicated), "messages", "-"));
+  results.push_back(result_row("injected jitter delays", static_cast<double>(faults.delayed),
+                               "messages", "-"));
+  results.push_back(result_row("injected corruptions", static_cast<double>(faults.corrupted),
+                               "messages", "-"));
+  results.push_back(result_row("partition drops", static_cast<double>(partition_drops), "messages",
+                               "-"));
+  out["results"] = std::move(results);
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Scenario registry and runner
 
@@ -604,6 +668,7 @@ const Scenario kScenarios[] = {
     {"storage", "E9", "§7.7 'Overhead: Storage'", run_storage},
     {"crypto", "E10", "crypto/commitment microbenchmarks", run_crypto},
     {"ablation", "A1-A4", "DESIGN.md design-choice index", run_ablation},
+    {"chaos", "E11", "§5/§7.4 detection matrix under injected faults", run_chaos},
 };
 
 /// Structural check of one emitted document ("spider-bench-v1").

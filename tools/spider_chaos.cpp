@@ -1,0 +1,111 @@
+// spider_chaos — detection-matrix driver for the chaos subsystem.
+//
+//   spider_chaos                         run the full matrix, print report
+//   spider_chaos --list                  list catalog entries and profiles
+//   spider_chaos --quick                 reduced sweep (CI smoke)
+//   spider_chaos --seeds 1,2,3           benign-sweep seeds
+//   spider_chaos --byz-seeds 11,12       Byzantine-row seeds
+//   spider_chaos --prefixes N            trace size per cell
+//   spider_chaos --updates N             replay events per cell
+//   spider_chaos --out FILE              also write the report to FILE
+//   spider_chaos --check-deterministic   run twice, require byte-identical
+//                                        reports
+//
+// Exit status: 0 iff every cell passed (and, with --check-deterministic,
+// the two reports matched).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "chaos/matrix.hpp"
+
+using namespace spider;
+
+namespace {
+
+std::vector<std::uint64_t> parse_seeds(const char* arg) {
+  std::vector<std::uint64_t> seeds;
+  const char* p = arg;
+  while (*p != '\0') {
+    char* end = nullptr;
+    seeds.push_back(std::strtoull(p, &end, 10));
+    if (end == p) break;
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return seeds;
+}
+
+int list_catalog() {
+  std::printf("Byzantine catalog (%zu entries):\n", chaos::catalog().size());
+  for (const auto& entry : chaos::catalog()) {
+    std::printf("  %-26s -> %-22s %s\n      %s\n", entry.name,
+                core::fault_kind_name(entry.expected).c_str(), entry.paper_ref, entry.summary);
+  }
+  std::printf("benign profiles:\n");
+  for (const auto& profile : chaos::benign_profiles()) {
+    std::printf("  %-14s drop %6u ppm, dup %6u ppm, corrupt %6u ppm, jitter %lld us%s%s\n",
+                profile.name, profile.network.drop_ppm, profile.network.duplicate_ppm,
+                profile.network.corrupt_ppm, static_cast<long long>(profile.network.max_jitter),
+                profile.partition ? ", partition" : "", profile.skew ? ", skew" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  chaos::MatrixOptions options;
+  std::string out_path;
+  bool check_deterministic = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : ""; };
+    if (std::strcmp(arg, "--list") == 0) return list_catalog();
+    if (std::strcmp(arg, "--quick") == 0) {
+      options.benign_seeds = {1, 2};
+      options.byzantine_profiles = {"clean"};
+      options.num_prefixes = 60;
+      options.num_updates = 40;
+    } else if (std::strcmp(arg, "--seeds") == 0) {
+      options.benign_seeds = parse_seeds(value());
+    } else if (std::strcmp(arg, "--byz-seeds") == 0) {
+      options.byzantine_seeds = parse_seeds(value());
+    } else if (std::strcmp(arg, "--prefixes") == 0) {
+      options.num_prefixes = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(arg, "--updates") == 0) {
+      options.num_updates = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(arg, "--out") == 0) {
+      out_path = value();
+    } else if (std::strcmp(arg, "--check-deterministic") == 0) {
+      check_deterministic = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (see header comment for usage)\n", arg);
+      return 2;
+    }
+  }
+
+  chaos::MatrixReport report = chaos::run_matrix(options);
+  const std::string rendered = report.render();
+  std::fputs(rendered.c_str(), stdout);
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << rendered;
+  }
+
+  if (check_deterministic) {
+    const std::string second = chaos::run_matrix(options).render();
+    if (second != rendered) {
+      std::fprintf(stderr, "DETERMINISM FAILURE: second run rendered a different report\n");
+      return 1;
+    }
+    std::printf("determinism check: second run byte-identical\n");
+  }
+  return report.all_pass() ? 0 : 1;
+}

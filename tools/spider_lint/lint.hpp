@@ -26,6 +26,9 @@
 //   R7  banned functions: strcpy/strcat/sprintf/vsprintf/gets everywhere;
 //       memcmp and operator== / operator!= on digest material — use
 //       crypto::constant_time_equal.
+//   R8  every spider_chaos catalog entry (src/chaos/catalog.*) must declare
+//       the core::FaultKind the checker is expected to emit, and not
+//       kNone — a misbehavior the matrix cannot assert on is untestable.
 //
 // Suppression: a finding is dropped when its line — or the line above,
 // when the comment stands alone — carries `// spider-lint: allow(RN)`
@@ -66,7 +69,7 @@ std::vector<Token> lex(std::string_view source);
 std::map<int, std::set<std::string>> collect_suppressions(std::string_view source);
 
 struct Finding {
-  std::string rule;     // "R1" .. "R7"
+  std::string rule;     // "R1" .. "R8"
   std::string path;     // as supplied by the caller
   int line;
   std::string message;
@@ -85,6 +88,7 @@ struct FileClass {
   bool crypto_random_impl = false;  // src/crypto/random.* — exempt from R2
   bool deterministic = false;       // src/netsim or src/core — R3 applies
   bool obs_impl = false;            // src/obs — exempt from R6
+  bool chaos_catalog = false;       // src/chaos/catalog.* — R8 applies
   bool decode_impl = true;          // R1/R5 candidate (always on; rules
                                     // self-limit to decode function bodies)
 };
@@ -92,7 +96,7 @@ struct FileClass {
 /// Derives the rule scopes from a repo-relative path (forward slashes).
 FileClass classify(std::string_view path);
 
-/// Runs the single-file rules (R1, R2, R3, R5, R6, R7) over one source.
+/// Runs the single-file rules (R1, R2, R3, R5, R6, R7, R8) over one source.
 /// Findings on suppressed lines are dropped.
 std::vector<Finding> lint_source(std::string_view path, std::string_view source,
                                  const FileClass& cls);

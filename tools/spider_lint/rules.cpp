@@ -1,4 +1,4 @@
-// Rule matchers R1–R7 over the token stream produced by lexer.cpp.
+// Rule matchers R1–R8 over the token stream produced by lexer.cpp.
 //
 // Matchers are deliberately syntactic: they know nothing about types or
 // overload resolution, only token shapes.  Each rule is tuned so the
@@ -365,6 +365,40 @@ void rule_r7(const Tokens& toks, std::string_view path, std::vector<Finding>& ou
   }
 }
 
+// ------------------------------------------------------------------- R8
+
+/// A spider_chaos catalog entry is a brace initializer opening with its
+/// `Misbehavior :: kTag`.  Each must, inside the same braces, name the
+/// core::FaultKind the checker is required to emit — and not kNone, since
+/// the detection matrix asserts on that class (an entry without one is a
+/// misbehavior nothing can test for).
+void rule_r8(const Tokens& toks, std::string_view path, const FileClass& cls,
+             std::vector<Finding>& out) {
+  if (!cls.chaos_catalog) return;
+  for (std::size_t i = 1; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "Misbehavior") || !is_punct(toks[i + 1], "::")) continue;
+    if (!is_punct(toks[i - 1], "{")) continue;  // field decls, enum uses
+    std::size_t close = matching_close(toks, i - 1);
+    bool declared = false, none = false;
+    for (std::size_t j = i + 2; j + 2 < close; ++j) {
+      if (is_ident(toks[j], "FaultKind") && is_punct(toks[j + 1], "::")) {
+        declared = true;
+        if (is_ident(toks[j + 2], "kNone")) none = true;
+      }
+    }
+    if (!declared) {
+      out.push_back({"R8", std::string(path), toks[i].line,
+                     "catalog entry does not declare the core::FaultKind the checker "
+                     "must emit — the detection matrix cannot assert on it"});
+    } else if (none) {
+      out.push_back({"R8", std::string(path), toks[i].line,
+                     "catalog entry declares FaultKind::kNone — a misbehavior whose "
+                     "expected detection is 'nothing' is untestable"});
+    }
+    i = close;
+  }
+}
+
 }  // namespace
 
 // ------------------------------------------------------------ public API
@@ -375,6 +409,7 @@ FileClass classify(std::string_view path) {
   cls.crypto_random_impl = has("src/crypto/random.");
   cls.deterministic = has("src/netsim/") || has("src/core/");
   cls.obs_impl = has("src/obs/");
+  cls.chaos_catalog = has("src/chaos/catalog");
   return cls;
 }
 
@@ -388,6 +423,7 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view source,
   rule_r5(toks, path, findings);
   rule_r6(toks, path, cls, findings);
   rule_r7(toks, path, findings);
+  rule_r8(toks, path, cls, findings);
 
   auto suppressed = collect_suppressions(source);
   std::vector<Finding> kept;

@@ -6,6 +6,8 @@
 //   spiderctl faults [prefixes]              run the §7.4 fault matrix
 //   spiderctl trace [prefixes] [updates]     print synthetic-trace statistics
 //   spiderctl mtt <prefixes> [classes]       build + label an MTT, print stats
+//   spiderctl chaos <misbehavior|none>       run one chaos matrix cell and
+//             [--seed N] [--profile NAME]    pretty-print the detection
 //
 // All runs are deterministic for a given size (fixed seeds).
 #include <cstdio>
@@ -13,6 +15,7 @@
 #include <cstring>
 #include <map>
 
+#include "chaos/matrix.hpp"
 #include "spider/verification.hpp"
 
 using namespace spider;
@@ -111,6 +114,69 @@ int cmd_mtt(std::size_t prefixes, std::uint32_t classes) {
   return 0;
 }
 
+int cmd_chaos(int argc, char** argv) {
+  const char* name = nullptr;
+  std::uint64_t seed = 11;
+  const char* profile_name = "clean";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      profile_name = argv[++i];
+    } else if (!name) {
+      name = argv[i];
+    } else {
+      std::fprintf(stderr, "chaos: unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (!name) {
+    std::printf("usage: spiderctl chaos <misbehavior|none> [--seed N] [--profile NAME]\n");
+    std::printf("misbehaviors:\n  none (benign-only cell)\n");
+    for (const auto& entry : chaos::catalog()) std::printf("  %s\n", entry.name);
+    std::printf("profiles:\n");
+    for (const auto& profile : chaos::benign_profiles()) std::printf("  %s\n", profile.name);
+    return 2;
+  }
+  const chaos::BenignProfile* profile = chaos::find_profile(profile_name);
+  if (!profile) {
+    std::fprintf(stderr, "chaos: unknown profile %s (try: spiderctl chaos)\n", profile_name);
+    return 2;
+  }
+  const chaos::CatalogEntry* entry = nullptr;
+  if (std::strcmp(name, "none") != 0) {
+    entry = chaos::find_entry(name);
+    if (!entry) {
+      std::fprintf(stderr, "chaos: unknown misbehavior %s (try: spiderctl chaos)\n", name);
+      return 2;
+    }
+    std::printf("misbehavior %s (%s): %s\n", entry->name, entry->paper_ref, entry->summary);
+    std::printf("expected fault class: %s\n", core::fault_kind_name(entry->expected).c_str());
+  } else {
+    std::printf("benign-only cell (honest elector)\n");
+  }
+  std::printf("profile %s, seed %llu — running one matrix cell...\n", profile->name,
+              static_cast<unsigned long long>(seed));
+
+  chaos::CellResult cell = chaos::run_cell(entry, *profile, seed, chaos::MatrixOptions{});
+  std::printf("network faults: %llu dropped, %llu duplicated, %llu delayed, %llu corrupted\n",
+              static_cast<unsigned long long>(cell.faults.dropped),
+              static_cast<unsigned long long>(cell.faults.duplicated),
+              static_cast<unsigned long long>(cell.faults.delayed),
+              static_cast<unsigned long long>(cell.faults.corrupted));
+  if (cell.detections.empty()) {
+    std::printf("no detection\n");
+  } else {
+    for (const auto& detection : cell.detections) {
+      std::printf("detected %s accusing AS%u: %s\n", core::fault_kind_name(detection.kind).c_str(),
+                  detection.accused, detection.detail.c_str());
+    }
+  }
+  if (!cell.note.empty()) std::printf("note: %s\n", cell.note.c_str());
+  std::printf("cell verdict: %s\n", cell.pass ? "PASS" : "FAIL");
+  return cell.pass ? 0 : 1;
+}
+
 std::size_t arg_or(int argc, char** argv, int index, std::size_t fallback) {
   if (argc <= index) return fallback;
   return static_cast<std::size_t>(std::strtoull(argv[index], nullptr, 10));
@@ -123,7 +189,9 @@ void usage() {
       "  spiderctl verify <as> [prefixes]        commit + verify one AS\n"
       "  spiderctl faults [prefixes]             run the fault matrix\n"
       "  spiderctl trace  [prefixes] [updates]   synthetic trace statistics\n"
-      "  spiderctl mtt    <prefixes> [classes]   build + label an MTT\n");
+      "  spiderctl mtt    <prefixes> [classes]   build + label an MTT\n"
+      "  spiderctl chaos  <misbehavior|none> [--seed N] [--profile NAME]\n"
+      "                                          run one detection-matrix cell\n");
 }
 
 }  // namespace
@@ -150,6 +218,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(cmd, "trace") == 0) {
     return cmd_trace(arg_or(argc, argv, 2, 20000), arg_or(argc, argv, 3, 2000));
+  }
+  if (std::strcmp(cmd, "chaos") == 0) {
+    return cmd_chaos(argc, argv);
   }
   if (std::strcmp(cmd, "mtt") == 0) {
     if (argc < 3) {
