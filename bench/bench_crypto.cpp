@@ -13,6 +13,7 @@
 #include "crypto/rc4.hpp"
 #include "crypto/rsa.hpp"
 #include "crypto/sha2.hpp"
+#include "crypto/sha2_multi.hpp"
 #include "trace/routeviews.hpp"
 #include "util/rng.hpp"
 
@@ -62,6 +63,44 @@ static void BM_Digest20_MttLabelInput(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Digest20_MttLabelInput);
+
+static void BM_Sha512Batch(benchmark::State& state) {
+  // The multi-lane batcher over PRF-shaped 41-byte messages; Arg is the
+  // batch size (1 degrades to the scalar path — the lane speedup is the
+  // ratio between the large-batch and batch-1 per-item times).
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::vector<util::Bytes> msgs(batch);
+  for (std::size_t i = 0; i < batch; ++i) msgs[i] = make_data(41);
+  std::vector<util::ByteSpan> spans;
+  spans.reserve(batch);
+  for (const auto& m : msgs) spans.emplace_back(m.data(), m.size());
+  std::vector<crypto::Sha512::Digest> out(batch);
+  for (auto _ : state) {
+    crypto::sha512_batch(spans.data(), batch, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Sha512Batch)->Arg(1)->Arg(8)->Arg(64)->Arg(4096);
+
+static void BM_Digest20Batch(benchmark::State& state) {
+  // digest20_batch on the MTT leaf-hash shape (21 bytes: bit || x).
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::vector<util::Bytes> msgs(batch);
+  for (std::size_t i = 0; i < batch; ++i) msgs[i] = make_data(21);
+  std::vector<util::ByteSpan> spans;
+  spans.reserve(batch);
+  for (const auto& m : msgs) spans.emplace_back(m.data(), m.size());
+  std::vector<util::Digest20> out(batch);
+  for (auto _ : state) {
+    crypto::digest20_batch(spans.data(), batch, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Digest20Batch)->Arg(64)->Arg(4096);
 
 static void BM_RsaSign1024(benchmark::State& state) {
   auto msg = make_data(256);
@@ -188,16 +227,18 @@ BENCHMARK(BM_MttBuild)->Arg(1000)->Arg(10000);
 
 static void BM_MttLabelPerPrefix(benchmark::State& state) {
   // Cost of labeling, normalized per prefix (k=50): multiply by table size
-  // for the full-commitment cost (E3).
+  // for the full-commitment cost (E3).  Arg toggles the multi-lane SHA-512
+  // batcher (1) against the scalar path (0).
   auto& fixture = mtt_fixture();
+  const bool multilane = state.range(0) != 0;
   for (auto _ : state) {
-    fixture.tree.compute_labels(fixture.prf);
+    fixture.tree.compute_labels(fixture.prf, /*threads=*/1, multilane);
     benchmark::DoNotOptimize(fixture.tree.root_label());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(fixture.prefixes.size()));
 }
-BENCHMARK(BM_MttLabelPerPrefix)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MttLabelPerPrefix)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 static void BM_MttProve(benchmark::State& state) {
   auto& fixture = mtt_fixture();

@@ -1,14 +1,37 @@
 #include "core/commitment.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "crypto/ct.hpp"
+#include "crypto/sha2_multi.hpp"
 
 namespace spider::core {
 
 Digest20 bit_leaf_hash(bool bit, const Digest20& x) {
   std::uint8_t b = bit ? 1 : 0;
   return crypto::digest20_concat({ByteSpan{&b, 1}, ByteSpan{x.data(), x.size()}});
+}
+
+void bit_leaf_hash_batch(const std::uint8_t* bits, const Digest20* xs, std::size_t n,
+                         Digest20* out) {
+  constexpr std::size_t kChunk = 64;
+  constexpr std::size_t kMsg = 1 + sizeof(Digest20);
+  std::uint8_t buf[kChunk * kMsg];
+  ByteSpan spans[kChunk];
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t g = std::min(kChunk, n - i);
+    for (std::size_t k = 0; k < g; ++k) {
+      std::uint8_t* m = buf + k * kMsg;
+      m[0] = bits[i + k] ? 1 : 0;
+      std::memcpy(m + 1, xs[i + k].data(), xs[i + k].size());
+      spans[k] = ByteSpan{m, kMsg};
+    }
+    crypto::digest20_batch(spans, g, out + i);
+    i += g;
+  }
 }
 
 namespace {
@@ -25,12 +48,15 @@ Digest20 root_of(const std::vector<Digest20>& leaves) {
 FlatCommitment::FlatCommitment(const std::vector<bool>& bits, const CommitmentPrf& prf)
     : bits_(bits) {
   if (bits.empty()) throw std::invalid_argument("FlatCommitment: no bits");
-  xs_.reserve(bits.size());
-  leaves_.reserve(bits.size());
-  for (std::size_t i = 0; i < bits.size(); ++i) {
-    xs_.push_back(prf.bit_randomness(i));
-    leaves_.push_back(bit_leaf_hash(bits[i], xs_[i]));
-  }
+  const std::size_t k = bits.size();
+  std::vector<std::uint64_t> indices(k);
+  for (std::size_t i = 0; i < k; ++i) indices[i] = i;
+  std::vector<std::uint8_t> plain(k);
+  for (std::size_t i = 0; i < k; ++i) plain[i] = bits[i] ? 1 : 0;
+  xs_.resize(k);
+  prf.bit_randomness_batch(indices.data(), k, xs_.data());
+  leaves_.resize(k);
+  bit_leaf_hash_batch(plain.data(), xs_.data(), k, leaves_.data());
   root_ = root_of(leaves_);
 }
 

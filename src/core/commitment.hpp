@@ -22,6 +22,13 @@ using util::Digest20;
 /// Leaf hash H(b || x) with b serialized as one byte.
 Digest20 bit_leaf_hash(bool bit, const Digest20& x);
 
+/// Batch form: out[i] = bit_leaf_hash(bits[i] != 0, xs[i]) for i in [0, n),
+/// run through the multi-lane SHA-512 batcher.  Bits are uint8_t (0/1)
+/// rather than bool so callers can hand over a plain contiguous array
+/// (std::vector<bool> has no data()).
+void bit_leaf_hash_batch(const std::uint8_t* bits, const Digest20* xs, std::size_t n,
+                         Digest20* out);
+
 /// A proof that bit `index` had value `bit` in a flat commitment.
 struct FlatBitProof {
   std::uint32_t index = 0;

@@ -7,6 +7,7 @@
 
 #include "crypto/ct.hpp"
 #include "crypto/sha2.hpp"
+#include "crypto/sha2_multi.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -142,6 +143,47 @@ Digest20 Mtt::prefix_label(std::uint32_t prefix_index, const crypto::CommitmentP
   return out;
 }
 
+void Mtt::label_prefix_range(std::uint32_t start, std::uint32_t end,
+                             const crypto::CommitmentPrf& prf, bool multilane,
+                             std::uint64_t& hashes) {
+  if (!multilane) {
+    for (std::uint32_t i = start; i < end; ++i) prefix_labels_[i] = prefix_label(i, prf, hashes);
+    return;
+  }
+  // Batched: derive all x values for a chunk of prefix nodes, hash all
+  // their leaves, then hash the per-node leaf concatenations — three
+  // digest20_batch calls of uniform-length messages, so the SHA-512 lanes
+  // stay full.  Labels and hash accounting are identical to the scalar
+  // path (2 hashes per bit, 1 per prefix node).
+  constexpr std::uint32_t kNodeChunk = 16;
+  const std::uint32_t k = num_classes_;
+  const std::size_t max_bits = static_cast<std::size_t>(kNodeChunk) * k;
+  std::vector<std::uint64_t> indices(max_bits);
+  std::vector<std::uint8_t> bits(max_bits);
+  std::vector<Digest20> xs(max_bits);
+  std::vector<Digest20> leaves(max_bits);
+  ByteSpan spans[kNodeChunk];
+  // A node's message is the contiguous bytes of its k leaf digests.
+  static_assert(sizeof(Digest20) == 20, "Digest20 must pack to exactly 20 bytes");
+  for (std::uint32_t base = start; base < end; base += kNodeChunk) {
+    const std::uint32_t c = std::min(kNodeChunk, end - base);
+    const std::size_t m = static_cast<std::size_t>(c) * k;
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint64_t idx = static_cast<std::uint64_t>(base) * k + j;
+      indices[j] = idx;
+      bits[j] = stored_bit(idx) ? 1 : 0;
+    }
+    prf.bit_randomness_batch(indices.data(), m, xs.data());
+    bit_leaf_hash_batch(bits.data(), xs.data(), m, leaves.data());
+    for (std::uint32_t j = 0; j < c; ++j) {
+      spans[j] = ByteSpan{leaves[static_cast<std::size_t>(j) * k].data(),
+                          static_cast<std::size_t>(k) * sizeof(Digest20)};
+    }
+    crypto::digest20_batch(spans, c, prefix_labels_.data() + base);
+    hashes += static_cast<std::uint64_t>(c) * (2 * k + 1);
+  }
+}
+
 Digest20 Mtt::child_label(const Inner& node, int slot, const crypto::CommitmentPrf& prf) const {
   std::size_t s = static_cast<std::size_t>(slot);
   switch (node.kind[s]) {
@@ -153,7 +195,7 @@ Digest20 Mtt::child_label(const Inner& node, int slot, const crypto::CommitmentP
   throw std::logic_error("Mtt: unassigned child slot");
 }
 
-void Mtt::compute_labels(const crypto::CommitmentPrf& prf, unsigned threads) {
+void Mtt::compute_labels(const crypto::CommitmentPrf& prf, unsigned threads, bool multilane) {
   SPIDER_OBS_SPAN(label_span, "core/mtt_label");
   util::WallTimer label_timer;
   inner_labels_.assign(inner_.size(), Digest20{});
@@ -166,7 +208,7 @@ void Mtt::compute_labels(const crypto::CommitmentPrf& prf, unsigned threads) {
   const std::size_t n = prefix_nodes_.size();
   if (threads <= 1 || n < 256) {
     std::uint64_t hashes = 0;
-    for (std::uint32_t i = 0; i < n; ++i) prefix_labels_[i] = prefix_label(i, prf, hashes);
+    label_prefix_range(0, static_cast<std::uint32_t>(n), prf, multilane, hashes);
     hash_count += hashes;
   } else {
     util::ThreadPool pool(threads);
@@ -175,11 +217,10 @@ void Mtt::compute_labels(const crypto::CommitmentPrf& prf, unsigned threads) {
     std::size_t submitted = 0;
     for (std::size_t start = 0; start < n; start += chunk_size) {
       const std::size_t end = std::min(n, start + chunk_size);
-      pool.submit([this, &prf, &hash_count, start, end] {
+      pool.submit([this, &prf, &hash_count, start, end, multilane] {
         std::uint64_t hashes = 0;
-        for (std::size_t i = start; i < end; ++i) {
-          prefix_labels_[i] = prefix_label(static_cast<std::uint32_t>(i), prf, hashes);
-        }
+        label_prefix_range(static_cast<std::uint32_t>(start), static_cast<std::uint32_t>(end), prf,
+                           multilane, hashes);
         hash_count += hashes;
       });
       ++submitted;

@@ -89,7 +89,12 @@ class Mtt {
   /// Labels every node bottom-up; `threads` > 1 splits the dominant
   /// prefix-label phase across a thread pool (paper §7.1: "we break the MTT
   /// into subtrees that are each labeled completely by one of the threads").
-  void compute_labels(const crypto::CommitmentPrf& prf, unsigned threads = 1);
+  /// `multilane` runs that phase through the multi-lane SHA-512 batcher
+  /// (crypto/sha2_multi.hpp) — same labels, same hash accounting, several
+  /// digests per compression call; pass false to force the scalar path
+  /// (the differential battery compares the two).
+  void compute_labels(const crypto::CommitmentPrf& prf, unsigned threads = 1,
+                      bool multilane = true);
 
   bool labels_computed() const { return labels_done_; }
   const Digest20& root_label() const;
@@ -125,6 +130,10 @@ class Mtt {
   Digest20 child_label(const Inner& node, int slot, const crypto::CommitmentPrf& prf) const;
   Digest20 prefix_label(std::uint32_t prefix_index, const crypto::CommitmentPrf& prf,
                         std::uint64_t& hashes) const;
+  /// Labels prefix nodes [start, end) into prefix_labels_, scalar or via the
+  /// lane batcher; accumulates the hash count into `hashes`.
+  void label_prefix_range(std::uint32_t start, std::uint32_t end, const crypto::CommitmentPrf& prf,
+                          bool multilane, std::uint64_t& hashes);
   bool stored_bit(std::uint64_t bit_index) const;
 
   std::uint32_t num_classes_ = 0;

@@ -1,32 +1,35 @@
 #include "crypto/bignum.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
+
+#include "crypto/mont.hpp"
 
 namespace spider::crypto {
 
-namespace {
-constexpr std::uint64_t kBase = 1ULL << 32;
-}
-
 BigInt::BigInt(std::uint64_t v) {
-  if (v != 0) {
-    limbs_.push_back(static_cast<std::uint32_t>(v));
-    if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
-  }
+  if (v != 0) limbs_.push_back(v);
 }
 
 void BigInt::trim() {
   while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
 }
 
+BigInt BigInt::from_limbs(std::vector<limb_t> limbs) {
+  BigInt out;
+  out.limbs_ = std::move(limbs);
+  out.trim();
+  return out;
+}
+
 BigInt BigInt::from_bytes_be(ByteSpan bytes) {
   BigInt out;
-  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  out.limbs_.assign((bytes.size() + 7) / 8, 0);
   for (std::size_t i = 0; i < bytes.size(); ++i) {
-    // byte i (from the end) goes into limb i/4, shifted by 8*(i%4)
+    // byte i (from the end) goes into limb i/8, shifted by 8*(i%8)
     std::size_t from_end = bytes.size() - 1 - i;
-    out.limbs_[i / 4] |= static_cast<std::uint32_t>(bytes[from_end]) << (8 * (i % 4));
+    out.limbs_[i / 8] |= static_cast<limb_t>(bytes[from_end]) << (8 * (i % 8));
   }
   out.trim();
   return out;
@@ -37,7 +40,7 @@ Bytes BigInt::to_bytes_be(std::size_t min_len) const {
   std::size_t len = std::max(nbytes, min_len);
   Bytes out(len, 0);
   for (std::size_t i = 0; i < nbytes; ++i) {
-    std::uint8_t b = static_cast<std::uint8_t>(limbs_[i / 4] >> (8 * (i % 4)));
+    std::uint8_t b = static_cast<std::uint8_t>(limbs_[i / 8] >> (8 * (i % 8)));
     out[len - 1 - i] = b;
   }
   return out;
@@ -62,93 +65,44 @@ std::string BigInt::to_hex() const {
 
 std::size_t BigInt::bit_length() const {
   if (limbs_.empty()) return 0;
-  std::uint32_t top = limbs_.back();
-  std::size_t bits = (limbs_.size() - 1) * 32;
-  while (top != 0) {
-    ++bits;
-    top >>= 1;
-  }
-  return bits;
+  return limbs_.size() * kLimbBits - static_cast<std::size_t>(std::countl_zero(limbs_.back()));
 }
 
 bool BigInt::bit(std::size_t i) const {
-  std::size_t limb = i / 32;
+  std::size_t limb = i / kLimbBits;
   if (limb >= limbs_.size()) return false;
-  return (limbs_[limb] >> (i % 32)) & 1u;
+  return (limbs_[limb] >> (i % kLimbBits)) & 1u;
 }
 
 int BigInt::compare(const BigInt& other) const {
-  if (limbs_.size() != other.limbs_.size()) {
-    return limbs_.size() < other.limbs_.size() ? -1 : 1;
-  }
-  for (std::size_t i = limbs_.size(); i-- > 0;) {
-    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
-  }
-  return 0;
+  return lk::cmp(limbs_.data(), limbs_.size(), other.limbs_.data(), other.limbs_.size());
 }
 
 BigInt BigInt::operator+(const BigInt& o) const {
+  const BigInt& big = limbs_.size() >= o.limbs_.size() ? *this : o;
+  const BigInt& small = limbs_.size() >= o.limbs_.size() ? o : *this;
   BigInt out;
-  const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
-  out.limbs_.reserve(n + 1);
-  std::uint64_t carry = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t sum = carry;
-    if (i < limbs_.size()) sum += limbs_[i];
-    if (i < o.limbs_.size()) sum += o.limbs_[i];
-    out.limbs_.push_back(static_cast<std::uint32_t>(sum));
-    carry = sum >> 32;
-  }
-  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  out.limbs_.assign(big.limbs_.size() + 1, 0);
+  limb_t carry = lk::add(big.limbs_.data(), big.limbs_.size(), small.limbs_.data(),
+                         small.limbs_.size(), out.limbs_.data());
+  out.limbs_[big.limbs_.size()] = carry;
+  out.trim();
   return out;
 }
 
 BigInt BigInt::operator-(const BigInt& o) const {
   if (*this < o) throw std::domain_error("BigInt subtraction underflow");
   BigInt out;
-  out.limbs_.reserve(limbs_.size());
-  std::int64_t borrow = 0;
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
-    if (i < o.limbs_.size()) diff -= o.limbs_[i];
-    if (diff < 0) {
-      diff += static_cast<std::int64_t>(kBase);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    out.limbs_.push_back(static_cast<std::uint32_t>(diff));
-  }
+  out.limbs_.assign(limbs_.size(), 0);
+  lk::sub(limbs_.data(), limbs_.size(), o.limbs_.data(), o.limbs_.size(), out.limbs_.data());
   out.trim();
   return out;
 }
 
 namespace {
 
-/// Schoolbook multiply of limb spans into `out` (out must be zeroed, sized
-/// a_len + b_len).
-void mul_schoolbook(const std::uint32_t* a, std::size_t a_len, const std::uint32_t* b,
-                    std::size_t b_len, std::uint32_t* out) {
-  for (std::size_t i = 0; i < a_len; ++i) {
-    std::uint64_t carry = 0;
-    std::uint64_t ai = a[i];
-    for (std::size_t j = 0; j < b_len; ++j) {
-      std::uint64_t cur = out[i + j] + ai * b[j] + carry;
-      out[i + j] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
-    }
-    std::size_t k = i + b_len;
-    while (carry) {
-      std::uint64_t cur = out[k] + carry;
-      out[k] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
-      ++k;
-    }
-  }
-}
-
-// Karatsuba kicks in above this limb count (32 limbs = 1024 bits): below
-// it the O(n^2) loop's constant factor wins.
+// Karatsuba kicks in above this limb count (32 limbs = 2048 bits): below
+// it the flat 128-bit schoolbook loop's constant factor wins.
 constexpr std::size_t kKaratsubaThreshold = 32;
 
 }  // namespace
@@ -160,8 +114,11 @@ BigInt BigInt::operator*(const BigInt& o) const {
   BigInt out;
   if (n < kKaratsubaThreshold) {
     out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
-    mul_schoolbook(limbs_.data(), limbs_.size(), o.limbs_.data(), o.limbs_.size(),
-                   out.limbs_.data());
+    if (this == &o) {
+      lk::sqr(limbs_.data(), limbs_.size(), out.limbs_.data());
+    } else {
+      lk::mul(limbs_.data(), limbs_.size(), o.limbs_.data(), o.limbs_.size(), out.limbs_.data());
+    }
     out.trim();
     return out;
   }
@@ -206,31 +163,36 @@ BigInt BigInt::operator<<(std::size_t bits) const {
     BigInt out = *this;
     return out;
   }
-  const std::size_t limb_shift = bits / 32;
-  const std::size_t bit_shift = bits % 32;
+  const std::size_t limb_shift = bits / kLimbBits;
+  const std::size_t bit_shift = bits % kLimbBits;
   BigInt out;
   out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
-    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
-    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  if (bit_shift == 0) {
+    std::copy(limbs_.begin(), limbs_.end(), out.limbs_.begin() + static_cast<std::ptrdiff_t>(limb_shift));
+  } else {
+    limb_t carry = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+      out.limbs_[i + limb_shift] = (limbs_[i] << bit_shift) | carry;
+      carry = limbs_[i] >> (kLimbBits - bit_shift);
+    }
+    out.limbs_[limbs_.size() + limb_shift] = carry;
   }
   out.trim();
   return out;
 }
 
 BigInt BigInt::operator>>(std::size_t bits) const {
-  const std::size_t limb_shift = bits / 32;
+  const std::size_t limb_shift = bits / kLimbBits;
   if (limb_shift >= limbs_.size()) return BigInt{};
-  const std::size_t bit_shift = bits % 32;
+  const std::size_t bit_shift = bits % kLimbBits;
   BigInt out;
   out.limbs_.assign(limbs_.size() - limb_shift, 0);
   for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
-    std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    limb_t v = limbs_[i + limb_shift] >> bit_shift;
     if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
-      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+      v |= limbs_[i + limb_shift + 1] << (kLimbBits - bit_shift);
     }
-    out.limbs_[i] = static_cast<std::uint32_t>(v);
+    out.limbs_[i] = v;
   }
   out.trim();
   return out;
@@ -240,188 +202,18 @@ BigInt::DivMod BigInt::divmod(const BigInt& divisor) const {
   if (divisor.is_zero()) throw std::domain_error("BigInt division by zero");
   if (*this < divisor) return {BigInt{}, *this};
 
-  // Single-limb fast path.
-  if (divisor.limbs_.size() == 1) {
-    const std::uint64_t d = divisor.limbs_[0];
-    BigInt q;
-    q.limbs_.assign(limbs_.size(), 0);
-    std::uint64_t rem = 0;
-    for (std::size_t i = limbs_.size(); i-- > 0;) {
-      std::uint64_t cur = (rem << 32) | limbs_[i];
-      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
-      rem = cur % d;
-    }
-    q.trim();
-    return {q, BigInt{rem}};
-  }
-
-  // Knuth Algorithm D.  Normalize so the divisor's top limb has its high
-  // bit set, guaranteeing the quotient-digit estimate is off by at most 2.
-  int shift = 0;
-  {
-    std::uint32_t top = divisor.limbs_.back();
-    while ((top & 0x80000000u) == 0) {
-      top <<= 1;
-      ++shift;
-    }
-  }
-  BigInt u = *this << static_cast<std::size_t>(shift);
-  BigInt v = divisor << static_cast<std::size_t>(shift);
-  const std::size_t n = v.limbs_.size();
-  const std::size_t m = u.limbs_.size() - n;
-
-  std::vector<std::uint32_t> un(u.limbs_);
-  un.push_back(0);  // u gets one extra high limb
-  const std::vector<std::uint32_t>& vn = v.limbs_;
-
-  BigInt q;
-  q.limbs_.assign(m + 1, 0);
-
-  for (std::size_t j = m + 1; j-- > 0;) {
-    // Estimate q_hat = (un[j+n]*B + un[j+n-1]) / vn[n-1].
-    std::uint64_t numerator = (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
-    std::uint64_t q_hat = numerator / vn[n - 1];
-    std::uint64_t r_hat = numerator % vn[n - 1];
-    while (q_hat >= kBase ||
-           q_hat * vn[n - 2] > ((r_hat << 32) | un[j + n - 2])) {
-      --q_hat;
-      r_hat += vn[n - 1];
-      if (r_hat >= kBase) break;
-    }
-
-    // Multiply-subtract q_hat * v from u[j .. j+n].
-    std::int64_t borrow = 0;
-    std::uint64_t carry = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      std::uint64_t product = q_hat * vn[i] + carry;
-      carry = product >> 32;
-      std::int64_t sub = static_cast<std::int64_t>(un[i + j]) -
-                         static_cast<std::int64_t>(product & 0xffffffffULL) - borrow;
-      if (sub < 0) {
-        sub += static_cast<std::int64_t>(kBase);
-        borrow = 1;
-      } else {
-        borrow = 0;
-      }
-      un[i + j] = static_cast<std::uint32_t>(sub);
-    }
-    std::int64_t sub = static_cast<std::int64_t>(un[j + n]) - static_cast<std::int64_t>(carry) - borrow;
-    if (sub < 0) {
-      // q_hat was one too large: add v back and decrement.
-      sub += static_cast<std::int64_t>(kBase);
-      un[j + n] = static_cast<std::uint32_t>(sub);
-      --q_hat;
-      std::uint64_t carry2 = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        std::uint64_t sum = static_cast<std::uint64_t>(un[i + j]) + vn[i] + carry2;
-        un[i + j] = static_cast<std::uint32_t>(sum);
-        carry2 = sum >> 32;
-      }
-      un[j + n] = static_cast<std::uint32_t>(un[j + n] + carry2);
-    } else {
-      un[j + n] = static_cast<std::uint32_t>(sub);
-    }
-    q.limbs_[j] = static_cast<std::uint32_t>(q_hat);
-  }
-
+  const std::size_t un = limbs_.size();
+  const std::size_t vn = divisor.limbs_.size();
+  BigInt q, r;
+  q.limbs_.assign(un - vn + 1, 0);
+  r.limbs_.assign(vn, 0);
+  std::vector<limb_t> scratch(lk::divmod_scratch(un, vn));
+  lk::divmod(limbs_.data(), un, divisor.limbs_.data(), vn, q.limbs_.data(), r.limbs_.data(),
+             scratch.data());
   q.trim();
-  BigInt r;
-  r.limbs_.assign(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
   r.trim();
-  r = r >> static_cast<std::size_t>(shift);
   return {q, r};
 }
-
-// ------------------------------------------------------ Montgomery engine
-
-namespace {
-
-/// Montgomery context for an odd modulus N: R = B^n with B = 2^32.
-struct MontCtx {
-  std::vector<std::uint32_t> n;  // modulus limbs
-  std::uint32_t n_prime;         // -N^-1 mod B
-  BigInt r2;                     // R^2 mod N
-
-  explicit MontCtx(const BigInt& modulus) : n(modulus.limbs()) {
-    // Newton iteration for inverse of n[0] mod 2^32, then negate.
-    std::uint32_t inv = 1;
-    for (int i = 0; i < 5; ++i) inv *= 2 - n[0] * inv;
-    n_prime = static_cast<std::uint32_t>(0u - inv);
-    BigInt r = BigInt{1} << (32 * n.size());
-    r2 = (r * r) % modulus;
-  }
-
-  /// CIOS Montgomery multiplication: returns a*b*R^-1 mod N.
-  /// a and b are limb vectors of size n.size() (zero padded).
-  void mul(const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b,
-           std::vector<std::uint32_t>& out) const {
-    const std::size_t s = n.size();
-    std::vector<std::uint64_t> t(s + 2, 0);
-    for (std::size_t i = 0; i < s; ++i) {
-      // t += a[i] * b
-      std::uint64_t carry = 0;
-      std::uint64_t ai = a[i];
-      for (std::size_t j = 0; j < s; ++j) {
-        std::uint64_t cur = t[j] + ai * b[j] + carry;
-        t[j] = cur & 0xffffffffULL;
-        carry = cur >> 32;
-      }
-      std::uint64_t cur = t[s] + carry;
-      t[s] = cur & 0xffffffffULL;
-      t[s + 1] += cur >> 32;
-
-      // m = t[0] * n' mod B;  t += m * N; t >>= 32
-      std::uint64_t m = (t[0] * n_prime) & 0xffffffffULL;
-      carry = 0;
-      std::uint64_t low = t[0] + m * n[0];
-      carry = low >> 32;
-      for (std::size_t j = 1; j < s; ++j) {
-        std::uint64_t c2 = t[j] + m * n[j] + carry;
-        t[j - 1] = c2 & 0xffffffffULL;
-        carry = c2 >> 32;
-      }
-      std::uint64_t c3 = t[s] + carry;
-      t[s - 1] = c3 & 0xffffffffULL;
-      t[s] = t[s + 1] + (c3 >> 32);
-      t[s + 1] = 0;
-    }
-    // Conditional subtraction of N.
-    bool ge = t[s] != 0;
-    if (!ge) {
-      ge = true;
-      for (std::size_t i = s; i-- > 0;) {
-        if (t[i] != n[i]) {
-          ge = t[i] > n[i];
-          break;
-        }
-      }
-    }
-    out.assign(s, 0);
-    if (ge) {
-      std::int64_t borrow = 0;
-      for (std::size_t i = 0; i < s; ++i) {
-        std::int64_t diff = static_cast<std::int64_t>(t[i]) - static_cast<std::int64_t>(n[i]) - borrow;
-        if (diff < 0) {
-          diff += static_cast<std::int64_t>(kBase);
-          borrow = 1;
-        } else {
-          borrow = 0;
-        }
-        out[i] = static_cast<std::uint32_t>(diff);
-      }
-    } else {
-      for (std::size_t i = 0; i < s; ++i) out[i] = static_cast<std::uint32_t>(t[i]);
-    }
-  }
-};
-
-std::vector<std::uint32_t> padded_limbs(const BigInt& v, std::size_t size) {
-  std::vector<std::uint32_t> out(v.limbs());
-  out.resize(size, 0);
-  return out;
-}
-
-}  // namespace
 
 BigInt BigInt::mod_exp(const BigInt& exponent, const BigInt& modulus) const {
   if (modulus < BigInt{2}) throw std::domain_error("mod_exp: modulus must be >= 2");
@@ -439,52 +231,7 @@ BigInt BigInt::mod_exp(const BigInt& exponent, const BigInt& modulus) const {
     return result;
   }
 
-  // Montgomery ladder with a 4-bit fixed window.
-  MontCtx ctx(modulus);
-  const std::size_t s = ctx.n.size();
-  std::vector<std::uint32_t> base_m(s), one_m(s), acc(s), tmp(s);
-  ctx.mul(padded_limbs(base, s), padded_limbs(ctx.r2, s), base_m);
-  {
-    BigInt r_mod = (BigInt{1} << (32 * s)) % modulus;
-    one_m = padded_limbs(r_mod, s);
-  }
-
-  // Precompute base^0..base^15 in Montgomery form.
-  std::vector<std::vector<std::uint32_t>> table(16);
-  table[0] = one_m;
-  table[1] = base_m;
-  for (std::size_t i = 2; i < 16; ++i) {
-    table[i].assign(s, 0);
-    ctx.mul(table[i - 1], base_m, table[i]);
-  }
-
-  const std::size_t nbits = exponent.bit_length();
-  const std::size_t nwindows = (nbits + 3) / 4;
-  acc = one_m;
-  for (std::size_t w = nwindows; w-- > 0;) {
-    for (int k = 0; k < 4; ++k) {
-      ctx.mul(acc, acc, tmp);
-      acc.swap(tmp);
-    }
-    std::uint32_t window = 0;
-    for (int k = 3; k >= 0; --k) {
-      std::size_t bit_idx = w * 4 + static_cast<std::size_t>(k);
-      window = static_cast<std::uint32_t>((window << 1) | (bit_idx < nbits && exponent.bit(bit_idx) ? 1 : 0));
-    }
-    if (window != 0) {
-      ctx.mul(acc, table[window], tmp);
-      acc.swap(tmp);
-    }
-  }
-
-  // Convert out of Montgomery form: multiply by 1.
-  std::vector<std::uint32_t> unit(s, 0);
-  unit[0] = 1;
-  ctx.mul(acc, unit, tmp);
-  BigInt result;
-  result.limbs_ = tmp;
-  result.trim();
-  return result;
+  return MontCtx(modulus).exp(base, exponent);
 }
 
 BigInt BigInt::mod_inverse(const BigInt& modulus) const {
@@ -537,16 +284,39 @@ BigInt BigInt::gcd(BigInt a, BigInt b) {
   return a;
 }
 
+namespace {
+
+/// Packs 32-bit words (one rng.next() each, low half kept) into 64-bit
+/// limbs.  Draws in exactly the order the original uint32-limb
+/// representation did, so every caller that was seeded deterministically —
+/// rsa_generate above all — still derives byte-identical keys.
+std::vector<limb_t> draw_words32(std::size_t bits, util::SplitMix64& rng) {
+  const std::size_t nwords = (bits + 31) / 32;
+  std::vector<limb_t> limbs((nwords + 1) / 2, 0);
+  for (std::size_t w = 0; w < nwords; ++w) {
+    limb_t word = static_cast<std::uint32_t>(rng.next());
+    limbs[w / 2] |= word << (32 * (w % 2));
+  }
+  return limbs;
+}
+
+}  // namespace
+
 BigInt BigInt::random_below(const BigInt& bound, util::SplitMix64& rng) {
   if (bound.is_zero()) throw std::domain_error("random_below: bound must be > 0");
   const std::size_t bits = bound.bit_length();
   for (;;) {
     BigInt candidate;
-    candidate.limbs_.assign((bits + 31) / 32, 0);
-    for (auto& limb : candidate.limbs_) limb = static_cast<std::uint32_t>(rng.next());
-    // Mask the top limb down to the right bit count.
+    candidate.limbs_ = draw_words32(bits, rng);
+    // Mask the top word down to the right bit count.
     std::size_t top_bits = bits % 32;
-    if (top_bits != 0) candidate.limbs_.back() &= (1u << top_bits) - 1;
+    if (top_bits != 0) {
+      const std::size_t top_word = (bits + 31) / 32 - 1;
+      limb_t mask = (limb_t{1} << top_bits) - 1;
+      limb_t keep = top_word % 2 == 0 ? (mask | (limb_t{0xffffffffu} << 32))
+                                      : ((mask << 32) | 0xffffffffu);
+      candidate.limbs_[top_word / 2] &= keep;
+    }
     candidate.trim();
     if (candidate < bound) return candidate;
   }
@@ -555,11 +325,15 @@ BigInt BigInt::random_below(const BigInt& bound, util::SplitMix64& rng) {
 BigInt BigInt::random_bits(std::size_t bits, util::SplitMix64& rng) {
   if (bits == 0) return BigInt{};
   BigInt out;
-  out.limbs_.assign((bits + 31) / 32, 0);
-  for (auto& limb : out.limbs_) limb = static_cast<std::uint32_t>(rng.next());
-  std::size_t top = (bits - 1) % 32;
-  out.limbs_.back() &= (top == 31) ? 0xffffffffu : ((1u << (top + 1)) - 1);
-  out.limbs_.back() |= 1u << top;  // force exact bit length
+  out.limbs_ = draw_words32(bits, rng);
+  // Mask above bit `bits-1`, then force the top bit for an exact length.
+  const std::size_t top = bits - 1;
+  const std::size_t top_limb = top / kLimbBits;
+  const std::size_t top_bit = top % kLimbBits;
+  out.limbs_[top_limb] &= (top_bit == kLimbBits - 1) ? ~limb_t{0}
+                                                     : ((limb_t{1} << (top_bit + 1)) - 1);
+  out.limbs_[top_limb] |= limb_t{1} << top_bit;
+  out.limbs_.resize(top_limb + 1);
   out.trim();
   return out;
 }

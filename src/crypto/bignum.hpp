@@ -2,10 +2,12 @@
 // for RSA-1024 (paper §7.1).  Non-negative values only: RSA needs nothing
 // signed, and the extended-Euclid routine tracks signs locally.
 //
-// Representation: little-endian vector of 32-bit limbs with no trailing
-// zero limbs (zero is the empty vector).  Multiplication accumulates into
-// 64-bit words; division is Knuth's Algorithm D; modular exponentiation uses
-// Montgomery multiplication (CIOS) for odd moduli with a 4-bit fixed window.
+// Representation: little-endian vector of 64-bit limbs with no trailing
+// zero limbs (zero is the empty vector).  BigInt is a thin owning class
+// over the flat limb kernels in crypto/limb.hpp: schoolbook steps
+// accumulate into 128-bit words, division is Knuth's Algorithm D, and
+// modular exponentiation delegates to the Montgomery context in
+// crypto/mont.hpp (CIOS with a 4-bit fixed window) for odd moduli.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "crypto/limb.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 
@@ -33,6 +36,9 @@ class BigInt {
 
   static BigInt from_hex(std::string_view hex);
   std::string to_hex() const;
+
+  /// Adopts a little-endian limb vector (trailing zeros are trimmed).
+  static BigInt from_limbs(std::vector<limb_t> limbs);
 
   bool is_zero() const { return limbs_.empty(); }
   bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
@@ -77,13 +83,13 @@ class BigInt {
   /// Random integer with exactly `bits` bits (top bit set).
   static BigInt random_bits(std::size_t bits, util::SplitMix64& rng);
 
-  const std::vector<std::uint32_t>& limbs() const { return limbs_; }
+  const std::vector<limb_t>& limbs() const { return limbs_; }
 
  private:
   void trim();
   static BigInt shift_limbs(const BigInt& v, std::size_t limbs);
 
-  std::vector<std::uint32_t> limbs_;  // little-endian, no trailing zeros
+  std::vector<limb_t> limbs_;  // little-endian, no trailing zeros
 };
 
 struct BigInt::DivMod {

@@ -1,0 +1,472 @@
+#include "crypto/bignum_ref.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/ct.hpp"
+
+namespace spider::crypto::ref {
+
+// ===================================================================== ref16
+
+namespace {
+
+std::vector<std::uint16_t> to16(const BigInt& v) {
+  Bytes be = v.to_bytes_be();
+  std::vector<std::uint16_t> out((be.size() + 1) / 2, 0);
+  for (std::size_t i = 0; i < be.size(); ++i) {
+    std::size_t from_end = be.size() - 1 - i;
+    out[i / 2] = static_cast<std::uint16_t>(
+        out[i / 2] | static_cast<std::uint16_t>(be[from_end]) << (8 * (i % 2)));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+BigInt from16(const std::vector<std::uint16_t>& digits) {
+  Bytes be(digits.size() * 2, 0);
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    be[be.size() - 1 - 2 * i] = static_cast<std::uint8_t>(digits[i]);
+    be[be.size() - 2 - 2 * i] = static_cast<std::uint8_t>(digits[i] >> 8);
+  }
+  return BigInt::from_bytes_be(be);
+}
+
+}  // namespace
+
+BigInt mul_simple(const BigInt& a, const BigInt& b) {
+  auto da = to16(a);
+  auto db = to16(b);
+  std::vector<std::uint16_t> out(da.size() + db.size(), 0);
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    std::uint32_t carry = 0;
+    for (std::size_t j = 0; j < db.size(); ++j) {
+      std::uint32_t cur = static_cast<std::uint32_t>(out[i + j]) +
+                          static_cast<std::uint32_t>(da[i]) * db[j] + carry;
+      out[i + j] = static_cast<std::uint16_t>(cur);
+      carry = cur >> 16;
+    }
+    std::size_t k = i + db.size();
+    while (carry != 0) {
+      std::uint32_t cur = static_cast<std::uint32_t>(out[k]) + carry;
+      out[k] = static_cast<std::uint16_t>(cur);
+      carry = cur >> 16;
+      ++k;
+    }
+  }
+  return from16(out);
+}
+
+BigInt::DivMod divmod_simple(const BigInt& a, const BigInt& b) {
+  if (b.is_zero()) throw std::domain_error("divmod_simple: division by zero");
+  // Binary long division: bring down one dividend bit at a time.
+  BigInt q, r;
+  for (std::size_t i = a.bit_length(); i-- > 0;) {
+    r = r << 1;
+    if (a.bit(i)) r = r + BigInt{1};
+    if (r >= b) {
+      r = r - b;
+      q = q + (BigInt{1} << i);
+    }
+  }
+  return {q, r};
+}
+
+BigInt mod_exp_simple(const BigInt& base, const BigInt& exponent, const BigInt& modulus) {
+  if (modulus < BigInt{2}) throw std::domain_error("mod_exp_simple: modulus must be >= 2");
+  BigInt result{1};
+  result = divmod_simple(result, modulus).remainder;
+  BigInt b = divmod_simple(base, modulus).remainder;
+  for (std::size_t i = exponent.bit_length(); i-- > 0;) {
+    result = divmod_simple(mul_simple(result, result), modulus).remainder;
+    if (exponent.bit(i)) result = divmod_simple(mul_simple(result, b), modulus).remainder;
+  }
+  return result;
+}
+
+// ===================================================================== ref32
+//
+// The original engine, kept verbatim modulo the representation shim:
+// little-endian uint32 vectors with no trailing zeros.
+
+namespace {
+
+using Num32 = std::vector<std::uint32_t>;
+constexpr std::uint64_t kBase32 = 1ULL << 32;
+
+void trim32(Num32& v) {
+  while (!v.empty() && v.back() == 0) v.pop_back();
+}
+
+Num32 to32(const BigInt& v) {
+  Bytes be = v.to_bytes_be();
+  Num32 out((be.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < be.size(); ++i) {
+    std::size_t from_end = be.size() - 1 - i;
+    out[i / 4] |= static_cast<std::uint32_t>(be[from_end]) << (8 * (i % 4));
+  }
+  trim32(out);
+  return out;
+}
+
+BigInt from32(const Num32& v) {
+  Bytes be(v.size() * 4, 0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      be[be.size() - 1 - (4 * i + b)] = static_cast<std::uint8_t>(v[i] >> (8 * b));
+    }
+  }
+  return BigInt::from_bytes_be(be);
+}
+
+int cmp32(const Num32& a, const Num32& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+Num32 mul32(const Num32& a, const Num32& b) {
+  if (a.empty() || b.empty()) return {};
+  Num32 out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  trim32(out);
+  return out;
+}
+
+Num32 shl32(const Num32& v, std::size_t bits) {
+  if (v.empty() || bits == 0) return v;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  Num32 out(v.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::uint64_t val = static_cast<std::uint64_t>(v[i]) << bit_shift;
+    out[i + limb_shift] |= static_cast<std::uint32_t>(val);
+    out[i + limb_shift + 1] |= static_cast<std::uint32_t>(val >> 32);
+  }
+  trim32(out);
+  return out;
+}
+
+Num32 shr32(const Num32& v, std::size_t bits) {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= v.size()) return {};
+  const std::size_t bit_shift = bits % 32;
+  Num32 out(v.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint64_t val = v[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < v.size()) {
+      val |= static_cast<std::uint64_t>(v[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    out[i] = static_cast<std::uint32_t>(val);
+  }
+  trim32(out);
+  return out;
+}
+
+/// Knuth Algorithm D over 32-bit limbs, exactly as the seed implemented it.
+void divmod32(const Num32& u_in, const Num32& v_in, Num32* q_out, Num32* r_out) {
+  if (v_in.empty()) throw std::domain_error("divmod32: division by zero");
+  if (cmp32(u_in, v_in) < 0) {
+    if (q_out != nullptr) q_out->clear();
+    if (r_out != nullptr) *r_out = u_in;
+    return;
+  }
+  if (v_in.size() == 1) {
+    const std::uint64_t d = v_in[0];
+    Num32 q(u_in.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = u_in.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | u_in[i];
+      q[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    trim32(q);
+    if (q_out != nullptr) *q_out = std::move(q);
+    if (r_out != nullptr) {
+      r_out->clear();
+      if (rem != 0) r_out->push_back(static_cast<std::uint32_t>(rem));
+    }
+    return;
+  }
+
+  int shift = 0;
+  {
+    std::uint32_t top = v_in.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  Num32 un = shl32(u_in, static_cast<std::size_t>(shift));
+  Num32 vn = shl32(v_in, static_cast<std::size_t>(shift));
+  const std::size_t n = vn.size();
+  const std::size_t m = un.size() - n;
+  un.push_back(0);
+
+  Num32 q(m + 1, 0);
+  for (std::size_t j = m + 1; j-- > 0;) {
+    std::uint64_t numerator = (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    std::uint64_t q_hat = numerator / vn[n - 1];
+    std::uint64_t r_hat = numerator % vn[n - 1];
+    while (q_hat >= kBase32 || q_hat * vn[n - 2] > ((r_hat << 32) | un[j + n - 2])) {
+      --q_hat;
+      r_hat += vn[n - 1];
+      if (r_hat >= kBase32) break;
+    }
+
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t product = q_hat * vn[i] + carry;
+      carry = product >> 32;
+      std::int64_t sub = static_cast<std::int64_t>(un[i + j]) -
+                         static_cast<std::int64_t>(product & 0xffffffffULL) - borrow;
+      if (sub < 0) {
+        sub += static_cast<std::int64_t>(kBase32);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      un[i + j] = static_cast<std::uint32_t>(sub);
+    }
+    std::int64_t sub =
+        static_cast<std::int64_t>(un[j + n]) - static_cast<std::int64_t>(carry) - borrow;
+    if (sub < 0) {
+      sub += static_cast<std::int64_t>(kBase32);
+      un[j + n] = static_cast<std::uint32_t>(sub);
+      --q_hat;
+      std::uint64_t carry2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = static_cast<std::uint64_t>(un[i + j]) + vn[i] + carry2;
+        un[i + j] = static_cast<std::uint32_t>(sum);
+        carry2 = sum >> 32;
+      }
+      un[j + n] = static_cast<std::uint32_t>(un[j + n] + carry2);
+    } else {
+      un[j + n] = static_cast<std::uint32_t>(sub);
+    }
+    q[j] = static_cast<std::uint32_t>(q_hat);
+  }
+
+  trim32(q);
+  if (q_out != nullptr) *q_out = std::move(q);
+  if (r_out != nullptr) {
+    Num32 r(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
+    trim32(r);
+    *r_out = shr32(r, static_cast<std::size_t>(shift));
+  }
+}
+
+Num32 mod32(const Num32& a, const Num32& m) {
+  Num32 r;
+  divmod32(a, m, nullptr, &r);
+  return r;
+}
+
+std::size_t bitlen32(const Num32& v) {
+  if (v.empty()) return 0;
+  std::uint32_t top = v.back();
+  std::size_t bits = (v.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool bit32(const Num32& v, std::size_t i) {
+  std::size_t limb = i / 32;
+  if (limb >= v.size()) return false;
+  return (v[limb] >> (i % 32)) & 1u;
+}
+
+/// Montgomery context for an odd modulus N: R = B^n with B = 2^32.
+struct MontCtx32 {
+  Num32 n;                // modulus limbs
+  std::uint32_t n_prime;  // -N^-1 mod B
+  Num32 r2;               // R^2 mod N
+
+  explicit MontCtx32(const Num32& modulus) : n(modulus) {
+    std::uint32_t inv = 1;
+    for (int i = 0; i < 5; ++i) inv *= 2 - n[0] * inv;
+    n_prime = static_cast<std::uint32_t>(0u - inv);
+    Num32 r_full = shl32({1}, 32 * n.size());
+    r2 = mod32(mul32(r_full, r_full), n);
+  }
+
+  /// CIOS Montgomery multiplication: returns a*b*R^-1 mod N.
+  void mul(const Num32& a, const Num32& b, Num32& out) const {
+    const std::size_t s = n.size();
+    std::vector<std::uint64_t> t(s + 2, 0);
+    for (std::size_t i = 0; i < s; ++i) {
+      std::uint64_t carry = 0;
+      std::uint64_t ai = a[i];
+      for (std::size_t j = 0; j < s; ++j) {
+        std::uint64_t cur = t[j] + ai * b[j] + carry;
+        t[j] = cur & 0xffffffffULL;
+        carry = cur >> 32;
+      }
+      std::uint64_t cur = t[s] + carry;
+      t[s] = cur & 0xffffffffULL;
+      t[s + 1] += cur >> 32;
+
+      std::uint64_t m = (t[0] * n_prime) & 0xffffffffULL;
+      carry = 0;
+      std::uint64_t low = t[0] + m * n[0];
+      carry = low >> 32;
+      for (std::size_t j = 1; j < s; ++j) {
+        std::uint64_t c2 = t[j] + m * n[j] + carry;
+        t[j - 1] = c2 & 0xffffffffULL;
+        carry = c2 >> 32;
+      }
+      std::uint64_t c3 = t[s] + carry;
+      t[s - 1] = c3 & 0xffffffffULL;
+      t[s] = t[s + 1] + (c3 >> 32);
+      t[s + 1] = 0;
+    }
+    bool ge = t[s] != 0;
+    if (!ge) {
+      ge = true;
+      for (std::size_t i = s; i-- > 0;) {
+        if (t[i] != n[i]) {
+          ge = t[i] > n[i];
+          break;
+        }
+      }
+    }
+    out.assign(s, 0);
+    if (ge) {
+      std::int64_t borrow = 0;
+      for (std::size_t i = 0; i < s; ++i) {
+        std::int64_t diff =
+            static_cast<std::int64_t>(t[i]) - static_cast<std::int64_t>(n[i]) - borrow;
+        if (diff < 0) {
+          diff += static_cast<std::int64_t>(kBase32);
+          borrow = 1;
+        } else {
+          borrow = 0;
+        }
+        out[i] = static_cast<std::uint32_t>(diff);
+      }
+    } else {
+      for (std::size_t i = 0; i < s; ++i) out[i] = static_cast<std::uint32_t>(t[i]);
+    }
+  }
+};
+
+Num32 padded32(Num32 v, std::size_t size) {
+  v.resize(size, 0);
+  return v;
+}
+
+}  // namespace
+
+BigInt mod_exp32(const BigInt& base, const BigInt& exponent, const BigInt& modulus) {
+  if (modulus < BigInt{2}) throw std::domain_error("mod_exp32: modulus must be >= 2");
+  const Num32 mod = to32(modulus);
+  const Num32 exp = to32(exponent);
+  if (exp.empty()) return from32(mod32({1}, mod));
+  Num32 b = mod32(to32(base), mod);
+  if (b.empty()) return BigInt{};
+
+  if (!modulus.is_odd()) {
+    Num32 result = mod32({1}, mod);
+    for (std::size_t i = bitlen32(exp); i-- > 0;) {
+      result = mod32(mul32(result, result), mod);
+      if (bit32(exp, i)) result = mod32(mul32(result, b), mod);
+    }
+    return from32(result);
+  }
+
+  MontCtx32 ctx(mod);
+  const std::size_t s = ctx.n.size();
+  Num32 base_m(s), acc(s), tmp(s);
+  ctx.mul(padded32(b, s), padded32(ctx.r2, s), base_m);
+  Num32 one_m;
+  {
+    Num32 r_mod = mod32(shl32({1}, 32 * s), mod);
+    one_m = padded32(r_mod, s);
+  }
+
+  std::vector<Num32> table(16);
+  table[0] = one_m;
+  table[1] = base_m;
+  for (std::size_t i = 2; i < 16; ++i) {
+    table[i].assign(s, 0);
+    ctx.mul(table[i - 1], base_m, table[i]);
+  }
+
+  const std::size_t nbits = bitlen32(exp);
+  const std::size_t nwindows = (nbits + 3) / 4;
+  acc = one_m;
+  for (std::size_t w = nwindows; w-- > 0;) {
+    for (int k = 0; k < 4; ++k) {
+      ctx.mul(acc, acc, tmp);
+      acc.swap(tmp);
+    }
+    std::uint32_t window = 0;
+    for (int k = 3; k >= 0; --k) {
+      std::size_t bit_idx = w * 4 + static_cast<std::size_t>(k);
+      window = static_cast<std::uint32_t>((window << 1) |
+                                          (bit_idx < nbits && bit32(exp, bit_idx) ? 1 : 0));
+    }
+    if (window != 0) {
+      ctx.mul(acc, table[window], tmp);
+      acc.swap(tmp);
+    }
+  }
+
+  Num32 unit(s, 0);
+  unit[0] = 1;
+  ctx.mul(acc, unit, tmp);
+  trim32(tmp);
+  return from32(tmp);
+}
+
+Bytes rsa_sign_seed(const RsaPrivateKey& key, ByteSpan message) {
+  const std::size_t k = key.public_key().modulus_bytes();
+  BigInt m = BigInt::from_bytes_be(pkcs1_sha512_encode(message, k));
+
+  // CRT recombination over ref32 primitives, exactly the seed structure.
+  BigInt sp = mod_exp32(m, key.dp, key.p);
+  BigInt sq = mod_exp32(m, key.dq, key.q);
+  BigInt sq_mod_p = from32(mod32(to32(sq), to32(key.p)));
+  BigInt h = sp >= sq_mod_p ? sp - sq_mod_p : key.p - (sq_mod_p - sp);
+  h = from32(mod32(mul32(to32(h), to32(key.qinv)), to32(key.p)));
+  BigInt s = sq + from32(mul32(to32(h), to32(key.q)));
+  return s.to_bytes_be(k);
+}
+
+Bytes rsa_sign_nocrt(const RsaPrivateKey& key, ByteSpan message) {
+  const std::size_t k = key.public_key().modulus_bytes();
+  BigInt m = BigInt::from_bytes_be(pkcs1_sha512_encode(message, k));
+  return mod_exp32(m, key.d, key.n).to_bytes_be(k);
+}
+
+bool rsa_verify_seed(const RsaPublicKey& key, ByteSpan message, ByteSpan signature) {
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+  BigInt s = BigInt::from_bytes_be(signature);
+  if (s >= key.n) return false;
+  BigInt m = mod_exp32(s, key.e, key.n);
+  return constant_time_equal(m.to_bytes_be(k), pkcs1_sha512_encode(message, k));
+}
+
+}  // namespace spider::crypto::ref

@@ -1,0 +1,203 @@
+#include "crypto/limb.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace spider::crypto::lk {
+
+std::size_t nsize(const limb_t* a, std::size_t n) {
+  while (n > 0 && a[n - 1] == 0) --n;
+  return n;
+}
+
+int cmp(const limb_t* a, std::size_t an, const limb_t* b, std::size_t bn) {
+  an = nsize(a, an);
+  bn = nsize(b, bn);
+  if (an != bn) return an < bn ? -1 : 1;
+  for (std::size_t i = an; i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+limb_t add(const limb_t* a, std::size_t an, const limb_t* b, std::size_t bn, limb_t* out) {
+  limb_t carry = 0;
+  std::size_t i = 0;
+  for (; i < bn; ++i) {
+    dlimb_t cur = static_cast<dlimb_t>(a[i]) + b[i] + carry;
+    out[i] = static_cast<limb_t>(cur);
+    carry = static_cast<limb_t>(cur >> kLimbBits);
+  }
+  for (; i < an; ++i) {
+    dlimb_t cur = static_cast<dlimb_t>(a[i]) + carry;
+    out[i] = static_cast<limb_t>(cur);
+    carry = static_cast<limb_t>(cur >> kLimbBits);
+  }
+  return carry;
+}
+
+limb_t sub(const limb_t* a, std::size_t an, const limb_t* b, std::size_t bn, limb_t* out) {
+  limb_t borrow = 0;
+  std::size_t i = 0;
+  for (; i < bn; ++i) {
+    dlimb_t cur = static_cast<dlimb_t>(a[i]) - b[i] - borrow;
+    out[i] = static_cast<limb_t>(cur);
+    borrow = static_cast<limb_t>(cur >> kLimbBits) & 1;
+  }
+  for (; i < an; ++i) {
+    dlimb_t cur = static_cast<dlimb_t>(a[i]) - borrow;
+    out[i] = static_cast<limb_t>(cur);
+    borrow = static_cast<limb_t>(cur >> kLimbBits) & 1;
+  }
+  return borrow;
+}
+
+void mul(const limb_t* a, std::size_t an, const limb_t* b, std::size_t bn, limb_t* out) {
+  std::fill(out, out + an + bn, limb_t{0});
+  for (std::size_t i = 0; i < an; ++i) {
+    limb_t carry = 0;
+    const dlimb_t ai = a[i];
+    for (std::size_t j = 0; j < bn; ++j) {
+      dlimb_t cur = static_cast<dlimb_t>(out[i + j]) + ai * b[j] + carry;
+      out[i + j] = static_cast<limb_t>(cur);
+      carry = static_cast<limb_t>(cur >> kLimbBits);
+    }
+    out[i + bn] = carry;  // untouched by earlier rows, so plain assignment
+  }
+}
+
+void sqr(const limb_t* a, std::size_t n, limb_t* out) {
+  std::fill(out, out + 2 * n, limb_t{0});
+  // Cross products a[i]*a[j] for i < j, accumulated once.
+  for (std::size_t i = 0; i < n; ++i) {
+    limb_t carry = 0;
+    const dlimb_t ai = a[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      dlimb_t cur = static_cast<dlimb_t>(out[i + j]) + ai * a[j] + carry;
+      out[i + j] = static_cast<limb_t>(cur);
+      carry = static_cast<limb_t>(cur >> kLimbBits);
+    }
+    out[i + n] = carry;
+  }
+  // Double the cross products (shift left one bit)...
+  limb_t top = 0;
+  for (std::size_t k = 0; k < 2 * n; ++k) {
+    limb_t next = out[k] >> (kLimbBits - 1);
+    out[k] = (out[k] << 1) | top;
+    top = next;
+  }
+  // ...and add the diagonal a[i]^2 at position 2i.
+  limb_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dlimb_t cur = static_cast<dlimb_t>(out[2 * i]) + static_cast<dlimb_t>(a[i]) * a[i] + carry;
+    out[2 * i] = static_cast<limb_t>(cur);
+    dlimb_t hi = static_cast<dlimb_t>(out[2 * i + 1]) + static_cast<limb_t>(cur >> kLimbBits);
+    out[2 * i + 1] = static_cast<limb_t>(hi);
+    carry = static_cast<limb_t>(hi >> kLimbBits);
+  }
+}
+
+void divmod(const limb_t* u, std::size_t un, const limb_t* v, std::size_t vn, limb_t* q, limb_t* r,
+            limb_t* scratch) {
+  const std::size_t un_raw = un;
+  const std::size_t vn_raw = vn;
+  un = nsize(u, un);
+  vn = nsize(v, vn);
+  if (vn == 0) throw std::domain_error("lk::divmod: division by zero");
+
+  std::fill(r, r + vn_raw, limb_t{0});
+  if (q != nullptr && un_raw >= vn_raw) std::fill(q, q + (un_raw - vn_raw + 1), limb_t{0});
+  if (cmp(u, un, v, vn) < 0) {
+    std::copy(u, u + un, r);
+    return;
+  }
+
+  // Single-limb divisor: one pass of 128/64 division.
+  if (vn == 1) {
+    const limb_t d = v[0];
+    limb_t rem = 0;
+    for (std::size_t i = un; i-- > 0;) {
+      dlimb_t cur = (static_cast<dlimb_t>(rem) << kLimbBits) | u[i];
+      if (q != nullptr) q[i] = static_cast<limb_t>(cur / d);
+      rem = static_cast<limb_t>(cur % d);
+    }
+    r[0] = rem;
+    return;
+  }
+
+  // Normalize so the divisor's top limb has its high bit set, which bounds
+  // the quotient-digit estimate error at 2 (Knuth TAOCP 4.3.1, Alg. D).
+  const int shift = std::countl_zero(v[vn - 1]);
+  limb_t* un_ = scratch;            // un + 1 limbs
+  limb_t* vn_ = scratch + un + 1;   // vn limbs
+  if (shift == 0) {
+    std::copy(u, u + un, un_);
+    un_[un] = 0;
+    std::copy(v, v + vn, vn_);
+  } else {
+    limb_t carry = 0;
+    for (std::size_t i = 0; i < un; ++i) {
+      un_[i] = (u[i] << shift) | carry;
+      carry = u[i] >> (kLimbBits - shift);
+    }
+    un_[un] = carry;
+    carry = 0;
+    for (std::size_t i = 0; i < vn; ++i) {
+      vn_[i] = (v[i] << shift) | carry;
+      carry = v[i] >> (kLimbBits - shift);
+    }
+  }
+
+  const std::size_t m = un - vn;
+  const limb_t vhigh = vn_[vn - 1];
+  const limb_t vnext = vn_[vn - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat = (un_[j+vn]*B + un_[j+vn-1]) / vhigh, clamped to B-1.
+    dlimb_t numerator = (static_cast<dlimb_t>(un_[j + vn]) << kLimbBits) | un_[j + vn - 1];
+    dlimb_t q_hat = numerator / vhigh;
+    dlimb_t r_hat = numerator % vhigh;
+    while (q_hat >> kLimbBits != 0 ||
+           q_hat * vnext > ((r_hat << kLimbBits) | un_[j + vn - 2])) {
+      --q_hat;
+      r_hat += vhigh;
+      if (r_hat >> kLimbBits != 0) break;
+    }
+    limb_t qh = static_cast<limb_t>(q_hat);
+
+    // Multiply-subtract q_hat * v from un_[j .. j+vn].
+    limb_t mul_carry = 0;
+    limb_t borrow = 0;
+    for (std::size_t i = 0; i < vn; ++i) {
+      dlimb_t p = static_cast<dlimb_t>(qh) * vn_[i] + mul_carry;
+      mul_carry = static_cast<limb_t>(p >> kLimbBits);
+      dlimb_t d = static_cast<dlimb_t>(un_[i + j]) - static_cast<limb_t>(p) - borrow;
+      un_[i + j] = static_cast<limb_t>(d);
+      borrow = static_cast<limb_t>(d >> kLimbBits) & 1;
+    }
+    dlimb_t d = static_cast<dlimb_t>(un_[j + vn]) - mul_carry - borrow;
+    if ((d >> kLimbBits) != 0) {
+      // q_hat was one too large: add v back and decrement.
+      un_[j + vn] = static_cast<limb_t>(d);
+      --qh;
+      limb_t carry = add(un_ + j, vn, vn_, vn, un_ + j);
+      un_[j + vn] += carry;
+    } else {
+      un_[j + vn] = static_cast<limb_t>(d);
+    }
+    if (q != nullptr) q[j] = qh;
+  }
+
+  // Denormalize the remainder.
+  if (shift == 0) {
+    std::copy(un_, un_ + vn, r);
+  } else {
+    for (std::size_t i = 0; i < vn; ++i) {
+      r[i] = un_[i] >> shift;
+      if (i + 1 < vn) r[i] |= un_[i + 1] << (kLimbBits - shift);
+    }
+  }
+}
+
+}  // namespace spider::crypto::lk

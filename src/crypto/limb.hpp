@@ -1,0 +1,68 @@
+// Flat limb-array arithmetic kernels: the substrate under BigInt.
+//
+// Every kernel operates on raw little-endian arrays of 64-bit limbs with
+// caller-provided output (and, for division, caller-provided scratch), so
+// the owning class above can preallocate once and the hot loops never
+// allocate.  Intermediate products use the compiler's 128-bit integer, so
+// one schoolbook step is a single mul + add chain instead of the four
+// 32x32 partial products the previous vector-of-uint32 representation
+// needed.
+//
+// Conventions:
+//  * arrays are little-endian (limb 0 is least significant);
+//  * lengths count limbs and may include trailing zeros unless a kernel
+//    says otherwise; nsize() computes the trimmed length;
+//  * output arrays never alias inputs unless a kernel documents that it
+//    is safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spider::crypto {
+
+using limb_t = std::uint64_t;
+// GCC/Clang 128-bit integer; __extension__ keeps -Wpedantic quiet.
+__extension__ typedef unsigned __int128 dlimb_t;
+
+constexpr std::size_t kLimbBits = 64;
+
+namespace lk {
+
+/// Number of significant limbs (trailing zeros dropped); 0 for zero.
+std::size_t nsize(const limb_t* a, std::size_t n);
+
+/// Three-way compare of a[0..an) vs b[0..bn); lengths may be untrimmed.
+int cmp(const limb_t* a, std::size_t an, const limb_t* b, std::size_t bn);
+
+/// out[0..an) = a + b, requires an >= bn; returns the carry out.
+/// out may alias a.
+limb_t add(const limb_t* a, std::size_t an, const limb_t* b, std::size_t bn, limb_t* out);
+
+/// out[0..an) = a - b, requires an >= bn and a >= b numerically; returns
+/// the borrow out (0 when the precondition holds; 1 means underflow, which
+/// mont_mul exploits for its top-limb-absorbed subtraction).  out may
+/// alias a.
+limb_t sub(const limb_t* a, std::size_t an, const limb_t* b, std::size_t bn, limb_t* out);
+
+/// out[0..an+bn) = a * b (schoolbook, 128-bit accumulation).  out must not
+/// alias either input; it is fully overwritten.
+void mul(const limb_t* a, std::size_t an, const limb_t* b, std::size_t bn, limb_t* out);
+
+/// out[0..2n) = a^2: cross products once, doubled, plus the diagonal —
+/// roughly half the multiplies of mul(a, a).  out must not alias a.
+void sqr(const limb_t* a, std::size_t n, limb_t* out);
+
+/// Scratch limbs divmod() needs for its normalized copies.
+inline std::size_t divmod_scratch(std::size_t un, std::size_t vn) { return un + 1 + vn; }
+
+/// Knuth Algorithm D: u / v with un >= vn >= 1 and v != 0 (untrimmed
+/// lengths are fine; the kernel trims).  Writes the quotient to
+/// q[0..un-vn+1) (may be null to discard) and the remainder to r[0..vn)
+/// (zero padded).  scratch must hold divmod_scratch(un, vn) limbs.
+void divmod(const limb_t* u, std::size_t un, const limb_t* v, std::size_t vn, limb_t* q, limb_t* r,
+            limb_t* scratch);
+
+}  // namespace lk
+
+}  // namespace spider::crypto

@@ -1,0 +1,207 @@
+#include "crypto/mont.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spider::crypto {
+
+namespace {
+
+/// Pads a value known to be < 2^(64*size) out to `size` limbs.
+std::vector<limb_t> padded(const BigInt& v, std::size_t size) {
+  std::vector<limb_t> out(v.limbs());
+  out.resize(size, 0);
+  return out;
+}
+
+/// mont_mul with the width fixed at compile time: the inner loops unroll
+/// fully and the accumulator row lives in registers instead of scratch.
+/// RSA-512..2048 halves and moduli land on these widths; everything else
+/// takes the generic path.
+template <std::size_t S>
+void mont_mul_fixed(const limb_t* a, const limb_t* b, const limb_t* n, limb_t n0, limb_t* out) {
+  limb_t t[S + 1] = {};
+  for (std::size_t i = 0; i < S; ++i) {
+    const dlimb_t ai = a[i];
+    dlimb_t p = static_cast<dlimb_t>(t[0]) + ai * b[0];
+    const limb_t m = static_cast<limb_t>(p) * n0;
+    dlimb_t q = static_cast<dlimb_t>(static_cast<limb_t>(p)) + static_cast<dlimb_t>(m) * n[0];
+    limb_t mul_carry = static_cast<limb_t>(p >> kLimbBits);
+    limb_t red_carry = static_cast<limb_t>(q >> kLimbBits);
+    for (std::size_t j = 1; j < S; ++j) {
+      p = static_cast<dlimb_t>(t[j]) + ai * b[j] + mul_carry;
+      mul_carry = static_cast<limb_t>(p >> kLimbBits);
+      q = static_cast<dlimb_t>(static_cast<limb_t>(p)) + static_cast<dlimb_t>(m) * n[j] +
+          red_carry;
+      red_carry = static_cast<limb_t>(q >> kLimbBits);
+      t[j - 1] = static_cast<limb_t>(q);
+    }
+    const dlimb_t top = static_cast<dlimb_t>(t[S]) + mul_carry + red_carry;
+    t[S - 1] = static_cast<limb_t>(top);
+    t[S] = static_cast<limb_t>(top >> kLimbBits);
+  }
+  if (t[S] != 0 || lk::cmp(t, S, n, S) >= 0) {
+    lk::sub(t, S, n, S, out);
+  } else {
+    std::copy(t, t + S, out);
+  }
+}
+
+}  // namespace
+
+MontCtx::MontCtx(const BigInt& modulus) : modulus_(modulus), n_(modulus.limbs()) {
+  if (!modulus.is_odd() || modulus < BigInt{3}) {
+    throw std::domain_error("MontCtx: modulus must be odd and >= 3");
+  }
+  // Newton iteration doubles the correct low bits of the inverse each
+  // step: seeding with n (3 bits correct mod 8 for odd n) reaches 64 bits
+  // in five steps; a sixth is free insurance.
+  limb_t inv = n_[0];
+  for (int i = 0; i < 6; ++i) inv *= 2 - n_[0] * inv;
+  n0_ = limb_t{0} - inv;
+
+  const std::size_t s = n_.size();
+  rr_ = padded((BigInt{1} << (2 * kLimbBits * s)) % modulus, s);
+  one_ = padded((BigInt{1} << (kLimbBits * s)) % modulus, s);
+}
+
+void MontCtx::mont_mul(const limb_t* a, const limb_t* b, limb_t* out, limb_t* scratch) const {
+  const std::size_t s = n_.size();
+  switch (s) {
+    case 4: return mont_mul_fixed<4>(a, b, n_.data(), n0_, out);
+    case 6: return mont_mul_fixed<6>(a, b, n_.data(), n0_, out);
+    case 8: return mont_mul_fixed<8>(a, b, n_.data(), n0_, out);
+    case 12: return mont_mul_fixed<12>(a, b, n_.data(), n0_, out);
+    case 16: return mont_mul_fixed<16>(a, b, n_.data(), n0_, out);
+    default: break;
+  }
+  limb_t* t = scratch;  // s + 1 limbs used
+  std::fill(t, t + s + 1, limb_t{0});
+  for (std::size_t i = 0; i < s; ++i) {
+    // One fused pass: t = (t + a[i]*b + m*N) >> 64 with m chosen so the
+    // low limb cancels.  Two independent carry chains (partial product
+    // and reduction) keep the dependency distance at one limb each.
+    const dlimb_t ai = a[i];
+    dlimb_t p = static_cast<dlimb_t>(t[0]) + ai * b[0];
+    const limb_t m = static_cast<limb_t>(p) * n0_;
+    dlimb_t q = static_cast<dlimb_t>(static_cast<limb_t>(p)) + static_cast<dlimb_t>(m) * n_[0];
+    limb_t mul_carry = static_cast<limb_t>(p >> kLimbBits);
+    limb_t red_carry = static_cast<limb_t>(q >> kLimbBits);
+    for (std::size_t j = 1; j < s; ++j) {
+      p = static_cast<dlimb_t>(t[j]) + ai * b[j] + mul_carry;
+      mul_carry = static_cast<limb_t>(p >> kLimbBits);
+      q = static_cast<dlimb_t>(static_cast<limb_t>(p)) + static_cast<dlimb_t>(m) * n_[j] +
+          red_carry;
+      red_carry = static_cast<limb_t>(q >> kLimbBits);
+      t[j - 1] = static_cast<limb_t>(q);
+    }
+    // With a, b < N the invariant t < 2N holds, so the top fits one limb
+    // plus a bit that the conditional subtraction below absorbs.
+    const dlimb_t top = static_cast<dlimb_t>(t[s]) + mul_carry + red_carry;
+    t[s - 1] = static_cast<limb_t>(top);
+    t[s] = static_cast<limb_t>(top >> kLimbBits);
+  }
+  // Result is in [0, 2N): subtract N once when needed.  With t[s] set the
+  // value exceeds s limbs, and the borrow out of the s-limb subtraction is
+  // absorbed by that top limb.
+  if (t[s] != 0 || lk::cmp(t, s, n_.data(), s) >= 0) {
+    lk::sub(t, s, n_.data(), s, out);
+  } else {
+    std::copy(t, t + s, out);
+  }
+}
+
+void MontCtx::mont_sqr(const limb_t* a, limb_t* out, limb_t* scratch) const {
+  const std::size_t s = n_.size();
+  switch (s) {
+    // At fixed widths the register-resident fused multiply beats the
+    // sqr-then-reduce two-pass below even though it does more multiplies.
+    case 4: return mont_mul_fixed<4>(a, a, n_.data(), n0_, out);
+    case 6: return mont_mul_fixed<6>(a, a, n_.data(), n0_, out);
+    case 8: return mont_mul_fixed<8>(a, a, n_.data(), n0_, out);
+    case 12: return mont_mul_fixed<12>(a, a, n_.data(), n0_, out);
+    case 16: return mont_mul_fixed<16>(a, a, n_.data(), n0_, out);
+    default: break;
+  }
+  limb_t* t = scratch;  // 2s + 1 limbs
+  lk::sqr(a, s, t);
+  t[2 * s] = 0;
+  // Montgomery reduction of the double-width square: s passes, each
+  // cancelling the current low limb with m*N and carrying into the tail.
+  for (std::size_t i = 0; i < s; ++i) {
+    const limb_t m = t[i] * n0_;
+    limb_t carry = 0;
+    for (std::size_t j = 0; j < s; ++j) {
+      dlimb_t cur = static_cast<dlimb_t>(t[i + j]) + static_cast<dlimb_t>(m) * n_[j] + carry;
+      t[i + j] = static_cast<limb_t>(cur);
+      carry = static_cast<limb_t>(cur >> kLimbBits);
+    }
+    for (std::size_t k = i + s; carry != 0; ++k) {
+      dlimb_t cur = static_cast<dlimb_t>(t[k]) + carry;
+      t[k] = static_cast<limb_t>(cur);
+      carry = static_cast<limb_t>(cur >> kLimbBits);
+    }
+  }
+  // a < N gives (a^2 + sum m_i*N*B^i) / R < 2N: one conditional subtract.
+  if (t[2 * s] != 0 || lk::cmp(t + s, s, n_.data(), s) >= 0) {
+    lk::sub(t + s, s, n_.data(), s, out);
+  } else {
+    std::copy(t + s, t + 2 * s, out);
+  }
+}
+
+void MontCtx::to_mont(const limb_t* a, limb_t* out, limb_t* scratch) const {
+  mont_mul(a, rr_.data(), out, scratch);
+}
+
+void MontCtx::from_mont(const limb_t* a, limb_t* out, limb_t* scratch) const {
+  const std::size_t s = n_.size();
+  std::vector<limb_t> unit(s, 0);
+  unit[0] = 1;
+  mont_mul(a, unit.data(), out, scratch);
+}
+
+BigInt MontCtx::exp(const BigInt& base, const BigInt& exponent) const {
+  const std::size_t s = n_.size();
+  const BigInt reduced = base % modulus_;
+
+  // One flat block: 16-entry window table, accumulator, temp, CIOS row.
+  std::vector<limb_t> block(16 * s + 2 * s + scratch_size());
+  limb_t* table = block.data();
+  limb_t* acc = table + 16 * s;
+  limb_t* tmp = acc + s;
+  limb_t* scratch = tmp + s;
+
+  std::copy(one_.begin(), one_.end(), table);  // base^0 in Montgomery form
+  {
+    std::vector<limb_t> base_limbs = padded(reduced, s);
+    to_mont(base_limbs.data(), table + s, scratch);
+  }
+  for (std::size_t i = 2; i < 16; ++i) {
+    mont_mul(table + (i - 1) * s, table + s, table + i * s, scratch);
+  }
+
+  const std::size_t nbits = exponent.bit_length();
+  const std::size_t nwindows = (nbits + 3) / 4;
+  std::copy(one_.begin(), one_.end(), acc);
+  for (std::size_t w = nwindows; w-- > 0;) {
+    for (int k = 0; k < 4; ++k) {
+      mont_sqr(acc, tmp, scratch);
+      std::swap(acc, tmp);
+    }
+    std::size_t window = 0;
+    for (int k = 3; k >= 0; --k) {
+      std::size_t bit_idx = w * 4 + static_cast<std::size_t>(k);
+      window = (window << 1) | ((bit_idx < nbits && exponent.bit(bit_idx)) ? 1u : 0u);
+    }
+    if (window != 0) {
+      mont_mul(acc, table + window * s, tmp, scratch);
+      std::swap(acc, tmp);
+    }
+  }
+
+  from_mont(acc, tmp, scratch);
+  return BigInt::from_limbs(std::vector<limb_t>(tmp, tmp + s));
+}
+
+}  // namespace spider::crypto

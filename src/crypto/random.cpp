@@ -1,8 +1,11 @@
 #include "crypto/random.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <random>
+
+#include "crypto/sha2_multi.hpp"
 
 namespace spider::crypto {
 
@@ -29,6 +32,29 @@ Digest20 CommitmentPrf::derive(char domain, std::uint64_t index) const {
   suffix[0] = static_cast<std::uint8_t>(domain);
   for (int i = 0; i < 8; ++i) suffix[1 + i] = static_cast<std::uint8_t>(index >> (56 - 8 * i));
   return digest20_concat({seed_.span(), ByteSpan{suffix, sizeof(suffix)}});
+}
+
+void CommitmentPrf::bit_randomness_batch(const std::uint64_t* indices, std::size_t n,
+                                         Digest20* out) const {
+  // Same bytes as derive('x', index): seed || domain || big-endian index.
+  constexpr std::size_t kChunk = 64;
+  constexpr std::size_t kMsg = sizeof(seed_.data) + 9;
+  std::uint8_t buf[kChunk * kMsg];
+  ByteSpan spans[kChunk];
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t g = std::min(kChunk, n - i);
+    for (std::size_t k = 0; k < g; ++k) {
+      std::uint8_t* m = buf + k * kMsg;
+      std::memcpy(m, seed_.data.data(), seed_.data.size());
+      m[32] = static_cast<std::uint8_t>('x');
+      const std::uint64_t index = indices[i + k];
+      for (int b = 0; b < 8; ++b) m[33 + b] = static_cast<std::uint8_t>(index >> (56 - 8 * b));
+      spans[k] = ByteSpan{m, kMsg};
+    }
+    digest20_batch(spans, g, out + i);
+    i += g;
+  }
 }
 
 }  // namespace spider::crypto

@@ -51,6 +51,11 @@ class CommitmentPrf {
   /// Random bitstring for the x value of bit node `index`.
   Digest20 bit_randomness(std::uint64_t index) const { return derive('x', index); }
 
+  /// Batch form: out[i] = bit_randomness(indices[i]) for i in [0, n), run
+  /// through the multi-lane SHA-512 batcher.  The labeler derives millions
+  /// of x values per commitment, all 41-byte messages — ideal lane food.
+  void bit_randomness_batch(const std::uint64_t* indices, std::size_t n, Digest20* out) const;
+
   /// Random label for dummy node `index`.
   Digest20 dummy_label(std::uint64_t index) const { return derive('d', index); }
 

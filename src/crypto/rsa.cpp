@@ -17,8 +17,9 @@ constexpr std::uint8_t kSha512DigestInfo[] = {
     0x30, 0x51, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
     0x65, 0x03, 0x04, 0x02, 0x03, 0x05, 0x00, 0x04, 0x40};
 
-/// EMSA-PKCS1-v1_5 encoding of SHA-512(message) into `em_len` bytes.
-Bytes pkcs1_encode(ByteSpan message, std::size_t em_len) {
+}  // namespace
+
+Bytes pkcs1_sha512_encode(ByteSpan message, std::size_t em_len) {
   auto digest = Sha512::hash(message);
   const std::size_t t_len = sizeof(kSha512DigestInfo) + digest.size();
   if (em_len < t_len + 11) throw std::invalid_argument("pkcs1_encode: modulus too small");
@@ -32,8 +33,6 @@ Bytes pkcs1_encode(ByteSpan message, std::size_t em_len) {
   em.insert(em.end(), digest.begin(), digest.end());
   return em;
 }
-
-}  // namespace
 
 Bytes RsaPublicKey::encode() const {
   util::ByteWriter w;
@@ -94,7 +93,7 @@ Bytes rsa_sign(const RsaPrivateKey& key, ByteSpan message) {
   SPIDER_OBS_COUNT("crypto/rsa_sign_ops", 1);
   SPIDER_OBS_COUNT("crypto/rsa_sign_bytes", message.size());
   const std::size_t k = key.public_key().modulus_bytes();
-  BigInt m = BigInt::from_bytes_be(pkcs1_encode(message, k));
+  BigInt m = BigInt::from_bytes_be(pkcs1_sha512_encode(message, k));
 
   // CRT: s_p = m^dp mod p, s_q = m^dq mod q, recombine.
   BigInt sp = m.mod_exp(key.dp, key.p);
@@ -113,7 +112,7 @@ bool rsa_verify(const RsaPublicKey& key, ByteSpan message, ByteSpan signature) {
   BigInt s = BigInt::from_bytes_be(signature);
   if (s >= key.n) return false;
   BigInt m = s.mod_exp(key.e, key.n);
-  Bytes expected = pkcs1_encode(message, k);
+  Bytes expected = pkcs1_sha512_encode(message, k);
   return constant_time_equal(m.to_bytes_be(k), expected);
 }
 

@@ -1,0 +1,139 @@
+#include "crypto/sha2_multi.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "crypto/sha2_kernel.hpp"
+#include "obs/metrics.hpp"
+
+namespace spider::crypto {
+
+namespace {
+
+using detail::kMaxLanes;
+
+constexpr std::size_t kBlock = 128;
+
+/// Blocks the padded message occupies: data, then 0x80 + zeros + 16-byte
+/// length, rounded up.
+std::size_t padded_blocks(std::size_t len) { return (len + 17 + kBlock - 1) / kBlock; }
+
+struct Backend {
+  std::size_t lanes;
+  void (*compress)(std::uint64_t (*)[kMaxLanes], const std::uint8_t* const*);
+};
+
+const Backend& backend() {
+  static const Backend be = [] {
+    if (detail::sha512_x8_supported()) return Backend{8, &detail::sha512_x8_compress};
+    if (detail::sha512_x4_supported()) return Backend{4, &detail::sha512_x4_compress};
+    return Backend{1, nullptr};
+  }();
+  return be;
+}
+
+/// Per-lane padding tail: the final one or two blocks holding the message
+/// remainder, the 0x80 marker and the big-endian bit length.
+struct Tail {
+  std::array<std::uint8_t, 2 * kBlock> pad{};
+  std::size_t data_blocks = 0;
+  std::size_t tail_blocks = 0;
+};
+
+void build_tail(ByteSpan msg, Tail& t) {
+  const std::size_t rem = msg.size() % kBlock;
+  t.data_blocks = msg.size() / kBlock;
+  t.tail_blocks = padded_blocks(msg.size()) - t.data_blocks;
+  if (rem != 0) std::memcpy(t.pad.data(), msg.data() + t.data_blocks * kBlock, rem);
+  t.pad[rem] = 0x80;
+  // 128-bit big-endian length; the high 8 bytes stay zero for any message
+  // under 2^61 bytes (same assumption as the scalar class).
+  const std::uint64_t bits = static_cast<std::uint64_t>(msg.size()) * 8;
+  std::uint8_t* end = t.pad.data() + t.tail_blocks * kBlock;
+  for (int i = 0; i < 8; ++i) end[-1 - i] = static_cast<std::uint8_t>(bits >> (8 * i));
+}
+
+/// Hashes a group of g (2 <= g <= kMaxLanes) messages that all pad to the
+/// same block count; lanes past g re-hash the last message and are
+/// discarded.
+void run_group(const Backend& be, const ByteSpan* msgs, std::size_t g, Sha512::Digest* outs) {
+  std::uint64_t state[8][kMaxLanes];
+  for (std::size_t w = 0; w < 8; ++w) {
+    for (std::size_t l = 0; l < kMaxLanes; ++l) state[w][l] = detail::kSha512Iv[w];
+  }
+
+  Tail tails[kMaxLanes];
+  std::uint64_t total_bytes = 0;
+  for (std::size_t l = 0; l < g; ++l) {
+    build_tail(msgs[l], tails[l]);
+    total_bytes += msgs[l].size();
+  }
+
+  const std::size_t nb = padded_blocks(msgs[0].size());
+  const std::uint8_t* blocks[kMaxLanes] = {};
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::size_t l = 0; l < be.lanes; ++l) {
+      const std::size_t src = l < g ? l : g - 1;
+      const Tail& t = tails[src];
+      blocks[l] = b < t.data_blocks ? msgs[src].data() + b * kBlock
+                                    : t.pad.data() + (b - t.data_blocks) * kBlock;
+    }
+    be.compress(state, blocks);
+  }
+
+  for (std::size_t l = 0; l < g; ++l) {
+    for (std::size_t w = 0; w < 8; ++w) {
+      for (std::size_t i = 0; i < 8; ++i) {
+        outs[l][8 * w + i] = static_cast<std::uint8_t>(state[w][l] >> (56 - 8 * i));
+      }
+    }
+  }
+  // The scalar class counts inside finish(); the lane path never reaches
+  // it, so account for the whole group here.
+  SPIDER_OBS_COUNT("crypto/sha512_digests", g);
+  SPIDER_OBS_COUNT("crypto/sha512_bytes", total_bytes);
+  SPIDER_OBS_COUNT("crypto/sha512_lane_groups", 1);
+}
+
+}  // namespace
+
+std::size_t sha512_lanes() { return backend().lanes; }
+
+void sha512_batch(const ByteSpan* msgs, std::size_t n, Sha512::Digest* outs) {
+  const Backend& be = backend();
+  std::size_t i = 0;
+  while (i < n) {
+    if (be.lanes == 1) {
+      outs[i] = Sha512::hash(msgs[i]);
+      ++i;
+      continue;
+    }
+    // Greedily extend a run of messages with the same padded block count.
+    const std::size_t nb = padded_blocks(msgs[i].size());
+    std::size_t j = i + 1;
+    while (j < n && j - i < be.lanes && padded_blocks(msgs[j].size()) == nb) ++j;
+    const std::size_t g = j - i;
+    if (g >= 2) {
+      run_group(be, msgs + i, g, outs + i);
+    } else {
+      outs[i] = Sha512::hash(msgs[i]);
+    }
+    i = j;
+  }
+}
+
+void digest20_batch(const ByteSpan* msgs, std::size_t n, Digest20* outs) {
+  std::array<Sha512::Digest, 64> full;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t g = std::min(full.size(), n - i);
+    sha512_batch(msgs + i, g, full.data());
+    for (std::size_t k = 0; k < g; ++k) {
+      std::memcpy(outs[i + k].data(), full[k].data(), outs[i + k].size());
+    }
+    i += g;
+  }
+}
+
+}  // namespace spider::crypto

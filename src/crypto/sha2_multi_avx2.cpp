@@ -1,0 +1,111 @@
+// 4-lane SHA-512 compression over AVX2: one 256-bit vector holds the same
+// state word across four independent messages.  This TU is the only one
+// compiled with -mavx2; without that it compiles to a stub.
+#include "crypto/sha2_kernel.hpp"
+
+#if defined(__AVX2__) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace spider::crypto::detail {
+
+bool sha512_x4_supported() { return __builtin_cpu_supports("avx2") != 0; }
+
+namespace {
+
+inline long long load_be64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return static_cast<long long>(__builtin_bswap64(v));
+}
+
+/// Gathers big-endian message word `i` from the first four lane blocks.
+inline __m256i load_words(const std::uint8_t* const blocks[kMaxLanes], int i) {
+  return _mm256_set_epi64x(load_be64(blocks[3] + 8 * i), load_be64(blocks[2] + 8 * i),
+                           load_be64(blocks[1] + 8 * i), load_be64(blocks[0] + 8 * i));
+}
+
+template <int N>
+inline __m256i ror(__m256i x) {
+  return _mm256_or_si256(_mm256_srli_epi64(x, N), _mm256_slli_epi64(x, 64 - N));
+}
+
+inline __m256i xor3(__m256i a, __m256i b, __m256i c) {
+  return _mm256_xor_si256(_mm256_xor_si256(a, b), c);
+}
+inline __m256i ch(__m256i e, __m256i f, __m256i g) {
+  // g ^ (e & (f ^ g)) == e ? f : g
+  return _mm256_xor_si256(g, _mm256_and_si256(e, _mm256_xor_si256(f, g)));
+}
+inline __m256i maj(__m256i a, __m256i b, __m256i c) {
+  const __m256i ab = _mm256_or_si256(a, b);
+  return _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(c, ab));
+}
+
+inline __m256i add(__m256i a, __m256i b) { return _mm256_add_epi64(a, b); }
+
+}  // namespace
+
+void sha512_x4_compress(std::uint64_t state[8][kMaxLanes],
+                        const std::uint8_t* const blocks[kMaxLanes]) {
+  __m256i s[8];
+  for (int i = 0; i < 8; ++i) {
+    s[i] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&state[i][0]));
+  }
+
+  __m256i w[16];
+  for (int i = 0; i < 16; ++i) w[i] = load_words(blocks, i);
+
+  __m256i a = s[0], b = s[1], c = s[2], d = s[3];
+  __m256i e = s[4], f = s[5], g = s[6], h = s[7];
+
+  for (int t = 0; t < 80; ++t) {
+    if (t >= 16) {
+      const __m256i w15 = w[(t - 15) & 15];
+      const __m256i w2 = w[(t - 2) & 15];
+      const __m256i s0 = xor3(ror<1>(w15), ror<8>(w15), _mm256_srli_epi64(w15, 7));
+      const __m256i s1 = xor3(ror<19>(w2), ror<61>(w2), _mm256_srli_epi64(w2, 6));
+      w[t & 15] = add(add(w[t & 15], s0), add(w[(t - 7) & 15], s1));
+    }
+    const __m256i kt = _mm256_set1_epi64x(static_cast<long long>(kSha512K[t]));
+    const __m256i sig1 = xor3(ror<14>(e), ror<18>(e), ror<41>(e));
+    const __m256i t1 = add(add(h, sig1), add(ch(e, f, g), add(kt, w[t & 15])));
+    const __m256i sig0 = xor3(ror<28>(a), ror<34>(a), ror<39>(a));
+    const __m256i t2 = add(sig0, maj(a, b, c));
+    h = g;
+    g = f;
+    f = e;
+    e = add(d, t1);
+    d = c;
+    c = b;
+    b = a;
+    a = add(t1, t2);
+  }
+
+  s[0] = add(s[0], a);
+  s[1] = add(s[1], b);
+  s[2] = add(s[2], c);
+  s[3] = add(s[3], d);
+  s[4] = add(s[4], e);
+  s[5] = add(s[5], f);
+  s[6] = add(s[6], g);
+  s[7] = add(s[7], h);
+  for (int i = 0; i < 8; ++i) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(&state[i][0]), s[i]);
+  }
+}
+
+}  // namespace spider::crypto::detail
+
+#else  // stub: build can't target AVX2
+
+namespace spider::crypto::detail {
+
+bool sha512_x4_supported() { return false; }
+void sha512_x4_compress(std::uint64_t[8][kMaxLanes], const std::uint8_t* const[kMaxLanes]) {}
+
+}  // namespace spider::crypto::detail
+
+#endif

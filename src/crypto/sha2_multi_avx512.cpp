@@ -1,0 +1,116 @@
+// 8-lane SHA-512 compression over AVX-512: one 512-bit vector holds the
+// same state word across eight independent messages.  This TU is the only
+// one compiled with -mavx512f; when the toolchain can't target AVX-512 it
+// compiles to a stub and the dispatcher never selects it.
+#include "crypto/sha2_kernel.hpp"
+
+#if defined(__AVX512F__) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+// GCC's _mm512_ror_epi64 expands through _mm512_undefined_epi32(), whose
+// deliberately-uninitialized merge operand trips -Wmaybe-uninitialized when
+// inlined at -O2.  The operand is a don't-care (the mask is all-ones), so
+// silence just this TU.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+
+namespace spider::crypto::detail {
+
+bool sha512_x8_supported() { return __builtin_cpu_supports("avx512f") != 0; }
+
+namespace {
+
+inline long long load_be64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return static_cast<long long>(__builtin_bswap64(v));
+}
+
+/// Gathers big-endian message word `i` from all eight lane blocks.
+inline __m512i load_words(const std::uint8_t* const blocks[kMaxLanes], int i) {
+  return _mm512_set_epi64(load_be64(blocks[7] + 8 * i), load_be64(blocks[6] + 8 * i),
+                          load_be64(blocks[5] + 8 * i), load_be64(blocks[4] + 8 * i),
+                          load_be64(blocks[3] + 8 * i), load_be64(blocks[2] + 8 * i),
+                          load_be64(blocks[1] + 8 * i), load_be64(blocks[0] + 8 * i));
+}
+
+template <int N>
+inline __m512i ror(__m512i x) {
+  return _mm512_ror_epi64(x, N);
+}
+
+// Three-input bitwise ops collapse to one vpternlogq each.
+inline __m512i xor3(__m512i a, __m512i b, __m512i c) {
+  return _mm512_ternarylogic_epi64(a, b, c, 0x96);
+}
+inline __m512i ch(__m512i e, __m512i f, __m512i g) {
+  return _mm512_ternarylogic_epi64(e, f, g, 0xca);  // e ? f : g
+}
+inline __m512i maj(__m512i a, __m512i b, __m512i c) {
+  return _mm512_ternarylogic_epi64(a, b, c, 0xe8);  // majority
+}
+
+inline __m512i add(__m512i a, __m512i b) { return _mm512_add_epi64(a, b); }
+
+}  // namespace
+
+void sha512_x8_compress(std::uint64_t state[8][kMaxLanes],
+                        const std::uint8_t* const blocks[kMaxLanes]) {
+  __m512i s[8];
+  for (int i = 0; i < 8; ++i) s[i] = _mm512_loadu_si512(&state[i][0]);
+
+  __m512i w[16];
+  for (int i = 0; i < 16; ++i) w[i] = load_words(blocks, i);
+
+  __m512i a = s[0], b = s[1], c = s[2], d = s[3];
+  __m512i e = s[4], f = s[5], g = s[6], h = s[7];
+
+  for (int t = 0; t < 80; ++t) {
+    if (t >= 16) {
+      const __m512i w15 = w[(t - 15) & 15];
+      const __m512i w2 = w[(t - 2) & 15];
+      const __m512i s0 = xor3(ror<1>(w15), ror<8>(w15), _mm512_srli_epi64(w15, 7));
+      const __m512i s1 = xor3(ror<19>(w2), ror<61>(w2), _mm512_srli_epi64(w2, 6));
+      w[t & 15] = add(add(w[t & 15], s0), add(w[(t - 7) & 15], s1));
+    }
+    const __m512i kt = _mm512_set1_epi64(static_cast<long long>(kSha512K[t]));
+    const __m512i sig1 = xor3(ror<14>(e), ror<18>(e), ror<41>(e));
+    const __m512i t1 = add(add(h, sig1), add(ch(e, f, g), add(kt, w[t & 15])));
+    const __m512i sig0 = xor3(ror<28>(a), ror<34>(a), ror<39>(a));
+    const __m512i t2 = add(sig0, maj(a, b, c));
+    h = g;
+    g = f;
+    f = e;
+    e = add(d, t1);
+    d = c;
+    c = b;
+    b = a;
+    a = add(t1, t2);
+  }
+
+  s[0] = add(s[0], a);
+  s[1] = add(s[1], b);
+  s[2] = add(s[2], c);
+  s[3] = add(s[3], d);
+  s[4] = add(s[4], e);
+  s[5] = add(s[5], f);
+  s[6] = add(s[6], g);
+  s[7] = add(s[7], h);
+  for (int i = 0; i < 8; ++i) _mm512_storeu_si512(&state[i][0], s[i]);
+}
+
+}  // namespace spider::crypto::detail
+
+#else  // stub: build can't target AVX-512
+
+namespace spider::crypto::detail {
+
+bool sha512_x8_supported() { return false; }
+void sha512_x8_compress(std::uint64_t[8][kMaxLanes], const std::uint8_t* const[kMaxLanes]) {}
+
+}  // namespace spider::crypto::detail
+
+#endif

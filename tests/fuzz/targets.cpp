@@ -7,12 +7,17 @@
 // rejected at byte 0.
 #include "harness.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "bgp/prefix.hpp"
 #include "bgp/route.hpp"
 #include "core/commitment.hpp"
 #include "core/mtt.hpp"
 #include "core/promise.hpp"
 #include "core/vpref.hpp"
+#include "crypto/bignum_ref.hpp"
+#include "crypto/mont.hpp"
 #include "crypto/random.hpp"
 #include "crypto/rsa.hpp"
 #include "crypto/sha2.hpp"
@@ -384,6 +389,65 @@ void register_spider_targets() {
       "evidence_refutation", {refutation.encode(), bare_refutation.encode()}));
 }
 
+/// Differential oracle over the fast bignum/Montgomery/CRT kernels: the
+/// input bytes pick an operation and supply raw operands, and the fast
+/// path must agree with the retained reference engines on every input the
+/// mutators can construct.  Short inputs reject via DecodeError (the
+/// harness's clean-rejection path); a fast-vs-reference disagreement
+/// throws std::logic_error, which the harness reports as a failure with
+/// the offending bytes for `--repro`.
+void crypto_diff_check(ByteSpan data) {
+  su::ByteReader r(data);
+  switch (r.u8() % 3) {
+    case 0: {  // Knuth-D divmod vs the 16-bit-digit schoolbook reference
+      const std::size_t un = r.u8() % std::size_t{24} + 1;  // dividend 64-bit limbs
+      const std::size_t vn = r.u8() % un + 1;               // divisor never wider
+      const scr::BigInt u = scr::BigInt::from_bytes_be(r.raw(un * 8));
+      scr::BigInt v = scr::BigInt::from_bytes_be(r.raw(vn * 8));
+      if (v.is_zero()) v = scr::BigInt{1};
+      const auto fast = u.divmod(v);
+      const auto slow = scr::ref::divmod_simple(u, v);
+      if (fast.quotient != slow.quotient || fast.remainder != slow.remainder) {
+        throw std::logic_error("crypto_diff: divmod disagrees with reference");
+      }
+      if (fast.quotient * v + fast.remainder != u || fast.remainder >= v) {
+        throw std::logic_error("crypto_diff: divmod violates the Euclidean identity");
+      }
+      break;
+    }
+    case 1: {  // windowed Montgomery exponentiation vs the seed 32-bit ladder
+      const std::size_t nn = r.u8() % std::size_t{8} + 1;  // modulus 64-bit limbs
+      scr::BigInt n = scr::BigInt::from_bytes_be(r.raw(nn * 8));
+      if ((n % scr::BigInt{2}).is_zero()) n = n + scr::BigInt{1};  // MontCtx needs odd
+      if (n <= scr::BigInt{1}) n = scr::BigInt{3};
+      const scr::BigInt base = scr::BigInt::from_bytes_be(r.raw(nn * 8));
+      const std::size_t en = r.u8() % std::size_t{2} + 1;
+      const scr::BigInt e = scr::BigInt::from_bytes_be(r.raw(en * 8));
+      const scr::MontCtx ctx(n);
+      if (ctx.exp(base, e) != scr::ref::mod_exp32(base, e, n)) {
+        throw std::logic_error("crypto_diff: Montgomery exp disagrees with mod_exp32");
+      }
+      break;
+    }
+    default: {  // RSA-CRT signing vs the verbatim seed signer, cross-verified
+      static const scr::RsaPrivateKey key = [] {
+        su::SplitMix64 rng(424242);  // 768-bit: smallest PKCS#1/SHA-512 modulus
+        return scr::rsa_generate(768, rng);
+      }();
+      const Bytes msg = r.raw(std::min<std::size_t>(r.remaining(), 64));
+      const Bytes sig = scr::rsa_sign(key, msg);
+      if (sig != scr::ref::rsa_sign_seed(key, msg)) {
+        throw std::logic_error("crypto_diff: CRT signature disagrees with seed signer");
+      }
+      if (!scr::rsa_verify(key.public_key(), msg, sig) ||
+          !scr::ref::rsa_verify_seed(key.public_key(), msg, sig)) {
+        throw std::logic_error("crypto_diff: signature rejected by a verifier");
+      }
+      break;
+    }
+  }
+}
+
 void register_crypto_targets() {
   scr::RsaPublicKey key;
   key.n = scr::BigInt::from_bytes_be(su::str_bytes("\x9a\x3f\x52\xee\x01\x77\xc2\x19"));
@@ -393,6 +457,31 @@ void register_crypto_targets() {
   small.e = scr::BigInt{17};
   registry().push_back(
       simple_target<scr::RsaPublicKey>("rsa_public_key", {key.encode(), small.encode()}));
+
+  // One corpus entry per operation so the mutators start inside each arm's
+  // operand structure.  Not a wire format: nothing to re-encode.
+  util::SplitMix64 rng(0x5eedc0de);
+  const auto rand_bytes = [&rng](std::size_t count) {
+    Bytes out(count);
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+    return out;
+  };
+  const auto cat = [](Bytes head, const Bytes& tail) {
+    head.insert(head.end(), tail.begin(), tail.end());
+    return head;
+  };
+  Target diff;
+  diff.name = "crypto_diff";
+  diff.corpus = {
+      cat(Bytes{0, 10, 4}, rand_bytes(11 * 8 + 5 * 8)),  // divmod: 11-limb / 5-limb
+      // mont exp: 4-limb modulus, 4-limb base, 2-limb exponent
+      cat(cat(Bytes{1, 3}, rand_bytes(4 * 8 + 4 * 8)), cat(Bytes{1}, rand_bytes(2 * 8))),
+      cat(Bytes{2}, rand_bytes(41)),  // CRT sign over a PRF-message-sized payload
+  };
+  diff.decode = crypto_diff_check;
+  diff.reencode = nullptr;
+  diff.canonical = false;
+  registry().push_back(std::move(diff));
 }
 
 }  // namespace

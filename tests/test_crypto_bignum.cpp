@@ -250,8 +250,8 @@ TEST(Primality, GeneratePrimeHasExactBitsAndIsOdd) {
 TEST(BigInt, KaratsubaMatchesSchoolbookRandomized) {
   spider::util::SplitMix64 rng(271828);
   for (int iter = 0; iter < 40; ++iter) {
-    std::size_t abits = 1024 + rng.below(3072);  // 32..128 limbs
-    std::size_t bbits = 1024 + rng.below(3072);
+    std::size_t abits = 1024 + rng.below(5120);  // 16..96 64-bit limbs
+    std::size_t bbits = 1024 + rng.below(5120);
     BigInt a = BigInt::random_bits(abits, rng);
     BigInt b = BigInt::random_bits(bbits, rng);
     BigInt product = a * b;
@@ -275,13 +275,104 @@ TEST(BigInt, KaratsubaAsymmetricOperands) {
 }
 
 TEST(BigInt, KaratsubaThresholdBoundary) {
-  // Exactly at and around 32 limbs (1024 bits).
+  // Exactly at and around 32 64-bit limbs (2048 bits).
   spider::util::SplitMix64 rng(5);
-  for (std::size_t bits : {1023u, 1024u, 1025u, 2047u, 2048u}) {
+  for (std::size_t bits : {2047u, 2048u, 2049u, 4095u, 4096u}) {
     BigInt a = BigInt::random_bits(bits, rng);
     BigInt b = BigInt::random_bits(bits, rng);
     auto [q, r] = (a * b).divmod(b);
     EXPECT_EQ(q, a) << bits;
     EXPECT_TRUE(r.is_zero()) << bits;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Algebraic laws over the limb-array engine.  Each law relates at least two
+// independent kernels (add/sub, mul/divmod, shift/mul), so a bug in one is
+// caught by its partner rather than cancelling out.
+namespace {
+BigInt law_operand(spider::util::SplitMix64& rng) {
+  switch (rng.below(5)) {
+    case 0: return BigInt{};
+    case 1: return BigInt{1};
+    case 2: {
+      // All-ones limbs: the worst case for every carry chain.
+      return (BigInt{1} << (64 * (1 + rng.below(10)))) - BigInt{1};
+    }
+    case 3: return BigInt{1} << (1 + rng.below(400));
+    default: return BigInt::random_bits(1 + rng.below(640), rng);
+  }
+}
+}  // namespace
+
+TEST(BignumLaws, AdditionAssociativeAndCommutative) {
+  spider::util::SplitMix64 rng(1001);
+  for (int iter = 0; iter < 200; ++iter) {
+    BigInt a = law_operand(rng), b = law_operand(rng), c = law_operand(rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+  }
+}
+
+TEST(BignumLaws, MultiplicationAssociative) {
+  spider::util::SplitMix64 rng(1002);
+  for (int iter = 0; iter < 100; ++iter) {
+    BigInt a = law_operand(rng), b = law_operand(rng), c = law_operand(rng);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+  }
+}
+
+TEST(BignumLaws, ModularReductionCommutesWithMultiplication) {
+  // (a * b) mod n == ((a mod n) * (b mod n)) mod n.
+  spider::util::SplitMix64 rng(1003);
+  for (int iter = 0; iter < 150; ++iter) {
+    BigInt a = law_operand(rng), b = law_operand(rng);
+    BigInt n = BigInt::random_bits(1 + rng.below(320), rng);
+    if (n.is_zero()) n = BigInt{1};
+    EXPECT_EQ((a * b) % n, ((a % n) * (b % n)) % n)
+        << "a=" << a.to_hex() << " b=" << b.to_hex() << " n=" << n.to_hex();
+  }
+}
+
+TEST(BignumLaws, ShiftEqualsMultiplyByPowerOfTwo) {
+  spider::util::SplitMix64 rng(1004);
+  for (int iter = 0; iter < 150; ++iter) {
+    BigInt a = law_operand(rng);
+    std::size_t k = rng.below(300);
+    EXPECT_EQ(a << k, a * (BigInt{1} << k)) << "k=" << k;
+    EXPECT_EQ((a << k) >> k, a) << "k=" << k;
+  }
+}
+
+TEST(BignumLaws, DivModIsEuclideanDivision) {
+  spider::util::SplitMix64 rng(1005);
+  for (int iter = 0; iter < 150; ++iter) {
+    BigInt a = law_operand(rng);
+    BigInt b = law_operand(rng);
+    if (b.is_zero()) b = BigInt{1};
+    auto [q, r] = a.divmod(b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+TEST(BignumLaws, SubtractionInvertsAddition) {
+  spider::util::SplitMix64 rng(1006);
+  for (int iter = 0; iter < 200; ++iter) {
+    BigInt a = law_operand(rng), b = law_operand(rng);
+    EXPECT_EQ((a + b) - a, b);
+    EXPECT_EQ((a + b) - b, a);
+  }
+}
+
+TEST(BignumLaws, LimbsRoundTrip) {
+  spider::util::SplitMix64 rng(1007);
+  for (int iter = 0; iter < 100; ++iter) {
+    BigInt a = law_operand(rng);
+    EXPECT_EQ(BigInt::from_limbs(a.limbs()), a);
+    // from_limbs must trim trailing zero limbs to keep the invariant.
+    auto padded = a.limbs();
+    padded.resize(padded.size() + 3, 0);
+    EXPECT_EQ(BigInt::from_limbs(std::move(padded)), a);
   }
 }

@@ -1,0 +1,525 @@
+// Differential battery for the limb-array crypto engine: every fast kernel
+// (schoolbook/Karatsuba multiply, squaring, Knuth-D division, CIOS
+// Montgomery multiplication, windowed exponentiation, RSA-CRT signing,
+// multi-lane SHA-512) is cross-checked against the retained reference
+// implementations (crypto/bignum_ref.hpp) over seeded random operands and
+// adversarial shapes: all-ones limbs, top-bit-set limbs, zero/one/modulus±1
+// operands, powers of two, carry-chain stressors.
+//
+// The CryptoDiffTsan suite runs the same comparisons from concurrent
+// threads against shared const objects; the tsan CMake preset picks those
+// tests up via `ctest -R Tsan`.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/commitment.hpp"
+#include "core/mtt.hpp"
+#include "crypto/bignum.hpp"
+#include "crypto/bignum_ref.hpp"
+#include "crypto/limb.hpp"
+#include "crypto/mont.hpp"
+#include "crypto/random.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha2.hpp"
+#include "crypto/sha2_multi.hpp"
+#include "util/rng.hpp"
+
+namespace sc = spider::crypto;
+namespace ref = spider::crypto::ref;
+namespace core = spider::core;
+namespace sb = spider::bgp;
+using sc::BigInt;
+using sc::limb_t;
+using spider::util::ByteSpan;
+using spider::util::Bytes;
+using spider::util::Digest20;
+using spider::util::SplitMix64;
+
+namespace {
+
+/// Operands the carry chains hate: zero, one, all-ones limbs, exact
+/// top-bit-set widths, powers of two, plus plain random widths.
+BigInt shaped_operand(SplitMix64& rng, std::size_t max_bits) {
+  switch (rng.below(6)) {
+    case 0: return BigInt{};
+    case 1: return BigInt{1};
+    case 2: {
+      std::vector<limb_t> limbs(1 + rng.below(max_bits / 64 + 1), ~limb_t{0});
+      return BigInt::from_limbs(std::move(limbs));
+    }
+    case 3: return BigInt::random_bits(64 * (1 + rng.below(max_bits / 64 + 1)), rng);
+    case 4: return BigInt{1} << (1 + rng.below(max_bits));
+    default: return BigInt::random_bits(1 + rng.below(max_bits), rng);
+  }
+}
+
+BigInt odd_modulus(SplitMix64& rng, std::size_t min_bits, std::size_t max_bits) {
+  BigInt m = BigInt::random_bits(min_bits + rng.below(max_bits - min_bits + 1), rng);
+  if (!m.is_odd()) m = m + BigInt{1};
+  if (m < BigInt{3}) m = BigInt{3};
+  return m;
+}
+
+Bytes to_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+}  // namespace
+
+// ------------------------------------------------------------ multiply
+
+TEST(CryptoDiffMul, MatchesRef16OnShapedOperands) {
+  SplitMix64 rng(20260807);
+  for (int iter = 0; iter < 300; ++iter) {
+    BigInt a = shaped_operand(rng, 512);
+    BigInt b = shaped_operand(rng, 512);
+    BigInt fast = a * b;
+    EXPECT_EQ(fast, ref::mul_simple(a, b)) << "a=" << a.to_hex() << " b=" << b.to_hex();
+    EXPECT_EQ(fast, b * a);
+  }
+}
+
+TEST(CryptoDiffMul, SquaringMatchesMultiply) {
+  SplitMix64 rng(42);
+  for (int iter = 0; iter < 200; ++iter) {
+    BigInt a = shaped_operand(rng, 2048);
+    BigInt b = a;  // distinct object so operator* can't take the sqr path
+    EXPECT_EQ(a * a, a * b) << a.to_hex();
+  }
+}
+
+TEST(CryptoDiffMul, KernelSqrAgainstKernelMul) {
+  SplitMix64 rng(7);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::size_t n = 1 + rng.below(40);
+    std::vector<limb_t> a(n);
+    for (auto& l : a) l = rng.next();
+    if (rng.below(4) == 0) a.back() = ~limb_t{0};
+    std::vector<limb_t> via_sqr(2 * n), via_mul(2 * n);
+    sc::lk::sqr(a.data(), n, via_sqr.data());
+    sc::lk::mul(a.data(), n, a.data(), n, via_mul.data());
+    EXPECT_EQ(via_sqr, via_mul);
+  }
+}
+
+TEST(CryptoDiffMul, CarryChainStressor) {
+  // (2^k - 1)^2 = 2^(2k) - 2^(k+1) + 1: every partial product carries.
+  for (std::size_t limbs : {1u, 2u, 3u, 7u, 8u, 31u, 32u, 33u, 64u}) {
+    BigInt a = (BigInt{1} << (64 * limbs)) - BigInt{1};
+    BigInt expect = (BigInt{1} << (128 * limbs)) - (BigInt{1} << (64 * limbs + 1)) + BigInt{1};
+    EXPECT_EQ(a * a, expect) << limbs;
+    EXPECT_EQ(a * a, ref::mul_simple(a, a)) << limbs;
+  }
+}
+
+// ------------------------------------------------------------ division
+
+TEST(CryptoDiffDivMod, MatchesRef16OnShapedOperands) {
+  SplitMix64 rng(314159);
+  for (int iter = 0; iter < 300; ++iter) {
+    BigInt u = shaped_operand(rng, 512);
+    BigInt v = shaped_operand(rng, 300);
+    if (v.is_zero()) v = BigInt{1};
+    auto fast = u.divmod(v);
+    auto slow = ref::divmod_simple(u, v);
+    EXPECT_EQ(fast.quotient, slow.quotient) << "u=" << u.to_hex() << " v=" << v.to_hex();
+    EXPECT_EQ(fast.remainder, slow.remainder) << "u=" << u.to_hex() << " v=" << v.to_hex();
+  }
+}
+
+TEST(CryptoDiffDivMod, IdentityHoldsOnWideOperands) {
+  SplitMix64 rng(5150);
+  for (int iter = 0; iter < 150; ++iter) {
+    BigInt u = shaped_operand(rng, 4096);
+    BigInt v = shaped_operand(rng, 2048);
+    if (v.is_zero()) v = BigInt{1};
+    auto [q, r] = u.divmod(v);
+    EXPECT_EQ(q * v + r, u);
+    EXPECT_LT(r, v);
+  }
+}
+
+TEST(CryptoDiffDivMod, EdgeShapes) {
+  BigInt u = BigInt::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffff");
+  // v = 1: quotient is u.
+  {
+    auto [q, r] = u.divmod(BigInt{1});
+    EXPECT_EQ(q, u);
+    EXPECT_TRUE(r.is_zero());
+  }
+  // v = u: quotient 1, remainder 0.
+  {
+    auto [q, r] = u.divmod(u);
+    EXPECT_EQ(q, BigInt{1});
+    EXPECT_TRUE(r.is_zero());
+  }
+  // v > u: quotient 0, remainder u.
+  {
+    auto [q, r] = u.divmod(u + BigInt{1});
+    EXPECT_TRUE(q.is_zero());
+    EXPECT_EQ(r, u);
+  }
+  // u = 0.
+  {
+    auto [q, r] = BigInt{}.divmod(u);
+    EXPECT_TRUE(q.is_zero());
+    EXPECT_TRUE(r.is_zero());
+  }
+  // Power-of-two divisor: divmod must agree with shifting.
+  {
+    BigInt v = BigInt{1} << 100;
+    auto [q, r] = u.divmod(v);
+    EXPECT_EQ(q, u >> 100);
+    EXPECT_EQ(r, u - ((u >> 100) << 100));
+  }
+  // Knuth-D q_hat overestimate territory: u just below v * 2^64.
+  {
+    BigInt v = (BigInt{1} << 128) - BigInt{1};
+    BigInt w = (v << 64) - BigInt{1};
+    auto [q, r] = w.divmod(v);
+    EXPECT_EQ(q * v + r, w);
+    EXPECT_LT(r, v);
+    auto slow = ref::divmod_simple(w, v);
+    EXPECT_EQ(q, slow.quotient);
+    EXPECT_EQ(r, slow.remainder);
+  }
+}
+
+// ----------------------------------------------------------- Montgomery
+
+TEST(CryptoDiffMontgomery, RoundTripAndMulAgainstDivmod) {
+  SplitMix64 rng(271828);
+  for (int iter = 0; iter < 60; ++iter) {
+    BigInt n = odd_modulus(rng, 65, 512);
+    sc::MontCtx ctx(n);
+    const std::size_t s = ctx.width();
+    std::vector<limb_t> a(s, 0), b(s, 0), am(s), bm(s), prod(s), plain(s);
+    std::vector<limb_t> scratch(ctx.scratch_size());
+
+    auto fill = [&](std::vector<limb_t>& out, const BigInt& v) {
+      std::fill(out.begin(), out.end(), 0);
+      const auto& limbs = v.limbs();
+      std::copy(limbs.begin(), limbs.end(), out.begin());
+    };
+    BigInt av = shaped_operand(rng, 512) % n;
+    BigInt bv = shaped_operand(rng, 512) % n;
+    fill(a, av);
+    fill(b, bv);
+
+    // to_mont then from_mont is the identity.
+    ctx.to_mont(a.data(), am.data(), scratch.data());
+    ctx.from_mont(am.data(), plain.data(), scratch.data());
+    EXPECT_EQ(BigInt::from_limbs(plain), av);
+
+    // mont_mul in the Montgomery domain is plain modular multiplication.
+    ctx.to_mont(b.data(), bm.data(), scratch.data());
+    ctx.mont_mul(am.data(), bm.data(), prod.data(), scratch.data());
+    ctx.from_mont(prod.data(), plain.data(), scratch.data());
+    EXPECT_EQ(BigInt::from_limbs(plain), (av * bv) % n)
+        << "n=" << n.to_hex() << " a=" << av.to_hex() << " b=" << bv.to_hex();
+  }
+}
+
+TEST(CryptoDiffMontgomery, SqrMatchesMulOnEveryWidthPath) {
+  // mont_sqr dispatches to register-resident fixed-width kernels at the
+  // RSA widths (4/6/8/12/16 limbs) and to a sqr-then-reduce pass
+  // everywhere else; both must agree with mont_mul(a, a) exactly.
+  SplitMix64 rng(314159);
+  for (std::size_t width : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 12u, 13u, 16u, 17u}) {
+    for (int iter = 0; iter < 10; ++iter) {
+      BigInt n = odd_modulus(rng, 64 * width - 63, 64 * width);
+      sc::MontCtx ctx(n);
+      const std::size_t s = ctx.width();
+      std::vector<limb_t> a(s, 0), via_mul(s), via_sqr(s);
+      std::vector<limb_t> scratch(ctx.scratch_size());
+      const BigInt av = shaped_operand(rng, 64 * width) % n;
+      std::copy(av.limbs().begin(), av.limbs().end(), a.begin());
+      ctx.mont_mul(a.data(), a.data(), via_mul.data(), scratch.data());
+      ctx.mont_sqr(a.data(), via_sqr.data(), scratch.data());
+      EXPECT_EQ(via_mul, via_sqr) << "width=" << width << " n=" << n.to_hex();
+    }
+  }
+}
+
+TEST(CryptoDiffMontgomery, ExpMatchesRef32) {
+  SplitMix64 rng(161803);
+  for (int iter = 0; iter < 40; ++iter) {
+    BigInt n = odd_modulus(rng, 64, 512);
+    BigInt base = shaped_operand(rng, 600);
+    BigInt e = shaped_operand(rng, 256);
+    EXPECT_EQ(sc::MontCtx(n).exp(base, e), ref::mod_exp32(base, e, n))
+        << "n=" << n.to_hex() << " b=" << base.to_hex() << " e=" << e.to_hex();
+  }
+}
+
+TEST(CryptoDiffMontgomery, ExpMatchesRef16OnSmallOperands) {
+  SplitMix64 rng(66);
+  for (int iter = 0; iter < 30; ++iter) {
+    BigInt n = odd_modulus(rng, 8, 96);
+    BigInt base = BigInt::random_bits(1 + rng.below(96), rng);
+    BigInt e = BigInt::random_bits(1 + rng.below(32), rng);
+    EXPECT_EQ(sc::MontCtx(n).exp(base, e), ref::mod_exp_simple(base, e, n));
+  }
+}
+
+TEST(CryptoDiffMontgomery, ExpEdgeOperands) {
+  SplitMix64 rng(9);
+  BigInt n = odd_modulus(rng, 128, 128);
+  sc::MontCtx ctx(n);
+  EXPECT_EQ(ctx.exp(BigInt{}, BigInt{5}), BigInt{});          // 0^e = 0
+  EXPECT_EQ(ctx.exp(BigInt{7}, BigInt{}), BigInt{1});         // b^0 = 1
+  EXPECT_EQ(ctx.exp(BigInt{}, BigInt{}), BigInt{1});          // 0^0 = 1 by convention
+  EXPECT_EQ(ctx.exp(BigInt{1}, BigInt{1} << 200), BigInt{1});
+  EXPECT_EQ(ctx.exp(n, BigInt{3}), BigInt{});                 // base = modulus
+  BigInt nm1 = n - BigInt{1};
+  EXPECT_EQ(ctx.exp(nm1, BigInt{2}), BigInt{1});              // (-1)^2
+  EXPECT_EQ(ctx.exp(nm1, BigInt{3}), nm1);                    // (-1)^3
+  EXPECT_EQ(ctx.exp(n + BigInt{5}, BigInt{4}), ref::mod_exp32(BigInt{5}, BigInt{4}, n));
+}
+
+TEST(CryptoDiffMontgomery, RejectsBadModuli) {
+  EXPECT_THROW(sc::MontCtx(BigInt{}), std::domain_error);
+  EXPECT_THROW(sc::MontCtx(BigInt{1}), std::domain_error);
+  EXPECT_THROW(sc::MontCtx(BigInt{4}), std::domain_error);
+  EXPECT_THROW(sc::MontCtx(BigInt{1} << 64), std::domain_error);
+}
+
+// ------------------------------------------------------------------ RSA
+
+namespace {
+
+const sc::RsaPrivateKey& small_test_key() {
+  // 768 bits is the smallest practical size: PKCS#1 v1.5 over SHA-512
+  // needs em_len >= 83 + 11 = 94 bytes, i.e. a 752-bit modulus.
+  static const sc::RsaPrivateKey key = [] {
+    SplitMix64 rng(424242);
+    return sc::rsa_generate(768, rng);
+  }();
+  return key;
+}
+
+const sc::RsaPrivateKey& full_test_key() {
+  static const sc::RsaPrivateKey key = [] {
+    SplitMix64 rng(20120813);  // same seed the pinned-signature tests use
+    return sc::rsa_generate(1024, rng);
+  }();
+  return key;
+}
+
+}  // namespace
+
+TEST(CryptoDiffRsa, SignMatchesSeedEngineAndNoCrt) {
+  for (const sc::RsaPrivateKey* key : {&small_test_key(), &full_test_key()}) {
+    SplitMix64 rng(1);
+    for (int iter = 0; iter < 8; ++iter) {
+      Bytes msg(rng.below(200), 0);
+      for (auto& byte : msg) byte = static_cast<std::uint8_t>(rng.next());
+      Bytes fast = sc::rsa_sign(*key, msg);
+      EXPECT_EQ(fast, ref::rsa_sign_seed(*key, msg));
+      EXPECT_EQ(fast, ref::rsa_sign_nocrt(*key, msg));
+      EXPECT_TRUE(sc::rsa_verify(key->public_key(), msg, fast));
+      EXPECT_TRUE(ref::rsa_verify_seed(key->public_key(), msg, fast));
+    }
+  }
+}
+
+TEST(CryptoDiffRsa, TamperedSignaturesRejectedByBothVerifiers) {
+  const auto& key = small_test_key();
+  Bytes msg = to_bytes("diff battery tamper check");
+  Bytes sig = sc::rsa_sign(key, msg);
+  for (std::size_t pos : {std::size_t{0}, sig.size() / 2, sig.size() - 1}) {
+    Bytes bad = sig;
+    bad[pos] ^= 1;
+    EXPECT_FALSE(sc::rsa_verify(key.public_key(), msg, bad));
+    EXPECT_FALSE(ref::rsa_verify_seed(key.public_key(), msg, bad));
+  }
+  Bytes other = to_bytes("a different message");
+  EXPECT_FALSE(sc::rsa_verify(key.public_key(), other, sig));
+  EXPECT_FALSE(ref::rsa_verify_seed(key.public_key(), other, sig));
+}
+
+// -------------------------------------------------------------- SHA-512
+
+TEST(CryptoDiffSha512, BatchMatchesScalarAcrossPaddingBoundaries) {
+  // 110..113 and 238..241 straddle the one/two and two/three padded-block
+  // boundaries; the rest sweep the first few block sizes.
+  std::vector<std::size_t> lens;
+  for (std::size_t l = 0; l <= 130; ++l) lens.push_back(l);
+  for (std::size_t l : {238u, 239u, 240u, 241u, 255u, 256u, 257u, 300u, 512u, 600u}) {
+    lens.push_back(l);
+  }
+  SplitMix64 rng(8675309);
+  std::vector<Bytes> msgs;
+  for (std::size_t l : lens) {
+    Bytes m(l, 0);
+    for (auto& byte : m) byte = static_cast<std::uint8_t>(rng.next());
+    msgs.push_back(std::move(m));
+  }
+  std::vector<ByteSpan> spans;
+  for (const auto& m : msgs) spans.push_back(ByteSpan{m.data(), m.size()});
+  std::vector<sc::Sha512::Digest> outs(spans.size());
+  sc::sha512_batch(spans.data(), spans.size(), outs.data());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(outs[i], sc::Sha512::hash(spans[i])) << "len=" << lens[i];
+  }
+}
+
+TEST(CryptoDiffSha512, ShuffledLengthsDefeatGrouping) {
+  // Interleave lengths so runs of equal padded-block counts are short and
+  // the batcher constantly switches between lane groups and scalar.
+  SplitMix64 rng(24601);
+  std::vector<Bytes> msgs;
+  for (int i = 0; i < 200; ++i) {
+    Bytes m(rng.below(300), 0);
+    for (auto& byte : m) byte = static_cast<std::uint8_t>(rng.next());
+    msgs.push_back(std::move(m));
+  }
+  std::vector<ByteSpan> spans;
+  for (const auto& m : msgs) spans.push_back(ByteSpan{m.data(), m.size()});
+  std::vector<sc::Sha512::Digest> outs(spans.size());
+  sc::sha512_batch(spans.data(), spans.size(), outs.data());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(outs[i], sc::Sha512::hash(spans[i])) << i;
+  }
+}
+
+TEST(CryptoDiffSha512, Digest20BatchMatchesScalar) {
+  std::vector<Bytes> msgs;
+  for (std::size_t i = 0; i < 100; ++i) msgs.emplace_back(41, static_cast<std::uint8_t>(i));
+  std::vector<ByteSpan> spans;
+  for (const auto& m : msgs) spans.push_back(ByteSpan{m.data(), m.size()});
+  std::vector<Digest20> outs(spans.size());
+  sc::digest20_batch(spans.data(), spans.size(), outs.data());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(outs[i], sc::digest20(spans[i])) << i;
+  }
+}
+
+TEST(CryptoDiffSha512, EmptyAndSingletonBatches) {
+  sc::sha512_batch(nullptr, 0, nullptr);  // must be a no-op
+  Bytes m = to_bytes("one lonely message");
+  ByteSpan span{m.data(), m.size()};
+  sc::Sha512::Digest out;
+  sc::sha512_batch(&span, 1, &out);
+  EXPECT_EQ(out, sc::Sha512::hash(span));
+}
+
+// ------------------------------------------------- batched label paths
+
+TEST(CryptoDiffLabels, PrfBatchMatchesScalar) {
+  sc::CommitmentPrf prf(sc::seed_from_string("diff-prf"));
+  std::vector<std::uint64_t> indices = {0, 1, 2, 63, 64, 1000000, ~std::uint64_t{0}};
+  std::vector<Digest20> outs(indices.size());
+  prf.bit_randomness_batch(indices.data(), indices.size(), outs.data());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(outs[i], prf.bit_randomness(indices[i])) << indices[i];
+  }
+}
+
+TEST(CryptoDiffLabels, LeafHashBatchMatchesScalar) {
+  SplitMix64 rng(13);
+  std::vector<std::uint8_t> bits(150);
+  std::vector<Digest20> xs(bits.size()), outs(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = static_cast<std::uint8_t>(rng.below(2));
+    for (auto& byte : xs[i]) byte = static_cast<std::uint8_t>(rng.next());
+  }
+  core::bit_leaf_hash_batch(bits.data(), xs.data(), bits.size(), outs.data());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(outs[i], core::bit_leaf_hash(bits[i] != 0, xs[i])) << i;
+  }
+}
+
+TEST(CryptoDiffLabels, MttMultilaneLabelingMatchesScalar) {
+  SplitMix64 rng(77);
+  std::vector<std::pair<sb::Prefix, std::vector<bool>>> entries;
+  const std::uint32_t k = 13;
+  for (int i = 0; i < 85; ++i) {
+    std::uint32_t addr = static_cast<std::uint32_t>(rng.next());
+    std::uint8_t len = static_cast<std::uint8_t>(8 + rng.below(17));
+    sb::Prefix p{addr, len};
+    bool dup = false;
+    for (const auto& e : entries) dup = dup || e.first == p;
+    if (dup) continue;
+    std::vector<bool> bits(k);
+    for (std::uint32_t c = 0; c < k; ++c) bits[c] = rng.below(2) == 1;
+    entries.emplace_back(p, bits);
+  }
+  sc::CommitmentPrf prf(sc::seed_from_string("diff-mtt"));
+
+  auto lane_tree = core::Mtt::build(entries, k);
+  lane_tree.compute_labels(prf, /*threads=*/1, /*multilane=*/true);
+  auto scalar_tree = core::Mtt::build(entries, k);
+  scalar_tree.compute_labels(prf, /*threads=*/1, /*multilane=*/false);
+
+  EXPECT_EQ(lane_tree.root_label(), scalar_tree.root_label());
+  EXPECT_EQ(lane_tree.last_label_hashes(), scalar_tree.last_label_hashes());
+}
+
+// -------------------------------------------------------- concurrency
+
+// Shared const crypto objects used from many threads at once: signing,
+// windowed exponentiation and batched hashing hold no hidden mutable
+// state, so results must be identical and TSan must stay quiet.
+TEST(CryptoDiffTsan, ConcurrentSignExpAndBatchHashOnSharedObjects) {
+  const auto& key = small_test_key();
+  const sc::RsaPublicKey pub = key.public_key();
+  SplitMix64 seed_rng(3141);
+  const BigInt n = [&] {
+    BigInt m = BigInt::random_bits(256, seed_rng);
+    return m.is_odd() ? m : m + BigInt{1};
+  }();
+  const sc::MontCtx ctx(n);
+  const sc::CommitmentPrf prf(sc::seed_from_string("tsan-prf"));
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 6;
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      SplitMix64 rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kIters; ++i) {
+        Bytes msg(32, 0);
+        for (auto& byte : msg) byte = static_cast<std::uint8_t>(rng.next());
+        Bytes sig = sc::rsa_sign(key, msg);
+        if (sig != ref::rsa_sign_seed(key, msg)) failures[static_cast<std::size_t>(t)]++;
+        if (!sc::rsa_verify(pub, msg, sig)) failures[static_cast<std::size_t>(t)]++;
+
+        BigInt base = BigInt::random_bits(200, rng);
+        BigInt e = BigInt::random_bits(48, rng);
+        if (ctx.exp(base, e) != ref::mod_exp32(base, e, n)) failures[static_cast<std::size_t>(t)]++;
+
+        std::uint64_t indices[16];
+        Digest20 outs[16];
+        for (std::uint64_t j = 0; j < 16; ++j) indices[j] = rng.next();
+        prf.bit_randomness_batch(indices, 16, outs);
+        for (std::uint64_t j = 0; j < 16; ++j) {
+          if (outs[j] != prf.bit_randomness(indices[j])) failures[static_cast<std::size_t>(t)]++;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[static_cast<std::size_t>(t)], 0) << t;
+}
+
+TEST(CryptoDiffTsan, ConcurrentMultilaneMttLabelingIsDeterministic) {
+  std::vector<std::pair<sb::Prefix, std::vector<bool>>> entries;
+  SplitMix64 rng(555);
+  const std::uint32_t k = 5;
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    sb::Prefix p{static_cast<std::uint32_t>(i) << 12, 20};
+    std::vector<bool> bits(k);
+    for (std::uint32_t c = 0; c < k; ++c) bits[c] = rng.below(2) == 1;
+    entries.emplace_back(p, bits);
+  }
+  sc::CommitmentPrf prf(sc::seed_from_string("tsan-mtt"));
+  auto serial = core::Mtt::build(entries, k);
+  serial.compute_labels(prf, 1, true);
+  auto threaded = core::Mtt::build(entries, k);
+  threaded.compute_labels(prf, 4, true);
+  EXPECT_EQ(serial.root_label(), threaded.root_label());
+  EXPECT_EQ(serial.last_label_hashes(), threaded.last_label_hashes());
+}

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "crypto/ct.hpp"
+#include "crypto/hmac.hpp"
 #include "crypto/sha2.hpp"
 #include "util/bytes.hpp"
 
@@ -163,4 +164,99 @@ TEST(ConstantTimeEqual, SpansAndDigests) {
   su::Digest20 z = sc::digest20(c);
   EXPECT_TRUE(sc::constant_time_equal(x, y));
   EXPECT_FALSE(sc::constant_time_equal(x, z));
+}
+
+// --------------------------------------------------------------------------
+// CAVP-style SHA-512 known-answer tests: byte-oriented messages chosen to
+// straddle every padding boundary (111/112/113 bytes) and to span one, two
+// and three compression blocks.  Expected digests were produced with an
+// independent reference implementation (Python hashlib).
+namespace {
+su::Bytes pattern(std::size_t n, unsigned mul, unsigned add) {
+  su::Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>((i * mul + add) % 256);
+  }
+  return out;
+}
+std::string sha512_hex(const su::Bytes& m) {
+  return hex_of(sc::Sha512::hash(su::ByteSpan{m.data(), m.size()}));
+}
+}  // namespace
+
+TEST(Sha512Kat, SingleZeroByte) {
+  EXPECT_EQ(sha512_hex(su::Bytes{0x00}),
+            "b8244d028981d693af7b456af8efa4cad63d282e19ff14942c246e50d9351d22"
+            "704a802a71c3580b6370de4ceb293c324a8423342557d4e5c38438f0e36910ee");
+}
+
+TEST(Sha512Kat, PaddingBoundary111Bytes) {
+  // 111 bytes: padding and length still fit in the first block.
+  EXPECT_EQ(sha512_hex(pattern(111, 1, 0)),
+            "a1a111449b198d9b1f538bad7f3fc1022b3a5b1a5e90a0bc860de8512746cbc3"
+            "1599e6c834de3a3235327af0b51ff57bf7acf1974a73014d9c3953812edc7c8d");
+}
+
+TEST(Sha512Kat, PaddingBoundary112Bytes) {
+  // 112 bytes: the length no longer fits; a second block is required.
+  EXPECT_EQ(sha512_hex(pattern(112, 1, 0)),
+            "c5fbd731d19d2ae1180f001be72c2c1aaba1d7b094b3748880e24593b8e117a7"
+            "50e11c1bd867cc2f96dace8c8b74abd2d5c4f236be444e77d30d1916174070b9");
+}
+
+TEST(Sha512Kat, PaddingBoundary113Bytes) {
+  EXPECT_EQ(sha512_hex(pattern(113, 1, 0)),
+            "61b2e77db697dfe5571fff3ed06bd60c41e1e7b7c08a80de01cb16526d9a9a52"
+            "d690dfbe792278a60f6e2b4c57a97c729773f26e258d2393890c985d645f6715");
+}
+
+TEST(Sha512Kat, ExactlyOneBlock) {
+  EXPECT_EQ(sha512_hex(pattern(128, 7, 0)),
+            "6e7f10bc87eacc3e98014eaade39e273285ba13c79231361c24c304a8d409018"
+            "f543a28847fcc829b87fdde605caa5ab5fdb00e296737fa4687d5ee8d130ceea");
+}
+
+TEST(Sha512Kat, OneBlockPlusOneByte) {
+  EXPECT_EQ(sha512_hex(pattern(129, 7, 0)),
+            "cdc5b3e2f22ed03935760389c88672f8b3c867503aff012d5f9653e426c9b530"
+            "e091356459108edadc8e09a444a50415b30d38f9d75cb8c456fec0ae3ca6901f");
+}
+
+TEST(Sha512Kat, ThreeBlockMessage) {
+  EXPECT_EQ(sha512_hex(pattern(384, 31, 5)),
+            "2989bfbe47c9c0f08e61fec2218378443322da0d7515553336d8b89b877e2180"
+            "9ddb20cf2f3c874445e37fdc9f7162b8aaca7553362e5695dbc8c1c16b0381d0");
+}
+
+// RFC 4231 HMAC-SHA-512 vectors missing from the original suite: case 4
+// (key bytes 0x01..0x19), case 5 (truncated output) and case 7 (both key
+// and data longer than the block).
+TEST(HmacKat, Rfc4231Case4) {
+  su::Bytes key(25);
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(i + 1);
+  su::Bytes data(50, 0xcd);
+  auto mac = sc::HmacSha512::mac(key, data);
+  EXPECT_EQ(hex_of(mac),
+            "b0ba465637458c6990e5a8c5f61d4af7e576d97ff94b872de76f8050361ee3db"
+            "a91ca5c11aa25eb4d679275cc5788063a5f19741120c4f2de2adebeb10a298dd");
+}
+
+TEST(HmacKat, Rfc4231Case5Truncated) {
+  su::Bytes key(20, 0x0c);
+  const std::string data = "Test With Truncation";
+  auto mac = sc::HmacSha512::mac(key, span_of(data));
+  // The RFC publishes only the first 128 bits for this case.
+  EXPECT_EQ(hex_of(mac).substr(0, 32), "415fad6271580a531d4179bc891d87a6");
+}
+
+TEST(HmacKat, Rfc4231Case7LongKeyAndData) {
+  su::Bytes key(131, 0xaa);
+  const std::string data =
+      "This is a test using a larger than block-size key and a larger than "
+      "block-size data. The key needs to be hashed before being used by the "
+      "HMAC algorithm.";
+  auto mac = sc::HmacSha512::mac(key, span_of(data));
+  EXPECT_EQ(hex_of(mac),
+            "e37b6a775dc87dbaa4dfa9f96e5e3ffddebd71f8867289865df5a32d20cdc944"
+            "b6022cac3c4982b10d5eeb55c3e4de15134676fb6de0446065c97440fa8c6a58");
 }

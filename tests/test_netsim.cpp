@@ -276,6 +276,15 @@ class ScriptedInjector : public sn::FaultInjector {
   }
 };
 
+/// Builds a Plan by mutating the defaults; partial designated initializers
+/// trip -Wmissing-field-initializers under the werror preset.
+template <typename Edit>
+sn::FaultInjector::Plan make_plan(Edit edit) {
+  sn::FaultInjector::Plan plan;
+  edit(plan);
+  return plan;
+}
+
 }  // namespace
 
 TEST(Sim, FaultInjectorDropSuppressesDeliveryAndCounts) {
@@ -285,7 +294,7 @@ TEST(Sim, FaultInjectorDropSuppressesDeliveryAndCounts) {
   auto idb = sim.add_node(b, "b");
   sim.connect(ida, idb, 100);
   ScriptedInjector injector;
-  injector.script.push_back({.drop = true});
+  injector.script.push_back(make_plan([](auto& p) { p.drop = true; }));
   sim.set_fault_injector(&injector);
   sim.send(ida, idb, payload("lost"));
   sim.send(ida, idb, payload("kept"));
@@ -304,7 +313,7 @@ TEST(Sim, FaultInjectorDuplicateDeliversTwice) {
   auto idb = sim.add_node(b, "b");
   sim.connect(ida, idb, 100);
   ScriptedInjector injector;
-  injector.script.push_back({.duplicate = true});
+  injector.script.push_back(make_plan([](auto& p) { p.duplicate = true; }));
   sim.set_fault_injector(&injector);
   sim.send(ida, idb, payload("echo"));
   sim.run();
@@ -324,7 +333,7 @@ TEST(Sim, FaultInjectorJitterDelaysDelivery) {
   auto idb = sim.add_node(b, "b");
   sim.connect(ida, idb, 100);
   ScriptedInjector injector;
-  injector.script.push_back({.jitter = 250});
+  injector.script.push_back(make_plan([](auto& p) { p.jitter = 250; }));
   sim.set_fault_injector(&injector);
   sim.send(ida, idb, payload("late"));
   sim.run();
@@ -340,7 +349,7 @@ TEST(Sim, FaultInjectorCorruptionFlipsDeliveredCopyOnly) {
   auto idb = sim.add_node(b, "b");
   sim.connect(ida, idb, 100);
   ScriptedInjector injector;
-  injector.script.push_back({.corrupt = {{0, 0x01}}});
+  injector.script.push_back(make_plan([](auto& p) { p.corrupt = {{0, 0x01}}; }));
   sim.set_fault_injector(&injector);
   su::Bytes original = payload("x");
   sim.send(ida, idb, original);
@@ -358,7 +367,7 @@ TEST(Sim, FaultInjectorUninstallRestoresCleanDelivery) {
   auto idb = sim.add_node(b, "b");
   sim.connect(ida, idb, 100);
   ScriptedInjector injector;
-  injector.script.push_back({.drop = true});
+  injector.script.push_back(make_plan([](auto& p) { p.drop = true; }));
   sim.set_fault_injector(&injector);
   sim.send(ida, idb, payload("lost"));
   sim.set_fault_injector(nullptr);
