@@ -20,13 +20,127 @@ Digest20 combine3(const Digest20& a, const Digest20& b, const Digest20& c) {
   return crypto::digest20_concat({ByteSpan{a.data(), a.size()}, ByteSpan{b.data(), b.size()},
                                   ByteSpan{c.data(), c.size()}});
 }
+
+/// Runs fn(start, end) over [0, n), either inline or sharded across `pool`
+/// when the range is large enough to amortize the task overhead.  Barrier
+/// semantics: returns only after every shard finished.  fn must not throw
+/// from pooled shards (ThreadPool contract).
+template <typename Fn>
+void shard_range(util::ThreadPool* pool, std::size_t n, std::size_t min_parallel,
+                 std::size_t chunks, Fn&& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || n < min_parallel) {
+    fn(static_cast<std::size_t>(0), n);
+    return;
+  }
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  for (std::size_t start = 0; start < n; start += chunk_size) {
+    const std::size_t end = std::min(n, start + chunk_size);
+    pool->submit([&fn, start, end] { fn(start, end); });
+    SPIDER_OBS_GAUGE_MAX("core/threadpool_queue_depth", pool->queue_depth());
+  }
+  pool->wait_idle();
+}
 }  // namespace
+
+// ------------------------------------------------------------ PRF indices
+
+std::uint64_t Mtt::bit_prf_index(const bgp::Prefix& prefix, ClassId cls) {
+  // bgp::Prefix is canonical (bits beyond the length are zero), so the
+  // (bits, length) pair identifies the prefix and the packing is injective
+  // for cls < 2^26: 32 prefix bits | 6 length bits | 26 class bits.
+  return (static_cast<std::uint64_t>(prefix.bits()) << 32) |
+         (static_cast<std::uint64_t>(prefix.length()) << 26) | cls;
+}
+
+std::uint64_t Mtt::dummy_prf_index(std::uint32_t path_bits, std::uint8_t depth, int slot) {
+  // 32 path bits | 6 depth bits | 2 slot bits; path bits below `depth` are
+  // zero (trie paths are canonical like prefixes), so this too is injective.
+  return (static_cast<std::uint64_t>(path_bits) << 32) |
+         (static_cast<std::uint64_t>(depth) << 2) | static_cast<std::uint64_t>(slot);
+}
+
+// ------------------------------------------------------------------ arena
+
+std::uint32_t Mtt::alloc_inner(std::uint8_t depth, std::uint32_t path_bits) {
+  std::uint32_t index;
+  if (!inner_free_.empty()) {
+    index = inner_free_.back();
+    inner_free_.pop_back();
+    inner_[index] = Inner{};
+  } else {
+    index = static_cast<std::uint32_t>(inner_.size());
+    inner_.emplace_back();
+    inner_depth_.push_back(0);
+    inner_path_.push_back(0);
+    inner_alive_.push_back(0);
+  }
+  inner_depth_[index] = depth;
+  inner_path_[index] = path_bits;
+  inner_alive_[index] = 1;
+  // A fresh inner node starts with three dummy children.
+  for (std::size_t s = 0; s < 3; ++s) inner_[index].kind[s] = ChildKind::kDummy;
+  dummy_count_ += 3;
+  return index;
+}
+
+void Mtt::free_inner(std::uint32_t index) {
+  inner_[index] = Inner{};
+  inner_alive_[index] = 0;
+  inner_free_.push_back(index);
+}
+
+std::uint32_t Mtt::alloc_prefix(const bgp::Prefix& prefix) {
+  std::uint32_t index;
+  if (!prefix_free_.empty()) {
+    index = prefix_free_.back();
+    prefix_free_.pop_back();
+    prefix_nodes_[index] = prefix;
+  } else {
+    index = static_cast<std::uint32_t>(prefix_nodes_.size());
+    prefix_nodes_.push_back(prefix);
+    prefix_alive_.push_back(0);
+    const std::size_t words =
+        (prefix_nodes_.size() * static_cast<std::size_t>(num_classes_) + 63) / 64;
+    if (bitmap_.size() < words) bitmap_.resize(words, 0);
+  }
+  prefix_alive_[index] = 1;
+  return index;
+}
+
+void Mtt::free_prefix(std::uint32_t index) {
+  prefix_alive_[index] = 0;
+  prefix_free_.push_back(index);
+}
+
+void Mtt::write_bits(std::uint32_t prefix_index, const std::vector<bool>& bits) {
+  const std::uint64_t base = static_cast<std::uint64_t>(prefix_index) * num_classes_;
+  for (std::uint32_t c = 0; c < num_classes_; ++c) {
+    const std::uint64_t idx = base + c;
+    if (bits[c]) {
+      bitmap_[idx / 64] |= 1ULL << (idx % 64);
+    } else {
+      bitmap_[idx / 64] &= ~(1ULL << (idx % 64));
+    }
+  }
+}
+
+bool Mtt::bits_equal(std::uint32_t prefix_index, const std::vector<bool>& bits) const {
+  const std::uint64_t base = static_cast<std::uint64_t>(prefix_index) * num_classes_;
+  for (std::uint32_t c = 0; c < num_classes_; ++c) {
+    if (stored_bit(base + c) != bits[c]) return false;
+  }
+  return true;
+}
 
 // ----------------------------------------------------------------- build
 
 Mtt Mtt::build(std::vector<std::pair<bgp::Prefix, std::vector<bool>>> entries,
                std::uint32_t num_classes) {
   if (num_classes == 0) throw std::invalid_argument("Mtt: num_classes must be > 0");
+  if (num_classes > kMaxClasses) {
+    throw std::invalid_argument("Mtt: num_classes exceeds the PRF index packing limit");
+  }
   std::sort(entries.begin(), entries.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (std::size_t i = 1; i < entries.size(); ++i) {
@@ -37,49 +151,17 @@ Mtt Mtt::build(std::vector<std::pair<bgp::Prefix, std::vector<bool>>> entries,
 
   Mtt tree;
   tree.num_classes_ = num_classes;
-  tree.inner_.emplace_back();  // root
+  tree.alloc_inner(0, 0);  // root at index 0
   tree.prefix_nodes_.reserve(entries.size());
   tree.bitmap_.assign((entries.size() * num_classes + 63) / 64, 0);
 
-  for (const auto& [prefix, bits] : entries) {
+  for (auto& [prefix, bits] : entries) {
     if (bits.size() != num_classes) {
       throw std::invalid_argument("Mtt: wrong bit count for " + prefix.str());
     }
-    std::uint32_t node = 0;
-    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
-      int slot = prefix.bit(depth) ? kSlot1 : kSlot0;
-      Inner& inner = tree.inner_[node];
-      if (inner.kind[static_cast<std::size_t>(slot)] == ChildKind::kNone) {
-        std::uint32_t fresh = static_cast<std::uint32_t>(tree.inner_.size());
-        inner.kind[static_cast<std::size_t>(slot)] = ChildKind::kInner;
-        inner.child[static_cast<std::size_t>(slot)] = fresh;
-        tree.inner_.emplace_back();
-        node = fresh;
-      } else {
-        node = inner.child[static_cast<std::size_t>(slot)];
-      }
-    }
-    Inner& parent = tree.inner_[node];
-    std::uint32_t prefix_index = static_cast<std::uint32_t>(tree.prefix_nodes_.size());
-    parent.kind[kSlotE] = ChildKind::kPrefix;
-    parent.child[kSlotE] = prefix_index;
-    tree.prefix_nodes_.push_back(prefix);
-    for (std::uint32_t c = 0; c < num_classes; ++c) {
-      if (bits[c]) {
-        std::uint64_t idx = static_cast<std::uint64_t>(prefix_index) * num_classes + c;
-        tree.bitmap_[idx / 64] |= 1ULL << (idx % 64);
-      }
-    }
-  }
-
-  // Fill every unassigned child slot with a dummy node.
-  for (Inner& inner : tree.inner_) {
-    for (std::size_t slot = 0; slot < 3; ++slot) {
-      if (inner.kind[slot] == ChildKind::kNone) {
-        inner.kind[slot] = ChildKind::kDummy;
-        inner.child[slot] = static_cast<std::uint32_t>(tree.dummy_count_++);
-      }
-    }
+    MttUpdate update{prefix, std::move(bits)};
+    std::vector<bgp::Prefix> touched;
+    tree.apply_structural(update, touched);
   }
   SPIDER_OBS_COUNT("core/mtt_builds", 1);
   SPIDER_OBS_COUNT("core/mtt_prefix_nodes", tree.prefix_nodes_.size());
@@ -88,17 +170,21 @@ Mtt Mtt::build(std::vector<std::pair<bgp::Prefix, std::vector<bool>>> entries,
 
 Mtt::Counts Mtt::counts() const {
   Counts c;
-  c.inner = inner_.size();
-  c.prefix = prefix_nodes_.size();
+  c.inner = inner_.size() - inner_free_.size();
+  c.prefix = prefix_nodes_.size() - prefix_free_.size();
   c.dummy = dummy_count_;
-  c.bit = prefix_nodes_.size() * num_classes_;
+  c.bit = c.prefix * num_classes_;
   return c;
 }
 
 std::size_t Mtt::memory_bytes() const {
-  return inner_.size() * sizeof(Inner) + prefix_nodes_.size() * sizeof(bgp::Prefix) +
-         bitmap_.size() * sizeof(std::uint64_t) + inner_labels_.size() * sizeof(Digest20) +
-         prefix_labels_.size() * sizeof(Digest20);
+  return inner_.size() * sizeof(Inner) + inner_depth_.size() * sizeof(std::uint8_t) +
+         inner_path_.size() * sizeof(std::uint32_t) + inner_alive_.size() * sizeof(std::uint8_t) +
+         inner_free_.size() * sizeof(std::uint32_t) +
+         prefix_nodes_.size() * sizeof(bgp::Prefix) +
+         prefix_alive_.size() * sizeof(std::uint8_t) +
+         prefix_free_.size() * sizeof(std::uint32_t) + bitmap_.size() * sizeof(std::uint64_t) +
+         inner_labels_.size() * sizeof(Digest20) + prefix_labels_.size() * sizeof(Digest20);
 }
 
 bool Mtt::stored_bit(std::uint64_t bit_index) const {
@@ -125,29 +211,116 @@ std::optional<std::uint32_t> Mtt::find_prefix(const bgp::Prefix& prefix) const {
   return parent.child[kSlotE];
 }
 
-// -------------------------------------------------------------- labeling
+// ---------------------------------------------------------------- updates
 
-Digest20 Mtt::prefix_label(std::uint32_t prefix_index, const crypto::CommitmentPrf& prf,
-                           std::uint64_t& hashes) const {
-  crypto::Sha512 h;
-  for (std::uint32_t c = 0; c < num_classes_; ++c) {
-    std::uint64_t idx = static_cast<std::uint64_t>(prefix_index) * num_classes_ + c;
-    Digest20 leaf = bit_leaf_hash(stored_bit(idx), prf.bit_randomness(idx));
-    hashes += 2;  // PRF derivation + leaf hash
-    h.update(ByteSpan{leaf.data(), leaf.size()});
+void Mtt::apply_structural(const MttUpdate& update, std::vector<bgp::Prefix>& touched) {
+  const bgp::Prefix& prefix = update.prefix;
+  if (update.bits) {
+    if (update.bits->size() != num_classes_) {
+      throw std::invalid_argument("Mtt: wrong bit count for " + prefix.str());
+    }
+    std::uint32_t node = 0;
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const bool bit = prefix.bit(depth);
+      const std::size_t slot = bit ? kSlot1 : kSlot0;
+      if (inner_[node].kind[slot] == ChildKind::kInner) {
+        node = inner_[node].child[slot];
+        continue;
+      }
+      const std::uint32_t path =
+          inner_path_[node] | (bit ? (1u << (31 - depth)) : 0u);
+      const std::uint32_t fresh = alloc_inner(static_cast<std::uint8_t>(depth + 1), path);
+      // Re-index after alloc: the arena may have reallocated.
+      inner_[node].kind[slot] = ChildKind::kInner;
+      inner_[node].child[slot] = fresh;
+      --dummy_count_;  // the slot's dummy is replaced by the new inner node
+      node = fresh;
+    }
+    if (inner_[node].kind[kSlotE] == ChildKind::kPrefix) {
+      const std::uint32_t pi = inner_[node].child[kSlotE];
+      if (bits_equal(pi, *update.bits)) return;  // no-op rewrite
+      write_bits(pi, *update.bits);
+    } else {
+      const std::uint32_t pi = alloc_prefix(prefix);
+      inner_[node].kind[kSlotE] = ChildKind::kPrefix;
+      inner_[node].child[kSlotE] = pi;
+      --dummy_count_;
+      write_bits(pi, *update.bits);
+    }
+    touched.push_back(prefix);
+    return;
   }
-  auto full = h.finish();
-  hashes += 1;
-  Digest20 out{};
-  std::copy(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(out.size()), out.begin());
-  return out;
+
+  // Removal.  Record the root path so pruning can walk back up.
+  std::array<std::uint32_t, 33> path_nodes{};
+  std::uint32_t node = 0;
+  for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+    path_nodes[depth] = node;
+    const Inner& inner = inner_[node];
+    const std::size_t slot = prefix.bit(depth) ? kSlot1 : kSlot0;
+    if (inner.kind[slot] != ChildKind::kInner) return;  // absent: no-op
+    node = inner.child[slot];
+  }
+  path_nodes[prefix.length()] = node;
+  if (inner_[node].kind[kSlotE] != ChildKind::kPrefix) return;  // absent: no-op
+  free_prefix(inner_[node].child[kSlotE]);
+  inner_[node].kind[kSlotE] = ChildKind::kDummy;
+  inner_[node].child[kSlotE] = 0;
+  ++dummy_count_;
+
+  // Prune upward: an inner node whose children are all dummies is
+  // structurally identical to the single dummy a fresh build would place
+  // there, and must collapse for incremental and rebuilt trees to agree.
+  for (std::uint8_t depth = prefix.length(); depth > 0; --depth) {
+    const std::uint32_t cur = path_nodes[depth];
+    const Inner& n = inner_[cur];
+    if (n.kind[0] != ChildKind::kDummy || n.kind[1] != ChildKind::kDummy ||
+        n.kind[2] != ChildKind::kDummy) {
+      break;
+    }
+    free_inner(cur);
+    dummy_count_ -= 3;
+    const std::uint32_t parent = path_nodes[depth - 1];
+    const std::size_t slot = prefix.bit(static_cast<std::uint8_t>(depth - 1)) ? kSlot1 : kSlot0;
+    inner_[parent].kind[slot] = ChildKind::kDummy;
+    inner_[parent].child[slot] = 0;
+    ++dummy_count_;
+  }
+  touched.push_back(prefix);
 }
 
-void Mtt::label_prefix_range(std::uint32_t start, std::uint32_t end,
-                             const crypto::CommitmentPrf& prf, bool multilane,
-                             std::uint64_t& hashes) {
+void Mtt::apply(const std::vector<MttUpdate>& updates) {
+  labels_done_ = false;
+  std::vector<bgp::Prefix> touched;
+  for (const MttUpdate& update : updates) apply_structural(update, touched);
+  SPIDER_OBS_COUNT("core/mtt_apply_runs", 1);
+  SPIDER_OBS_COUNT("core/mtt_apply_updates", updates.size());
+}
+
+// -------------------------------------------------------------- labeling
+
+void Mtt::label_prefix_ids(const std::uint32_t* ids, std::size_t n,
+                           const crypto::CommitmentPrf& prf, bool multilane,
+                           std::uint64_t& hashes) {
+  const std::uint32_t k = num_classes_;
   if (!multilane) {
-    for (std::uint32_t i = start; i < end; ++i) prefix_labels_[i] = prefix_label(i, prf, hashes);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t id = ids[i];
+      const std::uint64_t base = static_cast<std::uint64_t>(id) * k;
+      crypto::Sha512 h;
+      for (std::uint32_t c = 0; c < k; ++c) {
+        Digest20 leaf =
+            bit_leaf_hash(stored_bit(base + c), prf.bit_randomness(bit_prf_index(prefix_nodes_[id], c)));
+        hashes += 2;  // PRF derivation + leaf hash
+        h.update(ByteSpan{leaf.data(), leaf.size()});
+      }
+      auto full = h.finish();
+      hashes += 1;
+      Digest20 out{};
+      std::copy(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(out.size()),
+                out.begin());
+      prefix_labels_[id] = out;
+    }
     return;
   }
   // Batched: derive all x values for a chunk of prefix nodes, hash all
@@ -155,105 +328,213 @@ void Mtt::label_prefix_range(std::uint32_t start, std::uint32_t end,
   // digest20_batch calls of uniform-length messages, so the SHA-512 lanes
   // stay full.  Labels and hash accounting are identical to the scalar
   // path (2 hashes per bit, 1 per prefix node).
-  constexpr std::uint32_t kNodeChunk = 16;
-  const std::uint32_t k = num_classes_;
-  const std::size_t max_bits = static_cast<std::size_t>(kNodeChunk) * k;
+  constexpr std::size_t kNodeChunk = 16;
+  const std::size_t max_bits = kNodeChunk * k;
   std::vector<std::uint64_t> indices(max_bits);
   std::vector<std::uint8_t> bits(max_bits);
   std::vector<Digest20> xs(max_bits);
   std::vector<Digest20> leaves(max_bits);
+  Digest20 chunk_labels[kNodeChunk];
   ByteSpan spans[kNodeChunk];
   // A node's message is the contiguous bytes of its k leaf digests.
   static_assert(sizeof(Digest20) == 20, "Digest20 must pack to exactly 20 bytes");
-  for (std::uint32_t base = start; base < end; base += kNodeChunk) {
-    const std::uint32_t c = std::min(kNodeChunk, end - base);
-    const std::size_t m = static_cast<std::size_t>(c) * k;
-    for (std::size_t j = 0; j < m; ++j) {
-      const std::uint64_t idx = static_cast<std::uint64_t>(base) * k + j;
-      indices[j] = idx;
-      bits[j] = stored_bit(idx) ? 1 : 0;
+  for (std::size_t base = 0; base < n; base += kNodeChunk) {
+    const std::size_t c = std::min(kNodeChunk, n - base);
+    const std::size_t m = c * k;
+    for (std::size_t node = 0; node < c; ++node) {
+      const std::uint32_t id = ids[base + node];
+      const std::uint64_t storage = static_cast<std::uint64_t>(id) * k;
+      for (std::uint32_t cls = 0; cls < k; ++cls) {
+        const std::size_t j = node * k + cls;
+        indices[j] = bit_prf_index(prefix_nodes_[id], cls);
+        bits[j] = stored_bit(storage + cls) ? 1 : 0;
+      }
     }
     prf.bit_randomness_batch(indices.data(), m, xs.data());
     bit_leaf_hash_batch(bits.data(), xs.data(), m, leaves.data());
-    for (std::uint32_t j = 0; j < c; ++j) {
-      spans[j] = ByteSpan{leaves[static_cast<std::size_t>(j) * k].data(),
-                          static_cast<std::size_t>(k) * sizeof(Digest20)};
+    for (std::size_t j = 0; j < c; ++j) {
+      spans[j] = ByteSpan{leaves[j * k].data(), static_cast<std::size_t>(k) * sizeof(Digest20)};
     }
-    crypto::digest20_batch(spans, c, prefix_labels_.data() + base);
+    crypto::digest20_batch(spans, c, chunk_labels);
+    for (std::size_t j = 0; j < c; ++j) prefix_labels_[ids[base + j]] = chunk_labels[j];
     hashes += static_cast<std::uint64_t>(c) * (2 * k + 1);
   }
 }
 
-Digest20 Mtt::child_label(const Inner& node, int slot, const crypto::CommitmentPrf& prf) const {
+Digest20 Mtt::child_label(std::uint32_t inner_index, int slot,
+                          const crypto::CommitmentPrf& prf) const {
+  const Inner& node = inner_[inner_index];
   std::size_t s = static_cast<std::size_t>(slot);
   switch (node.kind[s]) {
     case ChildKind::kInner: return inner_labels_[node.child[s]];
     case ChildKind::kPrefix: return prefix_labels_[node.child[s]];
-    case ChildKind::kDummy: return prf.dummy_label(node.child[s]);
+    case ChildKind::kDummy:
+      return prf.dummy_label(dummy_prf_index(inner_path_[inner_index],
+                                             inner_depth_[inner_index], slot));
     case ChildKind::kNone: break;
   }
   throw std::logic_error("Mtt: unassigned child slot");
 }
 
+std::uint64_t Mtt::relabel_inner(std::uint32_t inner_index, const crypto::CommitmentPrf& prf) {
+  const Inner& node = inner_[inner_index];
+  std::uint64_t hashes = 1;  // the combining hash
+  for (std::size_t s = 0; s < 3; ++s) {
+    if (node.kind[s] == ChildKind::kDummy) ++hashes;  // PRF derivation per dummy child
+  }
+  inner_labels_[inner_index] = combine3(child_label(inner_index, kSlot0, prf),
+                                        child_label(inner_index, kSlot1, prf),
+                                        child_label(inner_index, kSlotE, prf));
+  return hashes;
+}
+
 void Mtt::compute_labels(const crypto::CommitmentPrf& prf, unsigned threads, bool multilane) {
   SPIDER_OBS_SPAN(label_span, "core/mtt_label");
   util::WallTimer label_timer;
+  // Invalidate first: a throw mid-labeling must never leave the previous
+  // root servable.
+  labels_done_ = false;
   inner_labels_.assign(inner_.size(), Digest20{});
   prefix_labels_.assign(prefix_nodes_.size(), Digest20{});
   std::atomic<std::uint64_t> hash_count{0};
 
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  util::ThreadPool* pool_ptr = pool ? &*pool : nullptr;
+  const std::size_t chunks = static_cast<std::size_t>(threads) * 8;
+
   // Phase 1 — prefix-node labels.  Each is independent (the "subtrees
   // labeled completely by one thread" of §7.1; a prefix node's subtree is
   // its k bit nodes), and this phase is ~95% of all hashing.
-  const std::size_t n = prefix_nodes_.size();
-  if (threads <= 1 || n < 256) {
-    std::uint64_t hashes = 0;
-    label_prefix_range(0, static_cast<std::uint32_t>(n), prf, multilane, hashes);
-    hash_count += hashes;
-  } else {
-    util::ThreadPool pool(threads);
-    const std::size_t chunks = static_cast<std::size_t>(threads) * 8;
-    const std::size_t chunk_size = (n + chunks - 1) / chunks;
-    std::size_t submitted = 0;
-    for (std::size_t start = 0; start < n; start += chunk_size) {
-      const std::size_t end = std::min(n, start + chunk_size);
-      pool.submit([this, &prf, &hash_count, start, end, multilane] {
-        std::uint64_t hashes = 0;
-        label_prefix_range(static_cast<std::uint32_t>(start), static_cast<std::uint32_t>(end), prf,
-                           multilane, hashes);
-        hash_count += hashes;
-      });
-      ++submitted;
-      SPIDER_OBS_GAUGE_MAX("core/threadpool_queue_depth", pool.queue_depth());
-    }
-    SPIDER_OBS_COUNT("core/mtt_parallel_chunks", submitted);
-    pool.wait_idle();
+  std::vector<std::uint32_t> prefix_ids;
+  prefix_ids.reserve(prefix_nodes_.size());
+  for (std::uint32_t i = 0; i < prefix_nodes_.size(); ++i) {
+    if (prefix_alive_[i]) prefix_ids.push_back(i);
   }
+  std::atomic<std::size_t> submitted{0};
+  shard_range(pool_ptr, prefix_ids.size(), 256, chunks,
+              [&](std::size_t start, std::size_t end) {
+                std::uint64_t hashes = 0;
+                label_prefix_ids(prefix_ids.data() + start, end - start, prf, multilane, hashes);
+                hash_count += hashes;
+                submitted += 1;
+              });
+  SPIDER_OBS_COUNT("core/mtt_parallel_chunks", submitted.load());
 
-  // Phase 2 — inner labels bottom-up.  Children are always created after
-  // their parent during the trie build, so decreasing index order is a
-  // valid topological order.
-  std::uint64_t hashes = 0;
-  for (std::size_t i = inner_.size(); i-- > 0;) {
-    const Inner& node = inner_[i];
-    // Dummy child labels cost one PRF hash each.
-    for (std::size_t s = 0; s < 3; ++s) {
-      if (node.kind[s] == ChildKind::kDummy) ++hashes;
-    }
-    inner_labels_[i] = combine3(child_label(node, kSlot0, prf), child_label(node, kSlot1, prf),
-                                child_label(node, kSlotE, prf));
-    ++hashes;
+  // Phase 2 — inner labels bottom-up, grouped by trie depth.  A node's
+  // children are strictly deeper, so each level depends only on deeper
+  // levels; within a level every node is independent, which is what lets
+  // this formerly serial pass shard across the pool (and tolerate the
+  // arbitrary index order left behind by free-list recycling).
+  std::array<std::vector<std::uint32_t>, 33> levels;
+  for (std::uint32_t i = 0; i < inner_.size(); ++i) {
+    if (inner_alive_[i]) levels[inner_depth_[i]].push_back(i);
   }
-  hash_count += hashes;
+  for (std::size_t depth = levels.size(); depth-- > 0;) {
+    const std::vector<std::uint32_t>& ids = levels[depth];
+    shard_range(pool_ptr, ids.size(), 1024, chunks, [&](std::size_t start, std::size_t end) {
+      std::uint64_t hashes = 0;
+      for (std::size_t j = start; j < end; ++j) hashes += relabel_inner(ids[j], prf);
+      hash_count += hashes;
+    });
+  }
 
   label_hashes_ = hash_count.load();
   labels_done_ = true;
   SPIDER_OBS_COUNT("core/mtt_label_runs", 1);
-  SPIDER_OBS_COUNT("core/mtt_nodes_labeled", inner_.size() + prefix_nodes_.size());
+  SPIDER_OBS_COUNT("core/mtt_nodes_labeled", prefix_ids.size() + inner_.size() - inner_free_.size());
   SPIDER_OBS_COUNT("core/mtt_label_hashes", label_hashes_);
   SPIDER_OBS_HIST("core/mtt_label_micros",
                   static_cast<std::uint64_t>(label_timer.seconds() * 1e6),
                   obs::latency_buckets_micros());
+}
+
+std::uint64_t Mtt::apply(const std::vector<MttUpdate>& updates, const crypto::CommitmentPrf& prf,
+                         unsigned threads, bool multilane) {
+  if (!labels_done_) {
+    throw std::logic_error("Mtt::apply: labels not computed; run compute_labels first");
+  }
+  SPIDER_OBS_SPAN(apply_span, "core/mtt_apply");
+  util::WallTimer apply_timer;
+  // Invalidate across the structural+relabel window: a throw part-way
+  // through must never leave the previous root servable.
+  labels_done_ = false;
+
+  std::vector<bgp::Prefix> touched;
+  for (const MttUpdate& update : updates) apply_structural(update, touched);
+
+  // The arena may have grown; labels of surviving nodes stay valid in place.
+  if (inner_labels_.size() < inner_.size()) inner_labels_.resize(inner_.size());
+  if (prefix_labels_.size() < prefix_nodes_.size()) prefix_labels_.resize(prefix_nodes_.size());
+
+  // Dirty closure, computed against the *final* structure: every touched
+  // prefix dirties the inner nodes on its root path (for a removed prefix
+  // the walk stops where the path was pruned — the stopping node is
+  // exactly the one that gained a dummy child) plus its prefix node when
+  // it still exists with changed bits.
+  std::vector<std::uint32_t> dirty_prefix;
+  std::vector<std::uint32_t> dirty_inner;
+  for (const bgp::Prefix& prefix : touched) {
+    std::uint32_t node = 0;
+    bool on_tree = true;
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      dirty_inner.push_back(node);
+      const Inner& inner = inner_[node];
+      const std::size_t slot = prefix.bit(depth) ? kSlot1 : kSlot0;
+      if (inner.kind[slot] != ChildKind::kInner) {
+        on_tree = false;
+        break;
+      }
+      node = inner.child[slot];
+    }
+    if (!on_tree) continue;
+    dirty_inner.push_back(node);
+    if (inner_[node].kind[kSlotE] == ChildKind::kPrefix) {
+      dirty_prefix.push_back(inner_[node].child[kSlotE]);
+    }
+  }
+  std::sort(dirty_prefix.begin(), dirty_prefix.end());
+  dirty_prefix.erase(std::unique(dirty_prefix.begin(), dirty_prefix.end()), dirty_prefix.end());
+  std::sort(dirty_inner.begin(), dirty_inner.end());
+  dirty_inner.erase(std::unique(dirty_inner.begin(), dirty_inner.end()), dirty_inner.end());
+
+  std::atomic<std::uint64_t> hash_count{0};
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1 && (dirty_prefix.size() >= 256 || dirty_inner.size() >= 1024)) {
+    pool.emplace(threads);
+  }
+  util::ThreadPool* pool_ptr = pool ? &*pool : nullptr;
+  const std::size_t chunks = static_cast<std::size_t>(threads) * 8;
+
+  shard_range(pool_ptr, dirty_prefix.size(), 256, chunks,
+              [&](std::size_t start, std::size_t end) {
+                std::uint64_t hashes = 0;
+                label_prefix_ids(dirty_prefix.data() + start, end - start, prf, multilane, hashes);
+                hash_count += hashes;
+              });
+
+  // Dirty inner nodes bottom-up by depth, sharded within each level.
+  std::array<std::vector<std::uint32_t>, 33> levels;
+  for (std::uint32_t id : dirty_inner) levels[inner_depth_[id]].push_back(id);
+  for (std::size_t depth = levels.size(); depth-- > 0;) {
+    const std::vector<std::uint32_t>& ids = levels[depth];
+    shard_range(pool_ptr, ids.size(), 1024, chunks, [&](std::size_t start, std::size_t end) {
+      std::uint64_t hashes = 0;
+      for (std::size_t j = start; j < end; ++j) hashes += relabel_inner(ids[j], prf);
+      hash_count += hashes;
+    });
+  }
+
+  label_hashes_ = hash_count.load();
+  labels_done_ = true;
+  SPIDER_OBS_COUNT("core/mtt_apply_runs", 1);
+  SPIDER_OBS_COUNT("core/mtt_apply_updates", updates.size());
+  SPIDER_OBS_COUNT("core/mtt_apply_dirty_nodes", dirty_prefix.size() + dirty_inner.size());
+  SPIDER_OBS_COUNT("core/mtt_apply_hashes", label_hashes_);
+  SPIDER_OBS_HIST("core/mtt_apply_micros",
+                  static_cast<std::uint64_t>(apply_timer.seconds() * 1e6),
+                  obs::latency_buckets_micros());
+  return label_hashes_;
 }
 
 const Digest20& Mtt::root_label() const {
@@ -272,16 +553,22 @@ MttPrefixProof Mtt::prove(const crypto::CommitmentPrf& prf, const bgp::Prefix& p
   MttPrefixProof proof;
   proof.prefix = prefix;
 
+  // Derive the x value of each bit node exactly once (batched through the
+  // SHA-512 lanes) and reuse it for both the openings and the bit labels.
+  const std::uint64_t storage_base = static_cast<std::uint64_t>(*prefix_index) * num_classes_;
+  std::vector<std::uint64_t> prf_indices(num_classes_);
+  for (std::uint32_t c = 0; c < num_classes_; ++c) prf_indices[c] = bit_prf_index(prefix, c);
+  std::vector<Digest20> xs(num_classes_);
+  prf.bit_randomness_batch(prf_indices.data(), prf_indices.size(), xs.data());
+
   for (ClassId cls : classes) {
     if (cls >= num_classes_) throw std::out_of_range("Mtt::prove: class out of range");
-    std::uint64_t idx = static_cast<std::uint64_t>(*prefix_index) * num_classes_ + cls;
-    proof.revealed.push_back({cls, stored_bit(idx), prf.bit_randomness(idx)});
+    proof.revealed.push_back({cls, stored_bit(storage_base + cls), xs[cls]});
   }
 
   proof.bit_labels.reserve(num_classes_);
   for (std::uint32_t c = 0; c < num_classes_; ++c) {
-    std::uint64_t idx = static_cast<std::uint64_t>(*prefix_index) * num_classes_ + c;
-    proof.bit_labels.push_back(bit_leaf_hash(stored_bit(idx), prf.bit_randomness(idx)));
+    proof.bit_labels.push_back(bit_leaf_hash(stored_bit(storage_base + c), xs[c]));
   }
 
   // Path from the root to the prefix node's parent, recording the two
@@ -294,7 +581,7 @@ MttPrefixProof Mtt::prove(const crypto::CommitmentPrf& prf, const bgp::Prefix& p
     int out = 0;
     for (int slot = 0; slot < 3; ++slot) {
       if (slot == path_slot) continue;
-      sibs[static_cast<std::size_t>(out++)] = child_label(inner, slot, prf);
+      sibs[static_cast<std::size_t>(out++)] = child_label(node, slot, prf);
     }
     proof.siblings.push_back(sibs);
     if (path_slot != kSlotE) node = inner.child[static_cast<std::size_t>(path_slot)];

@@ -16,11 +16,22 @@
 // per-commitment seed (crypto::CommitmentPrf), so storing the 32-byte seed
 // suffices to regenerate the entire labeling during replay (§6.5).
 //
-// Representation notes: nodes live in flat arrays with 32-bit indices, bits
-// in a packed bitmap, and only inner/prefix labels are materialized
-// (bit-node and dummy labels are recomputed from the PRF on demand).  This
-// keeps a full-table MTT (391k prefixes x 50 classes ≈ 22M nodes) around
-// a hundred MB, in the same regime the paper reports (137.5 MB).
+// PRF indexing is *content-addressed*: the x value of a bit node is derived
+// from (prefix, class) and a dummy node's label from its trie position
+// (path bits, depth, child slot) — never from allocation order.  The root
+// is therefore a pure function of (seed, contents): a tree grown
+// incrementally through any sequence of apply() calls labels identically
+// to one built fresh from the same final table, which is what lets the
+// proof generator reproduce commitment roots by checkpoint + replay
+// regardless of how the live recorder's tree evolved (§6.5).
+//
+// Representation notes: nodes live in flat arena arrays with 32-bit
+// indices (freed slots are recycled through free lists, so update churn
+// never invalidates indices), bits in a packed bitmap, and only
+// inner/prefix labels are materialized (bit-node and dummy labels are
+// recomputed from the PRF on demand).  This keeps a full-table MTT (391k
+// prefixes x 50 classes ≈ 22M nodes) around a hundred MB, in the same
+// regime the paper reports (137.5 MB).
 #pragma once
 
 #include <array>
@@ -62,10 +73,31 @@ struct MttPrefixProof {
   static MttPrefixProof decode(util::ByteSpan data);
 };
 
+/// One element of an incremental update batch: insert-or-replace the
+/// prefix's bits, or (bits == nullopt) remove the prefix.  Removing an
+/// absent prefix and re-writing unchanged bits are no-ops, so callers can
+/// feed their dirty set without first diffing against the tree.
+struct MttUpdate {
+  bgp::Prefix prefix;
+  std::optional<std::vector<bool>> bits;
+};
+
 class Mtt {
  public:
   /// An empty, unusable tree; assign a built tree before use.
   Mtt() = default;
+
+  /// PRF indices are packed into 64 bits (32 prefix bits + 6 length bits
+  /// leave 26 bits for the class), so class counts are bounded.
+  static constexpr std::uint32_t kMaxClasses = 1u << 26;
+
+  /// PRF index of the x value behind (prefix, cls): content-addressed, so
+  /// the same bit node draws the same randomness in any tree built over
+  /// the same table with the same seed.
+  static std::uint64_t bit_prf_index(const bgp::Prefix& prefix, ClassId cls);
+  /// PRF index of the dummy label at child `slot` of the inner node
+  /// identified by its trie position (path bits as in bgp::Prefix, depth).
+  static std::uint64_t dummy_prf_index(std::uint32_t path_bits, std::uint8_t depth, int slot);
 
   /// Builds the minimal MTT over `entries` (prefix -> its k input bits).
   /// Entries are sorted internally; duplicate prefixes are rejected.
@@ -86,15 +118,33 @@ class Mtt {
   /// Bytes used by the structure arrays, bitmap and materialized labels.
   std::size_t memory_bytes() const;
 
-  /// Labels every node bottom-up; `threads` > 1 splits the dominant
-  /// prefix-label phase across a thread pool (paper §7.1: "we break the MTT
-  /// into subtrees that are each labeled completely by one of the threads").
-  /// `multilane` runs that phase through the multi-lane SHA-512 batcher
+  /// Labels every node bottom-up; `threads` > 1 splits both the dominant
+  /// prefix-label phase and the per-depth inner-label levels across a
+  /// thread pool (paper §7.1: "we break the MTT into subtrees that are
+  /// each labeled completely by one of the threads").  `multilane` runs
+  /// prefix labeling through the multi-lane SHA-512 batcher
   /// (crypto/sha2_multi.hpp) — same labels, same hash accounting, several
   /// digests per compression call; pass false to force the scalar path
-  /// (the differential battery compares the two).
+  /// (the differential battery compares the two).  Any previously computed
+  /// labels are invalidated on entry, so a failed run can never serve a
+  /// stale root.
   void compute_labels(const crypto::CommitmentPrf& prf, unsigned threads = 1,
                       bool multilane = true);
+
+  /// Applies `updates` to the structure only: labels are invalidated and
+  /// must be recomputed (compute_labels) before the next root_label() or
+  /// prove().  Used when the commitment seed rotates — the structure
+  /// survives, the labeling starts over.
+  void apply(const std::vector<MttUpdate>& updates);
+
+  /// Applies `updates` and relabels incrementally under `prf`, which MUST
+  /// be the same PRF the current labels were computed with (the tree
+  /// cannot verify this; mixing seeds silently corrupts the root).  Only
+  /// touched prefix nodes and the inner nodes on their root paths rehash —
+  /// O(churn · depth), not O(table).  Returns the number of hash
+  /// evaluations performed (also available via last_label_hashes()).
+  std::uint64_t apply(const std::vector<MttUpdate>& updates, const crypto::CommitmentPrf& prf,
+                      unsigned threads = 1, bool multilane = true);
 
   bool labels_computed() const { return labels_done_; }
   const Digest20& root_label() const;
@@ -112,34 +162,53 @@ class Mtt {
   static bool verify(const Digest20& root, std::uint32_t num_classes,
                      const MttPrefixProof& proof);
 
-  /// Total number of hash evaluations performed by the last
-  /// compute_labels() call (for the labeling microbenchmark).
+  /// Total number of hash evaluations performed by the last labeling
+  /// operation — a full compute_labels() or an incremental apply() (for
+  /// the labeling microbenchmark and the churn-vs-table-size metric).
   std::uint64_t last_label_hashes() const { return label_hashes_; }
 
  private:
   enum class ChildKind : std::uint8_t { kNone = 0, kInner, kPrefix, kDummy };
 
   struct Inner {
-    std::array<std::uint32_t, 3> child{};  // index into the kind's array
+    std::array<std::uint32_t, 3> child{};  // index into the kind's arena
     std::array<ChildKind, 3> kind{ChildKind::kNone, ChildKind::kNone, ChildKind::kNone};
   };
 
   /// Index of the prefix node for `prefix`, or nullopt.
   std::optional<std::uint32_t> find_prefix(const bgp::Prefix& prefix) const;
 
-  Digest20 child_label(const Inner& node, int slot, const crypto::CommitmentPrf& prf) const;
-  Digest20 prefix_label(std::uint32_t prefix_index, const crypto::CommitmentPrf& prf,
-                        std::uint64_t& hashes) const;
-  /// Labels prefix nodes [start, end) into prefix_labels_, scalar or via the
-  /// lane batcher; accumulates the hash count into `hashes`.
-  void label_prefix_range(std::uint32_t start, std::uint32_t end, const crypto::CommitmentPrf& prf,
-                          bool multilane, std::uint64_t& hashes);
+  std::uint32_t alloc_inner(std::uint8_t depth, std::uint32_t path_bits);
+  void free_inner(std::uint32_t index);
+  std::uint32_t alloc_prefix(const bgp::Prefix& prefix);
+  void free_prefix(std::uint32_t index);
+  void write_bits(std::uint32_t prefix_index, const std::vector<bool>& bits);
+  bool bits_equal(std::uint32_t prefix_index, const std::vector<bool>& bits) const;
+
+  /// Structural half of apply(): inserts/removes/overwrites one entry.
+  /// Records the touched prefix in `touched` when the tree changed.
+  void apply_structural(const MttUpdate& update, std::vector<bgp::Prefix>& touched);
+
+  Digest20 child_label(std::uint32_t inner_index, int slot,
+                       const crypto::CommitmentPrf& prf) const;
+  /// Relabels one inner node from its children; returns hashes performed.
+  std::uint64_t relabel_inner(std::uint32_t inner_index, const crypto::CommitmentPrf& prf);
+  /// Labels the prefix nodes in ids[start, end), scalar or via the lane
+  /// batcher; accumulates the hash count into `hashes`.
+  void label_prefix_ids(const std::uint32_t* ids, std::size_t n, const crypto::CommitmentPrf& prf,
+                        bool multilane, std::uint64_t& hashes);
   bool stored_bit(std::uint64_t bit_index) const;
 
   std::uint32_t num_classes_ = 0;
-  std::vector<Inner> inner_;                    // inner_[0] is the root
-  std::vector<bgp::Prefix> prefix_nodes_;       // by prefix-node index
-  std::vector<std::uint64_t> bitmap_;           // packed bits, prefix-major
+  std::vector<Inner> inner_;                 // arena; inner_[0] is the root
+  std::vector<std::uint8_t> inner_depth_;    // trie depth of each inner node
+  std::vector<std::uint32_t> inner_path_;    // path bits (left-aligned)
+  std::vector<std::uint8_t> inner_alive_;
+  std::vector<std::uint32_t> inner_free_;
+  std::vector<bgp::Prefix> prefix_nodes_;    // arena, by prefix-node index
+  std::vector<std::uint8_t> prefix_alive_;
+  std::vector<std::uint32_t> prefix_free_;
+  std::vector<std::uint64_t> bitmap_;        // packed bits, prefix-major
   std::uint64_t dummy_count_ = 0;
   std::vector<Digest20> inner_labels_;
   std::vector<Digest20> prefix_labels_;

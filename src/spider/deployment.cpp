@@ -56,6 +56,8 @@ Fig5Deployment::Fig5Deployment(DeploymentConfig config) : config_(std::move(conf
     rc.commit_threads = config_.commit_threads;
     rc.batch_window = config_.batch_window;
     rc.delta = config_.delta;
+    rc.incremental_commits = config_.incremental_commits;
+    rc.seed_epoch_rounds = config_.seed_epoch_rounds;
     recorders_[asn] =
         std::make_unique<Recorder>(sim_, rc, *signers_[asn], keys_, *speakers_[asn]);
     recorder_nodes_[asn] = sim_.add_node(*recorders_[asn], "rec-as" + std::to_string(asn));

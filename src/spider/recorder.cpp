@@ -1,5 +1,6 @@
 #include "spider/recorder.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "crypto/ct.hpp"
@@ -31,6 +32,13 @@ void Recorder::add_neighbor(bgp::AsNumber neighbor_as, netsim::NodeId node) {
 
 void Recorder::set_promise(bgp::AsNumber consumer, core::Promise promise) {
   promises_.insert_or_assign(consumer, std::move(promise));
+  // Promises feed every prefix's bit vector, so a change invalidates the
+  // whole live tree (detected against committed_promises_version_).
+  ++promises_version_;
+}
+
+void Recorder::mark_dirty(const bgp::Prefix& prefix) {
+  if (config_.incremental_commits) dirty_prefixes_.insert(prefix);
 }
 
 Time Recorder::local_now() const { return sim_.local_time(node_id()); }
@@ -71,6 +79,66 @@ void Recorder::start(bool schedule_commitments) {
 }
 
 void Recorder::make_checkpoint() { log_.add_checkpoint(local_now(), state_.serialize()); }
+
+void Recorder::restore_from(MessageLog log) {
+  if (started_) throw std::logic_error("Recorder: restore_from after start");
+  log_ = std::move(log);
+
+  const LogCheckpoint* checkpoint = log_.checkpoint_before(std::numeric_limits<Time>::max());
+  if (!checkpoint) throw std::invalid_argument("Recorder: log has no checkpoint to restore from");
+  state_ = MirrorState::deserialize(checkpoint->state);
+
+  // Replay everything logged after the checkpoint, with exactly the live
+  // acceptance rules (a part the pre-crash recorder rejected for timing
+  // must not resurface in the restored mirror).
+  for (const LogEntry* entry :
+       log_.entries_between(checkpoint->timestamp, std::numeric_limits<Time>::max())) {
+    core::SignedEnvelope envelope;
+    SpiderBatch batch;
+    try {
+      envelope = core::SignedEnvelope::decode(entry->message);
+      batch = SpiderBatch::decode(envelope.payload);
+    } catch (const util::DecodeError&) {
+      continue;
+    }
+    for (const SpiderBatch::Part& part : batch.parts) {
+      try {
+        switch (part.type) {
+          case SpiderMsgType::kAnnounce: {
+            SpiderAnnounce announce = SpiderAnnounce::decode(part.body);
+            if (announce.re_announce) break;
+            if (entry->direction == LogDirection::kReceived) {
+              if (!announce_timely(announce.timestamp, entry->timestamp, config_)) break;
+              state_.apply_announce_in(announce, crypto::digest20(part.body));
+            } else {
+              state_.apply_announce_out(announce);
+            }
+            break;
+          }
+          case SpiderMsgType::kWithdraw: {
+            SpiderWithdraw withdraw = SpiderWithdraw::decode(part.body);
+            if (entry->direction == LogDirection::kReceived) {
+              state_.apply_withdraw_in(withdraw);
+            } else {
+              state_.apply_withdraw_out(withdraw);
+            }
+            break;
+          }
+          case SpiderMsgType::kAck:
+          case SpiderMsgType::kCommit:
+          case SpiderMsgType::kReAnnounce:
+            break;
+        }
+      } catch (const util::DecodeError&) {
+      }
+    }
+  }
+
+  // The live tree (if any) described the pre-restore mirror; drop it.
+  live_tree_valid_ = false;
+  dirty_prefixes_.clear();
+  SPIDER_OBS_COUNT("spider/restores", 1);
+}
 
 void Recorder::schedule_commit() {
   sim_.schedule_in(config_.commit_interval, [this] {
@@ -122,6 +190,7 @@ void Recorder::observe_update_out(bgp::AsNumber to, const bgp::Update& update) {
       }
     }
     state_.apply_announce_out(announce);
+    mark_dirty(route.prefix);
     if (neighbors_.count(to) != 0) {
       queue_part(to, SpiderMsgType::kAnnounce, announce.encode());
     }
@@ -133,6 +202,7 @@ void Recorder::observe_update_out(bgp::AsNumber to, const bgp::Update& update) {
     withdraw.to_as = to;
     withdraw.prefix = prefix;
     state_.apply_withdraw_out(withdraw);
+    mark_dirty(prefix);
     if (neighbors_.count(to) != 0) {
       queue_part(to, SpiderMsgType::kWithdraw, withdraw.encode());
     }
@@ -155,6 +225,7 @@ void Recorder::observe_route_in(bgp::AsNumber from, const bgp::Route& raw,
   Bytes body = announce.encode();
   Digest20 digest = crypto::digest20(body);
   state_.apply_announce_in(announce, digest);
+  mark_dirty(raw.prefix);
   ++updates_mirrored_;
   SPIDER_OBS_COUNT("spider/updates_mirrored", 1);
 
@@ -179,6 +250,7 @@ void Recorder::observe_withdraw_in(bgp::AsNumber from, const bgp::Prefix& prefix
   withdraw.prefix = prefix;
   Bytes body = withdraw.encode();
   state_.apply_withdraw_in(withdraw);
+  mark_dirty(prefix);
   ++updates_mirrored_;
   SPIDER_OBS_COUNT("spider/updates_mirrored", 1);
 
@@ -319,6 +391,7 @@ void Recorder::process_batch(bgp::AsNumber from, const core::SignedEnvelope& env
           }
           log_once();
           state_.apply_announce_in(announce, crypto::digest20(part.body));
+          mark_dirty(announce.route.prefix);
           ++updates_mirrored_;
           SPIDER_OBS_COUNT("spider/updates_mirrored", 1);
           needs_ack = true;
@@ -332,6 +405,7 @@ void Recorder::process_batch(bgp::AsNumber from, const core::SignedEnvelope& env
           }
           log_once();
           state_.apply_withdraw_in(withdraw);
+          mark_dirty(withdraw.prefix);
           ++updates_mirrored_;
           SPIDER_OBS_COUNT("spider/updates_mirrored", 1);
           needs_ack = true;
@@ -407,6 +481,73 @@ void Recorder::send_ack(bgp::AsNumber to, const core::SignedEnvelope& batch_enve
 
 // ------------------------------------------------------------ commitment
 
+crypto::Seed Recorder::commitment_seed(Time now) const {
+  // The commitment's identity in the protocol is its timestamp (the log
+  // keys commitments by Time), so deriving the seed from the timestamp ties
+  // seed freshness to commitment freshness: a recorder restored from
+  // checkpoint+replay commits at strictly later times than anything in its
+  // log and therefore can never reuse a seed — the bug a restart-counter
+  // scheme had.  With seed_epoch_rounds > 1 the timestamp is quantized to
+  // its epoch window, deliberately sharing the seed within the epoch so
+  // incremental relabeling can skip untouched subtrees.
+  Time epoch = now;
+  if (config_.seed_epoch_rounds > 1 && config_.commit_interval > 0) {
+    const Time epoch_length =
+        config_.commit_interval * static_cast<Time>(config_.seed_epoch_rounds);
+    epoch = now - (now % epoch_length);
+  }
+  return crypto::seed_from_string(config_.seed_salt + "-" + std::to_string(config_.asn) + "-t" +
+                                  std::to_string(epoch));
+}
+
+Digest20 Recorder::commit_root(const crypto::Seed& seed) {
+  util::ScopedCpu mtt_scope(mtt_meter_);
+  const crypto::CommitmentPrf prf(seed);
+
+  if (!config_.incremental_commits) {
+    auto entries = build_mtt_entries(state_, classifier_, promises_, faults_.ignore_inputs);
+    core::Mtt tree = core::Mtt::build(std::move(entries), config_.num_classes);
+    tree.compute_labels(prf, config_.commit_threads);
+    return tree.root_label();
+  }
+
+  // Incremental path.  Global-parameter changes (ignore-input faults,
+  // promises) rewrite every prefix's bits, so they force a rebuild; prefix
+  // churn flows through apply().  Content-addressed PRF indexing makes
+  // every branch produce the identical root a fresh build would.
+  const bool params_changed = committed_ignored_ != faults_.ignore_inputs ||
+                              committed_promises_version_ != promises_version_;
+  if (!live_tree_valid_ || params_changed) {
+    auto entries = build_mtt_entries(state_, classifier_, promises_, faults_.ignore_inputs);
+    live_tree_ = core::Mtt::build(std::move(entries), config_.num_classes);
+    live_tree_.compute_labels(prf, config_.commit_threads);
+    live_tree_valid_ = true;
+    SPIDER_OBS_COUNT("spider/commit_full_builds", 1);
+  } else {
+    std::vector<core::MttUpdate> updates;
+    updates.reserve(dirty_prefixes_.size());
+    for (const bgp::Prefix& prefix : dirty_prefixes_) {
+      updates.push_back({prefix, mtt_entry_for(state_, classifier_, promises_,
+                                               faults_.ignore_inputs, prefix)});
+    }
+    if (live_tree_.labels_computed() && live_seed_ == seed) {
+      // Same seed epoch: only dirty paths rehash.
+      live_tree_.apply(updates, prf, config_.commit_threads);
+      SPIDER_OBS_COUNT("spider/commit_incremental", 1);
+    } else {
+      // Seed rotated: the structure survives, the labeling starts over.
+      live_tree_.apply(updates);
+      live_tree_.compute_labels(prf, config_.commit_threads);
+      SPIDER_OBS_COUNT("spider/commit_structure_reuse", 1);
+    }
+  }
+  live_seed_ = seed;
+  committed_ignored_ = faults_.ignore_inputs;
+  committed_promises_version_ = promises_version_;
+  dirty_prefixes_.clear();
+  return live_tree_.root_label();
+}
+
 const CommitmentRecord& Recorder::make_commitment() {
   util::ScopedCpu scope(total_meter_);
   SPIDER_OBS_SPAN(commit_span, "spider/commitment");
@@ -416,16 +557,8 @@ const CommitmentRecord& Recorder::make_commitment() {
   CommitmentRecord record;
   record.timestamp = now;
   record.num_classes = config_.num_classes;
-  record.seed = crypto::seed_from_string(config_.seed_salt + "-" + std::to_string(config_.asn) +
-                                         "-" + std::to_string(commit_counter_++));
-
-  {
-    util::ScopedCpu mtt_scope(mtt_meter_);
-    auto entries = build_mtt_entries(state_, classifier_, promises_, faults_.ignore_inputs);
-    core::Mtt tree = core::Mtt::build(std::move(entries), config_.num_classes);
-    tree.compute_labels(crypto::CommitmentPrf(record.seed), config_.commit_threads);
-    record.root = tree.root_label();
-  }
+  record.seed = commitment_seed(now);
+  record.root = commit_root(record.seed);
 
   log_.record_commitment(record);
   ++commitments_made_;

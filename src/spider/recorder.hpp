@@ -61,6 +61,24 @@ struct RecorderConfig {
   unsigned commit_threads = 1;
   /// Secret salt for per-commitment seeds (deterministic in tests).
   std::string seed_salt = "spider-seed";
+  /// Keep the MTT alive across rounds and apply only changed prefixes
+  /// instead of rebuilding from the full mirror every commit.  The tree
+  /// structure always survives; labels additionally survive within a seed
+  /// epoch (below), making per-round cost O(churn · depth) rather than
+  /// O(table).  Roots are bit-identical to a full rebuild either way
+  /// (content-addressed PRF indexing), so checkpoint+replay reconstruction
+  /// needs no knowledge of which mode produced a commitment.
+  bool incremental_commits = false;
+  /// Rounds per commitment-seed epoch.  1 (default) derives a fresh seed
+  /// for every commitment timestamp — the paper's per-round unlinkability —
+  /// which limits incremental reuse to the tree structure (every label
+  /// still rehashes under the new seed).  Values > 1 share one seed across
+  /// a wall-clock epoch of seed_epoch_rounds * commit_interval, letting
+  /// within-epoch rounds relabel only dirty paths.  Documented privacy
+  /// tradeoff (DESIGN.md): an observer comparing two same-epoch
+  /// commitments learns which subtrees changed between them, though never
+  /// the bit values themselves.
+  unsigned seed_epoch_rounds = 1;
 };
 
 /// §6.4 acceptance window for a received announce's sender timestamp.
@@ -105,6 +123,16 @@ class Recorder : public netsim::Node {
   /// Installs the speaker observer, logs the initial checkpoint, and
   /// schedules batch flushing (+ periodic commitments when enabled).
   void start(bool schedule_commitments = true);
+
+  /// Crash-restart path (§6.5): adopts `log` as this recorder's log and
+  /// rebuilds the mirrored state from its latest checkpoint plus replay of
+  /// the messages logged after it — the same acceptance rules as live
+  /// processing, so the restored mirror equals the pre-crash one.  Must be
+  /// called before start().  Commitment seeds are derived from commitment
+  /// timestamps, so a restored recorder can never re-derive a seed that a
+  /// pre-crash commitment already used (the restored clock is strictly
+  /// ahead of every logged commitment).
+  void restore_from(MessageLog log);
 
   void handle_message(netsim::NodeId from, util::ByteSpan payload) override;
 
@@ -187,6 +215,16 @@ class Recorder : public netsim::Node {
 
   Time local_now() const;
 
+  /// Seed for the commitment stamped `now`: a function of the timestamp
+  /// (or its epoch window when seed_epoch_rounds > 1), never of a counter,
+  /// so checkpoint restore cannot replay an already-used seed.
+  crypto::Seed commitment_seed(Time now) const;
+  /// Marks a prefix changed since the last commitment (incremental mode).
+  void mark_dirty(const bgp::Prefix& prefix);
+  /// The MTT root over the current mirror, via the configured path (full
+  /// rebuild, or incremental apply against the live tree).
+  Digest20 commit_root(const crypto::Seed& seed);
+
   netsim::Simulator& sim_;
   RecorderConfig config_;
   const crypto::Signer& signer_;
@@ -238,7 +276,20 @@ class Recorder : public netsim::Node {
   std::vector<std::string> alarms_;
   Faults faults_;
 
-  std::uint64_t commit_counter_ = 0;
+  // Incremental commit state (config_.incremental_commits).  The live tree
+  // mirrors state_'s table between commits; dirty_prefixes_ accumulates the
+  // prefixes whose inputs/exports changed since the last commitment.  The
+  // committed_* snapshots detect global-parameter changes (ignore-input
+  // faults, promises) that invalidate every prefix's bits at once and force
+  // a full rebuild.
+  core::Mtt live_tree_;
+  bool live_tree_valid_ = false;
+  crypto::Seed live_seed_{};
+  std::set<bgp::Prefix> dirty_prefixes_;
+  std::set<bgp::AsNumber> committed_ignored_;
+  std::uint64_t promises_version_ = 0;
+  std::uint64_t committed_promises_version_ = 0;
+
   std::uint64_t signatures_ = 0;
   std::uint64_t verifications_ = 0;
   std::uint64_t updates_mirrored_ = 0;

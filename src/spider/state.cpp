@@ -150,38 +150,77 @@ std::optional<bgp::Route> elector_choice(const MirrorState& state, const bgp::Pr
   return bgp::decide(candidates);
 }
 
+namespace {
+
+/// The bit vector of one present prefix (the per-prefix body shared by the
+/// full build and the incremental per-update path).
+std::vector<bool> entry_bits(const MirrorState& state, const core::Classifier& classifier,
+                             const std::map<bgp::AsNumber, core::Promise>& promises,
+                             const std::set<bgp::AsNumber>& ignored_producers,
+                             const bgp::Prefix& prefix) {
+  const std::uint32_t k = classifier.num_classes();
+  const core::ClassId null_class = classifier.classify(std::nullopt);
+  std::vector<bool> bits(k, false);
+  bits[null_class] = true;  // ⊥ is always available
+
+  for (const auto& [neighbor, routes] : state.inputs()) {
+    if (ignored_producers.count(neighbor) != 0) continue;
+    auto it = routes.find(prefix);
+    if (it != routes.end()) bits[classifier.classify(it->second.route)] = true;
+  }
+
+  std::optional<bgp::Route> chosen = elector_choice(state, prefix, ignored_producers);
+  const core::ClassId chosen_class = classifier.classify(chosen);
+  for (core::ClassId j = 0; j < k; ++j) {
+    if (bits[j]) continue;
+    for (const auto& [consumer, promise] : promises) {
+      if (promise.prefers(chosen_class, j)) {
+        bits[j] = true;
+        break;
+      }
+    }
+  }
+  return bits;
+}
+
+}  // namespace
+
 std::vector<std::pair<bgp::Prefix, std::vector<bool>>> build_mtt_entries(
     const MirrorState& state, const core::Classifier& classifier,
     const std::map<bgp::AsNumber, core::Promise>& promises,
     const std::set<bgp::AsNumber>& ignored_producers) {
-  const std::uint32_t k = classifier.num_classes();
-  const core::ClassId null_class = classifier.classify(std::nullopt);
-
   std::vector<std::pair<bgp::Prefix, std::vector<bool>>> entries;
   for (const bgp::Prefix& prefix : state.all_prefixes()) {
-    std::vector<bool> bits(k, false);
-    bits[null_class] = true;  // ⊥ is always available
-
-    for (const auto& [neighbor, routes] : state.inputs()) {
-      if (ignored_producers.count(neighbor) != 0) continue;
-      auto it = routes.find(prefix);
-      if (it != routes.end()) bits[classifier.classify(it->second.route)] = true;
-    }
-
-    std::optional<bgp::Route> chosen = elector_choice(state, prefix, ignored_producers);
-    const core::ClassId chosen_class = classifier.classify(chosen);
-    for (core::ClassId j = 0; j < k; ++j) {
-      if (bits[j]) continue;
-      for (const auto& [consumer, promise] : promises) {
-        if (promise.prefers(chosen_class, j)) {
-          bits[j] = true;
-          break;
-        }
-      }
-    }
-    entries.emplace_back(prefix, std::move(bits));
+    entries.emplace_back(prefix,
+                         entry_bits(state, classifier, promises, ignored_producers, prefix));
   }
   return entries;
+}
+
+std::optional<std::vector<bool>> mtt_entry_for(const MirrorState& state,
+                                               const core::Classifier& classifier,
+                                               const std::map<bgp::AsNumber, core::Promise>& promises,
+                                               const std::set<bgp::AsNumber>& ignored_producers,
+                                               const bgp::Prefix& prefix) {
+  // Presence mirrors all_prefixes(): any input (even from an ignored
+  // producer) or any export keeps the prefix in the table.
+  bool present = false;
+  for (const auto& [neighbor, routes] : state.inputs()) {
+    if (routes.count(prefix) != 0) {
+      present = true;
+      break;
+    }
+  }
+  if (!present) {
+    for (const auto& [neighbor, routes] : state.exports()) {
+      if (routes.count(prefix) != 0) {
+        present = true;
+        break;
+      }
+    }
+  }
+  if (!present) return std::nullopt;
+  return entry_bits(state, classifier, promises, ignored_producers, prefix);
 }
 
 bool same_wire_route(const bgp::Route& a, const bgp::Route& b) {

@@ -99,6 +99,19 @@ std::vector<std::pair<bgp::Prefix, std::vector<bool>>> build_mtt_entries(
     const std::map<bgp::AsNumber, core::Promise>& promises,
     const std::set<bgp::AsNumber>& ignored_producers);
 
+/// The bit vector build_mtt_entries would emit for one prefix, or nullopt
+/// when the prefix has left the table (no input from any producer and no
+/// export to any consumer — ignored producers still count for presence,
+/// exactly as in all_prefixes()).  This is what lets the incremental commit
+/// path turn a dirty prefix into a single MttUpdate without recomputing
+/// the whole table: a prefix's bits depend only on its own inputs/exports
+/// plus the global classifier and promises.
+std::optional<std::vector<bool>> mtt_entry_for(const MirrorState& state,
+                                               const core::Classifier& classifier,
+                                               const std::map<bgp::AsNumber, core::Promise>& promises,
+                                               const std::set<bgp::AsNumber>& ignored_producers,
+                                               const bgp::Prefix& prefix);
+
 /// Strips the elector's own ASN from an exported route, recovering the
 /// underlying imported route's shape for classification (the r' of §6.2).
 bgp::Route underlying_route(bgp::Route exported, bgp::AsNumber elector);

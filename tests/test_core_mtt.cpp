@@ -274,11 +274,15 @@ TEST(Mtt, UnqueriedBitRandomnessNotInProof) {
   auto tree = sc::Mtt::build(figure4_entries(4), 4);
   auto p = prf("secrets");
   tree.compute_labels(p);
-  auto proof = tree.prove(p, sb::Prefix::parse("0.0.0.0/2"), {1});
+  const auto prefix = sb::Prefix::parse("0.0.0.0/2");
+  auto proof = tree.prove(p, prefix, {1});
   auto encoded = proof.encode();
-  // Prefix index of 0.0.0.0/2 is deterministic (sorted order: it is first).
-  for (std::uint64_t idx : {0ULL, 2ULL, 3ULL}) {  // classes 0, 2, 3 of prefix 0
-    auto secret = p.bit_randomness(idx);
+  // The opened class's x appears; the unqueried classes' x values must not.
+  auto opened = p.bit_randomness(sc::Mtt::bit_prf_index(prefix, 1));
+  EXPECT_NE(std::search(encoded.begin(), encoded.end(), opened.begin(), opened.end()),
+            encoded.end());
+  for (sc::ClassId cls : {0u, 2u, 3u}) {
+    auto secret = p.bit_randomness(sc::Mtt::bit_prf_index(prefix, cls));
     auto it = std::search(encoded.begin(), encoded.end(), secret.begin(), secret.end());
     EXPECT_EQ(it, encoded.end());
   }

@@ -160,6 +160,12 @@ TEST(LintRules, R8DoesNotApplyOutsideTheCatalog) {
   EXPECT_TRUE(fs.empty());
 }
 
+TEST(LintRules, R9StaleRootAfterStructureOnlyApply) {
+  auto fs = lint::lint_source("src/spider/fixture.cpp", read_fixture("r9_stale_root.cpp"));
+  EXPECT_EQ(rule_lines(fs), (RL{{"R9", 5}}))
+      << "lines 7 and 10 read the root after a relabel and must not fire";
+}
+
 TEST(LintRules, SuppressionsSilenceEveryFinding) {
   auto fs = lint::lint_source("src/core/fixture.cpp", read_fixture("suppressed.cpp"));
   EXPECT_TRUE(fs.empty()) << (fs.empty() ? "" : fs.front().rule + " still fired");

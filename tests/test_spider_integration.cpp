@@ -350,6 +350,107 @@ TEST(NetReview, ComparisonCountScalesWithState) {
   EXPECT_GT(count, world.trace.rib_snapshot.size());
 }
 
+// ------------------------------------------- crash restore & fresh seeds
+
+TEST(RecorderRestore, RestoredRecorderDerivesFreshSeeds) {
+  World world;
+  auto& original = world.deploy.recorder(5);
+  const auto record1 = world.commit_as5();
+
+  // "Crash": a fresh recorder process (same ASN, same salt, empty runtime
+  // state) adopts the logged history, as §6.5 prescribes.
+  sn::Simulator sim;
+  std::string secret = "fig5-key-5";
+  spider::util::Bytes key(secret.begin(), secret.end());
+  spider::crypto::HashSigner signer(key);
+  sc::KeyRegistry keys;
+  keys.add(5, std::make_unique<spider::crypto::HashVerifier>(key));
+  sb::Speaker speaker(sim, 5, sb::Policy{});
+  sim.add_node(speaker, "bgp-as5");
+  sp::RecorderConfig rc;
+  rc.asn = 5;
+  rc.num_classes = small_config().num_classes;
+  sp::Recorder restored(sim, rc, signer, keys, speaker);
+  sim.add_node(restored, "rec-as5");
+  restored.restore_from(original.log());
+  restored.start(/*schedule_commitments=*/false);
+
+  // Checkpoint + replay must reproduce the pre-crash mirror exactly.
+  EXPECT_TRUE(restored.state() == original.state());
+
+  // The restarted clock sits ahead of everything logged; commit again.
+  sim.run_until(record1.timestamp + 60 * kSecond);
+  const auto record2 = restored.make_commitment();
+  EXPECT_GT(record2.timestamp, record1.timestamp);
+  // The regression this guards: a counter-derived seed restarts at zero
+  // after restore and re-derives the seed record1 already used — the same
+  // PRF stream under a commitment an adversary can open proofs against,
+  // which breaks hiding.  Timestamp-derived seeds cannot collide with any
+  // pre-crash commitment.
+  EXPECT_NE(record2.seed, record1.seed);
+  for (const auto& [t, logged] : restored.log().commitments()) {
+    if (t != record2.timestamp) {
+      EXPECT_NE(logged.seed, record2.seed) << "seed reused from commitment at t=" << t;
+    }
+  }
+}
+
+TEST(IncrementalCommits, LiveTreeMatchesFullRebuildAcrossRounds) {
+  namespace scr = spider::crypto;
+  sp::DeploymentConfig config = small_config();
+  config.incremental_commits = true;
+  config.seed_epoch_rounds = 1000;  // keep one seed epoch across this test
+  World world(config);
+  auto& rec = world.deploy.recorder(5);
+
+  auto root_of_fresh_build = [&](const spider::crypto::Seed& seed) {
+    auto entries = sp::build_mtt_entries(rec.state(), rec.classifier(), rec.promises(),
+                                         rec.faults().ignore_inputs);
+    auto fresh = sc::Mtt::build(std::move(entries), config.num_classes);
+    fresh.compute_labels(scr::CommitmentPrf(seed));
+    return fresh.root_label();
+  };
+
+  const auto record1 = world.commit_as5();
+  EXPECT_EQ(root_of_fresh_build(record1.seed), record1.root);
+
+  // More churn, then a second commitment inside the same seed epoch — the
+  // dirty-path relabel (structure AND labels reused) must still match a
+  // from-scratch build over the final mirror.
+  world.deploy.run_replay(world.trace, 70 * kSecond, 5 * kSecond);
+  const auto record2 = world.commit_as5();
+  EXPECT_GT(record2.timestamp, record1.timestamp);
+  EXPECT_EQ(record2.seed, record1.seed);  // same epoch, by construction
+  EXPECT_EQ(root_of_fresh_build(record2.seed), record2.root);
+
+  // Checkpoint + replay reconstruction is mode-oblivious: the full-rebuild
+  // path must reproduce the incrementally produced root (§6.5).
+  sp::ProofGenerator generator(rec);
+  auto recon = generator.reconstruct(record2.timestamp);
+  EXPECT_TRUE(recon.root_matches);
+}
+
+TEST(IncrementalCommits, SeedRotationAcrossEpochsStaysCorrect) {
+  // Default epochs (one per round): consecutive commitments use different
+  // seeds, the live tree's structure survives but every label rehashes, and
+  // roots still match full rebuilds.
+  sp::DeploymentConfig config = small_config();
+  config.incremental_commits = true;
+  World world(config);
+  auto& rec = world.deploy.recorder(5);
+
+  const auto record1 = world.commit_as5();
+  world.deploy.run_replay(world.trace, 70 * kSecond, 5 * kSecond);
+  const auto record2 = world.commit_as5();
+  EXPECT_NE(record2.seed, record1.seed);  // per-round unlinkability kept
+
+  auto entries = sp::build_mtt_entries(rec.state(), rec.classifier(), rec.promises(),
+                                       rec.faults().ignore_inputs);
+  auto fresh = sc::Mtt::build(std::move(entries), config.num_classes);
+  fresh.compute_labels(spider::crypto::CommitmentPrf(record2.seed));
+  EXPECT_EQ(fresh.root_label(), record2.root);
+}
+
 // ----------------------------------------------------------- state serde
 
 TEST(MirrorState, SerializeDeserializeRoundtrip) {

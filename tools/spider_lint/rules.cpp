@@ -1,4 +1,4 @@
-// Rule matchers R1–R8 over the token stream produced by lexer.cpp.
+// Rule matchers R1–R9 over the token stream produced by lexer.cpp.
 //
 // Matchers are deliberately syntactic: they know nothing about types or
 // overload resolution, only token shapes.  Each rule is tuned so the
@@ -399,6 +399,54 @@ void rule_r8(const Tokens& toks, std::string_view path, const FileClass& cls,
   }
 }
 
+// ------------------------------------------------------------------- R9
+
+/// True when the argument list of the call opening at `open` (pointing at
+/// "(") has a comma at the top nesting level — i.e. two or more arguments.
+bool has_top_level_comma(const Tokens& toks, std::size_t open, std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = open; i < close; ++i) {
+    if (is_punct(toks[i], "(") || is_punct(toks[i], "[") || is_punct(toks[i], "{")) {
+      ++depth;
+    } else if (is_punct(toks[i], ")") || is_punct(toks[i], "]") || is_punct(toks[i], "}")) {
+      --depth;
+    } else if (is_punct(toks[i], ",") && depth == 1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Structure-only Mtt::apply — the single-argument `.apply(updates)`
+/// overload — invalidates the tree's labels; reading `.root_label()`
+/// before an intervening relabel (`.compute_labels(...)` or the
+/// multi-argument relabeling `.apply(updates, prf, ...)`) would serve a
+/// stale or throwing root.  The tree guards this at runtime, but at a
+/// commit site the exception only fires in production; the lint catches
+/// the shape at review time.
+void rule_r9(const Tokens& toks, std::string_view path, std::vector<Finding>& out) {
+  int pending_line = 0;  // line of a structure-only apply awaiting a relabel
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_punct(toks[i], ".") && !is_punct(toks[i], "->")) continue;
+    if (!is_punct(toks[i + 2], "(")) continue;
+    if (is_ident(toks[i + 1], "apply")) {
+      std::size_t close = matching_close(toks, i + 2);
+      if (close >= toks.size()) continue;
+      pending_line = has_top_level_comma(toks, i + 2, close) ? 0 : toks[i + 1].line;
+      i = close;
+    } else if (is_ident(toks[i + 1], "compute_labels")) {
+      pending_line = 0;
+    } else if (pending_line != 0 && is_ident(toks[i + 1], "root_label")) {
+      out.push_back({"R9", std::string(path), toks[i + 1].line,
+                     "root_label() read after the structure-only apply() at line " +
+                     std::to_string(pending_line) +
+                     " without an intervening relabel — call compute_labels() or the "
+                     "relabeling apply(updates, prf, ...) first"});
+      pending_line = 0;  // one finding per stale window
+    }
+  }
+}
+
 }  // namespace
 
 // ------------------------------------------------------------ public API
@@ -424,6 +472,7 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view source,
   rule_r6(toks, path, cls, findings);
   rule_r7(toks, path, findings);
   rule_r8(toks, path, cls, findings);
+  rule_r9(toks, path, findings);
 
   auto suppressed = collect_suppressions(source);
   std::vector<Finding> kept;
