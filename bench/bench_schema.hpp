@@ -1,0 +1,67 @@
+// The "spider-bench-v1" JSON document schema shared by every tool that
+// emits or checks BENCH_*.json artifacts (spider_bench scenarios, the
+// transport loadgen).  One document = one scenario run:
+//
+//   { "schema": "spider-bench-v1",
+//     "scenario": ..., "experiment": ..., "paper_ref": ...,   (strings)
+//     "config":  { ... },                                     (object)
+//     "results": [ {label, measured, unit, paper}, ... ],     (non-empty)
+//     "metrics": { <obs::Snapshot JSON> } }
+//
+// validate_bench_json() is the structural gate CI runs before archiving.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/snapshot.hpp"
+
+namespace spider::benchutil {
+
+inline obs::json::Object result_row(std::string label, double measured, std::string unit,
+                                    std::string paper) {
+  obs::json::Object row;
+  row["label"] = std::move(label);
+  row["measured"] = measured;
+  row["unit"] = std::move(unit);
+  row["paper"] = std::move(paper);
+  return row;
+}
+
+/// Structural check of one emitted document ("spider-bench-v1").
+inline void validate_bench_json(const obs::json::Value& doc) {
+  auto require = [&](bool ok, const char* what) {
+    if (!ok) throw std::logic_error(std::string("BENCH json: ") + what);
+  };
+  require(doc.is_object(), "document is not an object");
+  const obs::json::Value* schema = doc.find("schema");
+  require(schema && schema->is_string() && schema->as_string() == "spider-bench-v1",
+          "schema != spider-bench-v1");
+  for (const char* key : {"scenario", "experiment", "paper_ref"}) {
+    const obs::json::Value* v = doc.find(key);
+    require(v && v->is_string(), "missing string field");
+  }
+  const obs::json::Value* config = doc.find("config");
+  require(config && config->is_object(), "missing config object");
+  const obs::json::Value* results = doc.find("results");
+  require(results && results->is_array() && !results->as_array().empty(),
+          "missing/empty results array");
+  for (const obs::json::Value& row : results->as_array()) {
+    require(row.is_object(), "result row is not an object");
+    const obs::json::Value* label = row.find("label");
+    const obs::json::Value* measured = row.find("measured");
+    const obs::json::Value* unit = row.find("unit");
+    const obs::json::Value* paper = row.find("paper");
+    require(label && label->is_string(), "result row: missing label");
+    require(measured && measured->is_number(), "result row: missing measured number");
+    require(unit && unit->is_string(), "result row: missing unit");
+    require(paper && paper->is_string(), "result row: missing paper reference");
+  }
+  const obs::json::Value* metrics = doc.find("metrics");
+  require(metrics && metrics->is_object(), "missing metrics snapshot");
+  // The snapshot parser enforces the internal invariants.
+  (void)obs::Snapshot::from_json(*metrics);
+}
+
+}  // namespace spider::benchutil

@@ -16,6 +16,10 @@ void Speaker::add_neighbor(AsNumber neighbor_as, netsim::NodeId node) {
   node_to_as_[node] = neighbor_as;
 }
 
+void Speaker::add_observed_neighbor(AsNumber neighbor_as) {
+  neighbors_[neighbor_as] = kObservedOnly;
+}
+
 void Speaker::originate(const Prefix& prefix, std::vector<Community> communities) {
   Route route;
   route.prefix = prefix;
@@ -183,7 +187,8 @@ void Speaker::send_update(AsNumber neighbor_as, const Update& update) {
   updates_sent_ += 1;
   SPIDER_OBS_COUNT("bgp/updates_sent", 1);
   if (observer_.on_update_out) observer_.on_update_out(neighbor_as, update);
-  sim_.send(node_id(), neighbors_.at(neighbor_as), update.encode());
+  const netsim::NodeId node = neighbors_.at(neighbor_as);
+  if (node != kObservedOnly) sim_.send(node_id(), node, update.encode());
 }
 
 }  // namespace spider::bgp

@@ -43,6 +43,16 @@ class Speaker : public netsim::Node {
   /// underlying netsim link must exist before messages flow.
   void add_neighbor(AsNumber neighbor_as, netsim::NodeId node);
 
+  /// Declares a neighbor with no simulator delivery: the full export
+  /// pipeline runs for it — policy, adj-rib-out, observer hooks — but no
+  /// message is encoded or sent.  Process-hosted deployments use this when
+  /// the mirror observer is the consumer and the BGP session itself lives
+  /// in another OS process.
+  void add_observed_neighbor(AsNumber neighbor_as);
+
+  /// Sentinel NodeId marking an observed-only neighbor.
+  static constexpr netsim::NodeId kObservedOnly = ~netsim::NodeId{0};
+
   /// Originates a prefix from this AS (installs a local route and
   /// propagates it).
   void originate(const Prefix& prefix, std::vector<Community> communities = {});

@@ -302,13 +302,13 @@ CellResult run_cell(const CatalogEntry* entry, const BenignProfile& profile, std
   NetworkFaultPlane plane(profile.network, seed);
   std::set<netsim::NodeId> recorder_nodes;
   for (bgp::AsNumber asn : proto::Fig5Deployment::ases()) {
-    recorder_nodes.insert(deploy.recorder(asn).node_id());
+    recorder_nodes.insert(deploy.recorder_node(asn));
   }
   plane.restrict_to(recorder_nodes);
   plane.arm(deploy.sim());
 
-  const netsim::NodeId r2 = deploy.recorder(2).node_id();
-  const netsim::NodeId r5 = deploy.recorder(5).node_id();
+  const netsim::NodeId r2 = deploy.recorder_node(2);
+  const netsim::NodeId r5 = deploy.recorder_node(5);
   if (profile.partition) {
     // The measured AS's busiest recorder link goes down for 4 s
     // mid-replay; the retransmit budget heals it before commitment.
@@ -320,7 +320,7 @@ CellResult run_cell(const CatalogEntry* entry, const BenignProfile& profile, std
     bool plus = true;
     for (bgp::AsNumber asn : proto::Fig5Deployment::ases()) {
       const Time skew = plus ? 2 * kSecond : -2 * kSecond;
-      NetworkFaultPlane::schedule_skew(deploy.sim(), {deploy.recorder(asn).node_id(), 0, skew});
+      NetworkFaultPlane::schedule_skew(deploy.sim(), {deploy.recorder_node(asn), 0, skew});
       plus = !plus;
     }
   }

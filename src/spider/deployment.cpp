@@ -58,9 +58,14 @@ Fig5Deployment::Fig5Deployment(DeploymentConfig config) : config_(std::move(conf
     rc.delta = config_.delta;
     rc.incremental_commits = config_.incremental_commits;
     rc.seed_epoch_rounds = config_.seed_epoch_rounds;
+    // The transport shim occupies the simulator slot the recorder itself
+    // used to: same add_node order, same "rec-asN" names, so node ids and
+    // event ordering — and therefore every byte of a deterministic run —
+    // are unchanged by the transport abstraction.
+    transports_[asn] = std::make_unique<transport::NetsimTransport>(sim_);
+    recorder_nodes_[asn] = sim_.add_node(*transports_[asn], "rec-as" + std::to_string(asn));
     recorders_[asn] =
-        std::make_unique<Recorder>(sim_, rc, *signers_[asn], keys_, *speakers_[asn]);
-    recorder_nodes_[asn] = sim_.add_node(*recorders_[asn], "rec-as" + std::to_string(asn));
+        std::make_unique<Recorder>(*transports_[asn], rc, *signers_[asn], keys_, *speakers_[asn]);
   }
 
   // Links + neighbor wiring: one BGP link and one SPIDeR link per edge.
@@ -69,8 +74,10 @@ Fig5Deployment::Fig5Deployment(DeploymentConfig config) : config_(std::move(conf
     sim_.connect(recorder_nodes_[a], recorder_nodes_[b], config_.link_latency);
     speakers_[a]->add_neighbor(b, speaker_nodes_[b]);
     speakers_[b]->add_neighbor(a, speaker_nodes_[a]);
-    recorders_[a]->add_neighbor(b, recorder_nodes_[b]);
-    recorders_[b]->add_neighbor(a, recorder_nodes_[a]);
+    recorders_[a]->add_neighbor(b);
+    recorders_[b]->add_neighbor(a);
+    transports_[a]->register_peer(b, recorder_nodes_[b]);
+    transports_[b]->register_peer(a, recorder_nodes_[a]);
   }
 
   // Promises: every AS promises every neighbor the shortest route (the

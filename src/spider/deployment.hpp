@@ -18,6 +18,7 @@
 #include "netsim/sim.hpp"
 #include "spider/recorder.hpp"
 #include "trace/routeviews.hpp"
+#include "transport/netsim_transport.hpp"
 
 namespace spider::proto {
 
@@ -51,6 +52,9 @@ class Fig5Deployment {
   bgp::Speaker& speaker(bgp::AsNumber asn) { return *speakers_.at(asn); }
   Recorder& recorder(bgp::AsNumber asn) { return *recorders_.at(asn); }
   const core::KeyRegistry& keys() const { return keys_; }
+  /// The simulator node carrying `asn`'s recorder traffic (its
+  /// NetsimTransport endpoint) — the hook the chaos fault plane targets.
+  netsim::NodeId recorder_node(bgp::AsNumber asn) const { return recorder_nodes_.at(asn); }
 
   /// Injects the RIB snapshot at AS 2 gradually over `setup_duration`
   /// (the paper's 30-minute setup period) and runs the simulator to its
@@ -72,6 +76,7 @@ class Fig5Deployment {
   core::KeyRegistry keys_;
   std::map<bgp::AsNumber, std::unique_ptr<crypto::Signer>> signers_;
   std::map<bgp::AsNumber, std::unique_ptr<bgp::Speaker>> speakers_;
+  std::map<bgp::AsNumber, std::unique_ptr<transport::NetsimTransport>> transports_;
   std::map<bgp::AsNumber, std::unique_ptr<Recorder>> recorders_;
   std::map<bgp::AsNumber, netsim::NodeId> speaker_nodes_;
   std::map<bgp::AsNumber, netsim::NodeId> recorder_nodes_;

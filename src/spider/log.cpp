@@ -9,14 +9,25 @@ namespace spider::proto {
 
 namespace {
 Digest20 chain_hash(const Digest20& prev, const LogEntry& entry) {
-  util::ByteWriter w;
-  w.digest(prev);
-  w.u64(entry.seq);
-  w.i64(entry.timestamp);
-  w.u8(static_cast<std::uint8_t>(entry.direction));
-  w.u32(entry.peer_as);
-  w.bytes(entry.message);
-  return crypto::digest20(w.data());
+  // The preimage keeps the ByteWriter field layout (big-endian fields,
+  // u32 length prefix on the message) but is hashed in place with
+  // digest20_concat — append() runs once per mirrored update, and the
+  // serialize-then-hash copy was measurable at ingest rates.
+  std::uint8_t header[25];
+  std::size_t n = 0;
+  auto be = [&](std::uint64_t v, int width) {
+    for (int shift = (width - 1) * 8; shift >= 0; shift -= 8) {
+      header[n++] = static_cast<std::uint8_t>(v >> shift);
+    }
+  };
+  be(entry.seq, 8);
+  be(static_cast<std::uint64_t>(entry.timestamp), 8);
+  header[n++] = static_cast<std::uint8_t>(entry.direction);
+  be(entry.peer_as, 4);
+  be(entry.message.size(), 4);
+  return crypto::digest20_concat({util::ByteSpan{prev.data(), prev.size()},
+                                  util::ByteSpan{header, n},
+                                  util::ByteSpan{entry.message.data(), entry.message.size()}});
 }
 }  // namespace
 
@@ -48,10 +59,17 @@ LogEntry LogEntry::decode(ByteSpan data) {
   return entry;
 }
 
+std::uint64_t LogCheckpoint::state_bytes() const {
+  std::uint64_t total = 0;
+  for (const Bytes& chunk : chunks) total += chunk.size();
+  return total;
+}
+
 Bytes LogCheckpoint::encode() const {
   util::ByteWriter w;
   w.i64(timestamp);
-  w.bytes(state);
+  w.u32(static_cast<std::uint32_t>(chunks.size()));
+  for (const Bytes& chunk : chunks) w.bytes(chunk);
   return w.take();
 }
 
@@ -59,7 +77,9 @@ LogCheckpoint LogCheckpoint::decode(ByteSpan data) {
   util::ByteReader r(data);
   LogCheckpoint cp;
   cp.timestamp = r.i64();
-  cp.state = r.bytes();
+  std::uint32_t n = r.check_count(r.u32(), 4, "LogCheckpoint chunks");
+  cp.chunks.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) cp.chunks.push_back(r.bytes());
   r.expect_end();
   return cp;
 }
@@ -102,9 +122,19 @@ const LogEntry& MessageLog::append(Time timestamp, LogDirection direction, std::
   return entries_.back();
 }
 
-void MessageLog::add_checkpoint(Time timestamp, Bytes state) {
-  checkpoint_bytes_ += state.size();
-  checkpoints_.push_back(LogCheckpoint{timestamp, std::move(state)});
+const LogEntry& MessageLog::append_entry(LogEntry entry) {
+  next_seq_ = entry.seq + 1;
+  head_ = entry.authenticator;
+  message_bytes_ += entry.message.size();
+  signature_bytes_ += entry.signature_bytes;
+  entries_.push_back(std::move(entry));
+  return entries_.back();
+}
+
+void MessageLog::add_checkpoint(Time timestamp, std::vector<Bytes> state_chunks) {
+  LogCheckpoint cp{timestamp, std::move(state_chunks)};
+  checkpoint_bytes_ += cp.state_bytes();
+  checkpoints_.push_back(std::move(cp));
 }
 
 void MessageLog::record_commitment(const CommitmentRecord& record) {
@@ -172,7 +202,7 @@ void MessageLog::prune_before(Time cutoff) {
                                 if (has_base && cp.timestamp == base_ts) return false;
                                 return cp.timestamp < cutoff;
                               });
-  for (auto del = cp_it; del != checkpoints_.end(); ++del) checkpoint_bytes_ -= del->state.size();
+  for (auto del = cp_it; del != checkpoints_.end(); ++del) checkpoint_bytes_ -= del->state_bytes();
   checkpoints_.erase(cp_it, checkpoints_.end());
 
   for (auto c = commitments_.begin(); c != commitments_.end();) {

@@ -46,11 +46,17 @@ struct LogEntry {
   static LogEntry decode(ByteSpan data);
 };
 
-/// A full snapshot of the recorder's mirrored routing state at some time
-/// (opaque serialized bytes; the recorder knows the format).
+/// A full snapshot of the recorder's mirrored routing state at some time,
+/// stored as streamed chunks (MirrorState::serialize_chunked): a full-RIB
+/// checkpoint is written and restored chunk by chunk, never as one
+/// contiguous state buffer.  The chunks are opaque here; the recorder
+/// knows the format.
 struct LogCheckpoint {
   Time timestamp = 0;
-  Bytes state;
+  std::vector<Bytes> chunks;
+
+  /// Total state payload across all chunks (storage accounting, §7.7).
+  std::uint64_t state_bytes() const;
 
   Bytes encode() const;
   static LogCheckpoint decode(ByteSpan data);
@@ -74,7 +80,13 @@ class MessageLog {
   const LogEntry& append(Time timestamp, LogDirection direction, std::uint32_t peer_as,
                          Bytes message, std::uint32_t signature_bytes);
 
-  void add_checkpoint(Time timestamp, Bytes state);
+  /// Appends a transferred entry as-is, preserving its seq number and
+  /// chain authenticator — the audit-transfer path (§6.5), where the
+  /// source log may have been pruned and its chain no longer starts at
+  /// seq 0.  Callers validate the rebuilt log with verify_chain().
+  const LogEntry& append_entry(LogEntry entry);
+
+  void add_checkpoint(Time timestamp, std::vector<Bytes> state_chunks);
   void record_commitment(const CommitmentRecord& record);
 
   /// Verifies the hash chain; false if any entry was altered.
@@ -82,6 +94,7 @@ class MessageLog {
 
   /// The most recent checkpoint with timestamp <= t, if any.
   const LogCheckpoint* checkpoint_before(Time t) const;
+  const std::vector<LogCheckpoint>& checkpoints() const { return checkpoints_; }
 
   /// The commitment record at exactly time t.
   const CommitmentRecord* commitment_at(Time t) const;

@@ -1,0 +1,156 @@
+#include "spider/node_wire.hpp"
+
+#include "util/serde.hpp"
+
+namespace spider::proto {
+
+Bytes NodeFrame::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.bytes(body);
+  return w.take();
+}
+
+NodeFrame NodeFrame::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  NodeFrame frame;
+  std::uint8_t type = r.u8();
+  if (type < static_cast<std::uint8_t>(NodeFrameType::kEnvelope) ||
+      type > static_cast<std::uint8_t>(NodeFrameType::kShutdown)) {
+    throw util::DecodeError("NodeFrame: bad type");
+  }
+  frame.type = static_cast<NodeFrameType>(type);
+  frame.body = r.bytes();
+  r.expect_end();
+  return frame;
+}
+
+Bytes InjectFrame::encode() const {
+  util::ByteWriter w;
+  w.u64(seq);
+  w.i64(sent_at);
+  w.bytes(update.encode());
+  return w.take();
+}
+
+InjectFrame InjectFrame::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  InjectFrame frame;
+  frame.seq = r.u64();
+  frame.sent_at = r.i64();
+  frame.update = bgp::Update::decode(r.bytes());
+  r.expect_end();
+  return frame;
+}
+
+Bytes StatsFrame::encode() const {
+  util::ByteWriter w;
+  w.u64(token);
+  w.u64(updates_mirrored);
+  w.u64(commitments_made);
+  w.u64(alarms);
+  w.u64(log_entries);
+  return w.take();
+}
+
+StatsFrame StatsFrame::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  StatsFrame frame;
+  frame.token = r.u64();
+  frame.updates_mirrored = r.u64();
+  frame.commitments_made = r.u64();
+  frame.alarms = r.u64();
+  frame.log_entries = r.u64();
+  r.expect_end();
+  return frame;
+}
+
+Bytes LogSegmentFrame::encode() const {
+  util::ByteWriter w;
+  w.u8(kind);
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const Bytes& record : records) w.bytes(record);
+  return w.take();
+}
+
+LogSegmentFrame LogSegmentFrame::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  LogSegmentFrame frame;
+  frame.kind = r.u8();
+  if (frame.kind > kCommitments) throw util::DecodeError("LogSegmentFrame: bad kind");
+  std::uint32_t n = r.check_count(r.u32(), 4, "LogSegmentFrame records");
+  frame.records.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) frame.records.push_back(r.bytes());
+  r.expect_end();
+  return frame;
+}
+
+Bytes ProofRequestFrame::encode() const {
+  util::ByteWriter w;
+  w.u32(elector);
+  w.i64(commit_time);
+  w.u32(consumer);
+  return w.take();
+}
+
+ProofRequestFrame ProofRequestFrame::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  ProofRequestFrame frame;
+  frame.elector = r.u32();
+  frame.commit_time = r.i64();
+  frame.consumer = r.u32();
+  r.expect_end();
+  return frame;
+}
+
+Bytes ProofBundleFrame::encode() const {
+  util::ByteWriter w;
+  w.u32(elector);
+  w.i64(commit_time);
+  w.u32(consumer);
+  w.u8(root_matches);
+  w.bytes(producer_proofs);
+  w.bytes(consumer_proofs);
+  return w.take();
+}
+
+ProofBundleFrame ProofBundleFrame::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  ProofBundleFrame frame;
+  frame.elector = r.u32();
+  frame.commit_time = r.i64();
+  frame.consumer = r.u32();
+  frame.root_matches = r.u8();
+  if (frame.root_matches > 1) throw util::DecodeError("ProofBundleFrame: bad root_matches");
+  frame.producer_proofs = r.bytes();
+  frame.consumer_proofs = r.bytes();
+  r.expect_end();
+  return frame;
+}
+
+Bytes CheckResultFrame::encode() const {
+  util::ByteWriter w;
+  w.u8(ok);
+  w.u8(producer_ok);
+  w.u8(consumer_ok);
+  w.u8(root_matches);
+  w.str(detail);
+  return w.take();
+}
+
+CheckResultFrame CheckResultFrame::decode(ByteSpan data) {
+  util::ByteReader r(data);
+  CheckResultFrame frame;
+  frame.ok = r.u8();
+  frame.producer_ok = r.u8();
+  frame.consumer_ok = r.u8();
+  frame.root_matches = r.u8();
+  for (std::uint8_t flag : {frame.ok, frame.producer_ok, frame.consumer_ok, frame.root_matches}) {
+    if (flag > 1) throw util::DecodeError("CheckResultFrame: bad flag");
+  }
+  frame.detail = r.str();
+  r.expect_end();
+  return frame;
+}
+
+}  // namespace spider::proto

@@ -1,0 +1,135 @@
+// Control-plane wire protocol for multi-process SPIDeR nodes
+// (tools/spider_node, tools/spider_loadgen).
+//
+// Inside one process tree (tests, chaos matrix) recorders exchange raw
+// signed-envelope frames over the netsim transport.  Between OS processes
+// every TCP frame is instead one NodeFrame: recorder-to-recorder envelopes
+// travel as kEnvelope bodies (byte-for-byte the same envelope encoding),
+// and everything a deployment harness needs — trace injection, stats
+// barriers, commit notifications, log transfer for the proof generator,
+// proof delivery to checkers — rides the remaining frame types.
+//
+// Trust boundaries follow the paper's: kLogSegment checkpoint/commitment
+// records contain the elector's secrets (commitment seeds), so a recorder
+// only serves kLogRequest to peers its operator explicitly listed (the
+// AS's own proof generator, §6.1).  kCommitNotify carries only the public
+// SpiderCommit — never the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "spider/messages.hpp"
+
+namespace spider::proto {
+
+enum class NodeFrameType : std::uint8_t {
+  /// Recorder-to-recorder signed envelope (the body is exactly what
+  /// NetsimTransport would have carried as a whole frame).
+  kEnvelope = 1,
+  /// Loadgen → recorder: inject one BGP update at the hosted speaker.
+  kInject = 2,
+  /// Loadgen → node: request a StatsFrame echoing the same token (a
+  /// barrier: the reply proves every earlier frame was processed).
+  kStatsRequest = 3,
+  kStats = 4,
+  /// Loadgen → recorder: subscribe to kCommitNotify pushes.
+  kSubscribeCommits = 5,
+  /// Recorder → subscribers: a commitment was just logged (SpiderCommit
+  /// encoding — root only, never the seed).
+  kCommitNotify = 6,
+  /// Proof generator → recorder: stream me your log (trusted peers only).
+  kLogRequest = 7,
+  kLogSegment = 8,
+  kLogEnd = 9,
+  /// Loadgen → proof generator: produce proofs for one commitment.
+  kProofRequest = 10,
+  kProofBundle = 11,
+  /// Loadgen → checker: validate this proof bundle.
+  kCheckRequest = 12,
+  kCheckResult = 13,
+  /// Orchestrator → node: exit the event loop cleanly.
+  kShutdown = 14,
+};
+
+struct NodeFrame {
+  NodeFrameType type = NodeFrameType::kEnvelope;
+  Bytes body;
+
+  Bytes encode() const;
+  static NodeFrame decode(ByteSpan data);
+};
+
+/// One trace update injected at the recorder's hosted speaker, as if
+/// received from the (non-SPIDeR) trace peer.  `seq` and `sent_at` come
+/// back in stats/latency accounting on the loadgen side.
+struct InjectFrame {
+  std::uint64_t seq = 0;
+  Time sent_at = 0;
+  bgp::Update update;
+
+  Bytes encode() const;
+  static InjectFrame decode(ByteSpan data);
+};
+
+/// Node-side counters, echoed with the request's token.
+struct StatsFrame {
+  std::uint64_t token = 0;
+  std::uint64_t updates_mirrored = 0;
+  std::uint64_t commitments_made = 0;
+  std::uint64_t alarms = 0;
+  std::uint64_t log_entries = 0;
+
+  Bytes encode() const;
+  static StatsFrame decode(ByteSpan data);
+};
+
+/// One batch of log records during a kLogRequest transfer.  Entries stream
+/// in append order so the receiver's rebuilt MessageLog reproduces the
+/// identical hash chain (both sides start from seq 0 / zero head).
+struct LogSegmentFrame {
+  enum Kind : std::uint8_t { kEntries = 0, kCheckpoints = 1, kCommitments = 2 };
+  std::uint8_t kind = kEntries;
+  std::vector<Bytes> records;  // LogEntry / LogCheckpoint / CommitmentRecord encodings
+
+  Bytes encode() const;
+  static LogSegmentFrame decode(ByteSpan data);
+};
+
+struct ProofRequestFrame {
+  std::uint32_t elector = 0;
+  Time commit_time = 0;
+  std::uint32_t consumer = 0;
+
+  Bytes encode() const;
+  static ProofRequestFrame decode(ByteSpan data);
+};
+
+/// The proof generator's answer: per-role proof sets for `consumer`, plus
+/// whether the replayed root matched the logged commitment (§6.5).
+struct ProofBundleFrame {
+  std::uint32_t elector = 0;
+  Time commit_time = 0;
+  std::uint32_t consumer = 0;
+  std::uint8_t root_matches = 0;
+  Bytes producer_proofs;  // ProducerProofs encoding
+  Bytes consumer_proofs;  // ConsumerProofs encoding
+
+  Bytes encode() const;
+  static ProofBundleFrame decode(ByteSpan data);
+};
+
+struct CheckResultFrame {
+  std::uint8_t ok = 0;           // whole round clean
+  std::uint8_t producer_ok = 0;  // producer-role check found no fault
+  std::uint8_t consumer_ok = 0;  // consumer-role check found no fault
+  std::uint8_t root_matches = 0;
+  std::string detail;
+
+  Bytes encode() const;
+  static CheckResultFrame decode(ByteSpan data);
+};
+
+}  // namespace spider::proto

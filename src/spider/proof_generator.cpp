@@ -97,7 +97,7 @@ ProofGenerator::Reconstruction ProofGenerator::reconstruct(Time commit_time,
   Reconstruction recon;
   recon.commit_time = commit_time;
   recon.seed = record->seed;
-  recon.state = MirrorState::deserialize(checkpoint->state);
+  recon.state = MirrorState::deserialize_chunked(checkpoint->chunks);
 
   const Time window_start = commit_time - recorder_.config().delta;
   auto note_window = [&](bgp::AsNumber from, const bgp::Prefix& prefix, Time t) {

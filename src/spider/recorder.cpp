@@ -9,14 +9,18 @@
 
 namespace spider::proto {
 
-Recorder::Recorder(netsim::Simulator& sim, RecorderConfig config, const crypto::Signer& signer,
-                   const core::KeyRegistry& keys, bgp::Speaker& speaker)
-    : sim_(sim),
+Recorder::Recorder(transport::Endpoint& transport, RecorderConfig config,
+                   const crypto::Signer& signer, const core::KeyRegistry& keys,
+                   bgp::Speaker& speaker)
+    : transport_(transport),
       config_(std::move(config)),
       signer_(signer),
       keys_(keys),
       speaker_(speaker),
-      classifier_(config_.num_classes) {}
+      classifier_(config_.num_classes) {
+  transport_.set_frame_handler(
+      [this](transport::PeerId from, util::ByteSpan frame) { handle_frame(from, frame); });
+}
 
 bool announce_timely(Time announce_timestamp, Time local_arrival, const RecorderConfig& config) {
   const Time age = local_arrival - announce_timestamp;
@@ -25,10 +29,7 @@ bool announce_timely(Time announce_timestamp, Time local_arrival, const Recorder
   return age >= -config.max_clock_skew && age <= late_budget;
 }
 
-void Recorder::add_neighbor(bgp::AsNumber neighbor_as, netsim::NodeId node) {
-  neighbors_[neighbor_as] = node;
-  node_to_as_[node] = neighbor_as;
-}
+void Recorder::add_neighbor(bgp::AsNumber neighbor_as) { neighbors_.insert(neighbor_as); }
 
 void Recorder::set_promise(bgp::AsNumber consumer, core::Promise promise) {
   promises_.insert_or_assign(consumer, std::move(promise));
@@ -41,7 +42,7 @@ void Recorder::mark_dirty(const bgp::Prefix& prefix) {
   if (config_.incremental_commits) dirty_prefixes_.insert(prefix);
 }
 
-Time Recorder::local_now() const { return sim_.local_time(node_id()); }
+Time Recorder::local_now() const { return transport_.now(); }
 
 void Recorder::start(bool schedule_commitments) {
   if (started_) throw std::logic_error("Recorder: already started");
@@ -61,7 +62,7 @@ void Recorder::start(bool schedule_commitments) {
   speaker_.set_observer(std::move(observer));
 
   // Initial full checkpoint: the base of every replay (§6.5).
-  log_.add_checkpoint(local_now(), state_.serialize());
+  log_.add_checkpoint(local_now(), state_.serialize_chunked(config_.checkpoint_chunk_bytes));
 
   if (config_.checkpoint_interval > 0) {
     // Self-rescheduling periodic checkpoint task.
@@ -69,16 +70,18 @@ void Recorder::start(bool schedule_commitments) {
       Recorder* recorder;
       void operator()() const {
         recorder->make_checkpoint();
-        recorder->sim_.schedule_in(recorder->config_.checkpoint_interval, *this);
+        recorder->transport_.schedule_in(recorder->config_.checkpoint_interval, *this);
       }
     };
-    sim_.schedule_in(config_.checkpoint_interval, Rescheduler{this});
+    transport_.schedule_in(config_.checkpoint_interval, Rescheduler{this});
   }
 
   if (schedule_commitments) schedule_commit();
 }
 
-void Recorder::make_checkpoint() { log_.add_checkpoint(local_now(), state_.serialize()); }
+void Recorder::make_checkpoint() {
+  log_.add_checkpoint(local_now(), state_.serialize_chunked(config_.checkpoint_chunk_bytes));
+}
 
 void Recorder::restore_from(MessageLog log) {
   if (started_) throw std::logic_error("Recorder: restore_from after start");
@@ -86,7 +89,7 @@ void Recorder::restore_from(MessageLog log) {
 
   const LogCheckpoint* checkpoint = log_.checkpoint_before(std::numeric_limits<Time>::max());
   if (!checkpoint) throw std::invalid_argument("Recorder: log has no checkpoint to restore from");
-  state_ = MirrorState::deserialize(checkpoint->state);
+  state_ = MirrorState::deserialize_chunked(checkpoint->chunks);
 
   // Replay everything logged after the checkpoint, with exactly the live
   // acceptance rules (a part the pre-crash recorder rejected for timing
@@ -141,7 +144,7 @@ void Recorder::restore_from(MessageLog log) {
 }
 
 void Recorder::schedule_commit() {
-  sim_.schedule_in(config_.commit_interval, [this] {
+  transport_.schedule_in(config_.commit_interval, [this] {
     make_commitment();
     schedule_commit();
   });
@@ -150,7 +153,7 @@ void Recorder::schedule_commit() {
 void Recorder::schedule_flush() {
   if (flush_scheduled_) return;
   flush_scheduled_ = true;
-  sim_.schedule_in(config_.batch_window, [this] {
+  transport_.schedule_in(config_.batch_window, [this] {
     flush_scheduled_ = false;
     flush_batches();
   });
@@ -171,6 +174,21 @@ bool Recorder::verify_now(const core::SignedEnvelope& envelope) {
 }
 
 // ------------------------------------------------------- speaker observer
+
+/// SignedEnvelope{signer, payload = SpiderBatch{{type, body}}, empty
+/// signature} in a single pass — byte-identical to the nested encode()s,
+/// which the §6.7 synthetic-record path otherwise runs once per mirrored
+/// route (three writers and two intermediate copies).
+Bytes encode_unsigned_single(std::uint32_t signer, SpiderMsgType type, const Bytes& body) {
+  util::ByteWriter w;
+  w.u32(signer);
+  w.u32(static_cast<std::uint32_t>(9 + body.size()));  // one-part batch payload
+  w.u32(1);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.bytes(body);
+  w.u32(0);  // no signature: the record is the recorder's own observation
+  return w.take();
+}
 
 void Recorder::observe_update_out(bgp::AsNumber to, const bgp::Update& update) {
   util::ScopedCpu scope(total_meter_);
@@ -212,8 +230,13 @@ void Recorder::observe_update_out(bgp::AsNumber to, const bgp::Update& update) {
 void Recorder::observe_route_in(bgp::AsNumber from, const bgp::Route& raw,
                                 const std::optional<bgp::Route>& /*imported*/) {
   util::ScopedCpu scope(total_meter_);
-  bgp_raw_[from][raw.prefix] = raw;
-  if (neighbors_.count(from) != 0) return;  // participant: input arrives signed
+  if (neighbors_.count(from) != 0) {
+    // BGP's view of a participant neighbor, kept for the §6.2 commit-time
+    // cross-check against their signed mirror.  Non-participant routes
+    // never enter that check, so the copy stays off the §6.7 fast path.
+    bgp_raw_[from][raw.prefix] = raw;
+    return;  // participant: input arrives signed
+  }
 
   // Non-participant neighbor (§6.7): mirror the BGP view directly and log a
   // synthetic, unsigned record so replay reproduces the same inputs.
@@ -229,12 +252,8 @@ void Recorder::observe_route_in(bgp::AsNumber from, const bgp::Route& raw,
   ++updates_mirrored_;
   SPIDER_OBS_COUNT("spider/updates_mirrored", 1);
 
-  SpiderBatch batch;
-  batch.parts.push_back({SpiderMsgType::kAnnounce, std::move(body)});
-  core::SignedEnvelope envelope;
-  envelope.signer = from;
-  envelope.payload = batch.encode();
-  log_.append(announce.timestamp, LogDirection::kReceived, from, envelope.encode(), 0);
+  log_.append(announce.timestamp, LogDirection::kReceived, from,
+              encode_unsigned_single(from, SpiderMsgType::kAnnounce, body), 0);
 }
 
 void Recorder::observe_withdraw_in(bgp::AsNumber from, const bgp::Prefix& prefix) {
@@ -254,12 +273,8 @@ void Recorder::observe_withdraw_in(bgp::AsNumber from, const bgp::Prefix& prefix
   ++updates_mirrored_;
   SPIDER_OBS_COUNT("spider/updates_mirrored", 1);
 
-  SpiderBatch batch;
-  batch.parts.push_back({SpiderMsgType::kWithdraw, std::move(body)});
-  core::SignedEnvelope envelope;
-  envelope.signer = from;
-  envelope.payload = batch.encode();
-  log_.append(withdraw.timestamp, LogDirection::kReceived, from, envelope.encode(), 0);
+  log_.append(withdraw.timestamp, LogDirection::kReceived, from,
+              encode_unsigned_single(from, SpiderMsgType::kWithdraw, body), 0);
 }
 
 // ------------------------------------------------------------- batching
@@ -286,11 +301,7 @@ void Recorder::flush_batches() {
     Digest20 digest = envelope.digest();
     awaiting_ack_.push_back({digest, local_now(), neighbor, wire, 1});
 
-    auto node_it = neighbors_.find(neighbor);
-    if (node_it != neighbors_.end()) {
-      bytes_sent_ += wire.size();
-      sim_.send(node_id(), node_it->second, wire);
-    }
+    if (transport_.send(neighbor, wire)) bytes_sent_ += wire.size();
     schedule_ack_check(digest);
   }
 }
@@ -298,7 +309,7 @@ void Recorder::flush_batches() {
 void Recorder::schedule_ack_check(const Digest20& digest) {
   // ACK deadline (T_max of §6.2): retransmit a few times, then raise an
   // alarm to be handled out of band.
-  sim_.schedule_in(config_.ack_deadline, [this, digest] {
+  transport_.schedule_in(config_.ack_deadline, [this, digest] {
     auto it = std::find_if(awaiting_ack_.begin(), awaiting_ack_.end(),
                            [&](const PendingAck& p) {
                              return crypto::constant_time_equal(p.digest, digest);
@@ -312,25 +323,20 @@ void Recorder::schedule_ack_check(const Digest20& digest) {
     it->attempts += 1;
     ++retransmissions_;
     SPIDER_OBS_COUNT("spider/retransmissions", 1);
-    auto node_it = neighbors_.find(it->to);
-    if (node_it != neighbors_.end()) {
-      bytes_sent_ += it->wire.size();
-      sim_.send(node_id(), node_it->second, it->wire);
-    }
+    if (transport_.send(it->to, it->wire)) bytes_sent_ += it->wire.size();
     schedule_ack_check(digest);
   });
 }
 
 // ------------------------------------------------------------- receiving
 
-void Recorder::handle_message(netsim::NodeId from, util::ByteSpan payload) {
+void Recorder::handle_frame(transport::PeerId from, util::ByteSpan payload) {
   util::ScopedCpu scope(total_meter_);
-  auto as_it = node_to_as_.find(from);
-  if (as_it == node_to_as_.end()) {
+  if (from == transport::kUnknownPeer || neighbors_.count(from) == 0) {
     alarm("message from unknown recorder node");
     return;
   }
-  const bgp::AsNumber from_as = as_it->second;
+  const bgp::AsNumber from_as = from;
 
   core::SignedEnvelope envelope;
   try {
@@ -472,11 +478,7 @@ void Recorder::send_ack(bgp::AsNumber to, const core::SignedEnvelope& batch_enve
   Bytes wire = envelope.encode();
   log_.append(local_now(), LogDirection::kSent, to, wire,
               static_cast<std::uint32_t>(envelope.signature.size()));
-  auto node_it = neighbors_.find(to);
-  if (node_it != neighbors_.end()) {
-    bytes_sent_ += wire.size();
-    sim_.send(node_id(), node_it->second, wire);
-  }
+  if (transport_.send(to, wire)) bytes_sent_ += wire.size();
 }
 
 // ------------------------------------------------------------ commitment
@@ -569,7 +571,7 @@ const CommitmentRecord& Recorder::make_commitment() {
   commit.from_as = config_.asn;
   commit.num_classes = config_.num_classes;
   commit.root = record.root;
-  for (const auto& [neighbor, node] : neighbors_) {
+  for (bgp::AsNumber neighbor : neighbors_) {
     if (faults_.withhold_commit_from.count(neighbor) != 0) continue;
     SpiderCommit to_send = commit;
     // Equivocation fault: this neighbor gets a different root for the same
@@ -578,13 +580,15 @@ const CommitmentRecord& Recorder::make_commitment() {
     queue_part(neighbor, SpiderMsgType::kCommit, to_send.encode());
   }
   flush_batches();
-  return *log_.commitment_at(record.timestamp);
+  const CommitmentRecord& logged = *log_.commitment_at(record.timestamp);
+  if (commitment_hook_) commitment_hook_(logged);
+  return logged;
 }
 
 void Recorder::cross_check_mirror() {
   // §6.2: the recorder compares the signed messages from each neighbor's
   // recorder against what the local routers got via BGP.
-  for (const auto& [neighbor, node] : neighbors_) {
+  for (bgp::AsNumber neighbor : neighbors_) {
     auto raw_it = bgp_raw_.find(neighbor);
     const auto* raw = raw_it == bgp_raw_.end() ? nullptr : &raw_it->second;
     auto mirror_it = state_.inputs().find(neighbor);

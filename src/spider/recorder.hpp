@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -33,6 +34,7 @@
 #include "spider/log.hpp"
 #include "spider/messages.hpp"
 #include "spider/state.hpp"
+#include "transport/transport.hpp"
 #include "util/timers.hpp"
 
 namespace spider::proto {
@@ -53,6 +55,10 @@ struct RecorderConfig {
   /// Additional full checkpoints every this often; 0 = only the initial
   /// one (§6.5: "optionally some additional checkpoints").
   Time checkpoint_interval = 0;
+  /// Target size of one streamed checkpoint chunk (see
+  /// MirrorState::serialize_chunked): full-RIB checkpoints are written and
+  /// restored without ever building a contiguous state buffer.
+  std::size_t checkpoint_chunk_bytes = 1 << 20;
   /// Received timestamps must be within this skew of the local clock.
   Time max_clock_skew = 5 * netsim::kMicrosPerSecond;
   /// Input-selection window for loose synchronization (δ of §6.4).
@@ -93,7 +99,11 @@ struct RecorderConfig {
 /// local_now), so the two paths cannot diverge on acceptance.
 bool announce_timely(Time announce_timestamp, Time local_arrival, const RecorderConfig& config);
 
-class Recorder : public netsim::Node {
+/// The recorder is written against the transport plane (transport.hpp),
+/// never the simulator: the same protocol object runs inside the
+/// deterministic netsim (NetsimTransport, tests and the chaos matrix) and
+/// as a real process over TCP (TcpTransport, tools/spider_node).
+class Recorder {
  public:
   /// Elector-side misbehaviors, mirroring §7.4's fault injection.  A
   /// faulty AS controls its own recorder, so the recorder must be able to
@@ -111,11 +121,16 @@ class Recorder : public netsim::Node {
     std::set<bgp::AsNumber> withhold_commit_from;
   };
 
-  Recorder(netsim::Simulator& sim, RecorderConfig config, const crypto::Signer& signer,
+  /// The recorder installs itself as `transport`'s frame handler; the
+  /// endpoint must outlive it.  Peer routing (where a neighbor AS actually
+  /// lives) is the backend's concern — see NetsimTransport::register_peer
+  /// and TcpTransport::connect_peer.
+  Recorder(transport::Endpoint& transport, RecorderConfig config, const crypto::Signer& signer,
            const core::KeyRegistry& keys, bgp::Speaker& speaker);
 
-  /// Declares that `neighbor_as`'s recorder lives at simulator node `node`.
-  void add_neighbor(bgp::AsNumber neighbor_as, netsim::NodeId node);
+  /// Declares that `neighbor_as` runs a SPIDeR recorder we exchange signed
+  /// batches with.
+  void add_neighbor(bgp::AsNumber neighbor_as);
 
   /// The promise made to a consumer neighbor (the ≤_j of VPref).
   void set_promise(bgp::AsNumber consumer, core::Promise promise);
@@ -134,7 +149,16 @@ class Recorder : public netsim::Node {
   /// ahead of every logged commitment).
   void restore_from(MessageLog log);
 
-  void handle_message(netsim::NodeId from, util::ByteSpan payload) override;
+  /// Delivery of one frame from the transport (installed as the endpoint's
+  /// frame handler by the constructor; public so tests and process runners
+  /// can feed frames directly).
+  void handle_frame(transport::PeerId from, util::ByteSpan payload);
+
+  /// Invoked after every commitment this recorder logs (process runners
+  /// push commit notifications to subscribers from here).  Optional.
+  void set_commitment_hook(std::function<void(const CommitmentRecord&)> hook) {
+    commitment_hook_ = std::move(hook);
+  }
 
   /// Builds and broadcasts a commitment over the current mirrored state;
   /// returns the log record.  Normally driven by the commit timer.
@@ -225,16 +249,16 @@ class Recorder : public netsim::Node {
   /// rebuild, or incremental apply against the live tree).
   Digest20 commit_root(const crypto::Seed& seed);
 
-  netsim::Simulator& sim_;
+  transport::Endpoint& transport_;
   RecorderConfig config_;
   const crypto::Signer& signer_;
   const core::KeyRegistry& keys_;
   bgp::Speaker& speaker_;
   core::PathLengthClassifier classifier_;
 
-  std::map<bgp::AsNumber, netsim::NodeId> neighbors_;
-  std::map<netsim::NodeId, bgp::AsNumber> node_to_as_;
+  std::set<bgp::AsNumber> neighbors_;
   std::map<bgp::AsNumber, core::Promise> promises_;
+  std::function<void(const CommitmentRecord&)> commitment_hook_;
 
   MirrorState state_;
   MessageLog log_;

@@ -94,6 +94,155 @@ Bytes MirrorState::serialize() const {
   return w.take();
 }
 
+namespace {
+
+/// Streams (tag, neighbor, count, records...) sections into chunks of
+/// roughly the target size.  A section's count must precede its records, so
+/// records accumulate in a side buffer and the section closes — and the
+/// chunk flushes — whenever the target is reached; a neighbor group that
+/// outgrows one chunk simply continues as a fresh section in the next.
+class ChunkedStateWriter {
+ public:
+  explicit ChunkedStateWriter(std::size_t chunk_bytes)
+      : target_(chunk_bytes == 0 ? 1 : chunk_bytes) {}
+
+  void begin_group(std::uint8_t tag, std::uint32_t neighbor) {
+    tag_ = tag;
+    neighbor_ = neighbor;
+    group_has_section_ = false;
+  }
+
+  void record(const util::ByteWriter& rec) {
+    section_.raw(rec.data());
+    ++count_;
+    if (current_.size() + kSectionHeader + section_.size() >= target_) close_section();
+  }
+
+  /// Emits a count-0 section for groups with no records, so an
+  /// empty-but-present neighbor survives the round trip (deserialize
+  /// preserves the map key exactly as the legacy format does).
+  void end_group() {
+    if (count_ > 0 || !group_has_section_) close_section();
+  }
+
+  std::vector<Bytes> take() {
+    if (current_.size() > 0) chunks_.push_back(current_.take());
+    return std::move(chunks_);
+  }
+
+ private:
+  static constexpr std::size_t kSectionHeader = 1 + 4 + 4;  // tag + neighbor + count
+
+  void close_section() {
+    current_.u8(tag_);
+    current_.u32(neighbor_);
+    current_.u32(count_);
+    current_.raw(section_.data());
+    section_ = util::ByteWriter{};
+    count_ = 0;
+    group_has_section_ = true;
+    if (current_.size() >= target_) chunks_.push_back(current_.take());
+  }
+
+  std::size_t target_;
+  std::uint8_t tag_ = 0;
+  std::uint32_t neighbor_ = 0;
+  std::uint32_t count_ = 0;
+  bool group_has_section_ = false;
+  util::ByteWriter section_;
+  util::ByteWriter current_;
+  std::vector<Bytes> chunks_;
+};
+
+}  // namespace
+
+std::vector<Bytes> MirrorState::serialize_chunked(std::size_t chunk_bytes) const {
+  ChunkedStateWriter out(chunk_bytes);
+  for (const auto& [neighbor, routes] : inputs_) {
+    out.begin_group(0, neighbor);
+    for (const auto& [prefix, record] : routes) {
+      util::ByteWriter w;
+      record.route.encode(w);
+      w.digest(record.part_digest);
+      w.i64(record.received_at);
+      out.record(w);
+    }
+    out.end_group();
+  }
+  for (const auto& [neighbor, marks] : in_high_water_) {
+    out.begin_group(1, neighbor);
+    for (const auto& [prefix, timestamp] : marks) {
+      util::ByteWriter w;
+      prefix.encode(w);
+      w.i64(timestamp);
+      out.record(w);
+    }
+    out.end_group();
+  }
+  for (const auto& [neighbor, routes] : exports_) {
+    out.begin_group(2, neighbor);
+    for (const auto& [prefix, record] : routes) {
+      util::ByteWriter w;
+      record.route.encode(w);
+      w.i64(record.sent_at);
+      out.record(w);
+    }
+    out.end_group();
+  }
+  return out.take();
+}
+
+MirrorState MirrorState::deserialize_chunked(const std::vector<Bytes>& chunks) {
+  MirrorState state;
+  for (const Bytes& chunk : chunks) {
+    util::ByteReader r(chunk);
+    while (!r.empty()) {
+      const std::uint8_t tag = r.u8();
+      const bgp::AsNumber neighbor = r.u32();
+      switch (tag) {
+        case 0: {
+          // route (22) + part digest (20) + received_at (8) per record.
+          std::uint32_t n = r.check_count(r.u32(), 50, "MirrorState chunked input records");
+          state.inputs_[neighbor];
+          for (std::uint32_t j = 0; j < n; ++j) {
+            InputRecord record;
+            record.route = bgp::Route::decode(r);
+            record.part_digest = r.digest();
+            record.received_at = r.i64();
+            state.inputs_[neighbor][record.route.prefix] = std::move(record);
+          }
+          break;
+        }
+        case 1: {
+          // prefix (5) + timestamp (8) per entry.
+          std::uint32_t n = r.check_count(r.u32(), 13, "MirrorState chunked high-water entries");
+          state.in_high_water_[neighbor];
+          for (std::uint32_t j = 0; j < n; ++j) {
+            bgp::Prefix prefix = bgp::Prefix::decode(r);
+            state.in_high_water_[neighbor][prefix] = r.i64();
+          }
+          break;
+        }
+        case 2: {
+          // route (22) + sent_at (8) per record.
+          std::uint32_t n = r.check_count(r.u32(), 30, "MirrorState chunked export records");
+          state.exports_[neighbor];
+          for (std::uint32_t j = 0; j < n; ++j) {
+            ExportRecord record;
+            record.route = bgp::Route::decode(r);
+            record.sent_at = r.i64();
+            state.exports_[neighbor][record.route.prefix] = std::move(record);
+          }
+          break;
+        }
+        default:
+          throw util::DecodeError("MirrorState chunk: bad section tag");
+      }
+    }
+  }
+  return state;
+}
+
 MirrorState MirrorState::deserialize(ByteSpan data) {
   util::ByteReader r(data);
   MirrorState state;

@@ -72,6 +72,16 @@ class MirrorState {
   Bytes serialize() const;
   static MirrorState deserialize(ByteSpan data);
 
+  /// Streamed checkpoint serialization: the state is emitted as a sequence
+  /// of self-contained chunks of roughly `chunk_bytes` each, so writing or
+  /// restoring a full-RIB checkpoint (hundreds of thousands of prefixes)
+  /// never materializes one contiguous buffer.  Each chunk holds complete
+  /// sections — (tag, neighbor, count, records...) — and a neighbor group
+  /// larger than a chunk is split into several sections that the reader
+  /// merges back, so chunk boundaries never cut a record in half.
+  std::vector<Bytes> serialize_chunked(std::size_t chunk_bytes) const;
+  static MirrorState deserialize_chunked(const std::vector<Bytes>& chunks);
+
   bool operator==(const MirrorState&) const = default;
 
  private:

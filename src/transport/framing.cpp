@@ -1,0 +1,79 @@
+#include "transport/framing.hpp"
+
+#include "util/serde.hpp"
+
+namespace spider::transport {
+
+void write_frame_header(std::uint8_t out[kFrameHeaderBytes], std::size_t payload_size,
+                        const FrameLimits& limits) {
+  if (payload_size > limits.max_frame_bytes) {
+    throw util::DecodeError("frame payload exceeds max_frame_bytes");
+  }
+  const auto n = static_cast<std::uint32_t>(payload_size);
+  out[0] = static_cast<std::uint8_t>(n >> 24);
+  out[1] = static_cast<std::uint8_t>(n >> 16);
+  out[2] = static_cast<std::uint8_t>(n >> 8);
+  out[3] = static_cast<std::uint8_t>(n);
+}
+
+FrameDecoder::FrameDecoder(FrameLimits limits) : limits_(limits) {
+  if (limits_.max_buffered_bytes < limits_.max_frame_bytes + kFrameHeaderBytes) {
+    limits_.max_buffered_bytes = static_cast<std::size_t>(limits_.max_frame_bytes) +
+                                 kFrameHeaderBytes;
+  }
+}
+
+void FrameDecoder::feed(util::ByteSpan data) {
+  // Compact before growing: delivered frames at the front are dead weight,
+  // and dropping them first keeps the buffered-bytes bound meaningful.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  if (buffer_.size() + data.size() > limits_.max_buffered_bytes) {
+    throw util::DecodeError("frame decoder buffer exceeds max_buffered_bytes");
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+
+  // Validate every complete header already visible: an oversized
+  // declaration is rejected on arrival of its 4th header byte, not when
+  // (never) the payload completes.
+  std::size_t scan = consumed_;
+  while (buffer_.size() - scan >= kFrameHeaderBytes) {
+    const std::uint32_t len = (static_cast<std::uint32_t>(buffer_[scan]) << 24) |
+                              (static_cast<std::uint32_t>(buffer_[scan + 1]) << 16) |
+                              (static_cast<std::uint32_t>(buffer_[scan + 2]) << 8) |
+                              static_cast<std::uint32_t>(buffer_[scan + 3]);
+    if (len > limits_.max_frame_bytes) {
+      throw util::DecodeError("frame header declares more than max_frame_bytes");
+    }
+    const std::size_t total = kFrameHeaderBytes + len;
+    if (buffer_.size() - scan < total) break;
+    scan += total;
+  }
+}
+
+std::optional<util::Bytes> FrameDecoder::next() {
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return std::nullopt;
+  const std::size_t at = consumed_;
+  const std::uint32_t len = (static_cast<std::uint32_t>(buffer_[at]) << 24) |
+                            (static_cast<std::uint32_t>(buffer_[at + 1]) << 16) |
+                            (static_cast<std::uint32_t>(buffer_[at + 2]) << 8) |
+                            static_cast<std::uint32_t>(buffer_[at + 3]);
+  if (len > limits_.max_frame_bytes) {
+    throw util::DecodeError("frame header declares more than max_frame_bytes");
+  }
+  if (available < kFrameHeaderBytes + len) return std::nullopt;
+  util::Bytes frame(buffer_.begin() + static_cast<std::ptrdiff_t>(at + kFrameHeaderBytes),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(at + kFrameHeaderBytes + len));
+  consumed_ += kFrameHeaderBytes + len;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  return frame;
+}
+
+}  // namespace spider::transport

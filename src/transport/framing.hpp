@@ -1,0 +1,80 @@
+// Length-prefixed framing for stream transports.
+//
+// A TCP stream carries frames as [u32 big-endian length][length bytes]; the
+// payload is the same canonical encode()/decode() wire format the netsim
+// backend ships unframed.  FrameDecoder turns an arbitrary segmentation of
+// that stream (partial reads, coalesced reads, 1-byte reads) back into
+// whole frames, enforcing two hard limits before any allocation is sized
+// from wire input:
+//
+//   * max_frame_bytes — a single frame's declared length.  A peer
+//     announcing a larger frame is faulted immediately, from the 4 header
+//     bytes alone.
+//   * max_buffered_bytes — bytes a decoder may hold across feed() calls
+//     while waiting for the rest of a frame.  This bounds the memory one
+//     slow-trickling connection can pin.
+//
+// Violations throw util::DecodeError (the repo-wide "malformed adversarial
+// input" signal); stream transports convert that into closing the
+// connection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace spider::transport {
+
+struct FrameLimits {
+  /// Largest payload a single frame may declare.  The default accommodates
+  /// a full-table SPIDeR batch with headroom; spider_node raises it only
+  /// for log-transfer endpoints.
+  std::uint32_t max_frame_bytes = 64u << 20;  // 64 MiB
+  /// Largest number of undelivered bytes buffered inside the decoder.
+  /// Must be >= max_frame_bytes + 4 or a maximal frame could never
+  /// complete; FrameDecoder enforces the invariant at construction.
+  std::size_t max_buffered_bytes = (64u << 20) + 4;
+};
+
+/// The 4-byte header prepended to `payload_size` payload bytes.
+constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Encodes the frame header for a payload of `payload_size` bytes into
+/// `out[0..3]` (big-endian).  Throws util::DecodeError when the payload
+/// exceeds `limits.max_frame_bytes` — the sender applies the same bound it
+/// expects receivers to enforce.
+void write_frame_header(std::uint8_t out[kFrameHeaderBytes], std::size_t payload_size,
+                        const FrameLimits& limits);
+
+/// Incremental frame reassembler.  feed() bytes in any segmentation;
+/// next() yields completed payloads in order.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(FrameLimits limits = {});
+
+  /// Appends stream bytes.  Throws util::DecodeError when a frame header
+  /// declares more than max_frame_bytes or buffered data would exceed
+  /// max_buffered_bytes; the decoder is unusable afterwards (the
+  /// connection is dead anyway).
+  void feed(util::ByteSpan data);
+
+  /// The next complete frame payload, or nullopt when more bytes are
+  /// needed.  Call in a loop — one feed() can complete many frames.
+  std::optional<util::Bytes> next();
+
+  /// Bytes currently buffered (incomplete header + partial payload).
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  const FrameLimits& limits() const { return limits_; }
+
+ private:
+  FrameLimits limits_;
+  util::Bytes buffer_;
+  /// Prefix of buffer_ already returned as frames; compacted lazily so a
+  /// burst of small frames does not memmove per frame.
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace spider::transport

@@ -1,0 +1,67 @@
+// The deterministic backend: transport::Endpoint over netsim::Simulator.
+//
+// The shim is deliberately transparent — send() forwards the frame bytes
+// to Simulator::send with nothing added or reordered, and handle_message
+// hands the delivered payload straight to the frame handler.  Every byte
+// counted by link stats, every corruption offset chosen by a seeded
+// FaultInjector, and every event's FIFO tie-break therefore lands exactly
+// where it did when the recorder was itself a netsim::Node; the refactor
+// onto the transport abstraction is invisible to the byte-reproducibility
+// contracts (integration suite, chaos matrix).
+//
+// One NetsimTransport is one simulator node (add it with
+// Simulator::add_node, same name the protocol object used to have).  Peers
+// are registered explicitly: the PeerId<->NodeId map lives here, so the
+// protocol layer never sees node ids.
+#pragma once
+
+#include <map>
+
+#include "netsim/sim.hpp"
+#include "transport/transport.hpp"
+
+namespace spider::transport {
+
+class NetsimTransport final : public Endpoint, public netsim::Node {
+ public:
+  explicit NetsimTransport(netsim::Simulator& sim) : sim_(sim) {}
+
+  /// Declares that `peer` is reachable at simulator node `node`.  Frames
+  /// from `node` are attributed to `peer`; frames from unregistered nodes
+  /// are delivered as kUnknownPeer.
+  void register_peer(PeerId peer, netsim::NodeId node) {
+    peer_nodes_[peer] = node;
+    node_peers_[node] = peer;
+  }
+
+  // ------------------------------------------------------------- Endpoint
+  void set_frame_handler(FrameHandler handler) override { handler_ = std::move(handler); }
+
+  bool send(PeerId to, util::ByteSpan frame) override {
+    auto it = peer_nodes_.find(to);
+    if (it == peer_nodes_.end()) return false;
+    sim_.send(node_id(), it->second, frame);
+    return true;
+  }
+
+  void schedule_in(Time delay, std::function<void()> fn) override {
+    sim_.schedule_in(delay, std::move(fn));
+  }
+
+  Time now() const override { return sim_.local_time(node_id()); }
+
+  // ----------------------------------------------------------------- Node
+  void handle_message(netsim::NodeId from, util::ByteSpan payload) override {
+    if (!handler_) return;
+    auto it = node_peers_.find(from);
+    handler_(it == node_peers_.end() ? kUnknownPeer : it->second, payload);
+  }
+
+ private:
+  netsim::Simulator& sim_;
+  FrameHandler handler_;
+  std::map<PeerId, netsim::NodeId> peer_nodes_;
+  std::map<netsim::NodeId, PeerId> node_peers_;
+};
+
+}  // namespace spider::transport

@@ -1,0 +1,408 @@
+#include "transport/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <ctime>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "util/serde.hpp"
+
+namespace spider::transport {
+
+namespace {
+
+constexpr std::size_t kPreambleBytes = 8;
+constexpr std::uint8_t kMagic[4] = {'S', 'P', 'D', 'R'};
+constexpr std::size_t kReadChunk = 64 * 1024;
+constexpr int kMaxIov = 64;
+/// Upper bound on one epoll_wait so stop() from a signal-driven caller is
+/// observed promptly even with no traffic and distant timers.
+constexpr Time kMaxPollSlice = 50'000;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error("tcp transport: fcntl(O_NONBLOCK) failed");
+  }
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+util::Bytes make_preamble(PeerId self) {
+  util::Bytes preamble(kPreambleBytes);
+  preamble[0] = kMagic[0];
+  preamble[1] = kMagic[1];
+  preamble[2] = kMagic[2];
+  preamble[3] = kMagic[3];
+  preamble[4] = static_cast<std::uint8_t>(self >> 24);
+  preamble[5] = static_cast<std::uint8_t>(self >> 16);
+  preamble[6] = static_cast<std::uint8_t>(self >> 8);
+  preamble[7] = static_cast<std::uint8_t>(self);
+  return preamble;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(PeerId self, TcpConfig config)
+    : self_(self), config_(std::move(config)) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw std::runtime_error("tcp transport: epoll_create1 failed");
+}
+
+TcpTransport::~TcpTransport() {
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Time TcpTransport::now() const {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<Time>(ts.tv_sec) * 1'000'000 + static_cast<Time>(ts.tv_nsec) / 1'000;
+}
+
+void TcpTransport::schedule_in(Time delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  timers_.push(Timer{now() + delay, timer_seq_++, std::move(fn)});
+}
+
+std::uint16_t TcpTransport::listen_on(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("tcp transport: socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, config_.bind_host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("tcp transport: bad bind host " + config_.bind_host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, config_.listen_backlog) < 0) {
+    ::close(fd);
+    throw std::runtime_error("tcp transport: bind/listen failed on port " +
+                             std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  set_nonblocking(fd);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  listen_fd_ = fd;
+  listen_port_ = ntohs(addr.sin_port);
+  return listen_port_;
+}
+
+bool TcpTransport::connect_peer(PeerId peer, const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return false;
+  }
+  adopt_socket(fd, peer, /*preamble_done_peer_known=*/false);
+  return true;
+}
+
+void TcpTransport::adopt_socket(int fd, PeerId peer, bool) {
+  set_nonblocking(fd);
+  set_nodelay(fd);
+
+  auto conn = std::make_unique<Conn>(config_.limits);
+  conn->fd = fd;
+  // The far end's identity is confirmed by its preamble; a dialed peer id
+  // is provisional routing state so send() works before the preamble's
+  // round trip completes.
+  if (peer != kUnknownPeer) {
+    conn->peer = peer;
+    peer_fds_[peer] = fd;
+  }
+  // Both sides speak first: queue our preamble ahead of any frame.
+  util::Bytes preamble = make_preamble(self_);
+  conn->queued_bytes += preamble.size();
+  conn->backlog_since = now();
+  conn->out.push_back(std::move(preamble));
+
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  Conn& ref = *conn;
+  ref.want_write = true;
+  conns_.emplace(fd, std::move(conn));
+  flush_conn(ref);
+  SPIDER_OBS_GAUGE_SET("transport/connections", conns_.size());
+}
+
+bool TcpTransport::send(PeerId to, util::ByteSpan frame) {
+  auto it = peer_fds_.find(to);
+  if (it == peer_fds_.end()) {
+    SPIDER_OBS_COUNT("transport/send_no_peer", 1);
+    return false;
+  }
+  auto conn_it = conns_.find(it->second);
+  if (conn_it == conns_.end()) return false;
+  Conn& conn = *conn_it->second;
+
+  if (frame.size() > config_.limits.max_frame_bytes) {
+    SPIDER_OBS_COUNT("transport/oversize_send_rejects", 1);
+    return false;
+  }
+  if (conn.queued_bytes + frame.size() + kFrameHeaderBytes > config_.max_queued_bytes) {
+    SPIDER_OBS_COUNT("transport/backpressure_rejects", 1);
+    return false;
+  }
+
+  util::Bytes header(kFrameHeaderBytes);
+  write_frame_header(header.data(), frame.size(), config_.limits);
+  if (conn.out.empty()) conn.backlog_since = now();
+  conn.queued_bytes += header.size() + frame.size();
+  conn.out.push_back(std::move(header));
+  conn.out.emplace_back(frame.begin(), frame.end());
+
+  SPIDER_OBS_COUNT("transport/frames_out", 1);
+  SPIDER_OBS_COUNT("transport/bytes_out", frame.size() + kFrameHeaderBytes);
+  SPIDER_OBS_HIST("transport/frame_bytes_out", frame.size(), obs::size_buckets_bytes());
+  SPIDER_OBS_GAUGE_MAX("transport/max_queued_bytes", conn.queued_bytes);
+
+  if (conn.queued_bytes >= config_.eager_flush_bytes) {
+    flush_conn(conn);
+  } else if (!conn.want_write) {
+    // Arm EPOLLOUT instead of writing inline: the socket is writable, so
+    // the next poll returns immediately and drains everything queued since
+    // — one writev for the whole backlog.
+    conn.want_write = true;
+    update_interest(conn);
+  }
+  return true;
+}
+
+void TcpTransport::flush_conn(Conn& conn) {
+  while (!conn.out.empty()) {
+    iovec iov[kMaxIov];
+    int iov_count = 0;
+    std::size_t offset = conn.head_offset;
+    for (const util::Bytes& block : conn.out) {
+      if (iov_count == kMaxIov) break;
+      iov[iov_count].iov_base =
+          const_cast<std::uint8_t*>(block.data()) + offset;
+      iov[iov_count].iov_len = block.size() - offset;
+      offset = 0;
+      ++iov_count;
+    }
+    const ssize_t wrote = ::writev(conn.fd, iov, iov_count);
+    if (wrote < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(conn.fd, "write error");
+      return;
+    }
+    std::size_t remaining = static_cast<std::size_t>(wrote);
+    while (remaining > 0) {
+      util::Bytes& front = conn.out.front();
+      const std::size_t left = front.size() - conn.head_offset;
+      if (remaining >= left) {
+        remaining -= left;
+        conn.queued_bytes -= left;
+        conn.head_offset = 0;
+        conn.out.pop_front();
+      } else {
+        conn.head_offset += remaining;
+        conn.queued_bytes -= remaining;
+        remaining = 0;
+      }
+    }
+  }
+  const bool want = !conn.out.empty();
+  if (!want && conn.want_write) {
+    SPIDER_OBS_HIST("transport/flush_latency_micros", now() - conn.backlog_since,
+                    obs::latency_buckets_micros());
+  }
+  if (want != conn.want_write) {
+    conn.want_write = want;
+    update_interest(conn);
+  }
+}
+
+void TcpTransport::update_interest(Conn& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (conn.want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void TcpTransport::attribute_peer(Conn& conn, PeerId peer) {
+  if (conn.peer != kUnknownPeer && conn.peer != peer) {
+    // A dialed connection whose far end is not who we dialed: refuse it.
+    close_conn(conn.fd, "preamble peer mismatch");
+    return;
+  }
+  conn.peer = peer;
+  peer_fds_[peer] = conn.fd;
+  conn.preamble_done = true;
+}
+
+void TcpTransport::handle_accept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) return;
+    adopt_socket(fd, kUnknownPeer, false);
+    SPIDER_OBS_COUNT("transport/accepts", 1);
+  }
+}
+
+void TcpTransport::handle_readable(int fd) {
+  std::uint8_t buf[kReadChunk];
+  for (;;) {
+    // The connection can be torn down mid-loop by a handler or a framing
+    // violation; re-look it up every pass.
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    Conn& conn = *it->second;
+
+    const ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got == 0) {
+      close_conn(fd, "peer closed");
+      return;
+    }
+    if (got < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK) close_conn(fd, "read error");
+      return;
+    }
+    util::ByteSpan data(buf, static_cast<std::size_t>(got));
+    SPIDER_OBS_COUNT("transport/bytes_in", data.size());
+
+    if (!conn.preamble_done) {
+      const std::size_t need = kPreambleBytes - conn.preamble_buf.size();
+      const std::size_t take = data.size() < need ? data.size() : need;
+      conn.preamble_buf.insert(conn.preamble_buf.end(), data.begin(),
+                               data.begin() + static_cast<std::ptrdiff_t>(take));
+      data = data.subspan(take);
+      if (conn.preamble_buf.size() < kPreambleBytes) continue;
+      if (!std::equal(kMagic, kMagic + sizeof(kMagic), conn.preamble_buf.begin())) {
+        close_conn(fd, "bad preamble magic");
+        return;
+      }
+      const PeerId peer = (static_cast<PeerId>(conn.preamble_buf[4]) << 24) |
+                          (static_cast<PeerId>(conn.preamble_buf[5]) << 16) |
+                          (static_cast<PeerId>(conn.preamble_buf[6]) << 8) |
+                          static_cast<PeerId>(conn.preamble_buf[7]);
+      attribute_peer(conn, peer);
+      if (conns_.count(fd) == 0) return;  // mismatch closed it
+    }
+
+    try {
+      conn.decoder.feed(data);
+    } catch (const util::DecodeError&) {
+      SPIDER_OBS_COUNT("transport/frame_errors", 1);
+      close_conn(fd, "framing violation");
+      return;
+    }
+    while (true) {
+      auto again = conns_.find(fd);
+      if (again == conns_.end()) return;
+      std::optional<util::Bytes> frame = again->second->decoder.next();
+      if (!frame) break;
+      SPIDER_OBS_COUNT("transport/frames_in", 1);
+      SPIDER_OBS_HIST("transport/frame_bytes_in", frame->size(), obs::size_buckets_bytes());
+      if (handler_) handler_(again->second->peer, *frame);
+    }
+  }
+}
+
+void TcpTransport::handle_writable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  flush_conn(*it->second);
+}
+
+void TcpTransport::close_conn(int fd, const char* why) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  const PeerId peer = it->second->peer;
+  (void)why;
+  SPIDER_OBS_COUNT("transport/disconnects", 1);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  auto peer_it = peer_fds_.find(peer);
+  if (peer_it != peer_fds_.end() && peer_it->second == fd) peer_fds_.erase(peer_it);
+  conns_.erase(it);
+  SPIDER_OBS_GAUGE_SET("transport/connections", conns_.size());
+  if (peer != kUnknownPeer && disconnect_handler_) disconnect_handler_(peer);
+}
+
+void TcpTransport::fire_due_timers() {
+  const Time t = now();
+  while (!timers_.empty() && timers_.top().at <= t) {
+    // Timer::fn is move-only in spirit; priority_queue::top() is const, so
+    // pull via const_cast-free copy of the callable.
+    Timer timer = timers_.top();
+    timers_.pop();
+    timer.fn();
+  }
+}
+
+void TcpTransport::poll_once(Time max_wait) {
+  Time wait = max_wait < kMaxPollSlice ? max_wait : kMaxPollSlice;
+  if (!timers_.empty()) {
+    const Time until = timers_.top().at - now();
+    if (until < wait) wait = until;
+  }
+  if (wait < 0) wait = 0;
+  const int timeout_ms = static_cast<int>((wait + 999) / 1000);
+
+  epoll_event events[64];
+  const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == listen_fd_) {
+      handle_accept();
+      continue;
+    }
+    if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+      close_conn(fd, "hup");
+      continue;
+    }
+    if (events[i].events & EPOLLIN) handle_readable(fd);
+    if (events[i].events & EPOLLOUT) handle_writable(fd);
+  }
+  fire_due_timers();
+}
+
+void TcpTransport::run() {
+  stop_ = false;
+  while (!stop_) poll_once(kMaxPollSlice);
+}
+
+void TcpTransport::run_for(Time duration) {
+  const Time deadline = now() + duration;
+  stop_ = false;
+  while (!stop_) {
+    const Time left = deadline - now();
+    if (left <= 0) return;
+    poll_once(left);
+  }
+}
+
+}  // namespace spider::transport

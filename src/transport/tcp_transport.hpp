@@ -1,0 +1,145 @@
+// The deployable backend: transport::Endpoint over non-blocking TCP.
+//
+// One TcpTransport is one process-local endpoint with an epoll event loop.
+// Frames ride the framing.hpp length-prefixed format; each connection
+// begins with an 8-byte preamble ("SPDR" + the sender's u32 PeerId,
+// big-endian) so both directions of a connection are attributed before any
+// frame flows.  The loop owns everything: accept, incremental frame
+// reassembly across partial reads, a writev-chained write queue per
+// connection with a hard queued-bytes bound (send() refuses above it —
+// protocol retransmission is the recovery path), and a timer min-heap that
+// drives epoll_wait timeouts.  All callbacks (frames, timers, disconnects)
+// fire from whichever thread is inside run()/run_for()/poll_once() —
+// single logical thread, no locking in protocol code.
+//
+// Clock: CLOCK_MONOTONIC microseconds.  Every process on one host reads
+// the same monotonic clock, so a loopback deployment's recorders agree on
+// time to well under the protocol's max_clock_skew.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "transport/framing.hpp"
+#include "transport/transport.hpp"
+
+namespace spider::transport {
+
+struct TcpConfig {
+  FrameLimits limits;
+  /// Per-connection write-queue bound.  send() returns false (and counts
+  /// transport/backpressure_rejects) when accepting the frame would exceed
+  /// it.
+  std::size_t max_queued_bytes = 128u << 20;
+  /// send() queues small frames and lets the next poll drain the backlog
+  /// in one writev; only a backlog this large forces the syscall inline.
+  /// Coalescing matters when many senders share a core: one writev per
+  /// poll instead of one per frame.  0 restores flush-per-send.
+  std::size_t eager_flush_bytes = 64u << 10;
+  std::string bind_host = "127.0.0.1";
+  int listen_backlog = 64;
+};
+
+class TcpTransport final : public Endpoint {
+ public:
+  /// `self` is the id announced in this endpoint's connection preambles.
+  explicit TcpTransport(PeerId self, TcpConfig config = {});
+  ~TcpTransport() override;
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  // ------------------------------------------------------------- Endpoint
+  void set_frame_handler(FrameHandler handler) override { handler_ = std::move(handler); }
+  bool send(PeerId to, util::ByteSpan frame) override;
+  void schedule_in(Time delay, std::function<void()> fn) override;
+  Time now() const override;
+
+  // ------------------------------------------------------------- control
+  /// Binds and listens on config.bind_host:`port` (0 = ephemeral).
+  /// Returns the bound port.  Throws std::runtime_error on failure.
+  std::uint16_t listen_on(std::uint16_t port);
+
+  /// Dials `host`:`port`, expecting the far end to announce `peer` in its
+  /// preamble (the connection is torn down on mismatch).  The TCP connect
+  /// itself is blocking; returns false when it fails.
+  bool connect_peer(PeerId peer, const std::string& host, std::uint16_t port);
+
+  /// Event loop until stop().
+  void run();
+  /// Event loop for `duration` microseconds (drivers and tests).
+  void run_for(Time duration);
+  /// One epoll iteration waiting at most `max_wait` microseconds.
+  void poll_once(Time max_wait);
+  void stop() { stop_ = true; }
+
+  bool peer_connected(PeerId peer) const { return peer_fds_.count(peer) != 0; }
+  std::size_t connection_count() const { return conns_.size(); }
+  PeerId self() const { return self_; }
+  std::uint16_t listen_port() const { return listen_port_; }
+
+  using DisconnectHandler = std::function<void(PeerId)>;
+  void set_disconnect_handler(DisconnectHandler handler) {
+    disconnect_handler_ = std::move(handler);
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    PeerId peer = kUnknownPeer;
+    bool preamble_done = false;
+    util::Bytes preamble_buf;
+    FrameDecoder decoder;
+    /// Outgoing buffer chain: alternating header / payload blocks, flushed
+    /// with writev.  head_offset is the part of the front block already on
+    /// the wire.
+    std::deque<util::Bytes> out;
+    std::size_t head_offset = 0;
+    std::size_t queued_bytes = 0;
+    bool want_write = false;
+    /// When the queue last went non-empty, for the flush-latency histogram.
+    Time backlog_since = 0;
+
+    explicit Conn(const FrameLimits& limits) : decoder(limits) {}
+  };
+
+  struct Timer {
+    Time at = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break, mirroring netsim's invariant
+    std::function<void()> fn;
+  };
+  struct TimerLater {
+    bool operator()(const Timer& a, const Timer& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  void adopt_socket(int fd, PeerId peer, bool preamble_done_peer_known);
+  void handle_accept();
+  void handle_readable(int fd);
+  void handle_writable(int fd);
+  void flush_conn(Conn& conn);
+  void update_interest(Conn& conn);
+  void close_conn(int fd, const char* why);
+  void fire_due_timers();
+  void attribute_peer(Conn& conn, PeerId peer);
+
+  PeerId self_;
+  TcpConfig config_;
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  FrameHandler handler_;
+  DisconnectHandler disconnect_handler_;
+  std::map<int, std::unique_ptr<Conn>> conns_;
+  std::map<PeerId, int> peer_fds_;
+  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
+  std::uint64_t timer_seq_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace spider::transport

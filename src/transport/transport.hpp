@@ -1,0 +1,76 @@
+// The transport plane: how SPIDeR protocol objects reach their peers.
+//
+// Protocol code (the recorder, the node runner) is written against the
+// message-oriented Endpoint interface below and never touches sockets or
+// the simulator directly.  Two backends implement it:
+//
+//   * NetsimTransport (netsim_transport.hpp) — a shim over the
+//     deterministic discrete-event simulator.  It forwards frame bytes
+//     unchanged (no added framing), so a deployment refactored onto the
+//     abstraction produces byte-identical traffic, link stats, and chaos
+//     corruption offsets to the pre-abstraction code.  Tests and the chaos
+//     matrix run on this backend.
+//   * TcpTransport (tcp_transport.hpp) — a real non-blocking TCP backend
+//     with an epoll event loop and length-prefixed framing
+//     (framing.hpp).  Multi-process deployments (tools/spider_node) run on
+//     this backend.
+//
+// The contract (DESIGN.md §7):
+//   * Frames are delivered whole and in order per peer, or not at all —
+//     the backend owns reassembly; the handler never sees a partial frame.
+//   * send() is non-blocking: true means "accepted for delivery", never
+//     "delivered".  false means no path (unknown/disconnected peer) or
+//     backpressure (the peer's write queue is full); protocol-level
+//     retransmission (the recorder's ACK deadline) is the recovery path.
+//   * Timers and frame delivery are serialized: the backend invokes
+//     handler and timer callbacks from a single logical thread, so
+//     protocol state needs no locking.
+//   * now() is the node's local clock in microseconds.  Under netsim this
+//     is simulated time plus the node's configured skew; under TCP it is
+//     CLOCK_MONOTONIC, which all processes of one host share (cross-host
+//     deployments lean on the protocol's max_clock_skew tolerance).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/bytes.hpp"
+
+namespace spider::transport {
+
+/// Microseconds, same epoch rules as netsim::Time.
+using Time = std::int64_t;
+
+/// Peer identity as the protocol layer sees it.  SPIDeR peers are AS
+/// numbers; process runners may use out-of-band ids for control clients.
+using PeerId = std::uint32_t;
+
+/// Reserved: a frame whose sender the backend cannot attribute (e.g. a
+/// netsim message from an unregistered node).  Protocol code treats these
+/// as unauthenticated input.
+constexpr PeerId kUnknownPeer = 0;
+
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  using FrameHandler = std::function<void(PeerId from, util::ByteSpan frame)>;
+
+  /// Installs the delivery callback.  At most one handler; installing
+  /// replaces the previous one.  Frames arriving with no handler installed
+  /// are dropped.
+  virtual void set_frame_handler(FrameHandler handler) = 0;
+
+  /// Queues one frame to `to`.  See the contract above for the meaning of
+  /// the return value.
+  virtual bool send(PeerId to, util::ByteSpan frame) = 0;
+
+  /// Runs `fn` after `delay` microseconds of this endpoint's clock, from
+  /// the same logical thread that delivers frames.
+  virtual void schedule_in(Time delay, std::function<void()> fn) = 0;
+
+  /// This node's local clock (microseconds).
+  virtual Time now() const = 0;
+};
+
+}  // namespace spider::transport

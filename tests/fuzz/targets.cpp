@@ -24,8 +24,10 @@
 #include "spider/evidence.hpp"
 #include "spider/log.hpp"
 #include "spider/messages.hpp"
+#include "spider/node_wire.hpp"
 #include "spider/proof_generator.hpp"
 #include "spider/state.hpp"
+#include "transport/framing.hpp"
 #include "util/serde.hpp"
 
 namespace spider::fuzz {
@@ -357,7 +359,8 @@ void register_spider_targets() {
 
   sp::LogCheckpoint checkpoint;
   checkpoint.timestamp = 1'600'000;
-  checkpoint.state = state.serialize();
+  // Small chunk target so the corpus seed exercises the multi-chunk path.
+  checkpoint.chunks = state.serialize_chunked(64);
   registry().push_back(
       simple_target<sp::LogCheckpoint>("log_checkpoint", {checkpoint.encode()}));
 
@@ -387,6 +390,141 @@ void register_spider_targets() {
   bare_refutation.withdraw = sp::QuotedMessage{make_quote()};
   registry().push_back(simple_target<sp::EvidenceRefutation>(
       "evidence_refutation", {refutation.encode(), bare_refutation.encode()}));
+}
+
+void register_node_wire_targets() {
+  sp::NodeFrame envelope{sp::NodeFrameType::kEnvelope,
+                         make_envelope(5, make_batch().encode()).encode()};
+  sp::NodeFrame shutdown{sp::NodeFrameType::kShutdown, {}};
+  registry().push_back(
+      simple_target<sp::NodeFrame>("node_frame", {envelope.encode(), shutdown.encode()}));
+
+  sp::InjectFrame inject;
+  inject.seq = 77;
+  inject.sent_at = 1'800'000;
+  inject.update.announced.push_back(make_route("10.20.0.0/16", {1000, 64496}));
+  registry().push_back(simple_target<sp::InjectFrame>("inject_frame", {inject.encode()}));
+
+  sp::StatsFrame stats;
+  stats.token = 42;
+  stats.updates_mirrored = 100'000;
+  stats.commitments_made = 12;
+  stats.alarms = 1;
+  stats.log_entries = 3'456;
+  registry().push_back(simple_target<sp::StatsFrame>("stats_frame", {stats.encode()}));
+
+  sp::LogSegmentFrame entries_segment;
+  entries_segment.kind = sp::LogSegmentFrame::kEntries;
+  sp::LogEntry entry;
+  entry.timestamp = 1'500'000;
+  entry.peer_as = 3;
+  entry.message = make_envelope(3, make_batch().encode()).encode();
+  entries_segment.records = {entry.encode(), entry.encode()};
+  sp::LogSegmentFrame empty_commitments;
+  empty_commitments.kind = sp::LogSegmentFrame::kCommitments;
+  registry().push_back(simple_target<sp::LogSegmentFrame>(
+      "log_segment_frame", {entries_segment.encode(), empty_commitments.encode()}));
+
+  sp::ProofRequestFrame proof_request;
+  proof_request.elector = 5;
+  proof_request.commit_time = 2'000'000;
+  proof_request.consumer = 2;
+  registry().push_back(
+      simple_target<sp::ProofRequestFrame>("proof_request_frame", {proof_request.encode()}));
+
+  sp::ProofBundleFrame bundle;
+  bundle.elector = 5;
+  bundle.commit_time = 2'000'000;
+  bundle.consumer = 2;
+  bundle.root_matches = 1;
+  bundle.producer_proofs = sp::ProducerProofs{}.encode();
+  bundle.consumer_proofs = sp::ConsumerProofs{}.encode();
+  registry().push_back(
+      simple_target<sp::ProofBundleFrame>("proof_bundle_frame", {bundle.encode()}));
+
+  sp::CheckResultFrame check_result;
+  check_result.ok = 1;
+  check_result.producer_ok = 1;
+  check_result.consumer_ok = 1;
+  check_result.root_matches = 1;
+  check_result.detail = "clean: 4096 imports checked";
+  registry().push_back(
+      simple_target<sp::CheckResultFrame>("check_result_frame", {check_result.encode()}));
+}
+
+/// Segmentation-independence oracle over the stream-frame reassembler: the
+/// input chooses a segmentation of a byte stream, which is replayed both
+/// in those segments and byte-at-a-time.  Frames are drained after every
+/// feed.  Error timing is allowed to differ — feed() faults a bad header
+/// (or a buffered-bytes overflow, which large segments can hit and 1-byte
+/// segments cannot) as soon as it sees it, truncating the delivered
+/// sequence earlier in coarse runs — so the invariant is prefix agreement:
+/// every frame both runs deliver must match byte-for-byte and in order,
+/// and two clean runs must deliver identical sequences.
+void frame_reassembly_check(ByteSpan data) {
+  namespace st = spider::transport;
+  su::ByteReader r(data);
+  const std::size_t nsegs = r.u8() % std::size_t{32};
+  std::vector<std::size_t> seg_lens;
+  for (std::size_t i = 0; i < nsegs && r.remaining() > 0; ++i) seg_lens.push_back(r.u8());
+  const Bytes stream(data.begin() + static_cast<std::ptrdiff_t>(data.size() - r.remaining()),
+                     data.end());
+
+  const st::FrameLimits limits{.max_frame_bytes = 4096, .max_buffered_bytes = 8192};
+  auto run = [&](const std::vector<std::size_t>& segments) {
+    std::pair<bool, std::vector<Bytes>> out{true, {}};
+    st::FrameDecoder decoder(limits);
+    std::size_t pos = 0;
+    try {
+      auto feed = [&](std::size_t count) {
+        count = std::min(count, stream.size() - pos);
+        decoder.feed(ByteSpan(stream.data() + pos, count));
+        pos += count;
+        while (auto frame = decoder.next()) out.second.push_back(std::move(*frame));
+      };
+      for (std::size_t len : segments) feed(len);
+      feed(stream.size() - pos);  // whatever the segment list didn't cover
+    } catch (const su::DecodeError&) {
+      out.first = false;
+    }
+    return out;
+  };
+
+  const auto chosen = run(seg_lens);
+  const auto bytewise = run(std::vector<std::size_t>(stream.size(), 1));
+  const auto& a = chosen.second;
+  const auto& b = bytewise.second;
+  const std::size_t common = std::min(a.size(), b.size());
+  if (!std::equal(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(common), b.begin())) {
+    throw std::logic_error("frame_reassembly: delivered frames depend on segmentation");
+  }
+  if (chosen.first && bytewise.first && a.size() != b.size()) {
+    throw std::logic_error("frame_reassembly: clean runs delivered different frame counts");
+  }
+}
+
+void register_transport_targets() {
+  register_node_wire_targets();
+
+  // Corpus: three framed payloads, split as 2 listed segments + remainder.
+  Bytes stream;
+  for (const char* text : {"alpha", "beta-beta", ""}) {
+    const Bytes payload = su::str_bytes(text);
+    std::uint8_t header[spider::transport::kFrameHeaderBytes];
+    spider::transport::write_frame_header(header, payload.size(), {});
+    stream.insert(stream.end(), header, header + sizeof(header));
+    stream.insert(stream.end(), payload.begin(), payload.end());
+  }
+  Bytes input{2, 5, 9};  // 2 listed segments, then the remainder in one go
+  input.insert(input.end(), stream.begin(), stream.end());
+
+  Target reassembly;
+  reassembly.name = "frame_reassembly";
+  reassembly.corpus = {input};
+  reassembly.decode = frame_reassembly_check;
+  reassembly.reencode = nullptr;
+  reassembly.canonical = false;
+  registry().push_back(std::move(reassembly));
 }
 
 /// Differential oracle over the fast bignum/Montgomery/CRT kernels: the
@@ -491,6 +629,7 @@ void register_all_targets() {
   register_bgp_targets();
   register_core_targets();
   register_spider_targets();
+  register_transport_targets();
   register_crypto_targets();
 }
 

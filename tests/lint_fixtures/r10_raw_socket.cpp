@@ -1,0 +1,21 @@
+// R10 fixture: direct socket syscalls outside src/transport.  Lines 5-7
+// must fire; the member calls, namespaced calls, and the suppressed line
+// must not.
+void raw_socket_plane() {
+  int fd = socket(2, 1, 0);                          // fires: unambiguous name
+  epoll_ctl(3, 1, fd, nullptr);                      // fires: unambiguous name
+  ::send(fd, "x", 1, 0);                             // fires: globally qualified
+  ::connect(fd, nullptr, 0);  // spider-lint: allow(R10)
+}
+
+struct Sim {
+  bool send(int, const char*);
+  void connect(int);
+};
+
+void through_the_abstraction(Sim& sim, Sim* psim) {
+  sim.send(1, "payload");     // member call, not libc
+  psim->connect(2);           // member call, not libc
+  netsim::socket(7);          // some other namespace's socket()
+  sim.listen(0);              // member: never fires unqualified anyway
+}

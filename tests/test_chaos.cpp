@@ -141,7 +141,7 @@ TEST(ChaosRecorder, MirrorsSurviveHeavyDuplicationAndJitter) {
   sch::NetworkFaultPlane plane({0, 150'000, 0, 15'000}, 3);
   std::set<sn::NodeId> recorder_nodes;
   for (sb::AsNumber asn : sp::Fig5Deployment::ases()) {
-    recorder_nodes.insert(deploy.recorder(asn).node_id());
+    recorder_nodes.insert(deploy.recorder_node(asn));
   }
   plane.restrict_to(recorder_nodes);
   plane.arm(deploy.sim());

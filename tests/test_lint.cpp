@@ -82,6 +82,8 @@ TEST(LintClassify, PathScopes) {
   EXPECT_FALSE(lint::classify("src/spider/recorder.cpp").deterministic);
   EXPECT_TRUE(lint::classify("src/obs/metrics.cpp").obs_impl);
   EXPECT_FALSE(lint::classify("tools/spider_bench.cpp").obs_impl);
+  EXPECT_TRUE(lint::classify("src/transport/tcp_transport.cpp").transport_impl);
+  EXPECT_FALSE(lint::classify("src/spider/recorder.cpp").transport_impl);
 }
 
 // -------------------------------------------------------------- the rules
@@ -164,6 +166,17 @@ TEST(LintRules, R9StaleRootAfterStructureOnlyApply) {
   auto fs = lint::lint_source("src/spider/fixture.cpp", read_fixture("r9_stale_root.cpp"));
   EXPECT_EQ(rule_lines(fs), (RL{{"R9", 5}}))
       << "lines 7 and 10 read the root after a relabel and must not fire";
+}
+
+TEST(LintRules, R10RawSocketSyscallsOutsideTransport) {
+  auto fs = lint::lint_source("src/spider/fixture.cpp", read_fixture("r10_raw_socket.cpp"));
+  EXPECT_EQ(rule_lines(fs), (RL{{"R10", 5}, {"R10", 6}, {"R10", 7}}))
+      << "member calls, namespaced calls and the allow(R10) line must not fire";
+}
+
+TEST(LintRules, R10ExemptInsideTransport) {
+  auto fs = lint::lint_source("src/transport/fixture.cpp", read_fixture("r10_raw_socket.cpp"));
+  EXPECT_TRUE(fs.empty());
 }
 
 TEST(LintRules, SuppressionsSilenceEveryFinding) {

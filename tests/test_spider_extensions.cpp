@@ -59,8 +59,8 @@ TEST(LinkFailure, RecorderRetransmitsUntilLinkHeals) {
   auto tr = tiny_trace();
   sp::Fig5Deployment deploy(tiny_config());
   auto& sim = deploy.sim();
-  auto r2 = deploy.recorder(2).node_id();
-  auto r5 = deploy.recorder(5).node_id();
+  auto r2 = deploy.recorder_node(2);
+  auto r5 = deploy.recorder_node(5);
 
   // Break the recorder link across the first injection burst (setup
   // chunks start at ~5 s), then heal it.
@@ -83,7 +83,7 @@ TEST(LinkFailure, PermanentFailureRaisesAlarm) {
   auto tr = tiny_trace();
   sp::Fig5Deployment deploy(tiny_config());
   auto& sim = deploy.sim();
-  sim.set_link_up(deploy.recorder(2).node_id(), deploy.recorder(5).node_id(), false);
+  sim.set_link_up(deploy.recorder_node(2), deploy.recorder_node(5), false);
   auto start = deploy.run_setup(tr, 20 * kSecond);
   deploy.run_replay(tr, start, 20 * kSecond);
   // The sender exhausted its retransmissions and raised the T_max alarm.

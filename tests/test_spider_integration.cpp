@@ -370,8 +370,9 @@ TEST(RecorderRestore, RestoredRecorderDerivesFreshSeeds) {
   sp::RecorderConfig rc;
   rc.asn = 5;
   rc.num_classes = small_config().num_classes;
-  sp::Recorder restored(sim, rc, signer, keys, speaker);
-  sim.add_node(restored, "rec-as5");
+  spider::transport::NetsimTransport endpoint(sim);
+  sim.add_node(endpoint, "rec-as5");
+  sp::Recorder restored(endpoint, rc, signer, keys, speaker);
   restored.restore_from(original.log());
   restored.start(/*schedule_commitments=*/false);
 
@@ -458,4 +459,21 @@ TEST(MirrorState, SerializeDeserializeRoundtrip) {
   const auto& state = world.deploy.recorder(5).state();
   auto restored = sp::MirrorState::deserialize(state.serialize());
   EXPECT_TRUE(restored == state);
+}
+
+TEST(MirrorState, ChunkedSerializationRestoresDeploymentStateIdentically) {
+  // The streamed checkpoint path on a real mirrored RIB: many chunks, each
+  // bounded near the target, restoring byte-identical state.
+  World world;
+  const auto& state = world.deploy.recorder(5).state();
+  const std::size_t target = 512;
+  auto chunks = state.serialize_chunked(target);
+  EXPECT_GT(chunks.size(), 1u);
+  for (const auto& chunk : chunks) {
+    // A chunk may overshoot by at most one section header + one record.
+    EXPECT_LE(chunk.size(), target + 256);
+  }
+  auto restored = sp::MirrorState::deserialize_chunked(chunks);
+  EXPECT_TRUE(restored == state);
+  EXPECT_EQ(restored.serialize(), state.serialize());
 }

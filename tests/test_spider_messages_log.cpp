@@ -171,9 +171,9 @@ TEST(MessageLog, ByteAccounting) {
 
 TEST(MessageLog, CheckpointLookup) {
   sp::MessageLog log;
-  log.add_checkpoint(0, su::str_bytes("cp0"));
-  log.add_checkpoint(1000, su::str_bytes("cp1"));
-  log.add_checkpoint(5000, su::str_bytes("cp2"));
+  log.add_checkpoint(0, {su::str_bytes("cp0")});
+  log.add_checkpoint(1000, {su::str_bytes("cp1")});
+  log.add_checkpoint(5000, {su::str_bytes("cp2")});
   EXPECT_EQ(log.checkpoint_before(999)->timestamp, 0);
   EXPECT_EQ(log.checkpoint_before(1000)->timestamp, 1000);
   EXPECT_EQ(log.checkpoint_before(99999)->timestamp, 5000);
@@ -207,11 +207,11 @@ TEST(MessageLog, EntriesBetweenBounds) {
 
 TEST(MessageLog, PruneRetainsBaseCheckpointAndChain) {
   sp::MessageLog log;
-  log.add_checkpoint(0, su::str_bytes("cp0"));
+  log.add_checkpoint(0, {su::str_bytes("cp0")});
   for (int i = 1; i <= 10; ++i) {
     log.append(i * 100, sp::LogDirection::kSent, 2, su::str_bytes("m" + std::to_string(i)), 2);
   }
-  log.add_checkpoint(500, su::str_bytes("cp5"));
+  log.add_checkpoint(500, {su::str_bytes("cp5")});
   sp::CommitmentRecord old_commit;
   old_commit.timestamp = 300;
   log.record_commitment(old_commit);
@@ -495,6 +495,78 @@ TEST(MirrorState, HighWaterMarksSurviveSerialization) {
   const sp::InputRecord* input = restored.input(1, announce.route.prefix);
   ASSERT_NE(input, nullptr);
   EXPECT_EQ(input->route.as_path, announce.route.as_path);
+}
+
+TEST(MirrorState, ChunkedRoundTripAcrossChunkSizes) {
+  // Streamed checkpoints (no contiguous state buffer) must restore the
+  // exact same state as the legacy single-buffer encoding, for every
+  // chunk target down to the degenerate 1-byte one (one record per
+  // section, one section per chunk).
+  sp::MirrorState state;
+  for (std::uint32_t neighbor = 1; neighbor <= 3; ++neighbor) {
+    for (int i = 0; i < 40; ++i) {
+      auto a = sample_announce(1000 + i);
+      a.from_as = neighbor;
+      a.route.prefix = sb::Prefix::parse((std::to_string(10 + neighbor) + "." +
+                                          std::to_string(i) + ".0.0/16")
+                                             .c_str());
+      state.apply_announce_in(a, scr::digest20(su::str_bytes("d" + std::to_string(i))));
+      auto out = a;
+      out.to_as = neighbor;
+      out.route.as_path.insert(out.route.as_path.begin(), 2);
+      state.apply_announce_out(out);
+    }
+  }
+  for (std::size_t chunk_bytes : {std::size_t{1}, std::size_t{64}, std::size_t{777},
+                                  std::size_t{1} << 20}) {
+    auto chunks = state.serialize_chunked(chunk_bytes);
+    sp::MirrorState restored = sp::MirrorState::deserialize_chunked(chunks);
+    EXPECT_EQ(restored, state) << "chunk_bytes=" << chunk_bytes;
+    EXPECT_EQ(restored.serialize(), state.serialize()) << "chunk_bytes=" << chunk_bytes;
+    if (chunk_bytes < 1000) {
+      EXPECT_GT(chunks.size(), 1u) << "chunk_bytes=" << chunk_bytes;
+    }
+  }
+}
+
+TEST(MirrorState, ChunkedRoundTripPreservesEmptyNeighborGroups) {
+  // A neighbor whose last route was withdrawn still appears in the maps
+  // (with its high-water marks); count-0 sections keep that through the
+  // streamed round trip, exactly as the legacy format does.
+  sp::MirrorState state;
+  auto announce = sample_announce(1000);
+  state.apply_announce_in(announce, scr::digest20(su::str_bytes("a")));
+  sp::SpiderWithdraw withdraw{2000, 1, 2, announce.route.prefix};
+  state.apply_withdraw_in(withdraw);
+  ASSERT_EQ(state.inputs().count(1), 1u);
+  ASSERT_TRUE(state.inputs().at(1).empty());
+  sp::MirrorState restored = sp::MirrorState::deserialize_chunked(state.serialize_chunked(8));
+  EXPECT_EQ(restored, state);
+  // The restored high-water mark still rejects the stale resurrection.
+  restored.apply_announce_in(announce, scr::digest20(su::str_bytes("a")));
+  EXPECT_EQ(restored.input(1, announce.route.prefix), nullptr);
+}
+
+TEST(MirrorState, ChunkedDecodeRejectsBadSectionTag) {
+  su::ByteWriter w;
+  w.u8(7);  // no such section tag
+  w.u32(1);
+  w.u32(0);
+  EXPECT_THROW(sp::MirrorState::deserialize_chunked({w.take()}), su::DecodeError);
+}
+
+TEST(LogCheckpoint, EncodeDecodeRoundTripMultiChunk) {
+  sp::MirrorState state;
+  state.apply_announce_in(sample_announce(1000), scr::digest20(su::str_bytes("a")));
+  sp::LogCheckpoint cp;
+  cp.timestamp = 4242;
+  cp.chunks = state.serialize_chunked(16);
+  ASSERT_GT(cp.chunks.size(), 1u);
+  sp::LogCheckpoint decoded = sp::LogCheckpoint::decode(cp.encode());
+  EXPECT_EQ(decoded.timestamp, cp.timestamp);
+  EXPECT_EQ(decoded.chunks, cp.chunks);
+  EXPECT_EQ(decoded.state_bytes(), cp.state_bytes());
+  EXPECT_EQ(sp::MirrorState::deserialize_chunked(decoded.chunks), state);
 }
 
 // ------------------------------------------- §6.4 acceptance window

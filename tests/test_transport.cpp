@@ -1,0 +1,257 @@
+// Transport-plane contracts: stream framing under adversarial
+// segmentation, and the TCP backend's loopback behavior (attribution,
+// backpressure, oversize-frame teardown, timer FIFO).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "crypto/sha2.hpp"
+#include "spider/messages.hpp"
+#include "spider/node_wire.hpp"
+#include "transport/framing.hpp"
+#include "transport/tcp_transport.hpp"
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+
+namespace st = spider::transport;
+namespace sp = spider::proto;
+namespace sb = spider::bgp;
+namespace sc = spider::core;
+namespace scr = spider::crypto;
+namespace su = spider::util;
+using su::Bytes;
+
+namespace {
+
+sb::Route sample_route() {
+  sb::Route route;
+  route.prefix = sb::Prefix::parse("10.20.0.0/16");
+  route.as_path = {3, 9, 14};
+  route.learned_from = 3;
+  return route;
+}
+
+/// One encoded instance of every SPIDeR wire message that crosses the
+/// transport, in a fixed order.
+std::vector<Bytes> every_spider_message() {
+  std::vector<Bytes> messages;
+
+  sp::SpiderAnnounce announce;
+  announce.timestamp = 1'000'000;
+  announce.from_as = 3;
+  announce.to_as = 5;
+  announce.route = sample_route();
+  announce.underlying_from = 9;
+  announce.underlying_digest = scr::digest20(su::str_bytes("underlying"));
+  messages.push_back(announce.encode());
+
+  sp::SpiderWithdraw withdraw;
+  withdraw.timestamp = 1'100'000;
+  withdraw.from_as = 3;
+  withdraw.to_as = 5;
+  withdraw.prefix = sb::Prefix::parse("10.20.0.0/16");
+  messages.push_back(withdraw.encode());
+
+  sp::SpiderAck ack;
+  ack.timestamp = 1'200'000;
+  ack.from_as = 5;
+  ack.to_as = 3;
+  ack.message_digest = scr::digest20(su::str_bytes("batch"));
+  messages.push_back(ack.encode());
+
+  sp::SpiderCommit commit;
+  commit.timestamp = 1'300'000;
+  commit.from_as = 5;
+  commit.num_classes = 50;
+  commit.root = scr::digest20(su::str_bytes("root"));
+  messages.push_back(commit.encode());
+
+  sp::SpiderBatch batch;
+  batch.parts.push_back({sp::SpiderMsgType::kAnnounce, announce.encode()});
+  batch.parts.push_back({sp::SpiderMsgType::kWithdraw, withdraw.encode()});
+  messages.push_back(batch.encode());
+
+  sc::SignedEnvelope envelope;
+  envelope.signer = 3;
+  envelope.payload = batch.encode();
+  envelope.signature = su::str_bytes("signature-bytes-here");
+  messages.push_back(envelope.encode());
+
+  // The multi-process control frames ride the same framed streams.
+  sp::NodeFrame node_frame{sp::NodeFrameType::kEnvelope, envelope.encode()};
+  messages.push_back(node_frame.encode());
+  sp::InjectFrame inject;
+  inject.seq = 7;
+  inject.sent_at = 1'400'000;
+  inject.update.announced.push_back(sample_route());
+  messages.push_back(sp::NodeFrame{sp::NodeFrameType::kInject, inject.encode()}.encode());
+  messages.push_back(sp::NodeFrame{sp::NodeFrameType::kShutdown, {}}.encode());
+
+  return messages;
+}
+
+/// Frames `payloads` into one stream, then reassembles it fed in
+/// `segments`-sized pieces; returns the delivered payloads.
+std::vector<Bytes> reassemble(const std::vector<Bytes>& payloads,
+                              const std::vector<std::size_t>& segments) {
+  Bytes stream;
+  for (const Bytes& payload : payloads) {
+    std::uint8_t header[st::kFrameHeaderBytes];
+    st::write_frame_header(header, payload.size(), {});
+    stream.insert(stream.end(), header, header + sizeof(header));
+    stream.insert(stream.end(), payload.begin(), payload.end());
+  }
+
+  st::FrameDecoder decoder;
+  std::vector<Bytes> delivered;
+  std::size_t pos = 0;
+  auto feed = [&](std::size_t count) {
+    count = std::min(count, stream.size() - pos);
+    decoder.feed(su::ByteSpan(stream.data() + pos, count));
+    pos += count;
+    while (auto frame = decoder.next()) delivered.push_back(std::move(*frame));
+  };
+  for (std::size_t segment : segments) feed(segment);
+  feed(stream.size() - pos);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  return delivered;
+}
+
+TEST(FrameSegmentation, EveryMessageSurvivesOneByteReads) {
+  const std::vector<Bytes> messages = every_spider_message();
+  std::size_t stream_len = 0;
+  for (const Bytes& m : messages) stream_len += st::kFrameHeaderBytes + m.size();
+  EXPECT_EQ(reassemble(messages, std::vector<std::size_t>(stream_len, 1)), messages);
+}
+
+TEST(FrameSegmentation, EveryMessageSurvivesRandomizedSplits) {
+  const std::vector<Bytes> messages = every_spider_message();
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    su::SplitMix64 rng(seed);
+    std::vector<std::size_t> segments;
+    for (int i = 0; i < 64; ++i) segments.push_back(rng.next() % 23);  // 0..22-byte reads
+    EXPECT_EQ(reassemble(messages, segments), messages) << "seed " << seed;
+  }
+}
+
+TEST(FrameSegmentation, CoalescedAndWholeStreamReadsDeliverInOrder) {
+  const std::vector<Bytes> messages = every_spider_message();
+  EXPECT_EQ(reassemble(messages, {}), messages);             // one giant read
+  EXPECT_EQ(reassemble(messages, {3, 1, 4, 1, 5}), messages);  // ragged prefix
+}
+
+TEST(FrameDecoder, OversizeHeaderFaultsFromHeaderBytesAlone) {
+  st::FrameDecoder decoder({.max_frame_bytes = 1024, .max_buffered_bytes = 4096});
+  const std::uint8_t header[4] = {0x00, 0x00, 0x04, 0x01};  // 1025 > 1024
+  EXPECT_THROW(decoder.feed(su::ByteSpan(header, 4)), su::DecodeError);
+}
+
+TEST(FrameDecoder, BufferedBytesBoundEnforced) {
+  st::FrameDecoder decoder({.max_frame_bytes = 1024, .max_buffered_bytes = 1028});
+  // Two frames' worth of bytes in one feed exceeds the buffer bound even
+  // though each frame alone is acceptable.
+  Bytes stream;
+  for (int i = 0; i < 2; ++i) {
+    Bytes payload(1000, 0xab);
+    std::uint8_t header[st::kFrameHeaderBytes];
+    st::write_frame_header(header, payload.size(), {.max_frame_bytes = 1024});
+    stream.insert(stream.end(), header, header + sizeof(header));
+    stream.insert(stream.end(), payload.begin(), payload.end());
+  }
+  EXPECT_THROW(decoder.feed(stream), su::DecodeError);
+}
+
+// ----------------------------------------------------------- TCP loopback
+
+/// Pumps both endpoints' loops until `done` or ~`timeout_us` elapses.
+template <typename Done>
+bool pump(st::TcpTransport& a, st::TcpTransport& b, Done done, st::Time timeout_us = 5'000'000) {
+  const st::Time deadline = a.now() + timeout_us;
+  while (!done() && a.now() < deadline) {
+    a.poll_once(1'000);
+    b.poll_once(1'000);
+  }
+  return done();
+}
+
+TEST(TcpLoopback, PreambleAttributesBothDirections) {
+  st::TcpTransport server(5), client(2);
+  std::vector<std::pair<st::PeerId, Bytes>> server_got, client_got;
+  server.set_frame_handler([&](st::PeerId from, su::ByteSpan frame) {
+    server_got.emplace_back(from, Bytes(frame.begin(), frame.end()));
+  });
+  client.set_frame_handler([&](st::PeerId from, su::ByteSpan frame) {
+    client_got.emplace_back(from, Bytes(frame.begin(), frame.end()));
+  });
+
+  const std::uint16_t port = server.listen_on(0);
+  ASSERT_NE(port, 0);
+  ASSERT_TRUE(client.connect_peer(5, "127.0.0.1", port));
+  ASSERT_TRUE(client.send(5, su::str_bytes("hello from 2")));
+  ASSERT_TRUE(pump(server, client, [&] { return !server_got.empty(); }));
+  ASSERT_EQ(server_got.size(), 1u);
+  EXPECT_EQ(server_got[0].first, 2u);  // attributed via the client's preamble
+  EXPECT_EQ(server_got[0].second, su::str_bytes("hello from 2"));
+  EXPECT_TRUE(server.peer_connected(2));
+
+  // The server can address the client by peer id over the same connection.
+  ASSERT_TRUE(server.send(2, su::str_bytes("hello from 5")));
+  ASSERT_TRUE(pump(server, client, [&] { return !client_got.empty(); }));
+  EXPECT_EQ(client_got[0].first, 5u);
+  EXPECT_EQ(client_got[0].second, su::str_bytes("hello from 5"));
+}
+
+TEST(TcpLoopback, SendToUnknownPeerFailsFast) {
+  st::TcpTransport endpoint(1);
+  EXPECT_FALSE(endpoint.send(99, su::str_bytes("nobody home")));
+}
+
+TEST(TcpLoopback, BackpressureRejectsOnceQueueBoundHit) {
+  st::TcpConfig tight;
+  tight.max_queued_bytes = 256 * 1024;
+  st::TcpTransport server(5), client(2, tight);
+  server.set_frame_handler([](st::PeerId, su::ByteSpan) {});
+  const std::uint16_t port = server.listen_on(0);
+  ASSERT_TRUE(client.connect_peer(5, "127.0.0.1", port));
+
+  // Never polling the server: the kernel buffers fill, then the client's
+  // write queue, then send() must refuse instead of buffering unboundedly.
+  const Bytes frame(64 * 1024, 0x5a);
+  bool rejected = false;
+  for (int i = 0; i < 4096 && !rejected; ++i) rejected = !client.send(5, frame);
+  EXPECT_TRUE(rejected);
+  EXPECT_TRUE(client.peer_connected(5));  // backpressure is not an error
+}
+
+TEST(TcpLoopback, OversizeFrameTearsDownConnection) {
+  st::TcpConfig small_frames;
+  small_frames.limits.max_frame_bytes = 4096;
+  small_frames.limits.max_buffered_bytes = 4100;
+  st::TcpTransport server(5, small_frames), client(2);  // client allows 64 MiB
+  server.set_frame_handler([](st::PeerId, su::ByteSpan) {});
+  std::vector<st::PeerId> dropped;
+  server.set_disconnect_handler([&](st::PeerId peer) { dropped.push_back(peer); });
+
+  const std::uint16_t port = server.listen_on(0);
+  ASSERT_TRUE(client.connect_peer(5, "127.0.0.1", port));
+  ASSERT_TRUE(client.send(5, su::str_bytes("small frame first")));
+  ASSERT_TRUE(pump(server, client, [&] { return server.peer_connected(2); }));
+
+  ASSERT_TRUE(client.send(5, Bytes(16 * 1024, 0xcd)));  // over the server's limit
+  ASSERT_TRUE(pump(server, client, [&] { return !dropped.empty(); }));
+  EXPECT_EQ(dropped, std::vector<st::PeerId>{2});
+  EXPECT_FALSE(server.peer_connected(2));
+}
+
+TEST(TcpTransport, TimersFireInFifoOrderAtEqualDeadlines) {
+  st::TcpTransport endpoint(1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    endpoint.schedule_in(10'000, [&order, i] { order.push_back(i); });
+  }
+  endpoint.run_for(50'000);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace

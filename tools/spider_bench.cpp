@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_schema.hpp"
 #include "bench_util.hpp"
 #include "bgp/policy.hpp"
 #include "chaos/matrix.hpp"
@@ -53,14 +54,8 @@ namespace {
 // ---------------------------------------------------------------------------
 // JSON helpers
 
-json::Object result_row(std::string label, double measured, std::string unit, std::string paper) {
-  json::Object row;
-  row["label"] = std::move(label);
-  row["measured"] = measured;
-  row["unit"] = std::move(unit);
-  row["paper"] = std::move(paper);
-  return row;
-}
+using benchutil::result_row;
+using benchutil::validate_bench_json;
 
 json::Object scale_config(const benchutil::BenchScale& scale) {
   json::Object config;
@@ -883,41 +878,6 @@ const Scenario kScenarios[] = {
     {"fullscale", "E12", "§7.3/§7.5 incremental commitments under the 15-minute replay",
      run_fullscale},
 };
-
-/// Structural check of one emitted document ("spider-bench-v1").
-void validate_bench_json(const json::Value& doc) {
-  auto require = [&](bool ok, const char* what) {
-    if (!ok) throw std::logic_error(std::string("BENCH json: ") + what);
-  };
-  require(doc.is_object(), "document is not an object");
-  const json::Value* schema = doc.find("schema");
-  require(schema && schema->is_string() && schema->as_string() == "spider-bench-v1",
-          "schema != spider-bench-v1");
-  for (const char* key : {"scenario", "experiment", "paper_ref"}) {
-    const json::Value* v = doc.find(key);
-    require(v && v->is_string(), "missing string field");
-  }
-  const json::Value* config = doc.find("config");
-  require(config && config->is_object(), "missing config object");
-  const json::Value* results = doc.find("results");
-  require(results && results->is_array() && !results->as_array().empty(),
-          "missing/empty results array");
-  for (const json::Value& row : results->as_array()) {
-    require(row.is_object(), "result row is not an object");
-    const json::Value* label = row.find("label");
-    const json::Value* measured = row.find("measured");
-    const json::Value* unit = row.find("unit");
-    const json::Value* paper = row.find("paper");
-    require(label && label->is_string(), "result row: missing label");
-    require(measured && measured->is_number(), "result row: missing measured number");
-    require(unit && unit->is_string(), "result row: missing unit");
-    require(paper && paper->is_string(), "result row: missing paper reference");
-  }
-  const json::Value* metrics = doc.find("metrics");
-  require(metrics && metrics->is_object(), "missing metrics snapshot");
-  // The snapshot parser enforces the internal invariants.
-  (void)obs::Snapshot::from_json(*metrics);
-}
 
 int usage(const char* argv0) {
   std::fprintf(stderr,

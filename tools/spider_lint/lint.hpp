@@ -29,6 +29,11 @@
 //   R8  every spider_chaos catalog entry (src/chaos/catalog.*) must declare
 //       the core::FaultKind the checker is expected to emit, and not
 //       kNone — a misbehavior the matrix cannot assert on is untestable.
+//   R9  (rules.cpp) no reading an Mtt root cached before a structure-only
+//       apply — see the R9 banner in rules.cpp.
+//   R10 no direct socket syscalls (socket(), epoll_ctl(), ::send(), ...)
+//       outside src/transport — protocol code talks through
+//       transport::Endpoint so the same object runs under netsim and TCP.
 //
 // Suppression: a finding is dropped when its line — or the line above,
 // when the comment stands alone — carries `// spider-lint: allow(RN)`
@@ -69,7 +74,7 @@ std::vector<Token> lex(std::string_view source);
 std::map<int, std::set<std::string>> collect_suppressions(std::string_view source);
 
 struct Finding {
-  std::string rule;     // "R1" .. "R8"
+  std::string rule;     // "R1" .. "R10"
   std::string path;     // as supplied by the caller
   int line;
   std::string message;
@@ -89,6 +94,7 @@ struct FileClass {
   bool deterministic = false;       // src/netsim or src/core — R3 applies
   bool obs_impl = false;            // src/obs — exempt from R6
   bool chaos_catalog = false;       // src/chaos/catalog.* — R8 applies
+  bool transport_impl = false;      // src/transport — exempt from R10
   bool decode_impl = true;          // R1/R5 candidate (always on; rules
                                     // self-limit to decode function bodies)
 };
@@ -96,7 +102,7 @@ struct FileClass {
 /// Derives the rule scopes from a repo-relative path (forward slashes).
 FileClass classify(std::string_view path);
 
-/// Runs the single-file rules (R1, R2, R3, R5, R6, R7, R8) over one source.
+/// Runs the single-file rules (all but the cross-file R4) over one source.
 /// Findings on suppressed lines are dropped.
 std::vector<Finding> lint_source(std::string_view path, std::string_view source,
                                  const FileClass& cls);

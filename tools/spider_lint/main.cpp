@@ -1,5 +1,5 @@
 // spider_lint CLI: walks src/, tools/ and bench/ under --root, runs the
-// R1–R9 matchers, and prints `path:line: RN: message` per finding.  Exit
+// R1–R10 matchers, and prints `path:line: RN: message` per finding.  Exit
 // status is the number of findings (capped at 125) so both `ctest` and CI
 // treat a dirty tree as a failure.
 //

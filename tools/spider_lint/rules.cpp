@@ -1,4 +1,4 @@
-// Rule matchers R1–R9 over the token stream produced by lexer.cpp.
+// Rule matchers R1–R10 over the token stream produced by lexer.cpp.
 //
 // Matchers are deliberately syntactic: they know nothing about types or
 // overload resolution, only token shapes.  Each rule is tuned so the
@@ -447,6 +447,61 @@ void rule_r9(const Tokens& toks, std::string_view path, std::vector<Finding>& ou
   }
 }
 
+// ------------------------------------------------------------------ R10
+
+/// Socket-plane syscalls belong in src/transport: protocol code talks
+/// through transport::Endpoint so the identical object runs under the
+/// deterministic netsim and over TCP.  A raw socket call anywhere else is
+/// a second transport plane growing outside the abstraction.
+///
+/// Unmistakable names fire bare; names that collide with ordinary method
+/// vocabulary (Simulator::send, Recorder-level connect helpers, std::bind)
+/// fire only when globally qualified (`::send(...)`), which is exactly how
+/// code reaches libc past a same-named member.
+constexpr std::string_view kSocketCallsUnambiguous[] = {
+    "socket",      "accept4",       "sendto",     "recvfrom",   "sendmsg",
+    "recvmsg",     "writev",        "readv",      "epoll_create1",
+    "epoll_ctl",   "epoll_wait",    "setsockopt", "getsockopt",
+    "getsockname", "getaddrinfo",
+};
+constexpr std::string_view kSocketCallsQualifiedOnly[] = {
+    "send", "recv", "connect", "bind", "listen", "accept", "shutdown",
+};
+
+void rule_r10(const Tokens& toks, std::string_view path, const FileClass& cls,
+              std::vector<Finding>& out) {
+  if (cls.transport_impl) return;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    if (!(i + 1 < toks.size() && is_punct(toks[i + 1], "("))) continue;
+    // `x.send(...)` / `x->send(...)` is a member call; `ns::socket(...)`
+    // with a preceding identifier is some other namespace's function.
+    const bool member = i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
+    if (member) continue;
+    const bool colon_qualified = i > 0 && is_punct(toks[i - 1], "::");
+    const bool global_qualified =
+        colon_qualified && (i == 1 || toks[i - 2].kind != Token::Kind::kIdent);
+    bool hit = false;
+    if (!colon_qualified || global_qualified) {
+      for (std::string_view name : kSocketCallsUnambiguous) {
+        if (toks[i].text == name) hit = true;
+      }
+    }
+    if (global_qualified) {
+      for (std::string_view name : kSocketCallsQualifiedOnly) {
+        if (toks[i].text == name) hit = true;
+      }
+    }
+    if (hit) {
+      out.push_back({"R10", std::string(path), toks[i].line,
+                     "direct socket syscall " + toks[i].text +
+                     "() outside src/transport — go through transport::Endpoint "
+                     "(TcpTransport / NetsimTransport) so protocol code stays "
+                     "backend-agnostic"});
+    }
+  }
+}
+
 }  // namespace
 
 // ------------------------------------------------------------ public API
@@ -458,6 +513,7 @@ FileClass classify(std::string_view path) {
   cls.deterministic = has("src/netsim/") || has("src/core/");
   cls.obs_impl = has("src/obs/");
   cls.chaos_catalog = has("src/chaos/catalog");
+  cls.transport_impl = has("src/transport/");
   return cls;
 }
 
@@ -473,6 +529,7 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view source,
   rule_r7(toks, path, findings);
   rule_r8(toks, path, cls, findings);
   rule_r9(toks, path, findings);
+  rule_r10(toks, path, cls, findings);
 
   auto suppressed = collect_suppressions(source);
   std::vector<Finding> kept;
