@@ -115,6 +115,7 @@ static void BM_RsaVerify1024(benchmark::State& state) {
   auto msg = make_data(256);
   const auto& key = bench_key();
   auto sig = crypto::rsa_sign(key, msg);
+  // spider-taint: declassify(the public half (n, e) is published by design)
   auto pub = key.public_key();
   for (auto _ : state) {
     benchmark::DoNotOptimize(crypto::rsa_verify(pub, msg, sig));

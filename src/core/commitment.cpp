@@ -67,6 +67,7 @@ FlatBitProof FlatCommitment::prove(std::uint32_t index) const {
   proof.bit = bits_[index];
   proof.x = xs_[index];
   proof.leaves = leaves_;
+  // spider-taint: declassify(§4.5: a bit proof reveals (b_i, x_i) for the challenged bit by design; every other bit stays behind its leaf hash)
   return proof;
 }
 

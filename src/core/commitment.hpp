@@ -64,6 +64,7 @@ class FlatCommitment {
 
  private:
   std::vector<bool> bits_;
+  // spider-taint: secret
   std::vector<Digest20> xs_;
   std::vector<Digest20> leaves_;
   Digest20 root_{};

@@ -234,6 +234,12 @@ BigInt BigInt::mod_exp(const BigInt& exponent, const BigInt& modulus) const {
   return MontCtx(modulus).exp(base, exponent);
 }
 
+BigInt BigInt::mod_exp_ct(const BigInt& exponent, const BigInt& modulus) const {
+  // No early exits on the exponent or the reduced base: zero and one are
+  // as secret as any other exponent value here.
+  return MontCtx(modulus).exp_ct(*this, exponent);
+}
+
 BigInt BigInt::mod_inverse(const BigInt& modulus) const {
   // Extended Euclid tracking coefficients of `this` with explicit signs.
   if (modulus < BigInt{2}) throw std::domain_error("mod_inverse: modulus must be >= 2");

@@ -71,7 +71,15 @@ class BigInt {
 
   /// (this ^ exponent) mod modulus.  Uses Montgomery for odd moduli and a
   /// plain square-and-multiply fallback otherwise.  modulus must be >= 2.
+  /// Variable-time in the exponent — public exponents only.
   BigInt mod_exp(const BigInt& exponent, const BigInt& modulus) const;
+
+  /// Constant-time mod_exp for secret exponents (MontCtx::exp_ct): the
+  /// ladder length and memory access pattern depend only on the modulus
+  /// width.  Requires an odd modulus >= 3 and exponent < 2^(64*width);
+  /// both hold for the CRT halves of RSA signing, its only caller.
+  // spider-taint: secret exponent
+  BigInt mod_exp_ct(const BigInt& exponent, const BigInt& modulus) const;
 
   /// Modular inverse; throws std::domain_error when gcd(this, modulus) != 1.
   BigInt mod_inverse(const BigInt& modulus) const;

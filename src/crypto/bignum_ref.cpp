@@ -122,6 +122,10 @@ BigInt from32(const Num32& v) {
 int cmp32(const Num32& a, const Num32& b) {
   if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
   for (std::size_t i = a.size(); i-- > 0;) {
+    // Retained reference engine, exercised only by the differential
+    // battery against throwaway test keys; variable-time by design so the
+    // comparison against the production kernels is fair.
+    // spider-lint: allow(R13) reference engine is variable-time by design
     if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
   }
   return 0;
@@ -345,6 +349,7 @@ struct MontCtx32 {
     if (!ge) {
       ge = true;
       for (std::size_t i = s; i-- > 0;) {
+        // spider-lint: allow(R13) reference engine (see cmp32)
         if (t[i] != n[i]) {
           ge = t[i] > n[i];
           break;
@@ -451,6 +456,7 @@ Bytes rsa_sign_seed(const RsaPrivateKey& key, ByteSpan message) {
   BigInt h = sp >= sq_mod_p ? sp - sq_mod_p : key.p - (sq_mod_p - sp);
   h = from32(mod32(mul32(to32(h), to32(key.qinv)), to32(key.p)));
   BigInt s = sq + from32(mul32(to32(h), to32(key.q)));
+  // spider-taint: declassify(the finished signature is the public output of signing)
   return s.to_bytes_be(k);
 }
 

@@ -29,6 +29,13 @@ constexpr std::size_t kLimbBits = 64;
 
 namespace lk {
 
+/// 0 when x == 0, all-ones otherwise, computed without a branch or
+/// comparison — the building block of the constant-time selects in the
+/// Montgomery kernels (R14 timing discipline).
+inline limb_t nonzero_mask(limb_t x) {
+  return limb_t{0} - ((x | (limb_t{0} - x)) >> (kLimbBits - 1));
+}
+
 /// Number of significant limbs (trailing zeros dropped); 0 for zero.
 std::size_t nsize(const limb_t* a, std::size_t n);
 

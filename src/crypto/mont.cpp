@@ -14,6 +14,28 @@ std::vector<limb_t> padded(const BigInt& v, std::size_t size) {
   return out;
 }
 
+/// Final Montgomery reduction step without a branch: the accumulator is in
+/// [0, 2N) (value = top * B^s + t[0..s)); always compute t - N into out,
+/// then keep t instead when the value was already reduced (top == 0 and
+/// the subtraction borrowed).  Data-independent time regardless of t.
+void reduce_once(const limb_t* t, limb_t top, const limb_t* n, std::size_t s, limb_t* out) {
+  const limb_t borrow = lk::sub(t, s, n, s, out);
+  const limb_t keep = (limb_t{0} - borrow) & ~lk::nonzero_mask(top);
+  for (std::size_t j = 0; j < s; ++j) out[j] ^= (out[j] ^ t[j]) & keep;
+}
+
+/// Constant-time window-table gather: out = table[index] for index in
+/// [0, 16) without indexing memory by the secret — every entry is read and
+/// masked, only the matching one lands in out.
+void ct_select(const limb_t* table, std::size_t s, limb_t index, limb_t* out) {
+  std::fill(out, out + s, limb_t{0});
+  for (limb_t i = 0; i < 16; ++i) {
+    const limb_t mask = ~lk::nonzero_mask(i ^ index);
+    const limb_t* entry = table + static_cast<std::size_t>(i) * s;
+    for (std::size_t j = 0; j < s; ++j) out[j] |= entry[j] & mask;
+  }
+}
+
 /// mont_mul with the width fixed at compile time: the inner loops unroll
 /// fully and the accumulator row lives in registers instead of scratch.
 /// RSA-512..2048 halves and moduli land on these widths; everything else
@@ -40,16 +62,16 @@ void mont_mul_fixed(const limb_t* a, const limb_t* b, const limb_t* n, limb_t n0
     t[S - 1] = static_cast<limb_t>(top);
     t[S] = static_cast<limb_t>(top >> kLimbBits);
   }
-  if (t[S] != 0 || lk::cmp(t, S, n, S) >= 0) {
-    lk::sub(t, S, n, S, out);
-  } else {
-    std::copy(t, t + S, out);
-  }
+  reduce_once(t, t[S], n, S, out);
 }
 
 }  // namespace
 
 MontCtx::MontCtx(const BigInt& modulus) : modulus_(modulus), n_(modulus.limbs()) {
+  // Misuse guard, not a data leak: RSA moduli are odd primes (or products
+  // of them) by construction, so oddness and the >= 3 bound are public
+  // facts about every modulus that reaches here.
+  // spider-lint: allow(R14) modulus oddness is public for RSA moduli
   if (!modulus.is_odd() || modulus < BigInt{3}) {
     throw std::domain_error("MontCtx: modulus must be odd and >= 3");
   }
@@ -101,14 +123,8 @@ void MontCtx::mont_mul(const limb_t* a, const limb_t* b, limb_t* out, limb_t* sc
     t[s - 1] = static_cast<limb_t>(top);
     t[s] = static_cast<limb_t>(top >> kLimbBits);
   }
-  // Result is in [0, 2N): subtract N once when needed.  With t[s] set the
-  // value exceeds s limbs, and the borrow out of the s-limb subtraction is
-  // absorbed by that top limb.
-  if (t[s] != 0 || lk::cmp(t, s, n_.data(), s) >= 0) {
-    lk::sub(t, s, n_.data(), s, out);
-  } else {
-    std::copy(t, t + s, out);
-  }
+  // Result is in [0, 2N): one branch-free final reduction.
+  reduce_once(t, t[s], n_.data(), s, out);
 }
 
 void MontCtx::mont_sqr(const limb_t* a, limb_t* out, limb_t* scratch) const {
@@ -136,18 +152,17 @@ void MontCtx::mont_sqr(const limb_t* a, limb_t* out, limb_t* scratch) const {
       t[i + j] = static_cast<limb_t>(cur);
       carry = static_cast<limb_t>(cur >> kLimbBits);
     }
-    for (std::size_t k = i + s; carry != 0; ++k) {
+    // Ripple the carry to the top unconditionally: the tail length is
+    // fixed by the (public) width, not by where the carry happens to die,
+    // and adding zero limbs is free compared to a data-dependent exit.
+    for (std::size_t k = i + s; k <= 2 * s; ++k) {
       dlimb_t cur = static_cast<dlimb_t>(t[k]) + carry;
       t[k] = static_cast<limb_t>(cur);
       carry = static_cast<limb_t>(cur >> kLimbBits);
     }
   }
-  // a < N gives (a^2 + sum m_i*N*B^i) / R < 2N: one conditional subtract.
-  if (t[2 * s] != 0 || lk::cmp(t + s, s, n_.data(), s) >= 0) {
-    lk::sub(t + s, s, n_.data(), s, out);
-  } else {
-    std::copy(t + s, t + 2 * s, out);
-  }
+  // a < N gives (a^2 + sum m_i*N*B^i) / R < 2N: one branch-free reduction.
+  reduce_once(t + s, t[2 * s], n_.data(), s, out);
 }
 
 void MontCtx::to_mont(const limb_t* a, limb_t* out, limb_t* scratch) const {
@@ -198,6 +213,55 @@ BigInt MontCtx::exp(const BigInt& base, const BigInt& exponent) const {
       mont_mul(acc, table + window * s, tmp, scratch);
       std::swap(acc, tmp);
     }
+  }
+
+  from_mont(acc, tmp, scratch);
+  return BigInt::from_limbs(std::vector<limb_t>(tmp, tmp + s));
+}
+
+// spider-taint: secret exponent
+BigInt MontCtx::exp_ct(const BigInt& base, const BigInt& exponent) const {
+  const std::size_t s = n_.size();
+  const BigInt reduced = base % modulus_;
+
+  // Same layout as exp() plus one gather buffer for the selected entry.
+  std::vector<limb_t> block(16 * s + 3 * s + scratch_size());
+  limb_t* table = block.data();
+  limb_t* acc = table + 16 * s;
+  limb_t* tmp = acc + s;
+  limb_t* sel = tmp + s;
+  limb_t* scratch = sel + s;
+
+  std::copy(one_.begin(), one_.end(), table);  // base^0 in Montgomery form
+  {
+    std::vector<limb_t> base_limbs = padded(reduced, s);
+    to_mont(base_limbs.data(), table + s, scratch);
+  }
+  for (std::size_t i = 2; i < 16; ++i) {
+    mont_mul(table + (i - 1) * s, table + s, table + i * s, scratch);
+  }
+
+  // The window count comes from the public modulus width, never from the
+  // exponent: any exponent used with this context is < N < 2^(64*s), so
+  // 16*s windows always cover it and the trip count leaks nothing.  Each
+  // window is gathered with ct_select and multiplied in unconditionally
+  // (window 0 selects table[0] = Montgomery 1, a no-op product).
+  std::vector<limb_t> exp_limbs = exponent.limbs();
+  if (exp_limbs.size() > s) throw std::domain_error("MontCtx::exp_ct: exponent wider than modulus");
+  exp_limbs.resize(s, 0);
+  const std::size_t nwindows = kLimbBits * s / 4;
+  std::copy(one_.begin(), one_.end(), acc);
+  for (std::size_t w = nwindows; w-- > 0;) {
+    for (int k = 0; k < 4; ++k) {
+      mont_sqr(acc, tmp, scratch);
+      std::swap(acc, tmp);
+    }
+    // 4 divides the limb width, so a window never straddles two limbs.
+    const std::size_t bit0 = w * 4;
+    const limb_t window = (exp_limbs[bit0 / kLimbBits] >> (bit0 % kLimbBits)) & 0xf;
+    ct_select(table, s, window, sel);
+    mont_mul(acc, sel, tmp, scratch);
+    std::swap(acc, tmp);
   }
 
   from_mont(acc, tmp, scratch);

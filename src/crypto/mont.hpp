@@ -50,8 +50,20 @@ class MontCtx {
 
   /// base^exponent mod N with plain-domain input and output; base is
   /// reduced mod N first.  4-bit fixed window over one preallocated
-  /// scratch block.
+  /// scratch block.  Variable-time in the exponent (skips zero windows,
+  /// sizes the ladder by the exponent's bit length) — public exponents
+  /// only; signing uses exp_ct.
   BigInt exp(const BigInt& base, const BigInt& exponent) const;
+
+  /// Constant-time variant for secret exponents (the CRT halves of RSA
+  /// signing): the window ladder is sized by the public modulus width,
+  /// every window is gathered from the table with a masked read of all 16
+  /// entries, and every iteration multiplies unconditionally.  Requires
+  /// exponent < 2^(64*width()); roughly 16*s windows regardless of the
+  /// exponent's actual length, so only use it where the exponent is
+  /// secret.
+  // spider-taint: secret exponent
+  BigInt exp_ct(const BigInt& base, const BigInt& exponent) const;
 
  private:
   BigInt modulus_;

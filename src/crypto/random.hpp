@@ -28,8 +28,10 @@ namespace spider::crypto {
 
 using util::Digest20;
 
-/// A 32-byte commitment seed.
-struct Seed {
+/// A 32-byte commitment seed.  Marked secret for the taint pass: any
+/// value of this type must stay inside the commitment boundary (hashes
+/// of it are public; the bytes themselves are not).
+struct Seed {  // spider-taint: secret
   std::array<std::uint8_t, 32> data{};
 
   ByteSpan span() const { return ByteSpan{data.data(), data.size()}; }
@@ -48,12 +50,14 @@ class CommitmentPrf {
  public:
   explicit CommitmentPrf(const Seed& seed) : seed_(seed) {}
 
-  /// Random bitstring for the x value of bit node `index`.
-  Digest20 bit_randomness(std::uint64_t index) const { return derive('x', index); }
+  /// Random bitstring for the x value of bit node `index`.  Secret until
+  /// the checker explicitly challenges that bit (paper §6.4).
+  Digest20 bit_randomness(std::uint64_t index) const { return derive('x', index); }  // spider-taint: secret
 
   /// Batch form: out[i] = bit_randomness(indices[i]) for i in [0, n), run
   /// through the multi-lane SHA-512 batcher.  The labeler derives millions
   /// of x values per commitment, all 41-byte messages — ideal lane food.
+  // spider-taint: secret
   void bit_randomness_batch(const std::uint64_t* indices, std::size_t n, Digest20* out) const;
 
   /// Random label for dummy node `index`.
@@ -62,6 +66,7 @@ class CommitmentPrf {
   const Seed& seed() const { return seed_; }
 
  private:
+  // spider-taint: secret
   Digest20 derive(char domain, std::uint64_t index) const;
 
   Seed seed_;

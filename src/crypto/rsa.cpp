@@ -95,12 +95,17 @@ Bytes rsa_sign(const RsaPrivateKey& key, ByteSpan message) {
   const std::size_t k = key.public_key().modulus_bytes();
   BigInt m = BigInt::from_bytes_be(pkcs1_sha512_encode(message, k));
 
-  // CRT: s_p = m^dp mod p, s_q = m^dq mod q, recombine.
-  BigInt sp = m.mod_exp(key.dp, key.p);
-  BigInt sq = m.mod_exp(key.dq, key.q);
-  BigInt h = sp >= (sq % key.p) ? (sp - sq % key.p) : (key.p - (sq % key.p - sp));
+  // CRT: s_p = m^dp mod p, s_q = m^dq mod q, recombine.  The exponents
+  // are key material, so both halves run the constant-time ladder, and
+  // the recombination below avoids the sp-vs-sq comparison branch by
+  // adding p before subtracting: (sp + p) - (sq mod p) is always in
+  // (0, 2p), and the trailing mod p restores the residue.
+  BigInt sp = m.mod_exp_ct(key.dp, key.p);
+  BigInt sq = m.mod_exp_ct(key.dq, key.q);
+  BigInt h = ((sp + key.p) - (sq % key.p)) % key.p;
   h = (h * key.qinv) % key.p;
   BigInt s = sq + h * key.q;
+  // spider-taint: declassify(the finished signature is the public output of signing)
   return s.to_bytes_be(k);
 }
 

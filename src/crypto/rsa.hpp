@@ -25,7 +25,9 @@ struct RsaPublicKey {
   bool operator==(const RsaPublicKey&) const = default;
 };
 
-struct RsaPrivateKey {
+// All CRT components are signing secrets; the taint pass treats every
+// value of this type as secret data.
+struct RsaPrivateKey {  // spider-taint: secret
   BigInt n, e, d;
   BigInt p, q;        // prime factors
   BigInt dp, dq, qinv;  // CRT exponents and coefficient
@@ -72,6 +74,7 @@ class RsaSigner final : public Signer {
  public:
   explicit RsaSigner(RsaPrivateKey key) : key_(std::move(key)) {}
   Bytes sign(ByteSpan message) const override { return rsa_sign(key_, message); }
+  // spider-taint: declassify(the RSA public half (n, e) is published by design)
   Bytes public_key() const override { return key_.public_key().encode(); }
   std::size_t signature_size() const override { return key_.public_key().modulus_bytes(); }
 
@@ -98,10 +101,12 @@ class HashSigner final : public Signer {
  public:
   explicit HashSigner(Bytes key) : key_(std::move(key)) {}
   Bytes sign(ByteSpan message) const override;
+  // spider-taint: declassify(test-only scheme: the verifier deliberately shares the MAC key)
   Bytes public_key() const override { return key_; }
   std::size_t signature_size() const override { return 20; }
 
  private:
+  // spider-taint: secret
   Bytes key_;
 };
 

@@ -87,6 +87,7 @@ LogCheckpoint LogCheckpoint::decode(ByteSpan data) {
 Bytes CommitmentRecord::encode() const {
   util::ByteWriter w;
   w.i64(timestamp);
+  // spider-taint: declassify(§6.5: the log, seeds included, is handed to the trusted checker; this record never travels further)
   w.raw(seed.span());
   w.digest(root);
   w.u32(num_classes);

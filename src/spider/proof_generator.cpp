@@ -162,6 +162,7 @@ ProofGenerator::Reconstruction ProofGenerator::reconstruct(Time commit_time,
   }
   recon.root_matches = crypto::constant_time_equal(recon.tree.root_label(), record->root);
   recon.reconstruct_seconds = timer.seconds();
+  // spider-taint: declassify(§6.5: replay runs inside the challenge boundary — the checker holding the log already has the seed, so reconstructed state is not a further disclosure)
   return recon;
 }
 

@@ -532,7 +532,7 @@ Digest20 Recorder::commit_root(const crypto::Seed& seed) {
       updates.push_back({prefix, mtt_entry_for(state_, classifier_, promises_,
                                                faults_.ignore_inputs, prefix)});
     }
-    if (live_tree_.labels_computed() && live_seed_ == seed) {
+    if (live_tree_.labels_computed() && crypto::constant_time_equal(live_seed_.span(), seed.span())) {
       // Same seed epoch: only dirty paths rehash.
       live_tree_.apply(updates, prf, config_.commit_threads);
       SPIDER_OBS_COUNT("spider/commit_incremental", 1);

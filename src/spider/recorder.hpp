@@ -66,6 +66,7 @@ struct RecorderConfig {
   /// Labeling threads (c of §7.1).
   unsigned commit_threads = 1;
   /// Secret salt for per-commitment seeds (deterministic in tests).
+  // spider-taint: secret
   std::string seed_salt = "spider-seed";
   /// Keep the MTT alive across rounds and apply only changed prefixes
   /// instead of rebuilding from the full mirror every commit.  The tree

@@ -1,0 +1,10 @@
+// Cross-TU fixture (header half): declares the secret type and an inline
+// wire helper.  The flows that leak it live in taint_cross_use.cpp; the
+// finding must land on the sink line below with hops from both files.
+
+// spider-taint: secret
+struct SessionSeed { unsigned char bytes[20]; };
+
+SessionSeed derive_seed();
+
+inline void emit_word(ByteWriter& w, int word) { w.u32(word); }

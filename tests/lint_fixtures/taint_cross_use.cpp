@@ -1,0 +1,8 @@
+// Cross-TU fixture (user half): the secret type and the sink helper are
+// modeled from taint_cross_decl.hpp, so the R12 finding reported here
+// must carry a flow trace spanning both translation units.
+
+void ship(ByteWriter& w) {
+  SessionSeed s = derive_seed();
+  emit_word(w, s);
+}

@@ -1,0 +1,20 @@
+// R11 fixture: secrets must not reach logging or observability output.
+
+// spider-taint: secret
+struct Key { unsigned char bits[32]; };
+
+Key load_key();
+
+void debug_dump(int v) { printf("v=%d\n", v); }
+
+void leak() {
+  Key k = load_key();
+  debug_dump(k);
+}
+
+void narrate(const Key& k) { throw parse_error(describe(k)); }
+
+void fine() {
+  Key k = load_key();
+  debug_dump(digest20(k));
+}

@@ -1,0 +1,23 @@
+// R12 fixture: secrets reach the wire only through declassify(rationale).
+
+// spider-taint: secret
+struct Seed { unsigned char bytes[20]; };
+
+Seed fresh_seed();
+
+void encode_bad(ByteWriter& w) {
+  Seed s = fresh_seed();
+  w.raw(s);
+}
+
+void encode_ok(ByteWriter& w) {
+  Seed s = fresh_seed();
+  // spider-taint: declassify(the checker holding the log is cleared to read it)
+  w.raw(s);
+}
+
+void encode_empty_rationale(ByteWriter& w) {
+  Seed s = fresh_seed();
+  // spider-taint: declassify()
+  w.raw(s);
+}

@@ -1,0 +1,26 @@
+// R13 fixture: secrets are compared in constant time only.
+
+// spider-taint: secret
+struct Tag { unsigned char mac[20]; };
+
+Tag compute_tag();
+
+bool check_bad(const Tag& expect) {
+  Tag got = compute_tag();
+  return got == expect;
+}
+
+bool check_memcmp(const Tag& expect) {
+  Tag got = compute_tag();
+  return memcmp(&got, &expect, 20) == 0;
+}
+
+bool check_ok(const Tag& expect) {
+  Tag got = compute_tag();
+  return constant_time_equal(got.span(), expect.span());
+}
+
+bool guard_literal() {
+  Tag got = compute_tag();
+  return got.size() == 0;
+}

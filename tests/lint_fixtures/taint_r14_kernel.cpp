@@ -1,0 +1,12 @@
+// R14 fixture: no secret-dependent control flow in the CT kernels.  The
+// test lints this file once at a src/crypto kernel path (findings) and
+// once at a non-kernel path (silence) — R14 is scoped, R13 is not.
+
+// spider-taint: secret
+void ladder(limb_t* acc, limb_t exponent) {
+  if (exponent & 1) {
+    step(acc);
+  }
+  limb_t w = exponent > 7 ? 1 : 0;
+  acc[0] = table[exponent];
+}

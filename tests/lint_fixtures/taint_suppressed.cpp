@@ -1,0 +1,16 @@
+// Suppression fixture: every taint finding below carries an allow(...)
+// with a rationale, so the whole file must lint clean even at a kernel
+// path where R14 applies.
+
+// spider-taint: secret
+struct Key { unsigned char bits[32]; };
+
+Key load_key();
+
+void all_waived(ByteWriter& w, const Key& other) {
+  Key k = load_key();
+  printf("%p", k.bits);   // spider-lint: allow(R11) fixture waiver
+  w.raw(k);               // spider-lint: allow(R12) fixture waiver
+  bool eq = k == other;   // spider-lint: allow(R13) fixture waiver
+  if (eq) { step(); }     // spider-lint: allow(R14) fixture waiver
+}

@@ -34,6 +34,21 @@
 //   R10 no direct socket syscalls (socket(), epoll_ctl(), ::send(), ...)
 //       outside src/transport — protocol code talks through
 //       transport::Endpoint so the same object runs under netsim and TCP.
+//   R11 (taint.cpp) secret data reaches a logging/obs/error-string sink
+//       — printf family, std::cout/cerr/clog, SPIDER_OBS_* arguments,
+//       thrown exception messages.
+//   R12 (taint.cpp) secret data reaches a ByteWriter wire-encode call
+//       outside a `// spider-taint: declassify(rationale)` line; a
+//       declassify without a rationale is also R12.
+//   R13 (taint.cpp) secret data compared via ==/!=/memcmp — the dataflow
+//       generalization of R7; use crypto::constant_time_equal.
+//   R14 (taint.cpp) secret-dependent branch or array index inside the
+//       src/crypto limb/Montgomery/CRT kernels (timing discipline).
+//
+// R11-R14 are interprocedural: phase 1 (model.cpp) extracts a per-TU
+// model and phase 2 (taint.cpp) propagates `// spider-taint: secret`
+// sources through a cross-file call graph with per-function summaries;
+// findings carry the full file:line flow trace in their message.
 //
 // Suppression: a finding is dropped when its line — or the line above,
 // when the comment stands alone — carries `// spider-lint: allow(RN)`
@@ -95,6 +110,7 @@ struct FileClass {
   bool obs_impl = false;            // src/obs — exempt from R6
   bool chaos_catalog = false;       // src/chaos/catalog.* — R8 applies
   bool transport_impl = false;      // src/transport — exempt from R10
+  bool crypto_kernel = false;       // src/crypto limb/mont/rsa — R14 applies
   bool decode_impl = true;          // R1/R5 candidate (always on; rules
                                     // self-limit to decode function bodies)
 };

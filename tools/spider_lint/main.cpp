@@ -1,18 +1,29 @@
 // spider_lint CLI: walks src/, tools/ and bench/ under --root, runs the
-// R1–R10 matchers, and prints `path:line: RN: message` per finding.  Exit
-// status is the number of findings (capped at 125) so both `ctest` and CI
-// treat a dirty tree as a failure.
+// per-file R1-R10 matchers and the model extraction in parallel (one
+// task per file on a util::ThreadPool), then the cross-file passes (R4
+// registry check, R11-R14 taint analysis) serially, and prints
+// `path:line: RN: message` per finding.  Output is sorted and
+// byte-identical regardless of --jobs.  Exit status is the number of
+// findings (capped at 125) so both `ctest` and CI treat a dirty tree as
+// a failure.
 //
-// Usage: spider_lint --root <repo-root> [--quiet]
+// Usage: spider_lint --root <repo-root> [--quiet] [--rule RN]...
+//                    [--jobs N]
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lint.hpp"
+#include "model.hpp"
+#include "taint.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fs = std::filesystem;
 namespace lint = spider::lint;
@@ -38,19 +49,37 @@ std::string rel_path(const fs::path& root, const fs::path& p) {
   return s;
 }
 
+/// Per-file phase-1 output, merged in deterministic file order.
+struct PerFile {
+  std::vector<lint::Finding> findings;
+  std::vector<lint::DecoderDecl> decoders;
+  std::map<int, std::set<std::string>> suppressions;
+  bool has_decoders = false;
+  lint::taint::TuModel model;
+  bool has_model = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root = ".";
   bool quiet = false;
+  std::set<std::string> rule_filter;
+  std::size_t jobs = std::max(1u, std::thread::hardware_concurrency());
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--rule" && i + 1 < argc) {
+      rule_filter.insert(argv[++i]);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::max(1, std::atoi(argv[++i])));
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: spider_lint --root <repo-root> [--quiet]\n");
+      std::printf(
+          "usage: spider_lint --root <repo-root> [--quiet] [--rule RN]... "
+          "[--jobs N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "spider_lint: unknown argument '%s'\n", arg.c_str());
@@ -76,27 +105,48 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  // ---- single-file rules ------------------------------------------------
+  // ---- phase 1: per-file rules + model extraction, in parallel ---------
+  std::vector<PerFile> slots(files.size());
+  {
+    spider::util::ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      pool.submit([&, i] {
+        const fs::path& p = files[i];
+        const std::string rel = rel_path(root, p);
+        // The lint tool's own sources mention every banned identifier by
+        // design; rules don't apply to the rule tables.
+        if (rel.rfind("tools/spider_lint/", 0) == 0) return;
+        const std::string source = read_file(p);
+        PerFile& out = slots[i];
+        out.findings = lint::lint_source(rel, source);
+        // R4 candidates come from headers only — that is where the
+        // static decode entry points are declared.
+        if (p.extension() == ".hpp" || p.extension() == ".h") {
+          out.decoders = lint::find_decoder_decls(rel, source);
+          if (!out.decoders.empty()) {
+            out.suppressions = lint::collect_suppressions(source);
+            out.has_decoders = true;
+          }
+        }
+        out.model = lint::taint::build_tu_model(rel, source);
+        out.has_model = true;
+      });
+    }
+    pool.wait_idle();
+    pool.shutdown();
+  }
+
   std::vector<lint::Finding> findings;
   std::vector<lint::DecoderDecl> decoders;
   std::map<std::string, std::map<int, std::set<std::string>>> suppressions_by_path;
-  for (const fs::path& p : files) {
-    const std::string rel = rel_path(root, p);
-    const std::string source = read_file(p);
-    // The lint tool's own sources mention every banned identifier by
-    // design; rules don't apply to the rule tables.
-    if (rel.rfind("tools/spider_lint/", 0) == 0) continue;
-    std::vector<lint::Finding> file_findings = lint::lint_source(rel, source);
-    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
-    // R4 candidates come from headers only — that is where the static
-    // decode entry points are declared.
-    if (p.extension() == ".hpp" || p.extension() == ".h") {
-      std::vector<lint::DecoderDecl> decls = lint::find_decoder_decls(rel, source);
-      if (!decls.empty()) {
-        decoders.insert(decoders.end(), decls.begin(), decls.end());
-        suppressions_by_path[rel] = lint::collect_suppressions(source);
-      }
+  std::vector<lint::taint::TuModel> models;
+  for (PerFile& slot : slots) {
+    findings.insert(findings.end(), slot.findings.begin(), slot.findings.end());
+    if (slot.has_decoders) {
+      suppressions_by_path[slot.decoders.front().path] = std::move(slot.suppressions);
+      decoders.insert(decoders.end(), slot.decoders.begin(), slot.decoders.end());
     }
+    if (slot.has_model) models.push_back(std::move(slot.model));
   }
 
   // ---- R4: cross-reference the fuzz registry ---------------------------
@@ -111,6 +161,21 @@ int main(int argc, char** argv) {
                  "declared — R4 cannot be checked\n",
                  decoders.size());
     return 125;
+  }
+
+  // ---- R11-R14: interprocedural taint ----------------------------------
+  {
+    std::vector<lint::Finding> taint_findings =
+        lint::taint::run_taint(std::move(models));
+    findings.insert(findings.end(), taint_findings.begin(), taint_findings.end());
+  }
+
+  if (!rule_filter.empty()) {
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [&](const lint::Finding& f) {
+                                    return rule_filter.count(f.rule) == 0;
+                                  }),
+                   findings.end());
   }
 
   std::sort(findings.begin(), findings.end());

@@ -1,0 +1,642 @@
+// Phase-1 extraction: token stream -> TuModel.  The parser is a
+// scope-stack walk with C++-shaped heuristics, not a grammar: function
+// bodies are located (and skipped) so that class members, namespace-scope
+// definitions and out-of-line `T::method` definitions are recognized
+// without being confused by lambdas or local declarations inside bodies.
+#include "model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+
+namespace spider::lint::taint {
+
+namespace {
+
+bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == Token::Kind::kIdent && t.text == s;
+}
+
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == Token::Kind::kPunct && t.text == s;
+}
+
+bool ident_kind(const Token& t) { return t.kind == Token::Kind::kIdent; }
+
+/// Specifiers that may precede a declarator without naming its type.
+bool type_qualifier(std::string_view s) {
+  static const std::set<std::string_view> kQuals = {
+      "const",  "constexpr", "volatile", "mutable",  "static",       "inline",
+      "virtual", "explicit", "friend",   "typename", "unsigned",     "signed",
+      "long",   "short",     "register", "extern",   "thread_local", "noexcept",
+      "override", "final",   "struct",   "class",    "enum",
+  };
+  return kQuals.count(s) != 0;
+}
+
+/// A builtin that can be a complete type by itself (`unsigned x`).
+bool builtin_type_word(std::string_view s) {
+  return s == "unsigned" || s == "signed" || s == "long" || s == "short";
+}
+
+/// Identifiers that look like `name(` but never open a function.
+bool never_a_function(std::string_view s) {
+  static const std::set<std::string_view> kNot = {
+      "if",       "for",     "while",    "switch",        "catch",   "return",
+      "sizeof",   "alignof", "decltype", "static_assert", "throw",   "new",
+      "delete",   "operator", "alignas", "noexcept",      "defined", "requires",
+      "assert",   "typeid",
+  };
+  return kNot.count(s) != 0;
+}
+
+/// Keywords that mark the preceding context as an expression, not a
+/// declaration (`return f(x)` must not model a function `f`).
+bool expression_keyword(std::string_view s) {
+  static const std::set<std::string_view> kExpr = {
+      "return", "throw", "new",       "delete",   "else",     "do",
+      "case",   "goto",  "co_return", "co_await", "co_yield",
+  };
+  return kExpr.count(s) != 0;
+}
+
+/// Index of the token matching the opener at `open` ('(' '[' or '{'),
+/// or toks.size() when unbalanced.
+std::size_t matching_close(const std::vector<Token>& toks, std::size_t open) {
+  const std::string& o = toks[open].text;
+  const std::string c = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kPunct) continue;
+    if (toks[i].text == o) ++depth;
+    if (toks[i].text == c && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+/// The recursive-descent-lite walker.  One instance per TU.
+class Extractor {
+ public:
+  Extractor(TuModel& tu) : tu_(tu), toks_(tu.tokens) {}
+
+  void run() { parse_scope(0, toks_.size(), ""); }
+
+ private:
+  TuModel& tu_;
+  const std::vector<Token>& toks_;
+
+  bool secret_line(int line) const { return tu_.notes.secret.count(line) != 0; }
+
+  /// Angle-bracket depth helper shared by several scans.
+  static void track_angles(const Token& t, int& ad) {
+    if (t.kind != Token::Kind::kPunct) return;
+    if (t.text == "<") ++ad;
+    if (t.text == ">" && ad > 0) --ad;
+    if (t.text == ">>") ad = std::max(0, ad - 2);
+  }
+
+  /// Skips a `template <...>` header starting at `i` ("template").
+  std::size_t skip_template_header(std::size_t i) const {
+    ++i;
+    if (i >= toks_.size() || !is_punct(toks_[i], "<")) return i;
+    int ad = 0;
+    for (; i < toks_.size(); ++i) {
+      track_angles(toks_[i], ad);
+      if (ad == 0) return i + 1;
+    }
+    return i;
+  }
+
+  /// Parses the parameter list between open/close parens into models.
+  std::vector<ParamModel> parse_params(std::size_t open, std::size_t close) const {
+    std::vector<ParamModel> out;
+    std::size_t piece_start = open + 1;
+    int pd = 0;  // extra paren depth inside the list
+    int ad = 0;
+    auto flush = [&](std::size_t piece_end) {
+      if (piece_end <= piece_start) return;
+      out.push_back(parse_one_param(piece_start, piece_end));
+      piece_start = piece_end + 1;
+    };
+    for (std::size_t i = open + 1; i < close; ++i) {
+      const Token& t = toks_[i];
+      if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")) {
+        i = matching_close(toks_, i);
+        continue;
+      }
+      track_angles(t, ad);
+      if (is_punct(t, ",") && pd == 0 && ad == 0) flush(i);
+    }
+    flush(close);
+    // `(void)` and `()` mean no parameters.
+    if (out.size() == 1 && out[0].name.empty() && out[0].type == "void") out.clear();
+    return out;
+  }
+
+  ParamModel parse_one_param(std::size_t b, std::size_t e) const {
+    ParamModel p;
+    // Truncate at a default argument.
+    int ad = 0;
+    std::size_t stop = e;
+    bool has_const = false, has_ptr_ref = false;
+    std::vector<std::size_t> plain_idents;  // non-qualifier idents at angle depth 0
+    std::size_t builtin = toks_.size();
+    for (std::size_t i = b; i < e && i < stop; ++i) {
+      const Token& t = toks_[i];
+      if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")) {
+        i = matching_close(toks_, i);
+        continue;
+      }
+      track_angles(t, ad);
+      if (ad != 0) continue;
+      if (is_punct(t, "=")) {
+        stop = i;
+        break;
+      }
+      if (is_punct(t, "*") || is_punct(t, "&") || is_punct(t, "&&")) has_ptr_ref = true;
+      if (ident_kind(t)) {
+        if (t.text == "const") has_const = true;
+        if (builtin_type_word(t.text)) builtin = i;
+        if (!type_qualifier(t.text) && t.text != "void") plain_idents.push_back(i);
+      }
+    }
+    if (plain_idents.empty()) {
+      // `unsigned` / `(void)` / punctuation-only piece.
+      if (builtin != toks_.size()) p.type = toks_[builtin].text;
+      if (b < e && is_ident(toks_[b], "void")) p.type = "void";
+      p.line = b < e ? toks_[b].line : 0;
+      return p;
+    }
+    if (plain_idents.size() == 1 && builtin == toks_.size()) {
+      // Single identifier with no builtin specifier: an unnamed
+      // declaration parameter (`ByteSpan`), type only.
+      p.type = toks_[plain_idents[0]].text;
+      p.line = toks_[plain_idents[0]].line;
+    } else {
+      std::size_t name_idx = plain_idents.back();
+      p.name = toks_[name_idx].text;
+      p.line = toks_[name_idx].line;
+      if (plain_idents.size() >= 2) {
+        p.type = toks_[plain_idents[plain_idents.size() - 2]].text;
+      } else if (builtin != toks_.size()) {
+        p.type = toks_[builtin].text;
+      }
+    }
+    p.out_param = has_ptr_ref && !has_const;
+    p.annotated_secret = p.line != 0 && secret_line(p.line);
+    return p;
+  }
+
+  /// Return type: last non-qualifier identifier at angle depth 0 in
+  /// [stmt_begin, type_end).
+  std::string scan_return_type(std::size_t stmt_begin, std::size_t type_end) const {
+    int ad = 0;
+    std::string last;
+    for (std::size_t i = stmt_begin; i < type_end; ++i) {
+      const Token& t = toks_[i];
+      if (is_punct(t, "(") || is_punct(t, "[")) {
+        i = matching_close(toks_, i);
+        continue;
+      }
+      track_angles(t, ad);
+      if (ad != 0) continue;
+      if (ident_kind(t) && !type_qualifier(t.text) && t.text != "void") last = t.text;
+    }
+    return last;
+  }
+
+  struct FnMatch {
+    FunctionModel fn;
+    std::size_t resume;  // first token index after the matched element
+  };
+
+  /// Tries to read a function definition or declaration whose name sits
+  /// at `name_idx` (the next token is '(').  `stmt_begin` bounds the
+  /// return-type scan; `scope_owner` is the enclosing class, overridden
+  /// by an out-of-line `T::` qualifier.
+  std::optional<FnMatch> try_function(std::size_t name_idx, std::size_t stmt_begin,
+                                      const std::string& scope_owner) {
+    const Token& name = toks_[name_idx];
+    if (!ident_kind(name) || never_a_function(name.text)) return std::nullopt;
+    if (name_idx > stmt_begin) {
+      const Token& prev = toks_[name_idx - 1];
+      if (ident_kind(prev) && expression_keyword(prev.text)) return std::nullopt;
+      if (prev.kind == Token::Kind::kPunct) {
+        static const std::set<std::string_view> kOkBefore = {">", "&",  "*", "::", ":",
+                                                            ";", "{",  "}", "]"};
+        if (kOkBefore.count(prev.text) == 0) return std::nullopt;
+      }
+    }
+    const std::size_t open = name_idx + 1;
+    const std::size_t close = matching_close(toks_, open);
+    if (close >= toks_.size()) return std::nullopt;
+
+    FunctionModel fn;
+    fn.name = name.text;
+    fn.line = name.line;
+    fn.owner = scope_owner;
+    std::size_t qual_begin = name_idx;
+    while (qual_begin >= stmt_begin + 2 && is_punct(toks_[qual_begin - 1], "::") &&
+           ident_kind(toks_[qual_begin - 2])) {
+      fn.owner = toks_[qual_begin - 2].text;
+      qual_begin -= 2;
+    }
+    fn.return_type = scan_return_type(stmt_begin, qual_begin);
+    fn.annotated_secret = secret_line(fn.line);
+
+    // Walk qualifiers after the parameter list until the body, the
+    // terminating ';', or something that rules the candidate out.
+    std::size_t q = close + 1;
+    while (q < toks_.size()) {
+      const Token& t = toks_[q];
+      if (is_punct(t, "{")) break;  // body
+      if (is_punct(t, ";")) {
+        fn.params = parse_params(open, close);
+        return FnMatch{fn, q + 1};
+      }
+      if (is_punct(t, "=")) {
+        // `= default;` / `= delete;` / `= 0;` are declarations.
+        if (q + 1 < toks_.size() &&
+            (is_ident(toks_[q + 1], "default") || is_ident(toks_[q + 1], "delete") ||
+             toks_[q + 1].kind == Token::Kind::kNumber)) {
+          while (q < toks_.size() && !is_punct(toks_[q], ";")) ++q;
+          fn.params = parse_params(open, close);
+          return FnMatch{fn, q + 1};
+        }
+        return std::nullopt;
+      }
+      if (is_punct(t, ":")) {
+        // Constructor init list: scan to the body '{' — a '{' directly
+        // after an identifier or '>' is a member brace-init, not the body.
+        ++q;
+        while (q < toks_.size()) {
+          if (is_punct(toks_[q], "(")) {
+            q = matching_close(toks_, q) + 1;
+            continue;
+          }
+          if (is_punct(toks_[q], "{")) {
+            const Token& prev = toks_[q - 1];
+            if (ident_kind(prev) || is_punct(prev, ">")) {
+              q = matching_close(toks_, q) + 1;
+              continue;
+            }
+            break;
+          }
+          ++q;
+        }
+        break;
+      }
+      if (is_punct(t, "(")) {  // noexcept(...) and friends
+        q = matching_close(toks_, q) + 1;
+        continue;
+      }
+      if (ident_kind(t) || is_punct(t, "&") || is_punct(t, "&&") || is_punct(t, "::") ||
+          is_punct(t, "<") || is_punct(t, ">") || is_punct(t, "->") || is_punct(t, "*")) {
+        ++q;
+        continue;
+      }
+      if (is_punct(t, "[")) {  // attribute
+        q = matching_close(toks_, q) + 1;
+        continue;
+      }
+      return std::nullopt;  // ',' etc: a variable list or an expression
+    }
+    if (q >= toks_.size()) return std::nullopt;
+    fn.has_body = true;
+    fn.body_begin = q;
+    fn.body_end = matching_close(toks_, q) + 1;
+    fn.params = parse_params(open, close);
+    return FnMatch{fn, fn.body_end};
+  }
+
+  /// Records the declarators of a field/variable statement [b, e) where
+  /// toks_[e] is the terminating ';'.  `owner` is "" at namespace scope.
+  void parse_field_stmt(std::size_t b, std::size_t e, const std::string& owner) {
+    int ad = 0;
+    std::string type_ident;
+    std::string builtin;
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& t = toks_[i];
+      if (is_punct(t, "{")) {  // brace initializer
+        i = matching_close(toks_, i);
+        continue;
+      }
+      if (is_punct(t, "(")) {
+        if (ad == 0) return;  // paren at top level: not a plain field
+        i = matching_close(toks_, i);
+        continue;
+      }
+      track_angles(t, ad);
+      if (ad != 0) continue;
+      if (is_punct(t, "=")) {
+        // Skip the initializer to the next top-level ',' or the end.
+        int depth = 0;
+        for (++i; i < e; ++i) {
+          const Token& u = toks_[i];
+          if (is_punct(u, "(") || is_punct(u, "[") || is_punct(u, "{")) {
+            i = matching_close(toks_, i);
+            continue;
+          }
+          track_angles(u, depth);
+          if (depth == 0 && is_punct(u, ",")) break;
+        }
+        continue;
+      }
+      if (!ident_kind(t)) continue;
+      if (t.text == "operator") return;
+      if (builtin_type_word(t.text)) builtin = t.text;
+      const bool is_qual = type_qualifier(t.text);
+      const Token* nxt = i + 1 < e ? &toks_[i + 1] : nullptr;
+      const bool declarator =
+          !is_qual && (nxt == nullptr || is_punct(*nxt, "=") || is_punct(*nxt, ",") ||
+                       is_punct(*nxt, "{") || is_punct(*nxt, "["));
+      if (declarator && (!type_ident.empty() || !builtin.empty() || nxt != nullptr)) {
+        // A lone identifier statement (`Foo;`) is not a field.
+        if (type_ident.empty() && builtin.empty()) {
+          type_ident = t.text;  // first candidate doubles as the type
+          continue;
+        }
+        FieldModel f;
+        f.owner = owner;
+        f.name = t.text;
+        f.type = type_ident.empty() ? builtin : type_ident;
+        f.line = t.line;
+        f.annotated_secret = secret_line(f.line);
+        tu_.fields.push_back(f);
+        if (nxt != nullptr && is_punct(*nxt, "[")) i = matching_close(toks_, i + 1);
+        continue;
+      }
+      if (!is_qual) type_ident = t.text;
+    }
+  }
+
+  /// Consumes tokens to the ';' that ends the current element, balancing
+  /// parens/braces, and returns the index after it.
+  std::size_t skip_to_semi(std::size_t i) const {
+    while (i < toks_.size()) {
+      const Token& t = toks_[i];
+      if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")) {
+        i = matching_close(toks_, i) + 1;
+        continue;
+      }
+      if (is_punct(t, ";")) return i + 1;
+      ++i;
+    }
+    return i;
+  }
+
+  /// Parses the elements of one scope.  `owner` is the enclosing class
+  /// name, "" for namespace/global scope.  Returns the index after the
+  /// scope's closing '}' (or `end`).
+  std::size_t parse_scope(std::size_t i, std::size_t end, const std::string& owner) {
+    while (i < end && i < toks_.size()) {
+      const Token& t = toks_[i];
+      if (t.kind == Token::Kind::kDirective) {
+        ++i;
+        continue;
+      }
+      if (is_punct(t, "}")) return i + 1;
+      if (is_punct(t, ";")) {
+        ++i;
+        continue;
+      }
+      if (is_punct(t, "[") && i + 1 < end && is_punct(toks_[i + 1], "[")) {
+        i = matching_close(toks_, i) + 1;  // [[attribute]]
+        continue;
+      }
+      if (is_punct(t, "{")) {  // stray block (extern "C", initializers...)
+        i = matching_close(toks_, i) + 1;
+        continue;
+      }
+      if (ident_kind(t)) {
+        if (t.text == "template") {
+          i = skip_template_header(i);
+          continue;
+        }
+        if (t.text == "namespace") {
+          std::size_t j = i + 1;
+          while (j < end && !is_punct(toks_[j], "{") && !is_punct(toks_[j], ";") &&
+                 !is_punct(toks_[j], "=")) {
+            ++j;
+          }
+          if (j < end && is_punct(toks_[j], "{")) {
+            i = parse_scope(j + 1, end, "");
+          } else {
+            i = skip_to_semi(j);
+          }
+          continue;
+        }
+        if (t.text == "struct" || t.text == "class" || t.text == "union") {
+          std::size_t j = i + 1;
+          while (j < end && !ident_kind(toks_[j])) {
+            if (is_punct(toks_[j], "[")) {
+              j = matching_close(toks_, j) + 1;
+              continue;
+            }
+            ++j;
+          }
+          std::string name = j < end ? toks_[j].text : std::string();
+          int name_line = j < end ? toks_[j].line : t.line;
+          // Find the '{' (definition) or ';' (forward declaration).
+          std::size_t k = j;
+          while (k < end && !is_punct(toks_[k], "{") && !is_punct(toks_[k], ";")) {
+            if (is_punct(toks_[k], "(")) {
+              k = matching_close(toks_, k) + 1;
+              continue;
+            }
+            ++k;
+          }
+          if (k >= end || is_punct(toks_[k], ";")) {
+            i = k + 1;
+            continue;
+          }
+          TypeModel ty;
+          ty.name = name;
+          ty.line = name_line;
+          ty.annotated_secret = secret_line(name_line) || secret_line(t.line);
+          if (!name.empty()) tu_.types.push_back(ty);
+          i = parse_scope(k + 1, end, name);
+          continue;
+        }
+        if (t.text == "enum") {
+          std::size_t j = i + 1;
+          while (j < end && !is_punct(toks_[j], "{") && !is_punct(toks_[j], ";")) ++j;
+          i = j < end && is_punct(toks_[j], "{") ? skip_to_semi(j) : j + 1;
+          continue;
+        }
+        if (t.text == "using" || t.text == "typedef" || t.text == "friend" ||
+            t.text == "static_assert" || t.text == "operator") {
+          i = skip_to_semi(i);
+          continue;
+        }
+        if ((t.text == "public" || t.text == "private" || t.text == "protected") &&
+            i + 1 < end && is_punct(toks_[i + 1], ":")) {
+          i += 2;
+          continue;
+        }
+      }
+      // Generic element: scan forward for a function candidate or the
+      // terminating ';' of a field/variable statement.
+      const std::size_t stmt_begin = i;
+      std::size_t k = i;
+      int pd = 0, ad = 0;
+      bool handled = false;
+      while (k < end) {
+        const Token& u = toks_[k];
+        if (is_punct(u, "(") && pd == 0 && ad == 0 && k > stmt_begin &&
+            ident_kind(toks_[k - 1])) {
+          auto m = try_function(k - 1, stmt_begin, owner);
+          if (m) {
+            tu_.functions.push_back(std::move(m->fn));
+            i = m->resume;
+            handled = true;
+            break;
+          }
+        }
+        if (is_punct(u, "(")) ++pd;
+        if (is_punct(u, ")") && pd > 0) --pd;
+        if (pd == 0) track_angles(u, ad);
+        if (is_punct(u, "{") && pd == 0) {
+          const Token& prev = k > stmt_begin ? toks_[k - 1] : t;
+          if (k > stmt_begin && (ident_kind(prev) || is_punct(prev, ">") || is_punct(prev, "]"))) {
+            k = matching_close(toks_, k) + 1;  // brace initializer
+            continue;
+          }
+          i = skip_to_semi(k);  // something unmodeled; consume safely
+          handled = true;
+          break;
+        }
+        if (is_punct(u, ";") && pd == 0) {
+          parse_field_stmt(stmt_begin, k, owner);
+          i = k + 1;
+          handled = true;
+          break;
+        }
+        ++k;
+      }
+      if (!handled) i = k;  // ran off the scope
+    }
+    return i;
+  }
+};
+
+}  // namespace
+
+Annotations collect_annotations(std::string_view src) {
+  Annotations out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool code_seen_on_line = false;
+
+  auto parse_comment = [&](std::size_t begin, std::size_t end, int at_line, bool alone) {
+    std::string_view comment = src.substr(begin, end - begin);
+    std::size_t tag = comment.find("spider-taint:");
+    if (tag == std::string_view::npos) return;
+    std::string_view rest = comment.substr(tag + 13);
+    std::size_t secret = rest.find("secret");
+    std::size_t declassify = rest.find("declassify(");
+    if (declassify != std::string_view::npos) {
+      std::size_t rb = declassify + 11;
+      int depth = 1;
+      std::size_t re = rb;
+      while (re < rest.size() && depth > 0) {
+        if (rest[re] == '(') ++depth;
+        if (rest[re] == ')') --depth;
+        if (depth > 0) ++re;
+      }
+      std::string rationale(rest.substr(rb, re - rb));
+      // Trim.
+      while (!rationale.empty() && (rationale.front() == ' ' || rationale.front() == '\t')) {
+        rationale.erase(rationale.begin());
+      }
+      while (!rationale.empty() && (rationale.back() == ' ' || rationale.back() == '\t')) {
+        rationale.pop_back();
+      }
+      out.declassify[at_line] = rationale;
+      if (alone) out.declassify[at_line + 1] = rationale;
+    } else if (secret != std::string_view::npos) {
+      out.secret.insert(at_line);
+      if (alone) out.secret.insert(at_line + 1);
+    }
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      code_seen_on_line = false;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      parse_comment(start, i, line, /*alone=*/!code_seen_on_line);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t start = i;
+      int start_line = line;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      parse_comment(start, i, start_line, /*alone=*/!code_seen_on_line);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Consume numeric literals wholesale so a C++14 digit separator
+      // (50'000) is never mistaken for the start of a char literal — that
+      // would swallow every annotation until the next stray quote.
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) || src[i] == '_' ||
+                       src[i] == '\'' || src[i] == '.')) {
+        ++i;
+      }
+      code_seen_on_line = true;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          if (src[i + 1] == '\n') ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;
+      code_seen_on_line = true;
+      continue;
+    }
+    code_seen_on_line = true;
+    ++i;
+  }
+  return out;
+}
+
+TuModel build_tu_model(std::string_view path, std::string_view source, const FileClass& cls) {
+  TuModel tu;
+  tu.path = std::string(path);
+  tu.cls = cls;
+  tu.tokens = lex(source);
+  tu.notes = collect_annotations(source);
+  tu.suppressions = collect_suppressions(source);
+  Extractor(tu).run();
+  return tu;
+}
+
+TuModel build_tu_model(std::string_view path, std::string_view source) {
+  return build_tu_model(path, source, classify(path));
+}
+
+}  // namespace spider::lint::taint

@@ -514,6 +514,8 @@ FileClass classify(std::string_view path) {
   cls.obs_impl = has("src/obs/");
   cls.chaos_catalog = has("src/chaos/catalog");
   cls.transport_impl = has("src/transport/");
+  cls.crypto_kernel =
+      has("src/crypto/") && (has("limb.") || has("mont.") || has("rsa."));
   return cls;
 }
 

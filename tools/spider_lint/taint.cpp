@@ -1,0 +1,1090 @@
+// Phase-2 dataflow: per-function analysis with symbolic parameter
+// origins, function summaries applied at call sites, global fixpoint,
+// then a reporting pass that materializes R11-R14 findings with full
+// source->sink hop chains.
+#include "taint.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <sstream>
+
+namespace spider::lint::taint {
+
+namespace {
+
+constexpr int kSecretOrigin = -1;
+constexpr std::size_t kMaxHops = 12;
+constexpr std::size_t kMaxSinksPerParam = 6;
+constexpr int kMaxRounds = 10;
+
+bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == Token::Kind::kIdent && t.text == s;
+}
+
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == Token::Kind::kPunct && t.text == s;
+}
+
+bool ident_kind(const Token& t) { return t.kind == Token::Kind::kIdent; }
+
+/// Hash/MAC/constant-time functions whose results are safe to publish
+/// regardless of input taint (the commitment/blinding boundary), plus
+/// compiler pseudo-calls that only observe size.
+bool sanitizer(std::string_view s) {
+  static const std::set<std::string_view> kSet = {
+      "digest20", "digest20_concat", "digest20_batch", "mac20",
+      "hash",     "finish",          "constant_time_equal",
+      "bit_leaf_hash", "bit_leaf_hash_batch", "sizeof", "alignof",
+  };
+  return kSet.count(s) != 0;
+}
+
+/// Methods whose results are public even on secret receivers: lengths
+/// and emptiness are public in this codebase (ct.hpp documents the
+/// convention).
+bool projection(std::string_view s) {
+  return s == "size" || s == "empty" || s == "length" || s == "bit_length" ||
+         s == "capacity" || s == "modulus_bytes";
+}
+
+/// C stdio / logging functions: R11 sinks.
+bool log_sink(std::string_view s) {
+  static const std::set<std::string_view> kSet = {
+      "printf", "fprintf", "sprintf", "snprintf", "vsnprintf", "vfprintf",
+      "dprintf", "puts",   "fputs",   "perror",   "syslog",
+  };
+  return kSet.count(s) != 0;
+}
+
+/// ByteWriter encode methods: R12 sinks.
+bool writer_method(std::string_view s) {
+  static const std::set<std::string_view> kSet = {
+      "u8", "u16", "u32", "u64", "i64", "bytes", "raw", "digest", "str",
+  };
+  return kSet.count(s) != 0;
+}
+
+/// Container mutators that taint their receiver when fed tainted data.
+bool container_mutator(std::string_view s) {
+  static const std::set<std::string_view> kSet = {
+      "push_back", "emplace_back", "insert", "assign", "append", "push",
+      "emplace",
+  };
+  return kSet.count(s) != 0;
+}
+
+bool obs_macro(std::string_view s) { return s.rfind("SPIDER_OBS_", 0) == 0; }
+
+std::size_t matching_close(const std::vector<Token>& toks, std::size_t open) {
+  const std::string& o = toks[open].text;
+  const std::string c = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kPunct) continue;
+    if (toks[i].text == o) ++depth;
+    if (toks[i].text == c && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+/// origin -> hop chain.  kSecretOrigin is a concrete secret; >= 0 is the
+/// function's own parameter index (symbolic, for summaries).
+using Taint = std::map<int, std::vector<Hop>>;
+
+void merge_origin(Taint& dst, int origin, std::vector<Hop> chain) {
+  if (chain.size() > kMaxHops) {
+    std::vector<Hop> cut(chain.begin(), chain.begin() + kMaxHops - 1);
+    cut.push_back(chain.back());
+    chain = std::move(cut);
+  }
+  auto it = dst.find(origin);
+  if (it == dst.end()) dst.emplace(origin, std::move(chain));
+}
+
+void merge_taint(Taint& dst, const Taint& src) {
+  for (const auto& [o, chain] : src) merge_origin(dst, o, chain);
+}
+
+std::vector<Hop> extend(std::vector<Hop> chain, Hop hop) {
+  chain.push_back(std::move(hop));
+  return chain;
+}
+
+std::vector<Hop> splice(std::vector<Hop> head, Hop link, const std::vector<Hop>& tail) {
+  head.push_back(std::move(link));
+  head.insert(head.end(), tail.begin(), tail.end());
+  return head;
+}
+
+std::string render_message(const std::string& desc, const std::vector<Hop>& hops) {
+  std::ostringstream ss;
+  ss << desc;
+  for (const Hop& h : hops) {
+    ss << "\n    flow: " << h.path << ":" << h.line << ": " << h.note;
+  }
+  return ss.str();
+}
+
+struct FnRef {
+  std::size_t tu = 0;  // index into tus_
+  std::size_t fn = 0;  // index into tus_[tu].functions
+};
+
+}  // namespace
+
+// ----------------------------------------------------------------- Impl
+
+struct Analysis::Impl {
+  std::vector<TuModel> tus;
+
+  std::set<std::string> secret_types;
+  // (owner, field) -> declaration hop.  owner "" = namespace scope.
+  std::map<std::pair<std::string, std::string>, Hop> secret_members;
+  // Function keys marked secret by annotation (defs or decls).
+  std::set<std::string> secret_marked;
+  // key -> param names marked secret on a declaration.
+  std::map<std::string, std::set<std::string>> secret_param_names;
+
+  std::vector<FnRef> defs;                          // functions with bodies
+  std::multimap<std::string, std::size_t> by_name;  // unqualified name -> defs idx
+  std::vector<FnSummary> summaries;
+  std::map<std::string, std::size_t> by_key;  // summary key -> defs idx (first)
+
+  std::vector<CallSite> calls;
+  std::vector<Finding> findings;
+  bool ran = false;
+
+  static std::string fn_key(const FunctionModel& fn) {
+    return fn.owner.empty() ? fn.name : fn.owner + "::" + fn.name;
+  }
+
+  const FunctionModel& fn_of(const FnRef& r) const { return tus[r.tu].functions[r.fn]; }
+
+  bool declassified(const TuModel& tu, int line) const {
+    auto it = tu.notes.declassify.find(line);
+    return it != tu.notes.declassify.end() && !it->second.empty();
+  }
+
+  void build_indexes() {
+    for (const TuModel& tu : tus) {
+      for (const TypeModel& ty : tu.types) {
+        if (ty.annotated_secret) secret_types.insert(ty.name);
+      }
+    }
+    for (const TuModel& tu : tus) {
+      for (const FieldModel& f : tu.fields) {
+        if (f.annotated_secret || secret_types.count(f.type) != 0) {
+          secret_members.emplace(
+              std::make_pair(f.owner, f.name),
+              Hop{tu.path, f.line,
+                  "field '" + (f.owner.empty() ? f.name : f.owner + "::" + f.name) +
+                      "' holds secret data"});
+        }
+      }
+      for (const FunctionModel& fn : tu.functions) {
+        const std::string key = fn_key(fn);
+        if (fn.annotated_secret) secret_marked.insert(key);
+        for (const ParamModel& p : fn.params) {
+          if (p.annotated_secret && !p.name.empty()) secret_param_names[key].insert(p.name);
+        }
+      }
+    }
+    for (std::size_t t = 0; t < tus.size(); ++t) {
+      for (std::size_t f = 0; f < tus[t].functions.size(); ++f) {
+        const FunctionModel& fn = tus[t].functions[f];
+        if (!fn.has_body) continue;
+        const std::size_t idx = defs.size();
+        defs.push_back(FnRef{t, f});
+        by_name.emplace(fn.name, idx);
+        by_key.emplace(fn_key(fn), idx);
+      }
+    }
+    summaries.resize(defs.size());
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+      summaries[i].key = fn_key(fn_of(defs[i]));
+    }
+  }
+
+  bool fn_secret_marked(const FunctionModel& fn) const {
+    return fn.annotated_secret || secret_marked.count(fn_key(fn)) != 0 ||
+           secret_types.count(fn.return_type) != 0;
+  }
+
+  bool param_secret(const FunctionModel& fn, const ParamModel& p) const {
+    if (p.annotated_secret || secret_types.count(p.type) != 0) return true;
+    auto it = secret_param_names.find(fn_key(fn));
+    return it != secret_param_names.end() && !p.name.empty() &&
+           it->second.count(p.name) != 0;
+  }
+
+  /// Seeds the a-priori part of a summary from annotations before each
+  /// round's local pass.
+  void seed_summary(std::size_t idx) {
+    const FnRef& r = defs[idx];
+    const FunctionModel& fn = fn_of(r);
+    FnSummary& s = summaries[idx];
+    if (!fn_secret_marked(fn)) return;
+    const Hop src{tus[r.tu].path, fn.line, "'" + s.key + "' is marked secret"};
+    if (!fn.return_type.empty()) {
+      s.secret_return = true;
+      if (s.secret_return_hops.empty()) s.secret_return_hops = {src};
+    } else {
+      // A void secret function: its writable parameters carry the secret.
+      for (std::size_t p = 0; p < fn.params.size(); ++p) {
+        if (!fn.params[p].out_param) continue;
+        s.secret_out_params.insert(p);
+        if (s.secret_out_hops[p].empty()) s.secret_out_hops[p] = {src};
+      }
+    }
+  }
+
+  std::size_t summary_size(const FnSummary& s) const {
+    std::size_t n = s.secret_return ? 1 : 0;
+    n += s.param_returns.size();
+    for (const auto& [p, v] : s.param_sinks) n += v.size();
+    n += s.secret_out_params.size();
+    for (const auto& [p, srcs] : s.param_out_flows) n += srcs.size();
+    return n;
+  }
+
+  void run_all() {
+    build_indexes();
+    for (int round = 0; round < kMaxRounds; ++round) {
+      std::size_t before = 0, after = 0;
+      for (const FnSummary& s : summaries) before += summary_size(s);
+      for (std::size_t i = 0; i < defs.size(); ++i) {
+        seed_summary(i);
+        analyze(i, /*report=*/false);
+      }
+      for (const FnSummary& s : summaries) after += summary_size(s);
+      if (after == before && round > 0) break;
+    }
+    for (std::size_t i = 0; i < defs.size(); ++i) analyze(i, /*report=*/true);
+    report_empty_rationales();
+    finish_findings();
+    ran = true;
+  }
+
+  void report_empty_rationales() {
+    for (const TuModel& tu : tus) {
+      for (const auto& [line, rationale] : tu.notes.declassify) {
+        if (!rationale.empty()) continue;
+        // A standalone comment registers its own line and the next one;
+        // report only the first.
+        auto prev = tu.notes.declassify.find(line - 1);
+        if (prev != tu.notes.declassify.end() && prev->second == rationale) continue;
+        findings.push_back(
+            {"R12", tu.path, line,
+             "spider-taint: declassify() requires a rationale — say why this "
+             "disclosure is part of the protocol"});
+      }
+    }
+  }
+
+  void finish_findings() {
+    // Drop suppressed findings (the sink file's suppression map governs).
+    std::map<std::string, const TuModel*> by_path;
+    for (const TuModel& tu : tus) by_path.emplace(tu.path, &tu);
+    std::vector<Finding> kept;
+    for (Finding& f : findings) {
+      auto tu = by_path.find(f.path);
+      if (tu != by_path.end()) {
+        auto sup = tu->second->suppressions.find(f.line);
+        if (sup != tu->second->suppressions.end() && sup->second.count(f.rule) != 0) {
+          continue;
+        }
+      }
+      kept.push_back(std::move(f));
+    }
+    std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+      if (!(a < b) && !(b < a)) return a.message.size() < b.message.size();
+      return a < b;
+    });
+    kept.erase(std::unique(kept.begin(), kept.end(),
+                           [](const Finding& a, const Finding& b) {
+                             return a.rule == b.rule && a.path == b.path && a.line == b.line;
+                           }),
+               kept.end());
+    findings = std::move(kept);
+  }
+
+  // --------------------------------------------------- per-function pass
+
+  struct Checker;
+  void analyze(std::size_t idx, bool report);
+};
+
+/// Walks one function body: statement chunking, expression evaluation,
+/// call-site summary application, sink detection.
+struct Analysis::Impl::Checker {
+  Impl& a;
+  std::size_t idx;        // defs index
+  const TuModel& tu;
+  const FunctionModel& fn;
+  const std::vector<Token>& toks;
+  bool report;
+
+  std::map<std::string, Taint> env;
+  std::map<std::string, std::string> var_types;
+
+  Checker(Impl& a_, std::size_t idx_, bool report_)
+      : a(a_),
+        idx(idx_),
+        tu(a_.tus[a_.defs[idx_].tu]),
+        fn(a_.fn_of(a_.defs[idx_])),
+        toks(tu.tokens),
+        report(report_) {}
+
+  FnSummary& summary() { return a.summaries[idx]; }
+
+  void run() {
+    for (std::size_t p = 0; p < fn.params.size(); ++p) {
+      const ParamModel& pm = fn.params[p];
+      if (pm.name.empty()) continue;
+      if (!pm.type.empty()) var_types[pm.name] = pm.type;
+      Taint& t = env[pm.name];
+      merge_origin(t, static_cast<int>(p), {});
+      if (a.param_secret(fn, pm)) {
+        merge_origin(t, kSecretOrigin,
+                     {Hop{tu.path, pm.line,
+                          "secret parameter '" + pm.name + "' of '" + summary().key + "'"}});
+      }
+    }
+    walk_chunks(fn.body_begin + 1, fn.body_end > 0 ? fn.body_end - 1 : fn.body_begin + 1);
+  }
+
+  // ------------------------------------------------------------ chunking
+
+  void walk_chunks(std::size_t b, std::size_t e) {
+    std::size_t start = b;
+    int pd = 0;
+    for (std::size_t i = b; i < e && i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Token::Kind::kPunct) continue;
+      if (t.text == "(") ++pd;
+      if (t.text == ")" && pd > 0) --pd;
+      if ((t.text == ";" && pd == 0) || t.text == "{" || t.text == "}") {
+        process_chunk(start, i);
+        start = i + 1;
+        pd = 0;
+      }
+    }
+    if (start < e) process_chunk(start, e);
+  }
+
+  void process_chunk(std::size_t b, std::size_t e) {
+    while (b < e && ident_kind(toks[b]) &&
+           (toks[b].text == "else" || toks[b].text == "do")) {
+      ++b;
+    }
+    if (b >= e) return;
+    const Token& first = toks[b];
+
+    scan_ternaries(b, e);
+    scan_subscripts(b, e);
+    scan_comparisons(b, e);
+
+    if (ident_kind(first) &&
+        (first.text == "if" || first.text == "while" || first.text == "switch")) {
+      if (b + 1 < e && is_punct(toks[b + 1], "(")) {
+        const std::size_t close = matching_close(toks, b + 1);
+        branch_sink(b + 2, std::min(close, e), first.text);
+        if (close + 1 < e) process_chunk(close + 1, e);
+      }
+      return;
+    }
+    if (ident_kind(first) && first.text == "for") {
+      if (b + 1 < e && is_punct(toks[b + 1], "(")) {
+        const std::size_t close = std::min(matching_close(toks, b + 1), e);
+        // The three segments split at ';' one paren level down.
+        std::size_t semi1 = close, semi2 = close;
+        int pd = 0;
+        for (std::size_t i = b + 2; i < close; ++i) {
+          if (is_punct(toks[i], "(")) ++pd;
+          if (is_punct(toks[i], ")") && pd > 0) --pd;
+          if (is_punct(toks[i], ";") && pd == 0) {
+            if (semi1 == close) {
+              semi1 = i;
+            } else {
+              semi2 = i;
+              break;
+            }
+          }
+        }
+        process_assignments(b + 2, semi1);
+        if (semi1 < close) branch_sink(semi1 + 1, std::min(semi2, close), "for");
+        if (close + 1 < e) process_chunk(close + 1, e);
+      }
+      return;
+    }
+    if (ident_kind(first) && first.text == "return") {
+      handle_return(b, e);
+      return;
+    }
+    if (ident_kind(first) && first.text == "throw") {
+      Taint t = eval(b + 1, e);
+      emit_sink(t, "R11", first.line,
+                "secret flows into a thrown exception (error strings are "
+                "observable)");
+      return;
+    }
+
+    const bool had_assign = process_assignments(b, e);
+    if (!had_assign) {
+      Taint t = eval(b, e);
+      stream_sink(b, e, t);
+    } else {
+      stream_sink(b, e, Taint{});
+    }
+  }
+
+  // ------------------------------------------------------------- helpers
+
+  /// R14: condition extent evaluated inside a crypto kernel file.
+  void branch_sink(std::size_t b, std::size_t e, const std::string& kw) {
+    Taint t = eval(b, e);
+    if (!tu.cls.crypto_kernel) return;
+    if (t.empty() || b >= e) return;
+    emit_sink(t, "R14", toks[b].line,
+              "secret-dependent '" + kw + "' branch in a crypto kernel (make it "
+              "constant-time or hoist the secret out)");
+  }
+
+  void scan_ternaries(std::size_t b, std::size_t e) {
+    if (!tu.cls.crypto_kernel) return;
+    for (std::size_t i = b; i < e; ++i) {
+      if (!is_punct(toks[i], "?")) continue;
+      // Condition extent: walk back to the start of the sub-expression.
+      int depth = 0;
+      std::size_t cb = b;
+      for (std::size_t j = i; j-- > b;) {
+        const Token& t = toks[j];
+        if (is_punct(t, ")") || is_punct(t, "]")) ++depth;
+        if (is_punct(t, "(") || is_punct(t, "[")) {
+          if (depth == 0) {
+            cb = j + 1;
+            break;
+          }
+          --depth;
+        }
+        if (depth == 0 &&
+            (is_punct(t, ",") || is_punct(t, ";") || is_punct(t, "=") ||
+             is_punct(t, "&&") || is_punct(t, "||") || is_punct(t, "?") ||
+             is_punct(t, ":") || is_ident(t, "return"))) {
+          cb = j + 1;
+          break;
+        }
+      }
+      Taint t = eval(cb, i);
+      emit_sink(t, "R14", toks[i].line,
+                "secret-dependent ternary select in a crypto kernel (use a "
+                "branchless mask)");
+    }
+  }
+
+  void scan_subscripts(std::size_t b, std::size_t e) {
+    if (!tu.cls.crypto_kernel) return;
+    for (std::size_t i = b; i < e; ++i) {
+      if (!is_punct(toks[i], "[")) continue;
+      if (i == b || !(ident_kind(toks[i - 1]) || is_punct(toks[i - 1], ")") ||
+                      is_punct(toks[i - 1], "]"))) {
+        continue;  // not a subscript
+      }
+      // Skip declarations: `limb_t t[S + 1]` — the name directly after a
+      // type identifier is a declarator, whose extent is a public size.
+      if (i >= b + 2 && ident_kind(toks[i - 1]) && ident_kind(toks[i - 2])) continue;
+      const std::size_t close = matching_close(toks, i);
+      Taint t = eval(i + 1, std::min(close, e));
+      emit_sink(t, "R14", toks[i].line,
+                "secret-dependent array index in a crypto kernel (gather all "
+                "entries with a constant-time select)");
+    }
+  }
+
+  void scan_comparisons(std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      if (!(is_punct(toks[i], "==") || is_punct(toks[i], "!="))) continue;
+      const auto [lb, le] = operand_left(b, i);
+      const auto [rb, re] = operand_right(i, e);
+      const bool left_literal = literal_extent(lb, le);
+      const bool right_literal = literal_extent(rb, re);
+      if (left_literal && right_literal) continue;
+      Taint t = eval(lb, le);
+      merge_taint(t, eval(rb, re));
+      if (left_literal || right_literal) continue;  // x == 0 leaks one bit, allowed
+      emit_sink(t, "R13", toks[i].line,
+                "secret compared with '" + toks[i].text +
+                    "' — use crypto::constant_time_equal");
+    }
+  }
+
+  std::pair<std::size_t, std::size_t> operand_left(std::size_t b, std::size_t op) const {
+    int depth = 0;
+    std::size_t lb = b;
+    for (std::size_t j = op; j-- > b;) {
+      const Token& t = toks[j];
+      if (is_punct(t, ")") || is_punct(t, "]")) ++depth;
+      if (is_punct(t, "(") || is_punct(t, "[")) {
+        if (depth == 0) {
+          lb = j + 1;
+          break;
+        }
+        --depth;
+      }
+      if (depth == 0 &&
+          (is_punct(t, ",") || is_punct(t, ";") || is_punct(t, "=") ||
+           is_punct(t, "&&") || is_punct(t, "||") || is_punct(t, "?") ||
+           is_punct(t, ":") || is_punct(t, "!") || is_ident(t, "return") ||
+           is_ident(t, "if") || is_ident(t, "while"))) {
+        lb = j + 1;
+        break;
+      }
+    }
+    return {lb, op};
+  }
+
+  std::pair<std::size_t, std::size_t> operand_right(std::size_t op, std::size_t e) const {
+    int depth = 0;
+    std::size_t re = e;
+    for (std::size_t j = op + 1; j < e; ++j) {
+      const Token& t = toks[j];
+      if (is_punct(t, "(") || is_punct(t, "[")) ++depth;
+      if (is_punct(t, ")") || is_punct(t, "]")) {
+        if (depth == 0) {
+          re = j;
+          break;
+        }
+        --depth;
+      }
+      if (depth == 0 &&
+          (is_punct(t, ",") || is_punct(t, ";") || is_punct(t, "&&") ||
+           is_punct(t, "||") || is_punct(t, "?") || is_punct(t, ":"))) {
+        re = j;
+        break;
+      }
+    }
+    return {op + 1, re};
+  }
+
+  /// True when the extent holds no identifiers (pure literal compare).
+  bool literal_extent(std::size_t b, std::size_t e) const {
+    bool any = false;
+    for (std::size_t i = b; i < e; ++i) {
+      if (ident_kind(toks[i])) {
+        if (toks[i].text == "nullptr" || toks[i].text == "true" ||
+            toks[i].text == "false") {
+          any = true;  // null/bool checks are one-bit guards, not compares
+          continue;
+        }
+        return false;
+      }
+      if (toks[i].kind == Token::Kind::kNumber || toks[i].kind == Token::Kind::kChar) {
+        any = true;
+      }
+      if (toks[i].kind == Token::Kind::kString) return false;  // strcmp-ish data
+    }
+    return any || b >= e;
+  }
+
+  /// std::cout/cerr/clog insert chunks: any taint in the chunk is R11.
+  void stream_sink(std::size_t b, std::size_t e, const Taint& pre) {
+    std::size_t stream = e;
+    for (std::size_t i = b; i < e; ++i) {
+      if (ident_kind(toks[i]) &&
+          (toks[i].text == "cout" || toks[i].text == "cerr" || toks[i].text == "clog")) {
+        stream = i;
+        break;
+      }
+    }
+    if (stream == e) return;
+    Taint t = pre;
+    if (t.empty()) t = eval(b, e);
+    emit_sink(t, "R11", toks[stream].line,
+              "secret inserted into std::" + toks[stream].text);
+  }
+
+  void handle_return(std::size_t b, std::size_t e) {
+    if (a.declassified(tu, toks[b].line)) {
+      eval(b + 1, e);  // still surface sinks inside the expression
+      return;
+    }
+    Taint t = eval(b + 1, e);
+    FnSummary& s = summary();
+    for (const auto& [origin, chain] : t) {
+      if (origin == kSecretOrigin) {
+        if (!s.secret_return) {
+          s.secret_return = true;
+          s.secret_return_hops =
+              extend(chain, Hop{tu.path, toks[b].line,
+                                "returned from '" + s.key + "'"});
+        }
+      } else {
+        auto it = s.param_returns.find(static_cast<std::size_t>(origin));
+        if (it == s.param_returns.end()) {
+          s.param_returns.emplace(
+              static_cast<std::size_t>(origin),
+              extend(chain, Hop{tu.path, toks[b].line, "returned from '" + s.key + "'"}));
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------------- assignments
+
+  /// Processes every assignment operator in the chunk.  Returns true
+  /// when at least one was found.
+  bool process_assignments(std::size_t b, std::size_t e) {
+    static const std::set<std::string_view> kAssign = {
+        "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+    };
+    bool any = false;
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Token::Kind::kPunct || kAssign.count(t.text) == 0) continue;
+      any = true;
+      handle_assignment(b, i, e);
+    }
+    return any;
+  }
+
+  void handle_assignment(std::size_t b, std::size_t op, std::size_t e) {
+    // Target: walk back over a postfix chain to the base identifier.
+    std::size_t j = op;
+    bool member_write = false;
+    while (j > b) {
+      const Token& t = toks[j - 1];
+      if (is_punct(t, "]")) {  // skip the subscript backwards
+        int depth = 0;
+        std::size_t k = j - 1;
+        while (k > b) {
+          if (is_punct(toks[k], "]")) ++depth;
+          if (is_punct(toks[k], "[") && --depth == 0) break;
+          --k;
+        }
+        j = k;
+        member_write = true;
+        continue;
+      }
+      if (ident_kind(t)) {
+        j = j - 1;
+        if (j > b && (is_punct(toks[j - 1], ".") || is_punct(toks[j - 1], "->"))) {
+          j -= 1;  // consume the accessor and keep walking
+          member_write = true;
+          continue;
+        }
+        break;
+      }
+      if (is_punct(t, ")")) return;  // (*p) = ... and friends: unmodeled
+      break;
+    }
+    if (j >= op || !ident_kind(toks[j])) return;
+    const std::string base = toks[j].text;
+
+    // Declared-type capture for `Type name = ...` / `Type* name = ...`.
+    bool declared_secret = false;
+    if (!member_write && j > b) {
+      std::size_t k = j;
+      while (k > b && (is_punct(toks[k - 1], "*") || is_punct(toks[k - 1], "&") ||
+                       is_punct(toks[k - 1], "&&") || is_ident(toks[k - 1], "const"))) {
+        --k;
+      }
+      if (k > b && ident_kind(toks[k - 1]) && !is_ident(toks[k - 1], "return")) {
+        const std::string ty = toks[k - 1].text;
+        if (ty != "auto") var_types[base] = ty;
+        if (a.secret_types.count(ty) != 0) {
+          declared_secret = true;
+          merge_origin(env[base], kSecretOrigin,
+                       {Hop{tu.path, toks[j].line,
+                            "'" + base + "' declared with secret type '" + ty + "'"}});
+        }
+      }
+    }
+
+    // RHS extent: to the next top-level ',' or ';' or the chunk end.
+    std::size_t re = e;
+    int depth = 0;
+    for (std::size_t k = op + 1; k < e; ++k) {
+      if (is_punct(toks[k], "(") || is_punct(toks[k], "[") || is_punct(toks[k], "{")) {
+        ++depth;
+      }
+      if (is_punct(toks[k], ")") || is_punct(toks[k], "]") || is_punct(toks[k], "}")) {
+        --depth;
+      }
+      if (depth == 0 && (is_punct(toks[k], ",") || is_punct(toks[k], ";"))) {
+        re = k;
+        break;
+      }
+    }
+    Taint rhs = eval(op + 1, re);
+    if (a.declassified(tu, toks[op].line)) return;
+    if (rhs.empty()) {
+      // A variable of secret TYPE stays secret even when the initializer
+      // is unmodeled — the type annotation outranks the missing summary.
+      if (!member_write && !declared_secret && toks[op].text == "=") env.erase(base);
+      record_out_write(base, member_write, rhs);
+      return;
+    }
+    Taint& dst = env[base];
+    for (const auto& [origin, chain] : rhs) {
+      merge_origin(dst, origin,
+                   extend(chain, Hop{tu.path, toks[op].line,
+                                     "'" + base + "' assigned from tainted expression"}));
+    }
+    record_out_write(base, member_write, rhs);
+  }
+
+  /// Writes through an out-parameter feed the function summary.
+  void record_out_write(const std::string& base, bool member_write, const Taint& rhs) {
+    for (std::size_t p = 0; p < fn.params.size(); ++p) {
+      const ParamModel& pm = fn.params[p];
+      if (pm.name != base || pm.name.empty()) continue;
+      if (!pm.out_param && !member_write) return;  // by-value reassignment
+      if (!pm.out_param) return;
+      FnSummary& s = summary();
+      for (const auto& [origin, chain] : rhs) {
+        if (origin == kSecretOrigin) {
+          if (s.secret_out_params.insert(p).second) {
+            s.secret_out_hops[p] = chain;
+          }
+        } else {
+          s.param_out_flows[p].insert(static_cast<std::size_t>(origin));
+        }
+      }
+      return;
+    }
+  }
+
+  // --------------------------------------------------------- evaluation
+
+  Taint origins_of_ident(const std::string& name, int line) {
+    Taint out;
+    auto it = env.find(name);
+    if (it != env.end()) merge_taint(out, it->second);
+    auto member = a.secret_members.find({fn.owner, name});
+    if (member != a.secret_members.end()) {
+      merge_origin(out, kSecretOrigin, {member->second});
+    }
+    auto global = a.secret_members.find({std::string(), name});
+    if (global != a.secret_members.end()) {
+      merge_origin(out, kSecretOrigin, {global->second});
+    }
+    (void)line;
+    return out;
+  }
+
+  /// Evaluates an expression extent: accumulated taint of every
+  /// identifier, call results via summaries, sink detection en route.
+  Taint eval(std::size_t b, std::size_t e) {
+    Taint result;
+    std::size_t i = b;
+    while (i < e && i < toks.size()) {
+      const Token& t = toks[i];
+      if (!ident_kind(t)) {
+        ++i;
+        continue;
+      }
+      const Token* nxt = i + 1 < toks.size() ? &toks[i + 1] : nullptr;
+      if (nxt != nullptr && is_punct(*nxt, "(")) {
+        merge_taint(result, handle_call(i, i + 1, t.text, Taint{}, &i));
+        continue;
+      }
+      if (nxt != nullptr && (is_punct(*nxt, ".") || is_punct(*nxt, "->"))) {
+        merge_taint(result, eval_postfix(i, e, &i));
+        continue;
+      }
+      merge_taint(result, origins_of_ident(t.text, t.line));
+      ++i;
+    }
+    return result;
+  }
+
+  /// base(.field | .method(...))* — returns the chain's taint and
+  /// advances *out past it.
+  Taint eval_postfix(std::size_t base_idx, std::size_t e, std::size_t* out) {
+    const std::string base = toks[base_idx].text;
+    Taint acc = origins_of_ident(base, toks[base_idx].line);
+    std::string chain_type;
+    auto ty = var_types.find(base);
+    if (ty != var_types.end()) chain_type = ty->second;
+
+    std::size_t i = base_idx + 1;
+    bool first_level = true;
+    while (i + 1 < e && (is_punct(toks[i], ".") || is_punct(toks[i], "->")) &&
+           ident_kind(toks[i + 1])) {
+      const std::string member = toks[i + 1].text;
+      const bool is_call = i + 2 < toks.size() && is_punct(toks[i + 2], "(");
+      if (is_call) {
+        if (projection(member)) {
+          // The projected value (a length/emptiness) is public, so the
+          // chain's taint does not survive the call.
+          acc.clear();
+          i = matching_close(toks, i + 2) + 1;
+          first_level = false;
+          continue;
+        }
+        if (sanitizer(member)) {
+          // Hash/MAC methods launder the receiver and the args.
+          eval(i + 3, matching_close(toks, i + 2));  // still surface sinks
+          i = matching_close(toks, i + 2) + 1;
+          acc.clear();
+          first_level = false;
+          continue;
+        }
+        if (writer_method(member)) {
+          const std::size_t close = matching_close(toks, i + 2);
+          Taint args = eval(i + 3, close);
+          if (!a.declassified(tu, toks[i + 1].line)) {
+            emit_sink(args, "R12", toks[i + 1].line,
+                      "secret reaches the wire encoder ByteWriter::" + member +
+                          " — declassify(...) with a rationale if this "
+                          "disclosure is the protocol");
+          }
+          i = close + 1;
+          first_level = false;
+          continue;
+        }
+        if (container_mutator(member)) {
+          const std::size_t close = matching_close(toks, i + 2);
+          Taint args = eval(i + 3, close);
+          Taint& dst = env[base];
+          for (const auto& [origin, chain] : args) {
+            merge_origin(dst, origin,
+                         extend(chain, Hop{tu.path, toks[i + 1].line,
+                                           "stored into '" + base + "'"}));
+          }
+          merge_taint(acc, args);
+          i = close + 1;
+          first_level = false;
+          continue;
+        }
+        Taint call_result = handle_call(i + 1, i + 2, member, acc, &i);
+        merge_taint(acc, call_result);
+        first_level = false;
+        continue;
+      }
+      // Plain field read: typed member matching on the first level.
+      if (first_level && !chain_type.empty()) {
+        auto member_hop = a.secret_members.find({chain_type, member});
+        if (member_hop != a.secret_members.end()) {
+          merge_origin(acc, kSecretOrigin, {member_hop->second});
+        }
+      }
+      i += 2;
+      first_level = false;
+    }
+    *out = i;
+    return acc;
+  }
+
+  /// A call `name(args)`.  `receiver` carries the taint of the method
+  /// receiver when invoked as `x.name(...)` (empty for free calls);
+  /// results inherit it (containment).  Advances *out past the close.
+  Taint handle_call(std::size_t name_idx, std::size_t open, const std::string& callee,
+                    const Taint& receiver, std::size_t* out) {
+    const std::size_t close = matching_close(toks, open);
+    *out = close + 1;
+    const int call_line = toks[name_idx].line;
+
+    // Argument extents, split at depth-1 commas.
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    {
+      std::size_t piece = open + 1;
+      int depth = 0;
+      for (std::size_t i = open + 1; i < close; ++i) {
+        if (is_punct(toks[i], "(") || is_punct(toks[i], "[") || is_punct(toks[i], "{")) {
+          ++depth;
+        }
+        if (is_punct(toks[i], ")") || is_punct(toks[i], "]") || is_punct(toks[i], "}")) {
+          --depth;
+        }
+        if (depth == 0 && is_punct(toks[i], ",")) {
+          args.emplace_back(piece, i);
+          piece = i + 1;
+        }
+      }
+      if (piece < close) args.emplace_back(piece, close);
+    }
+
+    if (sanitizer(callee)) {
+      for (const auto& [ab, ae] : args) eval(ab, ae);  // surface nested sinks
+      return Taint{};
+    }
+
+    std::vector<Taint> arg_taints;
+    arg_taints.reserve(args.size());
+    for (const auto& [ab, ae] : args) arg_taints.push_back(eval(ab, ae));
+
+    Taint merged_args;
+    for (const Taint& t : arg_taints) merge_taint(merged_args, t);
+
+    if (log_sink(callee) || obs_macro(callee)) {
+      emit_sink(merged_args, "R11", call_line,
+                "secret passed to '" + callee + "' (log/observability output)");
+      Taint result = receiver;
+      merge_taint(result, merged_args);
+      return result;
+    }
+    if (callee == "memcmp") {
+      emit_sink(merged_args, "R13", call_line,
+                "secret passed to memcmp — use crypto::constant_time_equal");
+      return merged_args;
+    }
+
+    Taint result = receiver;  // method results inherit receiver taint
+
+    auto [lo, hi] = a.by_name.equal_range(callee);
+    bool modeled = false;
+    for (auto it = lo; it != hi; ++it) {
+      modeled = true;
+      const std::size_t callee_idx = it->second;
+      const FnSummary& cs = a.summaries[callee_idx];
+      const FunctionModel& cfn = a.fn_of(a.defs[callee_idx]);
+      if (report) {
+        a.calls.push_back(CallSite{summary().key, callee, tu.path, call_line});
+      }
+      if (cs.secret_return) {
+        merge_origin(result, kSecretOrigin,
+                     extend(cs.secret_return_hops,
+                            Hop{tu.path, call_line, "secret returned by '" + cs.key + "'"}));
+      }
+      for (std::size_t p : cs.secret_out_params) {
+        taint_arg_base(args, p,
+                       [&](Taint& dst, const std::string& base) {
+                         auto hops = cs.secret_out_hops.find(p);
+                         std::vector<Hop> chain =
+                             hops != cs.secret_out_hops.end() ? hops->second
+                                                              : std::vector<Hop>{};
+                         merge_origin(dst, kSecretOrigin,
+                                      extend(std::move(chain),
+                                             Hop{tu.path, call_line,
+                                                 "'" + base + "' filled by secret output of '" +
+                                                     cs.key + "'"}));
+                       });
+      }
+      for (std::size_t j = 0; j < arg_taints.size() && j < cfn.params.size(); ++j) {
+        if (arg_taints[j].empty()) continue;
+        const std::string pname =
+            cfn.params[j].name.empty() ? "#" + std::to_string(j) : cfn.params[j].name;
+        for (const auto& [origin, chain] : arg_taints[j]) {
+          const Hop link{tu.path, call_line,
+                         "passed to parameter '" + pname + "' of '" + cs.key + "'"};
+          auto ret = cs.param_returns.find(j);
+          if (ret != cs.param_returns.end()) {
+            merge_origin(result, origin, splice(chain, link, ret->second));
+          }
+          auto sinks = cs.param_sinks.find(j);
+          if (sinks != cs.param_sinks.end()) {
+            for (const SinkReach& sr : sinks->second) {
+              deliver_sink(origin, splice(chain, link, sr.hops), sr);
+            }
+          }
+          for (const auto& [outp, srcs] : cs.param_out_flows) {
+            if (srcs.count(j) == 0) continue;
+            taint_arg_base(args, outp, [&](Taint& dst, const std::string& base) {
+              merge_origin(dst, origin,
+                           splice(chain, link,
+                                  {Hop{tu.path, call_line,
+                                       "'" + base + "' written through '" + cs.key + "'"}}));
+            });
+          }
+        }
+      }
+      break;  // first definition wins; overloads share one body model here
+    }
+    if (!modeled) {
+      // Unknown callee: conservative containment, args flow to the result.
+      for (const auto& [origin, chain] : merged_args) {
+        merge_origin(result, origin, chain);
+      }
+    }
+    return result;
+  }
+
+  /// Applies `f` to the env slot of the base identifier of argument
+  /// `index` (first identifier in its extent).
+  template <typename F>
+  void taint_arg_base(const std::vector<std::pair<std::size_t, std::size_t>>& args,
+                      std::size_t index, F&& f) {
+    if (index >= args.size()) return;
+    for (std::size_t i = args[index].first; i < args[index].second; ++i) {
+      if (ident_kind(toks[i])) {
+        f(env[toks[i].text], toks[i].text);
+        return;
+      }
+    }
+  }
+
+  // ----------------------------------------------------------- emission
+
+  /// Routes a sink hit: concrete secrets become findings (reporting
+  /// pass), parameter origins become summary entries (every pass).
+  void emit_sink(const Taint& t, const std::string& rule, int line,
+                 const std::string& desc) {
+    if (t.empty()) return;
+    if (a.declassified(tu, line)) return;
+    for (const auto& [origin, chain] : t) {
+      SinkReach sr{rule, tu.path, line, desc, chain};
+      deliver_sink(origin, chain, sr);
+    }
+  }
+
+  void deliver_sink(int origin, std::vector<Hop> chain, const SinkReach& sr) {
+    if (origin == kSecretOrigin) {
+      if (!report) return;
+      findings_add(sr.rule, sr.path, sr.line, render_message(sr.desc, chain));
+      return;
+    }
+    FnSummary& s = summary();
+    auto& list = s.param_sinks[static_cast<std::size_t>(origin)];
+    if (list.size() >= kMaxSinksPerParam) return;
+    for (const SinkReach& seen : list) {
+      if (seen.rule == sr.rule && seen.path == sr.path && seen.line == sr.line) return;
+    }
+    list.push_back(SinkReach{sr.rule, sr.path, sr.line, sr.desc, std::move(chain)});
+  }
+
+  void findings_add(const std::string& rule, const std::string& path, int line,
+                    const std::string& message) {
+    a.findings.push_back({rule, path, line, message});
+  }
+};
+
+void Analysis::Impl::analyze(std::size_t idx, bool report) {
+  Checker c(*this, idx, report);
+  c.run();
+}
+
+// ------------------------------------------------------------- Analysis
+
+Analysis::Analysis(std::vector<TuModel> tus) : impl_(new Impl) {
+  impl_->tus = std::move(tus);
+}
+
+Analysis::~Analysis() { delete impl_; }
+
+std::vector<Finding> Analysis::run() {
+  impl_->run_all();
+  return impl_->findings;
+}
+
+const FnSummary* Analysis::summary(std::string_view key) const {
+  for (const FnSummary& s : impl_->summaries) {
+    if (s.key == key) return &s;
+  }
+  // Fall back to an unqualified match.
+  for (const FnSummary& s : impl_->summaries) {
+    const std::size_t sep = s.key.rfind("::");
+    if (sep != std::string::npos && s.key.substr(sep + 2) == key) return &s;
+  }
+  return nullptr;
+}
+
+const std::vector<CallSite>& Analysis::call_graph() const { return impl_->calls; }
+
+std::vector<Finding> run_taint(std::vector<TuModel> tus) {
+  Analysis a(std::move(tus));
+  return a.run();
+}
+
+}  // namespace spider::lint::taint

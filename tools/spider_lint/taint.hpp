@@ -1,0 +1,109 @@
+// Phase 2 of the taint pass: interprocedural secret-flow analysis over
+// the TuModels of the whole tree.
+//
+// Sources (marked via `// spider-taint: secret`, see model.hpp):
+//   - every value whose declared type is a secret type,
+//   - annotated fields / parameters,
+//   - return values of annotated functions (for void functions, their
+//     non-const pointer/reference parameters become secret outputs),
+//   - return values of functions whose return type is a secret type.
+//
+// Propagation is expression containment plus per-function summaries:
+// each function is analyzed with its parameters as symbolic origins; the
+// resulting summary (param -> return, param -> sink, secret -> out-param,
+// param -> out-param) is applied at every call site, to a global
+// fixpoint.  Hash functions (digest20*, Sha*::hash, Hmac::mac20) and
+// constant_time_equal sanitize; size()/empty()/length()/bit_length()
+// are public projections.
+//
+// Sinks:
+//   R11  logging / obs / error-string: printf family, std::cout/cerr/
+//        clog insertions, SPIDER_OBS_* macro arguments, throw
+//        expressions.
+//   R12  wire encode: ByteWriter methods (u8/u16/u32/u64/i64/bytes/raw/
+//        digest/str) — cleared by `// spider-taint: declassify(rationale)`
+//        on the sink line; a declassify with an empty rationale is itself
+//        an R12 finding.
+//   R13  non-constant-time comparison: ==/!= against a non-literal, and
+//        memcmp — use crypto::constant_time_equal.
+//   R14  secret-dependent branch (if/while/for/switch/ternary condition)
+//        or array index, scoped to the src/crypto limb/Montgomery/CRT
+//        kernels (FileClass::crypto_kernel).
+//
+// Every finding carries the full flow trace (file:line hops from the
+// source to the sink) in its message.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model.hpp"
+
+namespace spider::lint::taint {
+
+/// One step of a flow trace.
+struct Hop {
+  std::string path;
+  int line = 0;
+  std::string note;
+};
+
+/// A sink reached from a function parameter, recorded in its summary.
+struct SinkReach {
+  std::string rule;  // "R11" .. "R14"
+  std::string path;  // sink location
+  int line = 0;
+  std::string desc;
+  std::vector<Hop> hops;  // param entry -> sink, excluding the caller side
+};
+
+/// Per-function dataflow summary, computed to a global fixpoint.
+struct FnSummary {
+  std::string key;  // "Owner::name" or "name"
+  bool secret_return = false;
+  std::vector<Hop> secret_return_hops;
+  std::map<std::size_t, std::vector<Hop>> param_returns;     // param -> return
+  std::map<std::size_t, std::vector<SinkReach>> param_sinks; // param -> sinks
+  std::set<std::size_t> secret_out_params;                   // secret -> out-param
+  std::map<std::size_t, std::vector<Hop>> secret_out_hops;
+  std::map<std::size_t, std::set<std::size_t>> param_out_flows;  // out <- sources
+};
+
+/// A call-graph edge between modeled functions (callee resolved by
+/// unqualified name).
+struct CallSite {
+  std::string caller;  // summary key of the calling function
+  std::string callee;  // unqualified callee name
+  std::string path;
+  int line = 0;
+};
+
+class Analysis {
+ public:
+  explicit Analysis(std::vector<TuModel> tus);
+  ~Analysis();
+  Analysis(const Analysis&) = delete;
+  Analysis& operator=(const Analysis&) = delete;
+
+  /// Runs the fixpoint and the reporting pass.  Call once.
+  std::vector<Finding> run();
+
+  /// Post-run introspection for tests: summary by "Owner::name" (or bare
+  /// "name" for free functions); nullptr when unknown.
+  const FnSummary* summary(std::string_view key) const;
+
+  /// Post-run: every resolved call edge, in source order.
+  const std::vector<CallSite>& call_graph() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Convenience wrapper: build, run, discard introspection state.
+std::vector<Finding> run_taint(std::vector<TuModel> tus);
+
+}  // namespace spider::lint::taint
