@@ -16,11 +16,6 @@ namespace spider::core {
 namespace {
 constexpr int kSlot0 = 0, kSlot1 = 1, kSlotE = 2;
 
-Digest20 combine3(const Digest20& a, const Digest20& b, const Digest20& c) {
-  return crypto::digest20_concat({ByteSpan{a.data(), a.size()}, ByteSpan{b.data(), b.size()},
-                                  ByteSpan{c.data(), c.size()}});
-}
-
 /// Runs fn(start, end) over [0, n), either inline or sharded across `pool`
 /// when the range is large enough to amortize the task overhead.  Barrier
 /// semantics: returns only after every shard finished.  fn must not throw
@@ -42,6 +37,58 @@ void shard_range(util::ThreadPool* pool, std::size_t n, std::size_t min_parallel
   pool->wait_idle();
 }
 }  // namespace
+
+// -------------------------------------------------- proof subpath helpers
+
+Digest20 mtt_combine_children(const Digest20& c0, const Digest20& c1, const Digest20& c2) {
+  return crypto::digest20_concat({ByteSpan{c0.data(), c0.size()}, ByteSpan{c1.data(), c1.size()},
+                                  ByteSpan{c2.data(), c2.size()}});
+}
+
+Digest20 mtt_prefix_label(const Digest20* bit_labels, std::size_t n) {
+  crypto::Sha512 h;
+  for (std::size_t i = 0; i < n; ++i) {
+    h.update(ByteSpan{bit_labels[i].data(), bit_labels[i].size()});
+  }
+  auto full = h.finish();
+  Digest20 out{};
+  std::copy(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(out.size()), out.begin());
+  return out;
+}
+
+int mtt_path_slot(const bgp::Prefix& prefix, std::size_t level) {
+  if (level == prefix.length()) return kSlotE;
+  return prefix.bit(static_cast<std::uint8_t>(level)) ? kSlot1 : kSlot0;
+}
+
+std::uint64_t mtt_path_position(const bgp::Prefix& prefix, std::size_t level) {
+  // 32 path bits | 6 depth bits | 1 node-kind bit.  Inner positions carry
+  // the path truncated to `level` bits (canonical: lower bits zero), the
+  // prefix-node position the full canonical (bits, length) pair, so the
+  // packing is injective across both node kinds.
+  if (level > prefix.length()) {
+    return (static_cast<std::uint64_t>(prefix.bits()) << 32) |
+           (static_cast<std::uint64_t>(prefix.length()) << 1) | 1U;
+  }
+  const std::uint32_t bits =
+      level == 0 ? 0U : (prefix.bits() >> (32 - level)) << (32 - level);
+  return (static_cast<std::uint64_t>(bits) << 32) | (static_cast<std::uint64_t>(level) << 1);
+}
+
+Digest20 mtt_fold_level(const bgp::Prefix& prefix, std::size_t level, const Digest20& current,
+                        const std::array<Digest20, 2>& siblings) {
+  const int path_slot = mtt_path_slot(prefix, level);
+  std::array<Digest20, 3> labels{};
+  int out = 0;
+  for (int slot = 0; slot < 3; ++slot) {
+    if (slot == path_slot) {
+      labels[static_cast<std::size_t>(slot)] = current;
+    } else {
+      labels[static_cast<std::size_t>(slot)] = siblings[static_cast<std::size_t>(out++)];
+    }
+  }
+  return mtt_combine_children(labels[0], labels[1], labels[2]);
+}
 
 // ------------------------------------------------------------ PRF indices
 
@@ -382,9 +429,9 @@ std::uint64_t Mtt::relabel_inner(std::uint32_t inner_index, const crypto::Commit
   for (std::size_t s = 0; s < 3; ++s) {
     if (node.kind[s] == ChildKind::kDummy) ++hashes;  // PRF derivation per dummy child
   }
-  inner_labels_[inner_index] = combine3(child_label(inner_index, kSlot0, prf),
-                                        child_label(inner_index, kSlot1, prf),
-                                        child_label(inner_index, kSlotE, prf));
+  inner_labels_[inner_index] = mtt_combine_children(child_label(inner_index, kSlot0, prf),
+                                                    child_label(inner_index, kSlot1, prf),
+                                                    child_label(inner_index, kSlotE, prf));
   return hashes;
 }
 
@@ -544,48 +591,82 @@ const Digest20& Mtt::root_label() const {
 
 // ----------------------------------------------------------------- proofs
 
+MttProofMemo::Stats MttProofMemo::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
 MttPrefixProof Mtt::prove(const crypto::CommitmentPrf& prf, const bgp::Prefix& prefix,
                           const std::vector<ClassId>& classes) const {
+  return prove(prf, prefix, classes, nullptr);
+}
+
+MttPrefixProof Mtt::prove(const crypto::CommitmentPrf& prf, const bgp::Prefix& prefix,
+                          const std::vector<ClassId>& classes, MttProofMemo* memo) const {
   if (!labels_done_) throw std::logic_error("Mtt: labels not computed");
   auto prefix_index = find_prefix(prefix);
   if (!prefix_index) throw std::out_of_range("Mtt::prove: prefix not in tree " + prefix.str());
+  const std::uint64_t storage_base = static_cast<std::uint64_t>(*prefix_index) * num_classes_;
+
+  // The class-independent proof material: memo hit skips all PRF and
+  // digest work; the revealed openings below read the stored bits either
+  // way (they are the claim, and cost no hashing).
+  MttProofMemo::Entry material;
+  bool have_material = false;
+  if (memo != nullptr) {
+    std::lock_guard<std::mutex> lock(memo->mutex_);
+    auto it = memo->entries_.find(prefix);
+    if (it != memo->entries_.end()) {
+      material = it->second;
+      have_material = true;
+      ++memo->stats_.hits;
+    } else {
+      ++memo->stats_.misses;
+    }
+  }
+  if (!have_material) {
+    // Derive the x value of each bit node exactly once (batched through
+    // the SHA-512 lanes) and reuse it for both the openings and the bit
+    // labels.
+    std::vector<std::uint64_t> prf_indices(num_classes_);
+    for (std::uint32_t c = 0; c < num_classes_; ++c) prf_indices[c] = bit_prf_index(prefix, c);
+    material.xs.resize(num_classes_);
+    prf.bit_randomness_batch(prf_indices.data(), prf_indices.size(), material.xs.data());
+
+    material.bit_labels.reserve(num_classes_);
+    for (std::uint32_t c = 0; c < num_classes_; ++c) {
+      material.bit_labels.push_back(bit_leaf_hash(stored_bit(storage_base + c), material.xs[c]));
+    }
+
+    // Path from the root to the prefix node's parent, recording the two
+    // non-path child labels at each level.
+    std::uint32_t node = 0;
+    for (std::uint8_t depth = 0; depth <= prefix.length(); ++depth) {
+      const Inner& inner = inner_[node];
+      int path_slot = mtt_path_slot(prefix, depth);
+      std::array<Digest20, 2> sibs{};
+      int out = 0;
+      for (int slot = 0; slot < 3; ++slot) {
+        if (slot == path_slot) continue;
+        sibs[static_cast<std::size_t>(out++)] = child_label(node, slot, prf);
+      }
+      material.siblings.push_back(sibs);
+      if (path_slot != kSlotE) node = inner.child[static_cast<std::size_t>(path_slot)];
+    }
+    if (memo != nullptr) {
+      std::lock_guard<std::mutex> lock(memo->mutex_);
+      memo->entries_.emplace(prefix, material);
+    }
+  }
 
   MttPrefixProof proof;
   proof.prefix = prefix;
-
-  // Derive the x value of each bit node exactly once (batched through the
-  // SHA-512 lanes) and reuse it for both the openings and the bit labels.
-  const std::uint64_t storage_base = static_cast<std::uint64_t>(*prefix_index) * num_classes_;
-  std::vector<std::uint64_t> prf_indices(num_classes_);
-  for (std::uint32_t c = 0; c < num_classes_; ++c) prf_indices[c] = bit_prf_index(prefix, c);
-  std::vector<Digest20> xs(num_classes_);
-  prf.bit_randomness_batch(prf_indices.data(), prf_indices.size(), xs.data());
-
   for (ClassId cls : classes) {
     if (cls >= num_classes_) throw std::out_of_range("Mtt::prove: class out of range");
-    proof.revealed.push_back({cls, stored_bit(storage_base + cls), xs[cls]});
+    proof.revealed.push_back({cls, stored_bit(storage_base + cls), material.xs[cls]});
   }
-
-  proof.bit_labels.reserve(num_classes_);
-  for (std::uint32_t c = 0; c < num_classes_; ++c) {
-    proof.bit_labels.push_back(bit_leaf_hash(stored_bit(storage_base + c), xs[c]));
-  }
-
-  // Path from the root to the prefix node's parent, recording the two
-  // non-path child labels at each level.
-  std::uint32_t node = 0;
-  for (std::uint8_t depth = 0; depth <= prefix.length(); ++depth) {
-    const Inner& inner = inner_[node];
-    int path_slot = depth == prefix.length() ? kSlotE : (prefix.bit(depth) ? kSlot1 : kSlot0);
-    std::array<Digest20, 2> sibs{};
-    int out = 0;
-    for (int slot = 0; slot < 3; ++slot) {
-      if (slot == path_slot) continue;
-      sibs[static_cast<std::size_t>(out++)] = child_label(node, slot, prf);
-    }
-    proof.siblings.push_back(sibs);
-    if (path_slot != kSlotE) node = inner.child[static_cast<std::size_t>(path_slot)];
-  }
+  proof.bit_labels = std::move(material.bit_labels);
+  proof.siblings = std::move(material.siblings);
   SPIDER_OBS_COUNT("core/mtt_proofs_generated", 1);
   return proof;
 }
@@ -601,29 +682,11 @@ bool Mtt::verify(const Digest20& root, std::uint32_t num_classes, const MttPrefi
     if (bit_leaf_hash(opened.bit, opened.x) != proof.bit_labels[opened.cls]) return false;
   }
 
-  // Prefix-node label from its bit-node labels.
-  crypto::Sha512 h;
-  for (const Digest20& leaf : proof.bit_labels) h.update(ByteSpan{leaf.data(), leaf.size()});
-  auto full = h.finish();
-  Digest20 current{};
-  std::copy(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(current.size()),
-            current.begin());
-
-  // Fold upward: deepest path entry first.
+  // Prefix-node label from its bit-node labels, then fold upward through
+  // the shared subpath helpers (deepest path entry first).
+  Digest20 current = mtt_prefix_label(proof.bit_labels.data(), proof.bit_labels.size());
   for (std::size_t level = proof.siblings.size(); level-- > 0;) {
-    int path_slot = (level == proof.prefix.length()) ? kSlotE
-                                                     : (proof.prefix.bit(static_cast<std::uint8_t>(level)) ? kSlot1 : kSlot0);
-    const auto& sibs = proof.siblings[level];
-    std::array<Digest20, 3> labels{};
-    int out = 0;
-    for (int slot = 0; slot < 3; ++slot) {
-      if (slot == path_slot) {
-        labels[static_cast<std::size_t>(slot)] = current;
-      } else {
-        labels[static_cast<std::size_t>(slot)] = sibs[static_cast<std::size_t>(out++)];
-      }
-    }
-    current = combine3(labels[0], labels[1], labels[2]);
+    current = mtt_fold_level(proof.prefix, level, current, proof.siblings[level]);
   }
   return crypto::constant_time_equal(current, root);
 }

@@ -36,6 +36,8 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -71,6 +73,79 @@ struct MttPrefixProof {
   std::size_t byte_size() const;
   util::Bytes encode() const;
   static MttPrefixProof decode(util::ByteSpan data);
+};
+
+// ------------------------------------------------------------------------
+// Proof subpath iteration.
+//
+// The verifier-side fold over a MttPrefixProof, exposed one step at a
+// time so session-layer verifiers (src/verify) can memoize interior
+// subpaths: a (position, label) pair names one node of the trie and the
+// label it must carry for the proof to reach a given root.  Mtt::verify
+// folds through these same helpers, so a cached and an uncached
+// verification can never disagree on any step.
+//
+// Levels are numbered like MttPrefixProof::siblings: fold level L (for L
+// in [0, len]) combines the label of the path node *below* the inner node
+// at depth L with the two carried sibling labels and yields the label of
+// the inner node at depth L.  Position level L names the node whose label
+// enters the fold at L: the inner node at depth L for L <= len, the
+// prefix node itself for L == len + 1.  Position 0 is the root.
+
+/// Inner-node label from its three child labels, in slot order (0, 1, E).
+Digest20 mtt_combine_children(const Digest20& c0, const Digest20& c1, const Digest20& c2);
+
+/// Prefix-node label over all k bit-node labels.
+Digest20 mtt_prefix_label(const Digest20* bit_labels, std::size_t n);
+
+/// The child slot a proof for `prefix` occupies at fold level `level`
+/// (0..len): 0/1 along the trie bits, 2 (the E edge) at the prefix's own
+/// depth.
+int mtt_path_slot(const bgp::Prefix& prefix, std::size_t level);
+
+/// Packed trie position (path bits | depth | node kind) of the node at
+/// position level `level` in [0, len + 1] on the path to `prefix`.
+/// Injective across the whole trie — equal positions always mean the same
+/// node — which is what makes (position, label) pairs safe to share
+/// across proofs without cross-subtree collisions.
+std::uint64_t mtt_path_position(const bgp::Prefix& prefix, std::size_t level);
+
+/// One verifier fold step at `level`: places `current` (the label at
+/// position level `level` + 1) into the path slot and the two carried
+/// sibling labels into the remaining slots, in slot order.
+Digest20 mtt_fold_level(const bgp::Prefix& prefix, std::size_t level, const Digest20& current,
+                        const std::array<Digest20, 2>& siblings);
+
+/// Generator-side memo for prove(): the per-prefix proof material that
+/// does not depend on the revealed class set — the bit randomness, the k
+/// bit-node labels, and the sibling path (including the PRF-derived dummy
+/// labels, which prove() otherwise re-derives on every call).  One
+/// verification session proves the same prefix once per neighbor role;
+/// with a memo only the first prove pays the PRF/digest work, the rest
+/// assemble the proof from the stored material.
+///
+/// Valid only for one (tree structure, labeling, prf) combination: callers
+/// discard the memo when the tree or seed changes (session engines keep
+/// one per reconstruction).  Thread-safe — sessions generate proofs on a
+/// worker pool.
+class MttProofMemo {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  Stats stats() const;
+
+ private:
+  friend class Mtt;
+  struct Entry {
+    std::vector<Digest20> xs;
+    std::vector<Digest20> bit_labels;
+    std::vector<std::array<Digest20, 2>> siblings;
+  };
+  mutable std::mutex mutex_;
+  std::map<bgp::Prefix, Entry> entries_;
+  Stats stats_;
 };
 
 /// One element of an incremental update batch: insert-or-replace the
@@ -154,8 +229,14 @@ class Mtt {
 
   /// Batched proof opening `classes` of `prefix`.  Requires labels to have
   /// been computed with the same `prf`.  Throws when the prefix is absent.
+  /// A non-null `memo` (which must have been used only with this tree,
+  /// labeling and prf) memoizes the class-independent proof material, so
+  /// repeat proves of one prefix skip the PRF and digest work; the
+  /// returned proof is bit-identical with and without the memo.
   MttPrefixProof prove(const crypto::CommitmentPrf& prf, const bgp::Prefix& prefix,
                        const std::vector<ClassId>& classes) const;
+  MttPrefixProof prove(const crypto::CommitmentPrf& prf, const bgp::Prefix& prefix,
+                       const std::vector<ClassId>& classes, MttProofMemo* memo) const;
 
   /// Verifies a proof against a root label.  Checks every revealed bit and
   /// the Merkle path; returns false on any mismatch.

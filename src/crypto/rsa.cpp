@@ -1,9 +1,11 @@
 #include "crypto/rsa.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "crypto/ct.hpp"
 #include "crypto/hmac.hpp"
+#include "crypto/mont.hpp"
 #include "crypto/sha2.hpp"
 #include "obs/metrics.hpp"
 #include "util/serde.hpp"
@@ -119,6 +121,36 @@ bool rsa_verify(const RsaPublicKey& key, ByteSpan message, ByteSpan signature) {
   BigInt m = s.mod_exp(key.e, key.n);
   Bytes expected = pkcs1_sha512_encode(message, k);
   return constant_time_equal(m.to_bytes_be(k), expected);
+}
+
+std::vector<bool> rsa_verify_batch(const RsaPublicKey& key,
+                                   const std::vector<RsaVerifyItem>& items) {
+  std::vector<bool> ok(items.size(), false);
+  if (items.empty()) return ok;
+  SPIDER_OBS_COUNT("crypto/rsa_verify_batches", 1);
+  SPIDER_OBS_COUNT("crypto/rsa_verify_batch_items", items.size());
+  const std::size_t k = key.modulus_bytes();
+
+  // One Montgomery context for the whole batch.  A degenerate public key
+  // (even or tiny modulus) has no Montgomery form; fall back to the
+  // scalar engine per item so batch and scalar verdicts always agree.
+  std::optional<MontCtx> ctx;
+  try {
+    ctx.emplace(key.n);
+  } catch (const std::domain_error&) {
+  }
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    SPIDER_OBS_COUNT("crypto/rsa_verify_ops", 1);
+    SPIDER_OBS_COUNT("crypto/rsa_verify_bytes", items[i].message.size());
+    if (items[i].signature.size() != k) continue;
+    BigInt s = BigInt::from_bytes_be(items[i].signature);
+    if (s >= key.n) continue;
+    BigInt m = ctx ? ctx->exp(s, key.e) : s.mod_exp(key.e, key.n);
+    Bytes expected = pkcs1_sha512_encode(items[i].message, k);
+    ok[i] = constant_time_equal(m.to_bytes_be(k), expected);
+  }
+  return ok;
 }
 
 Bytes HashSigner::sign(ByteSpan message) const {

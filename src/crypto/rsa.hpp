@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "crypto/bignum.hpp"
 #include "util/bytes.hpp"
@@ -49,6 +50,21 @@ Bytes rsa_sign(const RsaPrivateKey& key, ByteSpan message);
 
 /// Verifies a PKCS#1 v1.5 / SHA-512 signature.
 bool rsa_verify(const RsaPublicKey& key, ByteSpan message, ByteSpan signature);
+
+/// One (message, signature) claim in a batch verification.
+struct RsaVerifyItem {
+  ByteSpan message;
+  ByteSpan signature;
+};
+
+/// Verifies many PKCS#1 v1.5 / SHA-512 signatures under one public key,
+/// amortizing the Montgomery context setup (the divmod-based R^2
+/// precomputation) across the batch.  Results are strictly per-item — one
+/// bad signature never taints its neighbors — and agree with rsa_verify
+/// on every item.  Public-exponent exponentiation is variable-time by
+/// design (all inputs are public).
+std::vector<bool> rsa_verify_batch(const RsaPublicKey& key,
+                                   const std::vector<RsaVerifyItem>& items);
 
 // ---------------------------------------------------------------------------
 // Scheme abstraction.  VPref and SPIDeR only need "sign" and "verify"; the

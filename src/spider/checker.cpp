@@ -10,10 +10,26 @@ namespace spider::proto {
 using core::Detection;
 using core::FaultKind;
 
+namespace {
+bool mtt_verify_default(const Digest20& root, std::uint32_t num_classes,
+                        const core::MttPrefixProof& proof) {
+  return core::Mtt::verify(root, num_classes, proof);
+}
+}  // namespace
+
 std::optional<Detection> Checker::check_producer_proofs(
     const SpiderCommit& commit, bgp::AsNumber elector,
     const std::map<bgp::Prefix, std::vector<bgp::Route>>& my_window_routes,
     const ProducerProofs& proofs, const core::Classifier& classifier) {
+  return check_producer_proofs(commit, elector, my_window_routes, proofs, classifier,
+                               mtt_verify_default);
+}
+
+std::optional<Detection> Checker::check_producer_proofs(
+    const SpiderCommit& commit, bgp::AsNumber elector,
+    const std::map<bgp::Prefix, std::vector<bgp::Route>>& my_window_routes,
+    const ProducerProofs& proofs, const core::Classifier& classifier,
+    const ProofVerifyFn& verify) {
   SPIDER_OBS_COUNT("spider/producer_checks", 1);
   for (const auto& [prefix, window] : my_window_routes) {
     auto item_it = std::find_if(proofs.items.begin(), proofs.items.end(),
@@ -39,7 +55,7 @@ std::optional<Detection> Checker::check_producer_proofs(
       return Detection{FaultKind::kMalformedMessage, elector,
                        "proof for " + prefix.str() + " misclassifies my route"};
     }
-    if (!core::Mtt::verify(commit.root, commit.num_classes, item.proof)) {
+    if (!verify(commit.root, commit.num_classes, item.proof)) {
       return Detection{FaultKind::kInvalidBitProof, elector,
                        "proof for " + prefix.str() + " does not open the commitment"};
     }
@@ -62,7 +78,15 @@ std::optional<Detection> Checker::check_producer_proofs(
 std::optional<Detection> Checker::check_consumer_proofs(
     const SpiderCommit& commit, bgp::AsNumber elector, const core::Promise& promise,
     const std::map<bgp::Prefix, bgp::Route>& my_imports, const ConsumerProofs& proofs,
-    bgp::AsNumber /*self*/, const core::Classifier& classifier) {
+    bgp::AsNumber self, const core::Classifier& classifier) {
+  return check_consumer_proofs(commit, elector, promise, my_imports, proofs, self, classifier,
+                               mtt_verify_default);
+}
+
+std::optional<Detection> Checker::check_consumer_proofs(
+    const SpiderCommit& commit, bgp::AsNumber elector, const core::Promise& promise,
+    const std::map<bgp::Prefix, bgp::Route>& my_imports, const ConsumerProofs& proofs,
+    bgp::AsNumber /*self*/, const core::Classifier& classifier, const ProofVerifyFn& verify) {
   SPIDER_OBS_COUNT("spider/consumer_checks", 1);
   for (const auto& [prefix, route] : my_imports) {
     auto item_it = std::find_if(proofs.items.begin(), proofs.items.end(),
@@ -83,7 +107,7 @@ std::optional<Detection> Checker::check_consumer_proofs(
     const core::ClassId cls = classifier.classify(underlying);
     std::vector<core::ClassId> due = promise.classes_better_than(cls);
 
-    if (!core::Mtt::verify(commit.root, commit.num_classes, item.proof)) {
+    if (!verify(commit.root, commit.num_classes, item.proof)) {
       return Detection{FaultKind::kInvalidBitProof, elector,
                        "proofs for " + prefix.str() + " do not open the commitment"};
     }

@@ -12,6 +12,7 @@
 // taxonomy as single-prefix VPref.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -20,6 +21,13 @@
 #include "spider/proof_generator.hpp"
 
 namespace spider::proto {
+
+/// Pluggable bit-proof verifier: (root, num_classes, proof) -> opens?
+/// Session engines (src/verify) substitute a memoizing verifier here; the
+/// default forwards to core::Mtt::verify, so every overload without an
+/// explicit function behaves exactly as before.
+using ProofVerifyFn =
+    std::function<bool(const Digest20&, std::uint32_t, const core::MttPrefixProof&)>;
 
 class Checker {
  public:
@@ -31,6 +39,11 @@ class Checker {
       const SpiderCommit& commit, bgp::AsNumber elector,
       const std::map<bgp::Prefix, std::vector<bgp::Route>>& my_window_routes,
       const ProducerProofs& proofs, const core::Classifier& classifier);
+  static std::optional<core::Detection> check_producer_proofs(
+      const SpiderCommit& commit, bgp::AsNumber elector,
+      const std::map<bgp::Prefix, std::vector<bgp::Route>>& my_window_routes,
+      const ProducerProofs& proofs, const core::Classifier& classifier,
+      const ProofVerifyFn& verify);
 
   /// `my_imports` maps each prefix to the route this neighbor currently
   /// holds from the elector (its own Adj-RIB-In mirror).
@@ -38,6 +51,10 @@ class Checker {
       const SpiderCommit& commit, bgp::AsNumber elector, const core::Promise& promise,
       const std::map<bgp::Prefix, bgp::Route>& my_imports, const ConsumerProofs& proofs,
       bgp::AsNumber self, const core::Classifier& classifier);
+  static std::optional<core::Detection> check_consumer_proofs(
+      const SpiderCommit& commit, bgp::AsNumber elector, const core::Promise& promise,
+      const std::map<bgp::Prefix, bgp::Route>& my_imports, const ConsumerProofs& proofs,
+      bgp::AsNumber self, const core::Classifier& classifier, const ProofVerifyFn& verify);
 
   /// Extended verification, consumer side (§6.6): every route this
   /// consumer holds from the elector must be covered by a RE-ANNOUNCE from

@@ -52,6 +52,7 @@ class Fig5Deployment {
   bgp::Speaker& speaker(bgp::AsNumber asn) { return *speakers_.at(asn); }
   Recorder& recorder(bgp::AsNumber asn) { return *recorders_.at(asn); }
   const core::KeyRegistry& keys() const { return keys_; }
+  const DeploymentConfig& config() const { return config_; }
   /// The simulator node carrying `asn`'s recorder traffic (its
   /// NetsimTransport endpoint) — the hook the chaos fault plane targets.
   netsim::NodeId recorder_node(bgp::AsNumber asn) const { return recorder_nodes_.at(asn); }

@@ -85,11 +85,45 @@ LogSegmentFrame LogSegmentFrame::decode(ByteSpan data) {
   return frame;
 }
 
+std::uint32_t proof_round_of(const bgp::Prefix& prefix, std::uint32_t round_count) {
+  if (round_count <= 1) return 0;
+  // FNV-1a over the canonical (bits, length) encoding.  Any fixed hash
+  // works as long as every party computes the same one; FNV keeps the
+  // round assignment independent of trie order so chunks stay balanced.
+  std::uint32_t h = 2166136261u;
+  auto mix = [&](std::uint8_t byte) {
+    h ^= byte;
+    h *= 16777619u;
+  };
+  const std::uint32_t bits = prefix.bits();
+  mix(static_cast<std::uint8_t>(bits >> 24));
+  mix(static_cast<std::uint8_t>(bits >> 16));
+  mix(static_cast<std::uint8_t>(bits >> 8));
+  mix(static_cast<std::uint8_t>(bits));
+  mix(prefix.length());
+  return h % round_count;
+}
+
+namespace {
+
+/// Shared validation for the (round, round_count) pair carried by proof
+/// request/bundle frames: a single-round frame must say round 0, and a
+/// multi-round frame must name a chunk inside the partition.
+void check_round_fields(std::uint32_t round, std::uint32_t round_count, const char* what) {
+  if (round_count <= 1 ? round != 0 : round >= round_count) {
+    throw util::DecodeError(std::string(what) + ": bad round");
+  }
+}
+
+}  // namespace
+
 Bytes ProofRequestFrame::encode() const {
   util::ByteWriter w;
   w.u32(elector);
   w.i64(commit_time);
   w.u32(consumer);
+  w.u32(round);
+  w.u32(round_count);
   return w.take();
 }
 
@@ -99,6 +133,9 @@ ProofRequestFrame ProofRequestFrame::decode(ByteSpan data) {
   frame.elector = r.u32();
   frame.commit_time = r.i64();
   frame.consumer = r.u32();
+  frame.round = r.u32();
+  frame.round_count = r.u32();
+  check_round_fields(frame.round, frame.round_count, "ProofRequestFrame");
   r.expect_end();
   return frame;
 }
@@ -108,6 +145,8 @@ Bytes ProofBundleFrame::encode() const {
   w.u32(elector);
   w.i64(commit_time);
   w.u32(consumer);
+  w.u32(round);
+  w.u32(round_count);
   w.u8(root_matches);
   w.bytes(producer_proofs);
   w.bytes(consumer_proofs);
@@ -120,6 +159,9 @@ ProofBundleFrame ProofBundleFrame::decode(ByteSpan data) {
   frame.elector = r.u32();
   frame.commit_time = r.i64();
   frame.consumer = r.u32();
+  frame.round = r.u32();
+  frame.round_count = r.u32();
+  check_round_fields(frame.round, frame.round_count, "ProofBundleFrame");
   frame.root_matches = r.u8();
   if (frame.root_matches > 1) throw util::DecodeError("ProofBundleFrame: bad root_matches");
   frame.producer_proofs = r.bytes();

@@ -98,10 +98,24 @@ struct LogSegmentFrame {
   static LogSegmentFrame decode(ByteSpan data);
 };
 
+/// Assigns a prefix to one of `round_count` pipelined challenge rounds.
+/// Proof generator and checker evaluate this independently (FNV-1a over
+/// the canonical prefix encoding), so a round's membership never has to
+/// cross the wire — the request names only (round, round_count) and both
+/// sides agree on which prefixes it covers.  round_count <= 1 collapses
+/// to the single full-set round.
+std::uint32_t proof_round_of(const bgp::Prefix& prefix, std::uint32_t round_count);
+
 struct ProofRequestFrame {
   std::uint32_t elector = 0;
   Time commit_time = 0;
   std::uint32_t consumer = 0;
+  /// Pipelined sessions split the prefix space into `round_count` chunks
+  /// by proof_round_of and request them as overlapping rounds; this frame
+  /// asks for chunk `round`.  round_count <= 1 (the default) keeps the
+  /// legacy one-shot semantics: every prefix in one bundle.
+  std::uint32_t round = 0;
+  std::uint32_t round_count = 0;
 
   Bytes encode() const;
   static ProofRequestFrame decode(ByteSpan data);
@@ -113,6 +127,10 @@ struct ProofBundleFrame {
   std::uint32_t elector = 0;
   Time commit_time = 0;
   std::uint32_t consumer = 0;
+  /// Echo of the request's round coordinates, so the checker restricts its
+  /// expected window/imports to the same chunk before checking.
+  std::uint32_t round = 0;
+  std::uint32_t round_count = 0;
   std::uint8_t root_matches = 0;
   Bytes producer_proofs;  // ProducerProofs encoding
   Bytes consumer_proofs;  // ConsumerProofs encoding

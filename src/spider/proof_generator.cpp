@@ -169,6 +169,14 @@ ProofGenerator::Reconstruction ProofGenerator::reconstruct(Time commit_time,
 ProducerProofs ProofGenerator::proofs_for_producer(const Reconstruction& recon,
                                                    bgp::AsNumber producer,
                                                    std::optional<bgp::Prefix> within) const {
+  return proofs_for_producer(recon, producer, within, nullptr);
+}
+
+ProducerProofs ProofGenerator::proofs_for_producer(const Reconstruction& recon,
+                                                   bgp::AsNumber producer,
+                                                   std::optional<bgp::Prefix> within,
+                                                   const std::set<bgp::Prefix>* subset,
+                                                   core::MttProofMemo* memo) const {
   ProducerProofs proofs;
   proofs.commit_time = recon.commit_time;
   if (faults_.withhold_producer_proofs) return proofs;
@@ -180,6 +188,7 @@ ProducerProofs ProofGenerator::proofs_for_producer(const Reconstruction& recon,
 
   for (const auto& [prefix, record] : inputs_it->second) {
     if (within && !within->contains(prefix)) continue;
+    if (subset != nullptr && subset->count(prefix) == 0) continue;
     // Loose sync (§6.4): the elector may justify itself against any
     // in-window value from this producer that would not have been
     // preferred over the actual output.  We scan newest-first, so when the
@@ -208,7 +217,7 @@ ProducerProofs ProofGenerator::proofs_for_producer(const Reconstruction& recon,
     if (faults_.misclassify_producer) {
       item.cls = (item.cls + 1) % recorder_.config().num_classes;
     }
-    item.proof = recon.tree.prove(prf, prefix, {item.cls});
+    item.proof = recon.tree.prove(prf, prefix, {item.cls}, memo);
     if (faults_.tamper_classes.count(item.cls) != 0) {
       item.proof.revealed[0].bit = !item.proof.revealed[0].bit;
     }
@@ -222,6 +231,14 @@ ProducerProofs ProofGenerator::proofs_for_producer(const Reconstruction& recon,
 ConsumerProofs ProofGenerator::proofs_for_consumer(const Reconstruction& recon,
                                                    bgp::AsNumber consumer,
                                                    std::optional<bgp::Prefix> within) const {
+  return proofs_for_consumer(recon, consumer, within, nullptr);
+}
+
+ConsumerProofs ProofGenerator::proofs_for_consumer(const Reconstruction& recon,
+                                                   bgp::AsNumber consumer,
+                                                   std::optional<bgp::Prefix> within,
+                                                   const std::set<bgp::Prefix>* subset,
+                                                   core::MttProofMemo* memo) const {
   ConsumerProofs proofs;
   proofs.commit_time = recon.commit_time;
   const crypto::CommitmentPrf prf(recon.seed);
@@ -235,6 +252,7 @@ ConsumerProofs ProofGenerator::proofs_for_consumer(const Reconstruction& recon,
 
   for (const auto& [prefix, record] : exports_it->second) {
     if (within && !within->contains(prefix)) continue;
+    if (subset != nullptr && subset->count(prefix) == 0) continue;
     bgp::Route underlying = underlying_route(record.route, recorder_.config().asn);
     core::ClassId cls = classifier.classify(underlying);
     std::vector<core::ClassId> better = promise_it->second.classes_better_than(cls);
@@ -242,7 +260,7 @@ ConsumerProofs ProofGenerator::proofs_for_consumer(const Reconstruction& recon,
     ConsumerProofs::Item item;
     item.prefix = prefix;
     item.offered_route = record.route;
-    item.proof = recon.tree.prove(prf, prefix, better);
+    item.proof = recon.tree.prove(prf, prefix, better, memo);
     for (auto& opened : item.proof.revealed) {
       if (faults_.tamper_classes.count(opened.cls) != 0) opened.bit = !opened.bit;
     }

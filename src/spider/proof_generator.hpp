@@ -114,6 +114,22 @@ class ProofGenerator {
   ConsumerProofs proofs_for_consumer(const Reconstruction& recon, bgp::AsNumber consumer,
                                      std::optional<bgp::Prefix> within = std::nullopt) const;
 
+  /// Round-restricted variants for pipelined sessions (src/verify): emit
+  /// proofs only for prefixes in `subset` (one challenge round's worth).
+  /// The union of the proofs over a partition of the prefix space equals
+  /// the unrestricted proof set item-for-item.  `memo` (optional) caches
+  /// the class-independent proof material across calls against the same
+  /// reconstruction — a session proves each prefix once per neighbor
+  /// role, so the memo collapses the repeat PRF/digest work.
+  ProducerProofs proofs_for_producer(const Reconstruction& recon, bgp::AsNumber producer,
+                                     std::optional<bgp::Prefix> within,
+                                     const std::set<bgp::Prefix>* subset,
+                                     core::MttProofMemo* memo = nullptr) const;
+  ConsumerProofs proofs_for_consumer(const Reconstruction& recon, bgp::AsNumber consumer,
+                                     std::optional<bgp::Prefix> within,
+                                     const std::set<bgp::Prefix>* subset,
+                                     core::MttProofMemo* memo = nullptr) const;
+
   /// Elector side of extended verification: from the producers'
   /// RE-ANNOUNCE sets, select those matching the routes that were exported
   /// to `consumer` at T.  The elector must collect *all* sets first —

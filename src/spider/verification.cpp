@@ -35,108 +35,8 @@ std::vector<std::string> VerificationReport::findings() const {
   return out;
 }
 
-VerificationReport run_verification(Fig5Deployment& deploy, bgp::AsNumber elector,
-                                    Time commit_time, bool extended,
-                                    std::optional<bgp::Prefix> within) {
-  SPIDER_OBS_SPAN(verification_span, "spider/verification");
-  SPIDER_OBS_COUNT("spider/verifications", 1);
-  util::WallTimer timer;
-  VerificationReport report;
-  report.elector = elector;
-  report.commit_time = commit_time;
-
-  const std::vector<bgp::AsNumber> neighbors = deploy.neighbors_of(elector);
-
-  // --- Phase 1: commitment cross-check among the neighbors (§4.5 step 1).
-  std::vector<SpiderCommit> commits;
-  std::map<bgp::AsNumber, SpiderCommit> commit_of;
-  for (bgp::AsNumber neighbor : neighbors) {
-    const auto& received = deploy.recorder(neighbor).received_commitments();
-    auto elector_it = received.find(elector);
-    if (elector_it == received.end()) continue;
-    auto time_it = elector_it->second.find(commit_time);
-    if (time_it == elector_it->second.end()) continue;
-    commits.push_back(time_it->second);
-    commit_of.emplace(neighbor, time_it->second);
-  }
-  report.equivocation = Checker::cross_check_commits(elector, commits);
-
-  // --- Phase 2: the elector reconstructs and generates proofs.
-  ProofGenerator generator(deploy.recorder(elector));
-  auto recon = generator.reconstruct(commit_time, deploy.recorder(elector).config().commit_threads);
-  report.root_matches = recon.root_matches;
-
-  // Extended verification inputs are gathered up front: the elector must
-  // request RE-ANNOUNCE sets from every producer regardless of which
-  // routes it chose (§6.6 privacy requirement).
-  std::vector<ReAnnounceSet> re_sets;
-  if (extended) {
-    for (bgp::AsNumber neighbor : neighbors) {
-      // Each set costs the elector one challenge round-trip to a producer.
-      SPIDER_OBS_COUNT("spider/challenge_round_trips", 1);
-      re_sets.push_back(build_re_announce_set(deploy.recorder(neighbor), elector, commit_time));
-    }
-  }
-
-  // --- Phase 3: every neighbor checks in both roles.
-  for (bgp::AsNumber neighbor : neighbors) {
-    NeighborVerdict verdict;
-    verdict.neighbor = neighbor;
-    auto commit_it = commit_of.find(neighbor);
-    if (commit_it == commit_of.end()) {
-      verdict.as_consumer = core::Detection{core::FaultKind::kMissingMessage, elector,
-                                            "no commitment received for this round"};
-      report.verdicts.push_back(std::move(verdict));
-      continue;
-    }
-    const auto& rec = deploy.recorder(neighbor);
-
-    // Producer role.
-    auto producer_proofs = generator.proofs_for_producer(recon, neighbor, within);
-    report.proof_bytes += producer_proofs.total_bytes();
-    std::map<bgp::Prefix, std::vector<bgp::Route>> window;
-    for (const auto& [prefix, route] : rec.my_exports_to(elector)) {
-      if (within && !within->contains(prefix)) continue;
-      window[prefix] = {route};
-    }
-    verdict.as_producer = Checker::check_producer_proofs(commit_it->second, elector, window,
-                                                         producer_proofs, rec.classifier());
-
-    // Consumer role.
-    auto consumer_proofs = generator.proofs_for_consumer(recon, neighbor, within);
-    report.proof_bytes += consumer_proofs.total_bytes();
-    std::map<bgp::Prefix, bgp::Route> imports;
-    for (const auto& [prefix, route] : rec.my_imports_from(elector)) {
-      if (within && !within->contains(prefix)) continue;
-      imports.emplace(prefix, route);
-    }
-    auto promise_it = deploy.recorder(elector).promises().find(neighbor);
-    if (promise_it != deploy.recorder(elector).promises().end()) {
-      verdict.as_consumer =
-          Checker::check_consumer_proofs(commit_it->second, elector, promise_it->second, imports,
-                                         consumer_proofs, neighbor, rec.classifier());
-    }
-
-    // Extended verification (consumer side).
-    if (extended) {
-      auto selected = generator.select_re_announcements(recon, neighbor, re_sets);
-      verdict.extended = Checker::check_re_announcements(elector, imports, selected);
-    }
-
-    report.verdicts.push_back(std::move(verdict));
-  }
-
-  report.elapsed_seconds = timer.seconds();
-#if !defined(SPIDER_OBS_DISABLED)
-  SPIDER_OBS_COUNT("spider/proof_bytes", report.proof_bytes);
-  for (const auto& verdict : report.verdicts) {
-    std::size_t hits = (verdict.as_producer ? 1 : 0) + (verdict.as_consumer ? 1 : 0) +
-                       (verdict.extended ? 1 : 0);
-    SPIDER_OBS_COUNT("spider/detections", hits);
-  }
-  if (report.equivocation) SPIDER_OBS_COUNT("spider/detections", 1);
-#endif
-  return report;
-}
+// run_verification is defined in src/verify/session.cpp: the session
+// engine's sequential configuration reproduces this module's original
+// flow, and the pipelined/cached configurations live beside it.
 
 }  // namespace spider::proto

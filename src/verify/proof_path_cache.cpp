@@ -1,0 +1,30 @@
+#include "verify/proof_path_cache.hpp"
+
+#include "crypto/ct.hpp"
+
+namespace spider::verify {
+
+bool ProofPathCache::has_path(std::uint64_t position, const Digest20& label) {
+  auto it = entries_.find(position);
+  if (it != entries_.end() && crypto::constant_time_equal(it->second, label)) {
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void ProofPathCache::insert_path(std::uint64_t position, const Digest20& label) {
+  if (capacity_ == 0) return;
+  if (entries_.count(position) != 0) return;
+  while (entries_.size() >= capacity_) {
+    entries_.erase(fifo_.front());
+    fifo_.pop_front();
+    ++stats_.evictions;
+  }
+  entries_.emplace(position, label);
+  fifo_.push_back(position);
+  ++stats_.insertions;
+}
+
+}  // namespace spider::verify

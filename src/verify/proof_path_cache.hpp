@@ -1,0 +1,70 @@
+// Per-session memoization of verified MTT proof subpaths.
+//
+// Bit proofs for prefixes in the same MTT subtree share their interior
+// fold chain: once a checker has folded some node's label all the way to
+// a commitment root, any later proof that reaches the same (position,
+// label) pair is known to open the same root without re-folding the
+// levels above it.  The cache records exactly those pairs — the packed
+// trie position from core::mtt_path_position (injective across the whole
+// trie, so cross-subtree collisions cannot happen) and the 20-byte label
+// the node carried.
+//
+// One cache serves ONE root: under equivocation different neighbors hold
+// different roots for the same commitment time, and a subpath verified
+// against one root says nothing about another.  Session engines keep a
+// cache per distinct root (CachedProofVerifier in session.hpp).
+//
+// The revealed leaf openings and the prefix-node label are never cached —
+// they are the claim under test and every proof recomputes them.  Only
+// the interior fold chain, which is pure public commitment structure, is
+// memoized.
+//
+// Lint rule R15: keys and values here are commitment-derived digests
+// only.  Seed material, PRF randomness or any other secret-tainted value
+// must never reach insert_path/has_path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "util/bytes.hpp"
+
+namespace spider::verify {
+
+using util::Digest20;
+
+class ProofPathCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;        // lookups that matched position and label
+    std::uint64_t misses = 0;      // lookups that matched neither
+    std::uint64_t insertions = 0;  // pairs stored (excluding duplicates)
+    std::uint64_t evictions = 0;   // pairs dropped by the FIFO bound
+  };
+
+  explicit ProofPathCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// True when `position` is cached with exactly this label (compared in
+  /// constant time: labels are digest material).
+  bool has_path(std::uint64_t position, const Digest20& label);
+
+  /// Records a verified pair.  A position already present keeps its
+  /// original label and FIFO slot (within one root a position has exactly
+  /// one valid label, so a differing re-insert can only come from a proof
+  /// that failed — and those are never inserted).
+  void insert_path(std::uint64_t position, const Digest20& label);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, Digest20> entries_;
+  std::deque<std::uint64_t> fifo_;  // insertion order, front = oldest
+  Stats stats_;
+};
+
+}  // namespace spider::verify

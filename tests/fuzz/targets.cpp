@@ -429,8 +429,11 @@ void register_node_wire_targets() {
   proof_request.elector = 5;
   proof_request.commit_time = 2'000'000;
   proof_request.consumer = 2;
-  registry().push_back(
-      simple_target<sp::ProofRequestFrame>("proof_request_frame", {proof_request.encode()}));
+  sp::ProofRequestFrame round_request = proof_request;
+  round_request.round = 3;
+  round_request.round_count = 8;
+  registry().push_back(simple_target<sp::ProofRequestFrame>(
+      "proof_request_frame", {proof_request.encode(), round_request.encode()}));
 
   sp::ProofBundleFrame bundle;
   bundle.elector = 5;
@@ -439,8 +442,11 @@ void register_node_wire_targets() {
   bundle.root_matches = 1;
   bundle.producer_proofs = sp::ProducerProofs{}.encode();
   bundle.consumer_proofs = sp::ConsumerProofs{}.encode();
-  registry().push_back(
-      simple_target<sp::ProofBundleFrame>("proof_bundle_frame", {bundle.encode()}));
+  sp::ProofBundleFrame round_bundle = bundle;
+  round_bundle.round = 3;
+  round_bundle.round_count = 8;
+  registry().push_back(simple_target<sp::ProofBundleFrame>(
+      "proof_bundle_frame", {bundle.encode(), round_bundle.encode()}));
 
   sp::CheckResultFrame check_result;
   check_result.ok = 1;

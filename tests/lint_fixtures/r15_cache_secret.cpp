@@ -1,0 +1,32 @@
+// R15 fixture: proof-path cache keys/values must be commitment-derived
+// digests — seed/PRF randomness never reaches cache storage.
+
+// spider-taint: secret
+struct Seed { unsigned char bytes[32]; };
+
+Seed load_seed();
+
+void fill_bad(ProofPathCache& cache, unsigned long position) {
+  Seed seed = load_seed();
+  cache.insert_path(position, seed.bytes[0]);
+}
+
+bool probe_bad(ProofPathCache& cache, unsigned long position) {
+  Seed seed = load_seed();
+  return cache.has_path(position, seed.bytes[0]);
+}
+
+void fill_declassified(ProofPathCache& cache, unsigned long position) {
+  Seed seed = load_seed();
+  // spider-taint: declassify(no escape: R15 ignores declassify)
+  cache.insert_path(position, seed.bytes[0]);
+}
+
+void fill_ok(ProofPathCache& cache, unsigned long position, const Digest20& label) {
+  cache.insert_path(position, label);
+}
+
+void fill_hashed(ProofPathCache& cache, unsigned long position) {
+  Seed seed = load_seed();
+  cache.insert_path(position, digest20(seed.bytes, 32));
+}

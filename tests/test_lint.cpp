@@ -343,6 +343,13 @@ TEST(TaintRules, R14KernelScopedBranchTernaryIndex) {
   EXPECT_TRUE(quiet.empty()) << "R14 is scoped to the src/crypto kernels";
 }
 
+TEST(TaintRules, R15SecretNeverReachesProofPathCache) {
+  auto fs = taint_fixture({{"src/verify/fixture.cpp", "r15_cache_secret.cpp"}});
+  EXPECT_EQ(rule_lines(fs), (RL{{"R15", 11}, {"R15", 16}, {"R15", 22}}))
+      << "both storage methods fire, declassify is NOT an escape, and "
+         "digest-laundered or public-label inserts stay clean";
+}
+
 TEST(TaintRules, SuppressionsSilenceTaintFindings) {
   auto fs = taint_fixture({{"src/crypto/mont.cpp", "taint_suppressed.cpp"}});
   EXPECT_TRUE(fs.empty()) << (fs.empty() ? "" : fs.front().rule + " still fired");

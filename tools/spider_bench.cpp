@@ -43,6 +43,7 @@
 #include "spider/checker.hpp"
 #include "spider/proof_generator.hpp"
 #include "spider/verification.hpp"
+#include "verify/session.hpp"
 #include "util/rng.hpp"
 #include "util/timers.hpp"
 
@@ -854,6 +855,112 @@ json::Object run_fullscale(const benchutil::BenchScale& scale) {
   return out;
 }
 
+// True when two session reports would lead a deployment to the same
+// remediation: same equivocation/root verdicts and, per neighbor, the
+// same detections with the same evidence strings.
+bool reports_identical(const proto::VerificationReport& a, const proto::VerificationReport& b) {
+  auto same_detection = [](const std::optional<core::Detection>& x,
+                           const std::optional<core::Detection>& y) {
+    if (x.has_value() != y.has_value()) return false;
+    if (!x) return true;
+    return x->kind == y->kind && x->accused == y->accused && x->detail == y->detail;
+  };
+  if (a.elector != b.elector || a.commit_time != b.commit_time) return false;
+  if (a.root_matches != b.root_matches) return false;
+  if (!same_detection(a.equivocation, b.equivocation)) return false;
+  if (a.verdicts.size() != b.verdicts.size()) return false;
+  for (std::size_t i = 0; i < a.verdicts.size(); ++i) {
+    const auto& va = a.verdicts[i];
+    const auto& vb = b.verdicts[i];
+    if (va.neighbor != vb.neighbor) return false;
+    if (!same_detection(va.as_producer, vb.as_producer)) return false;
+    if (!same_detection(va.as_consumer, vb.as_consumer)) return false;
+    if (!same_detection(va.extended, vb.extended)) return false;
+  }
+  return true;
+}
+
+json::Object run_verify(const benchutil::BenchScale& scale) {
+  // E13: the pipelined verification-session engine (src/verify) against
+  // the sequential baseline, measured in the same run over the same
+  // deployment — proof bytes, challenge round-trips, digest operations
+  // and wall-clock per verified prefix.  RSA signing so the per-session
+  // batch verification path is exercised too.
+  auto tr = benchutil::bench_trace(scale, 60 * netsim::kMicrosPerSecond);
+  proto::Fig5Deployment deploy(deployment_config(false, true));
+  netsim::Time start = deploy.run_setup(tr, 120 * netsim::kMicrosPerSecond);
+  deploy.run_replay(tr, start, 5 * netsim::kMicrosPerSecond);
+  const auto& record = deploy.recorder(5).make_commitment();
+  deploy.sim().run();
+
+  // Sequential baseline: one round per (neighbor, role), scalar signature
+  // checks, no proof-path cache, no generator memo.
+  auto sequential =
+      verify::run_session(deploy, 5, record.timestamp, verify::SessionConfig{}, /*extended=*/true);
+
+  // Pipelined engine: windowed rounds, proof-path cache, generator-side
+  // proof memo, batched RSA signature verification.
+  auto pipelined = verify::run_session(deploy, 5, record.timestamp, verify::pipelined_config(),
+                                       /*extended=*/true);
+
+  const auto& seq = sequential.stats;
+  const auto& pip = pipelined.stats;
+  // Both runs check one proof per (prefix, neighbor role), so per-proof
+  // normalization equals per-verified-prefix normalization.
+  const double seq_per_prefix =
+      seq.proofs_checked != 0 ? static_cast<double>(seq.digest_ops) / seq.proofs_checked : 0;
+  const double pip_per_prefix =
+      pip.proofs_checked != 0 ? static_cast<double>(pip.digest_ops) / pip.proofs_checked : 0;
+  const double digest_ratio = pip_per_prefix != 0 ? seq_per_prefix / pip_per_prefix : 0;
+  const double wall_ratio =
+      pip.session_seconds != 0 ? seq.session_seconds / pip.session_seconds : 0;
+  const double hit_ratio =
+      pip.cache_hits + pip.cache_misses != 0
+          ? static_cast<double>(pip.cache_hits) / (pip.cache_hits + pip.cache_misses)
+          : 0;
+  const double wall_per_prefix =
+      pip.proofs_checked != 0 ? pip.session_seconds / pip.proofs_checked : 0;
+
+  json::Object out;
+  json::Object cfg = scale_config(scale);
+  cfg["window"] = static_cast<std::uint64_t>(verify::pipelined_config().window);
+  cfg["round_prefixes"] = static_cast<std::uint64_t>(verify::pipelined_config().round_prefixes);
+  cfg["sign_scheme"] = std::string("rsa");
+  out["config"] = std::move(cfg);
+  json::Array results;
+  results.push_back(result_row("sequential session wall", seq.session_seconds, "s", "baseline"));
+  results.push_back(result_row("pipelined session wall", pip.session_seconds, "s", "-"));
+  results.push_back(
+      result_row("session wall-clock ratio (seq/pipelined)", wall_ratio, "x", ">= 2 required"));
+  results.push_back(result_row("sequential digest ops per verified prefix", seq_per_prefix,
+                               "digests", "baseline"));
+  results.push_back(
+      result_row("pipelined digest ops per verified prefix", pip_per_prefix, "digests", "-"));
+  results.push_back(
+      result_row("digest ops ratio (seq/pipelined)", digest_ratio, "x", ">= 3 required"));
+  results.push_back(result_row("pipelined wall-clock per verified prefix", wall_per_prefix, "s",
+                               "-"));
+  results.push_back(result_row("proof bytes shipped",
+                               static_cast<double>(pip.bytes_shipped), "bytes", "-"));
+  results.push_back(result_row("proof bytes deduped",
+                               static_cast<double>(pip.bytes_deduped), "bytes", "-"));
+  results.push_back(result_row("challenge round-trips",
+                               static_cast<double>(pip.challenge_round_trips), "round-trips",
+                               "one per window-slot round"));
+  results.push_back(result_row("proof-path cache hit ratio", hit_ratio, "ratio", "-"));
+  results.push_back(result_row("signatures verified",
+                               static_cast<double>(pip.signatures_verified), "signatures", "-"));
+  results.push_back(result_row("signature batches",
+                               static_cast<double>(pip.signature_batches), "batches",
+                               "Montgomery context amortized per batch"));
+  results.push_back(result_row("verdicts identical to sequential",
+                               reports_identical(sequential.report, pipelined.report) ? 1 : 0,
+                               "bool", "1"));
+  results.push_back(result_row("session clean", pipelined.report.clean() ? 1 : 0, "bool", "1"));
+  out["results"] = std::move(results);
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Scenario registry and runner
 
@@ -878,6 +985,8 @@ const Scenario kScenarios[] = {
     {"chaos", "E11", "§5/§7.4 detection matrix under injected faults", run_chaos},
     {"fullscale", "E12", "§7.3/§7.5 incremental commitments under the 15-minute replay",
      run_fullscale},
+    {"verify", "E13", "src/verify pipelined session engine vs the sequential baseline",
+     run_verify},
 };
 
 int usage(const char* argv0) {

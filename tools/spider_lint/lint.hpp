@@ -44,8 +44,12 @@
 //       generalization of R7; use crypto::constant_time_equal.
 //   R14 (taint.cpp) secret-dependent branch or array index inside the
 //       src/crypto limb/Montgomery/CRT kernels (timing discipline).
+//   R15 (taint.cpp) secret data reaches ProofPathCache storage
+//       (insert_path/has_path) — cache keys/values must be
+//       commitment-derived digests, never seed or PRF randomness.
+//       Unlike R12 there is no declassify escape.
 //
-// R11-R14 are interprocedural: phase 1 (model.cpp) extracts a per-TU
+// R11-R15 are interprocedural: phase 1 (model.cpp) extracts a per-TU
 // model and phase 2 (taint.cpp) propagates `// spider-taint: secret`
 // sources through a cross-file call graph with per-function summaries;
 // findings carry the full file:line flow trace in their message.

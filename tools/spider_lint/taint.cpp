@@ -1,6 +1,6 @@
 // Phase-2 dataflow: per-function analysis with symbolic parameter
 // origins, function summaries applied at call sites, global fixpoint,
-// then a reporting pass that materializes R11-R14 findings with full
+// then a reporting pass that materializes R11-R15 findings with full
 // source->sink hop chains.
 #include "taint.hpp"
 
@@ -63,6 +63,14 @@ bool writer_method(std::string_view s) {
       "u8", "u16", "u32", "u64", "i64", "bytes", "raw", "digest", "str",
   };
   return kSet.count(s) != 0;
+}
+
+/// ProofPathCache storage methods: R15 sinks.  The cache memoizes public
+/// commitment structure; its keys and values must be commitment-derived
+/// digest material.  Unlike R11-R12 there is NO declassify escape — no
+/// protocol step ever stores seed or PRF randomness in a verifier cache.
+bool cache_method(std::string_view s) {
+  return s == "insert_path" || s == "has_path";
 }
 
 /// Container mutators that taint their receiver when fed tainted data.
@@ -844,6 +852,19 @@ struct Analysis::Impl::Checker {
           first_level = false;
           continue;
         }
+        if (cache_method(member)) {
+          const std::size_t close = matching_close(toks, i + 2);
+          Taint args = eval(i + 3, close);
+          emit_sink(args, "R15", toks[i + 1].line,
+                    "secret reaches proof-path cache storage via " + member +
+                        " — cache keys/values must be commitment-derived "
+                        "digests, never seed or PRF randomness (R15 has no "
+                        "declassify escape)",
+                    /*honor_declassify=*/false);
+          i = close + 1;
+          first_level = false;
+          continue;
+        }
         if (container_mutator(member)) {
           const std::size_t close = matching_close(toks, i + 2);
           Taint args = eval(i + 3, close);
@@ -1020,9 +1041,9 @@ struct Analysis::Impl::Checker {
   /// Routes a sink hit: concrete secrets become findings (reporting
   /// pass), parameter origins become summary entries (every pass).
   void emit_sink(const Taint& t, const std::string& rule, int line,
-                 const std::string& desc) {
+                 const std::string& desc, bool honor_declassify = true) {
     if (t.empty()) return;
-    if (a.declassified(tu, line)) return;
+    if (honor_declassify && a.declassified(tu, line)) return;
     for (const auto& [origin, chain] : t) {
       SinkReach sr{rule, tu.path, line, desc, chain};
       deliver_sink(origin, chain, sr);

@@ -55,6 +55,11 @@ struct Options {
   std::uint64_t routes_per_update = 4;
   std::uint64_t ingest_repeats = 3;
   std::uint32_t num_classes = 50;
+  /// Pipelined verification: the prefix space splits into `verify_rounds`
+  /// chunks (proof_round_of) requested with up to `verify_window` rounds
+  /// in flight.  1 round = the legacy single full-set round trip.
+  std::uint32_t verify_rounds = 4;
+  std::uint32_t verify_window = 2;
   std::string out = "BENCH_transport.json";
   bool shutdown_nodes = true;
 };
@@ -65,6 +70,7 @@ int usage(const char* argv0) {
                "          [--proofgen ID:HOST:PORT] [--updates N] [--warmup N]\n"
                "          [--latency-rounds N] [--latency-burst N] [--prefixes N]\n"
                "          [--routes-per-update N] [--ingest-repeats N] [--num-classes N]\n"
+               "          [--verify-rounds N] [--verify-window N]\n"
                "          [--out FILE] [--no-shutdown]\n",
                argv0);
   return 2;
@@ -110,9 +116,13 @@ struct Client {
   std::optional<proto::StatsFrame> last_stats;
   std::vector<proto::SpiderCommit> commits;  // kCommitNotify arrivals, in order
   std::vector<double> commit_wall_times;     // wall clock at each arrival
-  std::optional<proto::ProofBundleFrame> bundle;
-  util::Bytes bundle_body;
-  std::optional<proto::CheckResultFrame> check_result;
+  // Pipelined verification keeps several rounds outstanding: bundles and
+  // check results accumulate in arrival order (TCP keeps each peer's
+  // stream ordered, and both nodes answer requests in arrival order, so
+  // index i is round i's reply).
+  std::vector<proto::ProofBundleFrame> bundles;
+  std::vector<util::Bytes> bundle_bodies;
+  std::vector<proto::CheckResultFrame> check_results;
 
   Client() {
     endpoint.set_control_handler([this](PeerId, const proto::NodeFrame& frame) {
@@ -125,11 +135,11 @@ struct Client {
           commit_wall_times.push_back(wall_now());
           break;
         case proto::NodeFrameType::kProofBundle:
-          bundle = proto::ProofBundleFrame::decode(frame.body);
-          bundle_body = util::Bytes(frame.body.begin(), frame.body.end());
+          bundles.push_back(proto::ProofBundleFrame::decode(frame.body));
+          bundle_bodies.emplace_back(frame.body.begin(), frame.body.end());
           break;
         case proto::NodeFrameType::kCheckResult:
-          check_result = proto::CheckResultFrame::decode(frame.body);
+          check_results.push_back(proto::CheckResultFrame::decode(frame.body));
           break;
         default:
           std::fprintf(stderr, "loadgen: unexpected frame type %u\n",
@@ -196,6 +206,12 @@ int main(int argc, char** argv) {
       opt.ingest_repeats = std::max<std::uint64_t>(1, std::strtoull(next(), nullptr, 10));
     } else if (arg == "--num-classes") {
       opt.num_classes = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--verify-rounds") {
+      opt.verify_rounds =
+          std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10)));
+    } else if (arg == "--verify-window") {
+      opt.verify_window =
+          std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10)));
     } else if (arg == "--out") {
       opt.out = next();
     } else if (arg == "--no-shutdown") {
@@ -307,36 +323,71 @@ int main(int argc, char** argv) {
   std::printf("loadgen: commit visibility p50=%.1fms p99=%.1fms over %zu rounds\n", p50_ms,
               p99_ms, commit_latencies.size());
 
-  // ---- Phase 4: full verification round through proofgen + checker.
+  // ---- Phase 4: a full verification session through proofgen + checker,
+  // pipelined: the prefix space splits into `verify_rounds` chunks (both
+  // nodes recompute membership via proof_round_of) and up to
+  // `verify_window` rounds stay outstanding — round k+1's proofs generate
+  // while round k's bundle is being checked.  The proofgen reconstructs
+  // once and serves every round from its cache; the checker's proof-path
+  // cache dedupes interior folds across rounds.
   bool verification_clean = false;
   bool root_matches = false;
+  double verify_seconds = 0;
   if (opt.proofgen && opt.checker && !client.commits.empty()) {
-    proto::ProofRequestFrame request;
-    request.elector = recorder;
-    request.commit_time = client.commits.back().timestamp;
-    request.consumer = opt.checker->id;
-    if (!client.send_control(opt.proofgen->id, proto::NodeFrameType::kProofRequest,
-                             request.encode())) {
-      return fail("proof request");
+    const std::uint32_t rounds = opt.verify_rounds;
+    const double verify_start = wall_now();
+    std::uint32_t next_request = 0;
+    std::size_t bundles_relayed = 0;
+    auto send_request = [&](std::uint32_t round) -> bool {
+      proto::ProofRequestFrame request;
+      request.elector = recorder;
+      request.commit_time = client.commits.back().timestamp;
+      request.consumer = opt.checker->id;
+      request.round = round;
+      request.round_count = rounds > 1 ? rounds : 0;
+      return client.send_control(opt.proofgen->id, proto::NodeFrameType::kProofRequest,
+                                 request.encode());
+    };
+    while (next_request < std::min(rounds, opt.verify_window)) {
+      if (!send_request(next_request++)) return fail("proof request");
     }
-    if (!nodetool::pump_until(client.tcp, [&] { return client.bundle.has_value(); },
-                              120'000'000)) {
-      return fail("no proof bundle");
+    while (client.check_results.size() < rounds) {
+      while (bundles_relayed < client.bundles.size()) {
+        if (!client.send_control(opt.checker->id, proto::NodeFrameType::kCheckRequest,
+                                 client.bundle_bodies[bundles_relayed])) {
+          return fail("check request");
+        }
+        ++bundles_relayed;
+        if (next_request < rounds && !send_request(next_request++)) {
+          return fail("proof request");
+        }
+      }
+      const std::size_t relayed = bundles_relayed;
+      const std::size_t results = client.check_results.size();
+      if (!nodetool::pump_until(
+              client.tcp,
+              [&] {
+                return client.bundles.size() > relayed || client.check_results.size() > results;
+              },
+              120'000'000)) {
+        return fail(relayed < rounds ? "no proof bundle" : "no check result");
+      }
     }
-    root_matches = client.bundle->root_matches != 0;
-    if (!client.send_control(opt.checker->id, proto::NodeFrameType::kCheckRequest,
-                             client.bundle_body)) {
-      return fail("check request");
+    verify_seconds = wall_now() - verify_start;
+    verification_clean = true;
+    root_matches = true;
+    for (std::uint32_t round = 0; round < rounds; ++round) {
+      const proto::CheckResultFrame& result = client.check_results[round];
+      if (result.ok == 0) verification_clean = false;
+      if (client.bundles[round].root_matches == 0) root_matches = false;
+      std::printf(
+          "loadgen: verify round %u/%u %s (root_matches=%d producer_ok=%d consumer_ok=%d): %s\n",
+          round + 1, rounds, result.ok ? "CLEAN" : "DIRTY", result.root_matches,
+          result.producer_ok, result.consumer_ok, result.detail.c_str());
     }
-    if (!nodetool::pump_until(client.tcp, [&] { return client.check_result.has_value(); },
-                              60'000'000)) {
-      return fail("no check result");
-    }
-    verification_clean = client.check_result->ok != 0;
-    std::printf("loadgen: verification %s (root_matches=%d producer_ok=%d consumer_ok=%d): %s\n",
-                verification_clean ? "CLEAN" : "DIRTY", client.check_result->root_matches,
-                client.check_result->producer_ok, client.check_result->consumer_ok,
-                client.check_result->detail.c_str());
+    std::printf("loadgen: verification %s: %u rounds (window %u) in %.3fs\n",
+                verification_clean ? "CLEAN" : "DIRTY", rounds, opt.verify_window,
+                verify_seconds);
   }
 
   // ---- Phase 5: shutdown + report.
@@ -367,6 +418,8 @@ int main(int argc, char** argv) {
     config["ingest_rates"] = std::move(runs);
   }
   config["num_classes"] = static_cast<double>(opt.num_classes);
+  config["verify_rounds"] = static_cast<double>(opt.verify_rounds);
+  config["verify_window"] = static_cast<double>(opt.verify_window);
   config["processes"] = static_cast<double>(1 + (opt.checker ? 1 : 0) + (opt.proofgen ? 1 : 0));
   doc["config"] = std::move(config);
   json::Array results;
@@ -380,6 +433,8 @@ int main(int argc, char** argv) {
                                           "bool", "section 6.1: honest run verifies clean"));
   results.push_back(benchutil::result_row("replayed root matches", root_matches ? 1.0 : 0.0,
                                           "bool", "section 6.5: replay reproduces commitment"));
+  results.push_back(benchutil::result_row("verification session wall", verify_seconds, "s",
+                                          "pipelined rounds; proofgen reconstructs once"));
   doc["results"] = std::move(results);
   doc["metrics"] = obs::MetricsRegistry::instance().snapshot().to_json();
 

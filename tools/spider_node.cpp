@@ -29,10 +29,14 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bgp/speaker.hpp"
@@ -41,6 +45,7 @@
 #include "spider/proof_generator.hpp"
 #include "transport/netsim_transport.hpp"
 #include "util/serde.hpp"
+#include "verify/session.hpp"
 
 using namespace spider;
 using nodetool::NodeEndpoint;
@@ -242,6 +247,31 @@ int run_recorder(transport::TcpTransport& tcp, NodeEndpoint& endpoint, const Opt
 int run_checker(transport::TcpTransport& tcp, NodeEndpoint& endpoint, const Options& opt) {
   HostedRecorder host(endpoint, opt);
 
+  // One memoizing verifier per commitment under check: bit proofs for the
+  // rounds of one pipelined session share their interior fold chains, so
+  // the session's later rounds skip most digest work (src/verify).  The
+  // verifier keys its caches by root internally, which keeps equivocating
+  // electors separated.  Bounded FIFO, same depth as log retention.
+  using VerifierKey = std::pair<std::uint32_t, proto::Time>;
+  std::map<VerifierKey, verify::CachedProofVerifier> verifiers;
+  std::deque<VerifierKey> verifier_fifo;
+  constexpr std::size_t kVerifierCapacity = 4;
+  auto verifier_for = [&](std::uint32_t elector, proto::Time commit_time)
+      -> verify::CachedProofVerifier& {
+    const VerifierKey key{elector, commit_time};
+    auto it = verifiers.find(key);
+    if (it != verifiers.end()) return it->second;
+    while (verifiers.size() >= kVerifierCapacity) {
+      verifiers.erase(verifier_fifo.front());
+      verifier_fifo.pop_front();
+    }
+    verifier_fifo.push_back(key);
+    return verifiers
+        .emplace(std::piecewise_construct, std::forward_as_tuple(key),
+                 std::forward_as_tuple(/*use_cache=*/true, /*cache_capacity=*/1 << 16))
+        .first->second;
+  };
+
   endpoint.set_control_handler([&](PeerId from, const proto::NodeFrame& frame) {
     switch (frame.type) {
       case proto::NodeFrameType::kStatsRequest: {
@@ -264,16 +294,30 @@ int run_checker(transport::TcpTransport& tcp, NodeEndpoint& endpoint, const Opti
           result.detail = "no commitment received for this round";
         } else {
           const proto::SpiderCommit& commit = commit_it->second;
+          // A multi-round bundle covers only its chunk of the prefix
+          // space; restrict the expected windows with the same shared
+          // membership rule the proof generator applied, so a prefix
+          // missing from its own round is still flagged as withheld.
+          auto in_round = [&](const bgp::Prefix& prefix) {
+            return bundle.round_count <= 1 ||
+                   proto::proof_round_of(prefix, bundle.round_count) == bundle.round;
+          };
+          proto::ProofVerifyFn verify_fn = [&](const util::Digest20& root, std::uint32_t num_classes,
+                                               const core::MttPrefixProof& proof) {
+            return verifier_for(bundle.elector, bundle.commit_time)
+                .verify(root, num_classes, proof);
+          };
           std::map<bgp::Prefix, std::vector<bgp::Route>> window;
           for (const auto& [prefix, route] : host.recorder->my_exports_to(bundle.elector)) {
-            window[prefix] = {route};
+            if (in_round(prefix)) window[prefix] = {route};
           }
           auto producer_verdict = proto::Checker::check_producer_proofs(
               commit, bundle.elector, window,
-              proto::ProducerProofs::decode(bundle.producer_proofs), host.recorder->classifier());
+              proto::ProducerProofs::decode(bundle.producer_proofs), host.recorder->classifier(),
+              verify_fn);
           std::map<bgp::Prefix, bgp::Route> imports;
           for (const auto& [prefix, route] : host.recorder->my_imports_from(bundle.elector)) {
-            imports.emplace(prefix, route);
+            if (in_round(prefix)) imports.emplace(prefix, route);
           }
           // The promise the elector made to this checker's AS; the smoke
           // deployment uses the paper's §7.2 configuration everywhere.
@@ -281,7 +325,7 @@ int run_checker(transport::TcpTransport& tcp, NodeEndpoint& endpoint, const Opti
           auto consumer_verdict = proto::Checker::check_consumer_proofs(
               commit, bundle.elector, promise, imports,
               proto::ConsumerProofs::decode(bundle.consumer_proofs), opt.id,
-              host.recorder->classifier());
+              host.recorder->classifier(), verify_fn);
           result.producer_ok = producer_verdict ? 0 : 1;
           result.consumer_ok = consumer_verdict ? 0 : 1;
           result.ok = (result.producer_ok && result.consumer_ok && bundle.root_matches) ? 1 : 0;
@@ -314,117 +358,209 @@ int run_checker(transport::TcpTransport& tcp, NodeEndpoint& endpoint, const Opti
 
   host.recorder->start(/*schedule_commitments=*/false);
   tcp.run();
-  std::printf("spider_node checker as=%u: %llu updates mirrored, %zu alarms\n", opt.id,
-              static_cast<unsigned long long>(host.recorder->updates_mirrored()),
-              host.recorder->alarms().size());
+  verify::SessionStats cache_stats;
+  for (const auto& [key, verifier] : verifiers) verifier.drain_into(cache_stats);
+  std::printf("spider_node checker as=%u: %llu updates mirrored, %zu alarms, "
+              "%llu proof-path cache hits / %llu misses (%llu bytes deduped)\n",
+              opt.id, static_cast<unsigned long long>(host.recorder->updates_mirrored()),
+              host.recorder->alarms().size(),
+              static_cast<unsigned long long>(cache_stats.cache_hits),
+              static_cast<unsigned long long>(cache_stats.cache_misses),
+              static_cast<unsigned long long>(cache_stats.bytes_deduped));
   return 0;
 }
 
 // --------------------------------------------------------------- proofgen
 
 int run_proofgen(transport::TcpTransport& tcp, NodeEndpoint& endpoint, const Options& opt) {
-  // Accumulated log transfer state for the in-flight request.
-  struct Pending {
+  // One reconstructed commitment kept live for reuse.  A pipelined session
+  // (loadgen --verify-rounds > 1) sends many per-round requests for the
+  // same (elector, commit_time); only the first pays the log transfer and
+  // checkpoint+replay — the rest slice proofs out of the cached MTT.
+  //
+  // Destruction order matters: the shadow recorder holds references into
+  // the other members, so `shadow`/`generator` are declared last (destroyed
+  // first).
+  struct ReconEntry {
+    std::unique_ptr<netsim::Simulator> sim;
+    std::unique_ptr<bgp::Speaker> speaker;
+    std::unique_ptr<transport::NetsimTransport> shadow_endpoint;
+    std::unique_ptr<core::KeyRegistry> keys;
+    std::unique_ptr<crypto::HashSigner> signer;
+    std::unique_ptr<proto::Recorder> shadow;
+    std::unique_ptr<proto::ProofGenerator> generator;
+    /// nullopt when reconstruction threw: such requests answer with empty
+    /// proof sets (and root_matches = 0), exactly like the uncached path.
+    std::optional<proto::ProofGenerator::Reconstruction> recon;
+    /// Memoizes per-prefix proof material across the session's rounds
+    /// (valid for exactly this reconstruction's tree + seed).
+    std::unique_ptr<core::MttProofMemo> memo;
+  };
+  using ReconKey = std::pair<std::uint32_t, proto::Time>;
+  std::map<ReconKey, ReconEntry> recon_cache;
+  std::deque<ReconKey> recon_fifo;  // front = oldest; bound matches §6.5 retention
+  constexpr std::size_t kReconCapacity = 2;
+  std::uint64_t recon_builds = 0, requests_answered = 0;
+
+  // Requests wait here in arrival order; at most one log transfer is in
+  // flight at a time (overlapping requests queue instead of dropping).
+  struct QueuedRequest {
     PeerId requester = 0;
     proto::ProofRequestFrame request;
+  };
+  std::deque<QueuedRequest> waiting;
+  struct Transfer {
     std::vector<util::Bytes> entries, checkpoints, commitments;
   };
-  std::optional<Pending> pending;
+  std::optional<Transfer> transfer;
 
-  auto answer = [&] {
+  auto answer_from_cache = [&](const QueuedRequest& queued, ReconEntry& entry) {
+    const proto::ProofRequestFrame& request = queued.request;
+    proto::ProofBundleFrame bundle;
+    bundle.elector = request.elector;
+    bundle.commit_time = request.commit_time;
+    bundle.consumer = request.consumer;
+    bundle.round = request.round;
+    bundle.round_count = request.round_count;
+    if (entry.recon) {
+      bundle.root_matches = entry.recon->root_matches ? 1 : 0;
+      // Round restriction: both sides compute membership independently via
+      // proof_round_of, so only (round, round_count) crosses the wire.
+      const std::set<bgp::Prefix>* subset = nullptr;
+      std::set<bgp::Prefix> chunk;
+      if (request.round_count > 1) {
+        for (const bgp::Prefix& prefix : entry.recon->state.all_prefixes()) {
+          if (proto::proof_round_of(prefix, request.round_count) == request.round) {
+            chunk.insert(prefix);
+          }
+        }
+        subset = &chunk;
+      }
+      bundle.producer_proofs = entry.generator
+                                   ->proofs_for_producer(*entry.recon, request.consumer,
+                                                         std::nullopt, subset, entry.memo.get())
+                                   .encode();
+      bundle.consumer_proofs = entry.generator
+                                   ->proofs_for_consumer(*entry.recon, request.consumer,
+                                                         std::nullopt, subset, entry.memo.get())
+                                   .encode();
+    } else {
+      bundle.producer_proofs = proto::ProducerProofs{}.encode();
+      bundle.consumer_proofs = proto::ConsumerProofs{}.encode();
+    }
+    endpoint.send_control(queued.requester, proto::NodeFrameType::kProofBundle,
+                          bundle.encode());
+    ++requests_answered;
+  };
+
+  // Answers every queued request the cache can serve, then kicks off one
+  // log transfer for the first one it cannot.
+  std::function<void()> service = [&] {
+    while (!waiting.empty()) {
+      const ReconKey key{waiting.front().request.elector, waiting.front().request.commit_time};
+      auto it = recon_cache.find(key);
+      if (it == recon_cache.end()) break;
+      answer_from_cache(waiting.front(), it->second);
+      waiting.pop_front();
+    }
+    if (!waiting.empty() && !transfer) {
+      transfer.emplace();
+      endpoint.send_control(waiting.front().request.elector, proto::NodeFrameType::kLogRequest,
+                            {});
+    }
+  };
+
+  auto finish_transfer = [&] {
     // Rebuild the elector's log preserving the transferred seq numbers and
     // authenticators — the recorder prunes committed rounds, so the chain
     // may start mid-sequence.  verify_chain() recomputes the whole chain
     // from the first retained entry's base authenticator, so a tampered
     // transfer still fails even though the entries arrive pre-chained.
     proto::MessageLog log;
-    for (const util::Bytes& bytes : pending->entries) {
+    for (const util::Bytes& bytes : transfer->entries) {
       log.append_entry(proto::LogEntry::decode(bytes));
     }
-    for (const util::Bytes& bytes : pending->checkpoints) {
+    for (const util::Bytes& bytes : transfer->checkpoints) {
       proto::LogCheckpoint cp = proto::LogCheckpoint::decode(bytes);
       log.add_checkpoint(cp.timestamp, std::move(cp.chunks));
     }
-    for (const util::Bytes& bytes : pending->commitments) {
+    for (const util::Bytes& bytes : transfer->commitments) {
       log.record_commitment(proto::CommitmentRecord::decode(bytes));
     }
+    transfer.reset();
     if (!log.verify_chain()) {
       std::fprintf(stderr, "proofgen: transferred log failed chain verification\n");
     }
+    if (waiting.empty()) return;  // requester vanished mid-transfer
+    const proto::ProofRequestFrame& request = waiting.front().request;
 
     // Shadow recorder: same AS, same configuration, fed only by the log —
     // the §6.5 checkpoint+replay path, here in a different OS process
     // than the recorder that produced the log.
-    netsim::Simulator shadow_sim;
-    bgp::Speaker shadow_speaker(shadow_sim, pending->request.elector, bgp::Policy{});
-    shadow_sim.add_node(shadow_speaker, "shadow-bgp");
-    transport::NetsimTransport shadow_endpoint(shadow_sim);
-    shadow_sim.add_node(shadow_endpoint, "shadow-rec");
-    core::KeyRegistry keys;
-    std::set<std::uint32_t> key_ases{pending->request.elector};
+    ReconEntry entry;
+    entry.sim = std::make_unique<netsim::Simulator>();
+    entry.speaker = std::make_unique<bgp::Speaker>(*entry.sim, request.elector, bgp::Policy{});
+    entry.sim->add_node(*entry.speaker, "shadow-bgp");
+    entry.shadow_endpoint = std::make_unique<transport::NetsimTransport>(*entry.sim);
+    entry.sim->add_node(*entry.shadow_endpoint, "shadow-rec");
+    entry.keys = std::make_unique<core::KeyRegistry>();
+    std::set<std::uint32_t> key_ases{request.elector};
     for (std::uint32_t neighbor : opt.neighbors) key_ases.insert(neighbor);
-    nodetool::add_keys(keys, key_ases);
-    crypto::HashSigner signer(nodetool::key_of(pending->request.elector));
+    nodetool::add_keys(*entry.keys, key_ases);
+    entry.signer = std::make_unique<crypto::HashSigner>(nodetool::key_of(request.elector));
     proto::RecorderConfig rc;
-    rc.asn = pending->request.elector;
+    rc.asn = request.elector;
     rc.num_classes = opt.num_classes;
     rc.commit_interval = opt.commit_interval;
     rc.batch_window = opt.batch_window;
-    bgp::Speaker& speaker_ref = shadow_speaker;
-    proto::Recorder shadow(shadow_endpoint, rc, signer, keys, speaker_ref);
+    entry.shadow = std::make_unique<proto::Recorder>(*entry.shadow_endpoint, rc, *entry.signer,
+                                                     *entry.keys, *entry.speaker);
     for (std::uint32_t neighbor : opt.neighbors) {
-      shadow.add_neighbor(neighbor);
-      shadow.set_promise(neighbor, core::Promise::total_order(opt.num_classes));
+      entry.shadow->add_neighbor(neighbor);
+      entry.shadow->set_promise(neighbor, core::Promise::total_order(opt.num_classes));
     }
-    shadow.restore_from(std::move(log));
-
-    proto::ProofGenerator generator(shadow);
-    proto::ProofBundleFrame bundle;
-    bundle.elector = pending->request.elector;
-    bundle.commit_time = pending->request.commit_time;
-    bundle.consumer = pending->request.consumer;
+    entry.shadow->restore_from(std::move(log));
+    entry.generator = std::make_unique<proto::ProofGenerator>(*entry.shadow);
+    entry.memo = std::make_unique<core::MttProofMemo>();
     try {
-      auto recon = generator.reconstruct(pending->request.commit_time, 1);
-      bundle.root_matches = recon.root_matches ? 1 : 0;
-      bundle.producer_proofs =
-          generator.proofs_for_producer(recon, pending->request.consumer).encode();
-      bundle.consumer_proofs =
-          generator.proofs_for_consumer(recon, pending->request.consumer).encode();
+      entry.recon = entry.generator->reconstruct(request.commit_time, 1);
     } catch (const std::invalid_argument& e) {
       std::fprintf(stderr, "proofgen: reconstruction failed: %s\n", e.what());
-      bundle.producer_proofs = proto::ProducerProofs{}.encode();
-      bundle.consumer_proofs = proto::ConsumerProofs{}.encode();
     }
-    endpoint.send_control(pending->requester, proto::NodeFrameType::kProofBundle,
-                          bundle.encode());
-    pending.reset();
+    ++recon_builds;
+
+    const ReconKey key{request.elector, request.commit_time};
+    while (recon_cache.size() >= kReconCapacity) {
+      recon_cache.erase(recon_fifo.front());
+      recon_fifo.pop_front();
+    }
+    recon_cache.emplace(key, std::move(entry));
+    recon_fifo.push_back(key);
+    service();
   };
 
   endpoint.set_control_handler([&](PeerId from, const proto::NodeFrame& frame) {
     switch (frame.type) {
       case proto::NodeFrameType::kProofRequest: {
-        if (pending) {
-          std::fprintf(stderr, "proofgen: dropping overlapping proof request\n");
-          break;
-        }
-        pending.emplace();
-        pending->requester = from;
-        pending->request = proto::ProofRequestFrame::decode(frame.body);
-        endpoint.send_control(pending->request.elector, proto::NodeFrameType::kLogRequest, {});
+        QueuedRequest queued;
+        queued.requester = from;
+        queued.request = proto::ProofRequestFrame::decode(frame.body);
+        waiting.push_back(std::move(queued));
+        service();
         break;
       }
       case proto::NodeFrameType::kLogSegment: {
-        if (!pending) break;
+        if (!transfer) break;
         proto::LogSegmentFrame segment = proto::LogSegmentFrame::decode(frame.body);
-        auto& sink = segment.kind == proto::LogSegmentFrame::kEntries ? pending->entries
+        auto& sink = segment.kind == proto::LogSegmentFrame::kEntries ? transfer->entries
                      : segment.kind == proto::LogSegmentFrame::kCheckpoints
-                         ? pending->checkpoints
-                         : pending->commitments;
+                         ? transfer->checkpoints
+                         : transfer->commitments;
         for (util::Bytes& record : segment.records) sink.push_back(std::move(record));
         break;
       }
       case proto::NodeFrameType::kLogEnd:
-        if (pending) answer();
+        if (transfer) finish_transfer();
         break;
       case proto::NodeFrameType::kStatsRequest: {
         util::ByteReader r(frame.body);
@@ -444,7 +580,14 @@ int run_proofgen(transport::TcpTransport& tcp, NodeEndpoint& endpoint, const Opt
   });
 
   tcp.run();
-  std::printf("spider_node proofgen id=%u: done\n", opt.id);
+  // Every answered request either triggered a reconstruction or reused a
+  // cached one, so hits are the difference.
+  std::printf("spider_node proofgen id=%u: %llu requests answered, %llu reconstructions, "
+              "%llu recon-cache hits\n",
+              opt.id, static_cast<unsigned long long>(requests_answered),
+              static_cast<unsigned long long>(recon_builds),
+              static_cast<unsigned long long>(
+                  requests_answered > recon_builds ? requests_answered - recon_builds : 0));
   return 0;
 }
 

@@ -2,7 +2,9 @@
 //
 //   spiderctl demo [prefixes] [updates]      run the Fig. 5 deployment and
 //                                            verify AS 5's latest commitment
-//   spiderctl verify <as> [prefixes]         commit + verify any AS
+//   spiderctl verify <as> [prefixes]         commit + verify any AS through
+//             [--jobs N] [--window N]        the pipelined session engine
+//             [--no-cache] [--sequential]    (src/verify)
 //   spiderctl faults [prefixes]              run the §7.4 fault matrix
 //   spiderctl trace [prefixes] [updates]     print synthetic-trace statistics
 //   spiderctl mtt <prefixes> [classes]       build + label an MTT, print stats
@@ -10,6 +12,7 @@
 //             [--seed N] [--profile NAME]    pretty-print the detection
 //
 // All runs are deterministic for a given size (fixed seeds).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +20,7 @@
 
 #include "chaos/matrix.hpp"
 #include "spider/verification.hpp"
+#include "verify/session.hpp"
 
 using namespace spider;
 
@@ -34,10 +38,11 @@ trace::RouteViewsTrace make_trace(std::size_t prefixes, std::size_t updates) {
 }
 
 void print_report(const proto::VerificationReport& report) {
-  std::printf("verification of AS%u @ T=%.1fs: %s (%.2f s, %s of proofs)\n", report.elector,
-              static_cast<double>(report.commit_time) / kSecond,
+  std::printf("verification of AS%u @ T=%.1fs: %s (%.2f s, %s of proofs shipped, %s deduped)\n",
+              report.elector, static_cast<double>(report.commit_time) / kSecond,
               report.clean() ? "CLEAN" : "FINDINGS", report.elapsed_seconds,
-              util::human_bytes(report.proof_bytes).c_str());
+              util::human_bytes(report.proof_bytes).c_str(),
+              util::human_bytes(report.proof_bytes_deduped).c_str());
   std::printf("  replayed root: %s\n", report.root_matches ? "matches commitment" : "MISMATCH");
   for (const auto& verdict : report.verdicts) {
     std::printf("  AS%-2u %s\n", verdict.neighbor, verdict.clean() ? "ok" : "VIOLATION");
@@ -45,7 +50,43 @@ void print_report(const proto::VerificationReport& report) {
   for (const auto& finding : report.findings()) std::printf("  ! %s\n", finding.c_str());
 }
 
-int cmd_verify(bgp::AsNumber elector, std::size_t prefixes, bool inject_fault) {
+void print_session_stats(const verify::SessionStats& stats) {
+  std::printf("  session: %llu rounds, %llu proofs, %llu digest ops (%llu saved), "
+              "cache %llu/%llu hit, %llu signatures (%llu batches)\n",
+              static_cast<unsigned long long>(stats.challenge_round_trips),
+              static_cast<unsigned long long>(stats.proofs_checked),
+              static_cast<unsigned long long>(stats.digest_ops),
+              static_cast<unsigned long long>(stats.digest_ops_saved),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_hits + stats.cache_misses),
+              static_cast<unsigned long long>(stats.signatures_verified),
+              static_cast<unsigned long long>(stats.signature_batches));
+  std::printf("  timing: reconstruct %.3f s, challenge/response %.3f s\n",
+              stats.reconstruct_seconds, stats.session_seconds);
+}
+
+/// Session shape for `spiderctl verify`: defaults to the full pipeline;
+/// --jobs 1 --window 1 (or --sequential) is the pre-engine sequential
+/// flow, byte-identical to the original run_verification.
+struct VerifyOptions {
+  unsigned jobs = 0;  // 0 = hardware concurrency
+  unsigned window = 4;
+  bool no_cache = false;
+  bool sequential = false;
+};
+
+verify::SessionConfig session_config(const VerifyOptions& opts) {
+  verify::SessionConfig config;  // default-constructed = sequential
+  if (!opts.sequential && !(opts.jobs == 1 && opts.window == 1)) {
+    config = verify::pipelined_config(opts.jobs);
+    config.window = opts.window;
+  }
+  if (opts.no_cache) config.use_cache = false;
+  return config;
+}
+
+int cmd_verify(bgp::AsNumber elector, std::size_t prefixes, bool inject_fault,
+               const VerifyOptions& opts = {}) {
   auto tr = make_trace(prefixes, prefixes / 4);
   proto::DeploymentConfig config;
   config.num_classes = 50;
@@ -62,9 +103,11 @@ int cmd_verify(bgp::AsNumber elector, std::size_t prefixes, bool inject_fault) {
 
   auto commit_time = deploy.recorder(elector).make_commitment().timestamp;
   deploy.sim().run();
-  auto report = proto::run_verification(deploy, elector, commit_time, /*extended=*/true);
-  print_report(report);
-  return report.clean() == !inject_fault ? 0 : 1;
+  auto result =
+      verify::run_session(deploy, elector, commit_time, session_config(opts), /*extended=*/true);
+  print_report(result.report);
+  print_session_stats(result.stats);
+  return result.report.clean() == !inject_fault ? 0 : 1;
 }
 
 int cmd_faults(std::size_t prefixes) {
@@ -186,7 +229,9 @@ void usage() {
   std::printf(
       "spiderctl — SPIDeR (SIGCOMM'12) reproduction driver\n"
       "  spiderctl demo   [prefixes] [updates]   full deployment + verification\n"
-      "  spiderctl verify <as> [prefixes]        commit + verify one AS\n"
+      "  spiderctl verify <as> [prefixes]        commit + verify one AS via the\n"
+      "            [--jobs N] [--window N]       pipelined session engine\n"
+      "            [--no-cache] [--sequential]   (defaults: all cores, window 4)\n"
       "  spiderctl faults [prefixes]             run the fault matrix\n"
       "  spiderctl trace  [prefixes] [updates]   synthetic trace statistics\n"
       "  spiderctl mtt    <prefixes> [classes]   build + label an MTT\n"
@@ -210,8 +255,28 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
-    return cmd_verify(static_cast<bgp::AsNumber>(std::atoi(argv[2])),
-                      arg_or(argc, argv, 3, 2000), false);
+    VerifyOptions opts;
+    std::size_t prefixes = 2000;
+    bool have_prefixes = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+        opts.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+        opts.window =
+            std::max(1u, static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
+      } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+        opts.no_cache = true;
+      } else if (std::strcmp(argv[i], "--sequential") == 0) {
+        opts.sequential = true;
+      } else if (!have_prefixes) {
+        prefixes = static_cast<std::size_t>(std::strtoull(argv[i], nullptr, 10));
+        have_prefixes = true;
+      } else {
+        usage();
+        return 2;
+      }
+    }
+    return cmd_verify(static_cast<bgp::AsNumber>(std::atoi(argv[2])), prefixes, false, opts);
   }
   if (std::strcmp(cmd, "faults") == 0) {
     return cmd_faults(arg_or(argc, argv, 2, 1000));
